@@ -1,0 +1,55 @@
+"""Shared infrastructure for the per-figure/table benchmark suite.
+
+Every benchmark prints the rows/series of the paper artifact it reproduces
+(visible in the terminal even under pytest's capture, via ``report``) and
+times a representative unit of work through pytest-benchmark.
+
+Dataset facades are cached per session so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.datasets import flickr_space, sf_poi_space, urbangb_space
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment tables past pytest's output capture."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report
+
+
+@functools.lru_cache(maxsize=None)
+def sf(n: int, road: bool = True):
+    """Cached SF-POI-like space."""
+    return sf_poi_space(n, road=road)
+
+
+@functools.lru_cache(maxsize=None)
+def urban(n: int, road: bool = True):
+    """Cached UrbanGB-like space."""
+    return urbangb_space(n, road=road)
+
+
+@functools.lru_cache(maxsize=None)
+def flickr(n: int, dim: int = 256):
+    """Cached Flickr-like feature-vector space."""
+    return flickr_space(n, dim=dim)
+
+
+def record_rows(sweep: dict, sizes, value=lambda r: r.total_calls):
+    """Convert a size_sweep result into printable rows (one per size)."""
+    providers = list(sweep)
+    rows = []
+    for idx, n in enumerate(sizes):
+        rows.append([n] + [value(sweep[p][idx]) for p in providers])
+    return ["n", *providers], rows

@@ -1,0 +1,47 @@
+"""Ablation — how much landmark bootstrap should the Tri Scheme buy?
+
+The paper bootstraps Tri with ``log2(n)`` LAESA landmarks.  This ablation
+sweeps the multiplier: zero bootstrap starts cold (more algorithm-phase
+calls), while an oversized bootstrap pre-pays edges the algorithm never
+needed.  The useful signal is the total bill's U-shape (or plateau).
+"""
+
+from repro.bounds.landmarks import default_num_landmarks
+from repro.harness import render_table, run_experiment
+
+from benchmarks.conftest import sf
+
+N = 128
+MULTIPLIERS = [0, 1, 2, 4, 8]
+
+
+def test_ablation_bootstrap_budget(benchmark, report):
+    base = default_num_landmarks(N)
+    rows = []
+    totals = []
+    for mult in MULTIPLIERS:
+        record = run_experiment(
+            sf(N), "prim", "tri",
+            landmark_bootstrap=mult > 0,
+            num_landmarks=max(1, mult * base) if mult else None,
+        )
+        totals.append(record.total_calls)
+        rows.append(
+            [f"{mult}·log2(n)", record.bootstrap_calls,
+             record.algorithm_calls, record.total_calls]
+        )
+    report(
+        render_table(
+            ["bootstrap budget", "bootstrap calls", "algorithm calls", "total"],
+            rows,
+            title=f"Ablation: Tri bootstrap budget on Prim (SF-like n={N})",
+        )
+    )
+    # An oversized bootstrap must not be the global optimum.
+    assert totals[-1] >= min(totals)
+
+    benchmark.pedantic(
+        lambda: run_experiment(sf(N), "prim", "tri", landmark_bootstrap=True),
+        rounds=1,
+        iterations=1,
+    )

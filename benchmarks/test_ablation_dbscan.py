@@ -1,0 +1,48 @@
+"""Ablation — DBSCAN as an additional range-query-driven host algorithm.
+
+Not in the paper's evaluation, but squarely inside its framework claim:
+density clustering is nothing but ε-range queries, each of which the
+re-authored range query answers partly from bounds.  Exact labelling is
+asserted against the vanilla run.
+"""
+
+from repro.algorithms.dbscan import dbscan
+from repro.bounds import TriScheme
+from repro.core.resolver import SmartResolver
+from repro.harness import percentage_save, render_table
+
+from benchmarks.conftest import sf
+
+N = 150
+EPS = 0.08
+MIN_PTS = 4
+
+
+def _run(with_tri: bool):
+    space = sf(N, road=False)
+    oracle = space.oracle()
+    resolver = SmartResolver(oracle)
+    if with_tri:
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+    result = dbscan(resolver, eps=EPS, min_pts=MIN_PTS)
+    return oracle.calls, result
+
+
+def test_ablation_dbscan(benchmark, report):
+    vanilla_calls, vanilla = _run(False)
+    tri_calls, tri = _run(True)
+    assert tri.labels == vanilla.labels, "exactness"
+    report(
+        render_table(
+            ["configuration", "oracle calls", "clusters", "noise"],
+            [
+                ["vanilla", vanilla_calls, vanilla.num_clusters, vanilla.noise_count],
+                ["Tri Scheme", tri_calls, tri.num_clusters, tri.noise_count],
+                ["save%", round(percentage_save(vanilla_calls, tri_calls), 1), "", ""],
+            ],
+            title=f"DBSCAN (eps={EPS}, minPts={MIN_PTS}) on SF-like n={N}",
+        )
+    )
+    assert tri_calls < vanilla_calls
+
+    benchmark.pedantic(lambda: _run(True), rounds=1, iterations=1)

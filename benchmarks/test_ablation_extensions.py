@@ -1,0 +1,48 @@
+"""Ablation — the paper's §7 extension algorithms under the framework.
+
+The conclusion proposes applying the framework to facility allocation and
+travelling-salesman problems.  This bench measures the oracle savings of
+the re-authored greedy k-center, single-linkage clustering, and
+nearest-neighbour TSP tour, plus the AESA degenerate baseline for scale.
+"""
+
+from repro.harness import percentage_save, render_table, run_experiment
+
+from benchmarks.conftest import sf
+
+N = 128
+CASES = [
+    ("kcenter", {"k": 8}),
+    ("linkage", {}),
+    ("nn-tour", {}),
+]
+
+
+def test_ablation_extension_algorithms(benchmark, report):
+    rows = []
+    for algorithm, kwargs in CASES:
+        vanilla = run_experiment(sf(N), algorithm, "none", algorithm_kwargs=kwargs)
+        tri = run_experiment(sf(N), algorithm, "tri", algorithm_kwargs=kwargs)
+        rows.append(
+            [
+                algorithm,
+                vanilla.total_calls,
+                tri.total_calls,
+                round(percentage_save(vanilla.total_calls, tri.total_calls), 1),
+            ]
+        )
+    aesa = run_experiment(sf(N), "prim", "aesa")
+    rows.append(["prim (AESA baseline)", N * (N - 1) // 2, aesa.total_calls, 0.0])
+    report(
+        render_table(
+            ["algorithm", "vanilla calls", "Tri calls", "save%"],
+            rows,
+            title=f"Extensions: §7 algorithms under the framework (SF-like n={N})",
+        )
+    )
+    for row in rows[:-1]:
+        assert row[2] <= row[1], row[0]
+
+    benchmark.pedantic(
+        lambda: run_experiment(sf(N), "nn-tour", "tri"), rounds=1, iterations=1
+    )

@@ -1,0 +1,56 @@
+"""Ablation — composing providers: Tri ∩ LAESA vs each alone.
+
+The framework's provider protocol composes: an ``IntersectionBounder``
+returns the tightest interval any member can prove.  This ablation checks
+whether combining the Tri Scheme with the LAESA matrix pays for its extra
+CPU: the combination can never need *more* calls than the better member.
+"""
+
+from repro.bounds import Laesa, TriScheme
+from repro.core.bounds import IntersectionBounder
+from repro.core.resolver import SmartResolver
+from repro.algorithms import prim_mst
+from repro.harness import render_table
+
+from benchmarks.conftest import sf
+
+N = 128
+
+
+def _run(combo: str) -> int:
+    space = sf(N, road=False)
+    oracle = space.oracle()
+    resolver = SmartResolver(oracle)
+    cap = space.diameter_bound()
+    laesa = Laesa(resolver.graph, cap)
+    tri = TriScheme(resolver.graph, cap)
+    if combo == "tri":
+        resolver.bounder = tri
+        # Same landmark spend as the other configurations for a fair bill.
+        laesa.bootstrap(resolver)
+    elif combo == "laesa":
+        resolver.bounder = laesa
+        laesa.bootstrap(resolver)
+    elif combo == "tri+laesa":
+        resolver.bounder = IntersectionBounder(resolver.graph, [tri, laesa], cap)
+        laesa.bootstrap(resolver)
+    else:
+        raise ValueError(combo)
+    prim_mst(resolver)
+    return oracle.calls
+
+
+def test_ablation_intersection_bounder(benchmark, report):
+    results = {combo: _run(combo) for combo in ("tri", "laesa", "tri+laesa")}
+    report(
+        render_table(
+            ["configuration", "total oracle calls"],
+            [[k, v] for k, v in results.items()],
+            title=f"Ablation: provider composition on Prim (SF-like n={N})",
+        )
+    )
+    # The intersection is at least as informative as either member.
+    assert results["tri+laesa"] <= results["tri"]
+    assert results["tri+laesa"] <= results["laesa"]
+
+    benchmark.pedantic(lambda: _run("tri+laesa"), rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Ablation — landmark selection strategy for the Tri bootstrap.
+
+Max-min (the LAESA default) vs max-sum vs uniform random, measured by the
+total Prim bill after a Tri bootstrap with each.  Random selection costs no
+selection calls but covers the space worse; the spread criteria pay
+selection calls that usually earn themselves back in tighter bounds.
+"""
+
+from repro.bounds import TriScheme
+from repro.bounds.landmarks import SELECTION_STRATEGIES, bootstrap_with_landmarks
+from repro.core.resolver import SmartResolver
+from repro.algorithms import prim_mst
+from repro.harness import render_table
+
+from benchmarks.conftest import sf
+
+N = 128
+
+
+def _run(strategy: str) -> tuple[int, int]:
+    space = sf(N)
+    oracle = space.oracle()
+    resolver = SmartResolver(oracle)
+    resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+    bootstrap_with_landmarks(resolver, strategy=strategy)
+    bootstrap_calls = oracle.calls
+    prim_mst(resolver)
+    return bootstrap_calls, oracle.calls
+
+
+def test_ablation_landmark_strategy(benchmark, report):
+    rows = []
+    totals = {}
+    for strategy in SELECTION_STRATEGIES:
+        bootstrap_calls, total = _run(strategy)
+        totals[strategy] = total
+        rows.append([strategy, bootstrap_calls, total - bootstrap_calls, total])
+    report(
+        render_table(
+            ["strategy", "bootstrap", "algorithm", "total"],
+            rows,
+            title=f"Ablation: landmark selection strategy (Prim + Tri, SF-like n={N})",
+        )
+    )
+    # All strategies must stay comfortably below the vanilla bill.
+    assert all(total < N * (N - 1) // 2 for total in totals.values())
+
+    benchmark.pedantic(lambda: _run("maxmin"), rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Figure 3a — relative error of produced bounds vs ADM (SF-like state).
+
+Shape targets: SPLUB error is exactly 0 (same tightest bounds as ADM);
+Tri's error is far below LAESA's and TLAESA's, especially for upper bounds.
+"""
+
+from repro.harness import bounds_quality_experiment, render_table
+
+from benchmarks.conftest import sf
+
+N = 150
+EDGES = 2500
+
+
+def _rows():
+    return bounds_quality_experiment(
+        sf(N, road=False), num_edges=EDGES, num_queries=200,
+        providers=("splub", "tri", "laesa", "tlaesa", "adm"),
+    )
+
+
+def test_fig3a_relative_bound_error(benchmark, report):
+    results = _rows()
+    report(
+        render_table(
+            ["provider", "rel err LB", "rel err UB", "mean gap"],
+            [
+                [r.provider, round(r.rel_err_lower_vs_adm, 5),
+                 round(r.rel_err_upper_vs_adm, 5), round(r.mean_gap, 4)]
+                for r in results
+            ],
+            title=f"Fig 3a: bound error vs ADM (SF-like, n={N}, m={EDGES})",
+        )
+    )
+    by = {r.provider: r for r in results}
+    assert by["splub"].rel_err_lower_vs_adm < 1e-9
+    assert by["splub"].rel_err_upper_vs_adm < 1e-9
+    assert by["tri"].rel_err_upper_vs_adm < by["laesa"].rel_err_upper_vs_adm
+    assert by["tri"].rel_err_upper_vs_adm < by["tlaesa"].rel_err_upper_vs_adm
+
+    benchmark.pedantic(_rows, rounds=1, iterations=1)

@@ -1,0 +1,33 @@
+"""Figure 3b — Tri Scheme LB/UB gap as the number of known edges grows.
+
+Shape target: the mean gap shrinks drastically as edges accumulate (the
+paper reports a 3.3× reduction between its smallest and largest settings).
+"""
+
+from repro.harness import render_table, tri_gap_vs_edges
+
+from benchmarks.conftest import sf
+
+N = 150
+EDGE_COUNTS = [800, 1600, 3200, 6000]
+
+
+def test_fig3b_tri_gap_shrinks(benchmark, report):
+    rows = tri_gap_vs_edges(sf(N, road=False), EDGE_COUNTS, num_queries=200)
+    report(
+        render_table(
+            ["#edges", "mean LB", "mean UB", "LB-UB gap"],
+            [[r["edges"], round(r["mean_lb"], 4), round(r["mean_ub"], 4),
+              round(r["gap"], 4)] for r in rows],
+            title=f"Fig 3b: Tri Scheme bounds vs #edges (SF-like, n={N})",
+        )
+    )
+    gaps = [r["gap"] for r in rows]
+    assert gaps[-1] < gaps[0], "gap must shrink as edges accumulate"
+    assert gaps[0] / max(gaps[-1], 1e-12) > 1.5, "shrinkage should be substantial"
+
+    benchmark.pedantic(
+        lambda: tri_gap_vs_edges(sf(N, road=False), [1600], num_queries=50),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,54 @@
+"""Figure 3c — bound computation time: ADM vs SPLUB vs Tri Scheme.
+
+Shape targets: ADM's update cost dwarfs everyone (it is the reason ADM
+"is not scalable"); SPLUB pays per-query shortest paths but no update; the
+Tri Scheme improves per-query time by orders of magnitude over both.
+"""
+
+from repro.harness import bounds_quality_experiment, render_table
+
+from benchmarks.conftest import sf
+
+N = 150
+EDGES = 2500
+
+
+def test_fig3c_bound_computation_time(benchmark, report):
+    results = bounds_quality_experiment(
+        sf(N, road=False), num_edges=EDGES, num_queries=200,
+        providers=("adm", "splub", "tri"),
+    )
+    report(
+        render_table(
+            ["provider", "query (µs)", "update total (ms)"],
+            [
+                [r.provider, round(r.mean_query_seconds * 1e6, 1),
+                 round(r.update_seconds * 1e3, 2)]
+                for r in results
+            ],
+            title=f"Fig 3c: bound computation time (SF-like, n={N}, m={EDGES})",
+        )
+    )
+    by = {r.provider: r for r in results}
+    # Tri is far cheaper per query than SPLUB.
+    assert by["tri"].mean_query_seconds < by["splub"].mean_query_seconds / 5
+    # ADM's update bill exceeds both graph schemes'.
+    assert by["adm"].update_seconds > by["tri"].update_seconds
+    assert by["adm"].update_seconds > by["splub"].update_seconds
+
+    # Time one Tri query directly as the benchmark unit.
+    from repro.bounds import TriScheme
+    from repro.core.resolver import SmartResolver
+
+    space = sf(N, road=False)
+    resolver = SmartResolver(space.oracle())
+    tri = TriScheme(resolver.graph, space.diameter_bound())
+    resolver.bounder = tri
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    while resolver.graph.num_edges < EDGES:
+        i, j = int(rng.integers(N)), int(rng.integers(N))
+        if i != j:
+            resolver.distance(i, j)
+    benchmark(lambda: tri.bounds(3, 77))

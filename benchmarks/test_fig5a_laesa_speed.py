@@ -1,0 +1,43 @@
+"""Figure 5a — LAESA/TLAESA are fast but loose.
+
+Shape targets: the landmark schemes answer bound queries faster than SPLUB
+(and ADM's total bill) but their relative error is much higher than the
+graph schemes' — the "fast but loose" trade the paper highlights.
+"""
+
+from repro.harness import bounds_quality_experiment, render_table
+
+from benchmarks.conftest import sf
+
+N = 150
+EDGES = 2500
+
+
+def test_fig5a_fast_but_loose(benchmark, report):
+    results = bounds_quality_experiment(
+        sf(N, road=False), num_edges=EDGES, num_queries=200,
+        providers=("splub", "tri", "laesa", "tlaesa"),
+    )
+    report(
+        render_table(
+            ["provider", "query (µs)", "rel err LB", "rel err UB"],
+            [
+                [r.provider, round(r.mean_query_seconds * 1e6, 1),
+                 round(r.rel_err_lower_vs_adm, 5), round(r.rel_err_upper_vs_adm, 5)]
+                for r in results
+            ],
+            title=f"Fig 5a: landmark schemes — fast but loose (n={N}, m={EDGES})",
+        )
+    )
+    by = {r.provider: r for r in results}
+    assert by["laesa"].mean_query_seconds < by["splub"].mean_query_seconds
+    assert by["laesa"].rel_err_upper_vs_adm > by["tri"].rel_err_upper_vs_adm
+
+    benchmark.pedantic(
+        lambda: bounds_quality_experiment(
+            sf(N, road=False), num_edges=EDGES, num_queries=50,
+            providers=("laesa",),
+        ),
+        rounds=1,
+        iterations=1,
+    )

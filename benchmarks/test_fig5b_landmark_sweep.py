@@ -1,0 +1,39 @@
+"""Figure 5b — the ideal-landmark-count selection problem.
+
+Shape target: LAESA/TLAESA total calls are sensitive to the landmark
+budget with a non-trivial optimum — too few landmarks give weak bounds,
+too many blow the bootstrap budget — and the optimum is not obvious a
+priori (the paper found ~3·log n on one dataset, dataset-dependent).
+"""
+
+from repro.bounds.landmarks import default_num_landmarks
+from repro.harness import landmark_count_sweep, render_table
+
+from benchmarks.conftest import sf
+
+N = 128
+
+
+def test_fig5b_landmark_selection_problem(benchmark, report):
+    base = default_num_landmarks(N)
+    counts = [max(1, base // 2), base, 2 * base, 4 * base, 8 * base]
+    out = landmark_count_sweep(sf(N), "prim", counts)
+    report(
+        render_table(
+            ["landmarks", "LAESA total", "TLAESA total"],
+            [
+                [counts[i], out["laesa"][i].total_calls, out["tlaesa"][i].total_calls]
+                for i in range(len(counts))
+            ],
+            title=f"Fig 5b: sensitivity to landmark budget (Prim, SF-like n={N})",
+        )
+    )
+    laesa_calls = [r.total_calls for r in out["laesa"]]
+    # The extremes must not both be optimal: the sweep has structure.
+    assert min(laesa_calls) < max(laesa_calls)
+
+    benchmark.pedantic(
+        lambda: landmark_count_sweep(sf(N), "prim", [base], providers=("laesa",)),
+        rounds=1,
+        iterations=1,
+    )

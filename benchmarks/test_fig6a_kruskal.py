@@ -1,0 +1,43 @@
+"""Figure 6a — Kruskal's distance-call savings on UrbanGB-like data.
+
+Shape target: Tri (with bootstrap) saves a growing share of calls relative
+to LAESA and TLAESA as the dataset grows (the paper reports up to 47%).
+"""
+
+from repro.harness import percentage_save, render_table, size_sweep
+
+from benchmarks.conftest import urban
+
+SIZES = [48, 96, 160]
+
+
+def test_fig6a_kruskal_distance_save(benchmark, report):
+    out = size_sweep(lambda n: urban(n), SIZES, "kruskal",
+                     providers=("tri", "laesa", "tlaesa"))
+    rows = []
+    for i, n in enumerate(SIZES):
+        tri = out["tri"][i].total_calls
+        laesa = out["laesa"][i].total_calls
+        tlaesa = out["tlaesa"][i].total_calls
+        rows.append(
+            [n, tri, laesa, round(percentage_save(laesa, tri), 1),
+             tlaesa, round(percentage_save(tlaesa, tri), 1)]
+        )
+    report(
+        render_table(
+            ["n", "Tri total", "LAESA", "save%", "TLAESA", "save%"],
+            rows,
+            title="Fig 6a: Kruskal oracle calls, UrbanGB-like",
+        )
+    )
+    for i in range(len(SIZES)):
+        assert out["tri"][i].total_calls <= out["laesa"][i].total_calls
+        assert out["tri"][i].total_calls <= out["tlaesa"][i].total_calls
+
+    from repro.harness import run_experiment
+
+    benchmark.pedantic(
+        lambda: run_experiment(urban(96), "kruskal", "tri", landmark_bootstrap=True),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,49 @@
+"""Figure 6b — KNNrp (k=5) distance-call savings on UrbanGB-like data.
+
+Shape target: the Tri-augmented kNN-graph builder saves calls relative to
+LAESA and TLAESA at every size, and the absolute counts grow with n.
+"""
+
+from repro.harness import percentage_save, render_table, size_sweep
+
+from benchmarks.conftest import urban
+
+SIZES = [48, 96, 160]
+K = 5
+
+
+def test_fig6b_knng_distance_save(benchmark, report):
+    out = size_sweep(
+        lambda n: urban(n), SIZES, "knng",
+        providers=("tri", "laesa", "tlaesa"),
+        algorithm_kwargs={"k": K},
+    )
+    rows = []
+    for i, n in enumerate(SIZES):
+        tri = out["tri"][i].total_calls
+        laesa = out["laesa"][i].total_calls
+        tlaesa = out["tlaesa"][i].total_calls
+        rows.append([n, tri, laesa, round(percentage_save(laesa, tri), 1),
+                     tlaesa, round(percentage_save(tlaesa, tri), 1)])
+    report(
+        render_table(
+            ["n", "Tri total", "LAESA", "save%", "TLAESA", "save%"],
+            rows,
+            title=f"Fig 6b: kNN-graph (k={K}) oracle calls, UrbanGB-like",
+        )
+    )
+    tri_calls = [out["tri"][i].total_calls for i in range(len(SIZES))]
+    assert tri_calls == sorted(tri_calls), "calls grow with n"
+    for i in range(len(SIZES)):
+        assert out["tri"][i].total_calls <= out["laesa"][i].total_calls
+
+    from repro.harness import run_experiment
+
+    benchmark.pedantic(
+        lambda: run_experiment(
+            urban(96), "knng", "tri", landmark_bootstrap=True,
+            algorithm_kwargs={"k": K},
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,55 @@
+"""Figures 6c/6d — PAM distance calls varying dataset size.
+
+6c uses UrbanGB-like data, 6d SF-POI-like.  Shape target: the Tri Scheme's
+save percentage vs LAESA/TLAESA grows (or at least persists) as n grows.
+"""
+
+import pytest
+
+from repro.harness import percentage_save, render_table, size_sweep
+
+from benchmarks.conftest import sf, urban
+
+SIZES = [40, 80, 120]
+PAM_KWARGS = {"l": 5, "seed": 0, "max_iterations": 4}
+
+
+@pytest.mark.parametrize(
+    "figure,space_fn,label",
+    [("6c", urban, "UrbanGB-like"), ("6d", sf, "SF-POI-like")],
+)
+def test_fig6cd_pam_vary_size(benchmark, report, figure, space_fn, label):
+    out = size_sweep(
+        lambda n: space_fn(n, road=False), SIZES, "pam",
+        providers=("tri", "laesa", "tlaesa"),
+        algorithm_kwargs=PAM_KWARGS,
+    )
+    rows = []
+    for i, n in enumerate(SIZES):
+        tri = out["tri"][i].total_calls
+        laesa = out["laesa"][i].total_calls
+        tlaesa = out["tlaesa"][i].total_calls
+        rows.append([n, tri, laesa, round(percentage_save(laesa, tri), 1),
+                     tlaesa, round(percentage_save(tlaesa, tri), 1)])
+    report(
+        render_table(
+            ["n", "Tri total", "LAESA", "save%", "TLAESA", "save%"],
+            rows,
+            title=f"Fig {figure}: PAM (l={PAM_KWARGS['l']}) oracle calls, {label}",
+        )
+    )
+    for i in range(len(SIZES)):
+        assert out["tri"][i].total_calls <= out["laesa"][i].total_calls
+        # Outputs identical across providers.
+        assert out["tri"][i].result.medoids == out["laesa"][i].result.medoids
+
+    from repro.harness import run_experiment
+
+    benchmark.pedantic(
+        lambda: run_experiment(
+            space_fn(40, road=False), "pam", "tri", landmark_bootstrap=True,
+            algorithm_kwargs=PAM_KWARGS,
+        ),
+        rounds=1,
+        iterations=1,
+    )

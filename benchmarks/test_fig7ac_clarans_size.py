@@ -1,0 +1,54 @@
+"""Figures 7a/7c — CLARANS distance calls varying dataset size (SF/UrbanGB).
+
+Shape target: Tri saves calls vs LAESA and TLAESA at every size and scales
+to the larger settings without giving up the saving.
+"""
+
+import pytest
+
+from repro.harness import percentage_save, render_table, size_sweep
+
+from benchmarks.conftest import sf, urban
+
+SIZES = [48, 96, 160]
+CLARANS_KWARGS = {"l": 5, "seed": 0, "num_local": 1}
+
+
+@pytest.mark.parametrize(
+    "figure,space_fn,label",
+    [("7a", sf, "SF-POI-like"), ("7c", urban, "UrbanGB-like")],
+)
+def test_fig7ac_clarans_vary_size(benchmark, report, figure, space_fn, label):
+    out = size_sweep(
+        lambda n: space_fn(n, road=False), SIZES, "clarans",
+        providers=("tri", "laesa", "tlaesa"),
+        algorithm_kwargs=CLARANS_KWARGS,
+    )
+    rows = []
+    for i, n in enumerate(SIZES):
+        tri = out["tri"][i].total_calls
+        laesa = out["laesa"][i].total_calls
+        tlaesa = out["tlaesa"][i].total_calls
+        rows.append([n, tri, laesa, round(percentage_save(laesa, tri), 1),
+                     tlaesa, round(percentage_save(tlaesa, tri), 1)])
+    report(
+        render_table(
+            ["n", "Tri total", "LAESA", "save%", "TLAESA", "save%"],
+            rows,
+            title=f"Fig {figure}: CLARANS (l={CLARANS_KWARGS['l']}) oracle calls, {label}",
+        )
+    )
+    for i in range(len(SIZES)):
+        assert out["tri"][i].total_calls <= out["laesa"][i].total_calls
+        assert out["tri"][i].result.medoids == out["laesa"][i].result.medoids
+
+    from repro.harness import run_experiment
+
+    benchmark.pedantic(
+        lambda: run_experiment(
+            space_fn(48, road=False), "clarans", "tri", landmark_bootstrap=True,
+            algorithm_kwargs=CLARANS_KWARGS,
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,38 @@
+"""Figure 7d — Prim's end-to-end completion time varying oracle cost.
+
+Shape target: under any meaningfully priced oracle, the scheme with the
+fewest calls (Tri) completes first; the paper reports ~53% vs LAESA and
+~39% vs TLAESA at a 1.2 s oracle.
+"""
+
+from repro.harness import oracle_cost_sweep, render_series
+
+from benchmarks.conftest import urban
+
+N = 128
+COSTS = [0.0, 0.1, 0.5, 1.2]
+
+
+def test_fig7d_prim_completion_time(benchmark, report):
+    out = oracle_cost_sweep(
+        urban(N), "prim", COSTS, providers=("tri", "laesa", "tlaesa")
+    )
+    report(
+        render_series(
+            "oracle s/call",
+            COSTS,
+            {p: [round(t, 1) for t in out[p]] for p in out},
+            title=f"Fig 7d: Prim completion time (s), UrbanGB-like n={N}",
+        )
+    )
+    # At the priciest oracle the call-count leader must win end-to-end.
+    assert out["tri"][-1] < out["laesa"][-1]
+    assert out["tri"][-1] < out["tlaesa"][-1]
+
+    from repro.harness import run_experiment
+
+    benchmark.pedantic(
+        lambda: run_experiment(urban(N), "prim", "tri", landmark_bootstrap=True),
+        rounds=1,
+        iterations=1,
+    )

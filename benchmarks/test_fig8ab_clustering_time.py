@@ -1,0 +1,50 @@
+"""Figures 8a/8b — PAM and CLARANS completion time varying oracle cost.
+
+Shape target: as the per-call price rises, the Tri-augmented runs pull
+ahead of LAESA/TLAESA (paper: PAM saves up to 59%/40% at a 2.5 s oracle).
+"""
+
+import pytest
+
+from repro.harness import oracle_cost_sweep, render_series
+
+from benchmarks.conftest import sf
+
+N = 100
+COSTS = [0.0, 0.5, 1.0, 2.5]
+
+
+@pytest.mark.parametrize(
+    "figure,algorithm,kwargs",
+    [
+        ("8a", "pam", {"l": 5, "seed": 0, "max_iterations": 4}),
+        ("8b", "clarans", {"l": 5, "seed": 0, "num_local": 1}),
+    ],
+)
+def test_fig8ab_clustering_completion_time(benchmark, report, figure, algorithm, kwargs):
+    out = oracle_cost_sweep(
+        sf(N, road=False), algorithm, COSTS,
+        providers=("tri", "laesa", "tlaesa"),
+        algorithm_kwargs=kwargs,
+    )
+    report(
+        render_series(
+            "oracle s/call",
+            COSTS,
+            {p: [round(t, 1) for t in out[p]] for p in out},
+            title=f"Fig {figure}: {algorithm.upper()} completion time (s), SF-like n={N}",
+        )
+    )
+    assert out["tri"][-1] < out["laesa"][-1]
+    assert out["tri"][-1] < out["tlaesa"][-1]
+
+    from repro.harness import run_experiment
+
+    benchmark.pedantic(
+        lambda: run_experiment(
+            sf(N, road=False), algorithm, "tri", landmark_bootstrap=True,
+            algorithm_kwargs=kwargs,
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,42 @@
+"""Figure 9a — effect of k on the kNN-graph builder's distance calls.
+
+Shape target: more neighbours require resolving more candidates, so calls
+rise with k for every scheme, with Tri remaining the cheapest.
+"""
+
+from repro.harness import parameter_sweep, render_series
+
+from benchmarks.conftest import sf
+
+N = 130
+K_VALUES = [2, 5, 10, 15]
+
+
+def test_fig9a_knng_vary_k(benchmark, report):
+    out = parameter_sweep(
+        sf(N, road=False), "knng", "k", K_VALUES,
+        providers=("tri", "laesa", "tlaesa"),
+    )
+    report(
+        render_series(
+            "k",
+            K_VALUES,
+            {p: [r.total_calls for r in out[p]] for p in out},
+            title=f"Fig 9a: kNN-graph oracle calls vs k (SF-like n={N})",
+        )
+    )
+    tri_calls = [r.total_calls for r in out["tri"]]
+    assert tri_calls[-1] >= tri_calls[0], "calls rise with k"
+    for i in range(len(K_VALUES)):
+        assert out["tri"][i].total_calls <= out["laesa"][i].total_calls
+
+    from repro.harness import run_experiment
+
+    benchmark.pedantic(
+        lambda: run_experiment(
+            sf(N, road=False), "knng", "tri", landmark_bootstrap=True,
+            algorithm_kwargs={"k": 5},
+        ),
+        rounds=1,
+        iterations=1,
+    )

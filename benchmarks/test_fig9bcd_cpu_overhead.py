@@ -1,0 +1,56 @@
+"""Figures 9b/9c/9d — local CPU overhead when varying l (PAM, CLARANS) / k (kNNG).
+
+Shape target: raising l (or k) raises the number of bound comparisons and
+therefore the *local CPU* overhead — the framework's explicit trade: CPU up,
+oracle calls down.  CPU overhead here is wall time minus (zero-cost) oracle
+time, i.e. the measured cpu_seconds of each run.
+"""
+
+import pytest
+
+from repro.harness import parameter_sweep, render_series
+
+from benchmarks.conftest import sf
+
+N = 100
+
+
+@pytest.mark.parametrize(
+    "figure,algorithm,param,values,base",
+    [
+        ("9b", "pam", "l", [3, 6, 10], {"seed": 0, "max_iterations": 3}),
+        ("9c", "clarans", "l", [3, 6, 10], {"seed": 0, "num_local": 1}),
+        ("9d", "knng", "k", [2, 6, 12], {}),
+    ],
+)
+def test_fig9bcd_cpu_overhead(benchmark, report, figure, algorithm, param, values, base):
+    out = parameter_sweep(
+        sf(N, road=False), algorithm, param, values,
+        providers=("tri",),
+        base_kwargs=base,
+    )
+    cpu = [round(r.cpu_seconds, 4) for r in out["tri"]]
+    calls = [r.total_calls for r in out["tri"]]
+    report(
+        render_series(
+            param,
+            values,
+            {"CPU overhead (s)": cpu, "oracle calls": calls},
+            title=f"Fig {figure}: {algorithm.upper()} CPU overhead vs {param} "
+            f"(Tri, SF-like n={N})",
+        )
+    )
+    # The runs complete and the accounting splits CPU from oracle time.
+    assert all(c >= 0 for c in cpu)
+    assert all(r.oracle_seconds == 0 for r in out["tri"])
+
+    from repro.harness import run_experiment
+
+    benchmark.pedantic(
+        lambda: run_experiment(
+            sf(N, road=False), algorithm, "tri",
+            algorithm_kwargs={**base, param: values[0]},
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Table 3 — oracle calls of Prim's algorithm on SF-POI-like data."""
+
+from repro.harness import prim_call_table, render_table, run_experiment
+
+from benchmarks.conftest import sf
+
+SIZES = [64, 128, 192]
+
+
+def test_table3_prim_sf(benchmark, report):
+    rows = prim_call_table(lambda n: sf(n), SIZES)
+    report(
+        render_table(
+            ["#edges", "WithoutPlug", "TS-NB", "Bootstrap", "TriScheme",
+             "LAESA", "Save(%)", "TLAESA", "Save(%)", "landmarks"],
+            [
+                [
+                    r.num_edges,
+                    r.without_plug,
+                    r.ts_nb,
+                    r.bootstrap,
+                    r.tri_scheme,
+                    r.laesa,
+                    round(r.save_vs_laesa, 2),
+                    r.tlaesa,
+                    round(r.save_vs_tlaesa, 2),
+                    r.num_landmarks,
+                ]
+                for r in rows
+            ],
+            title="Table 3: Prim's oracle calls, SF-POI-like (road metric)",
+        )
+    )
+    for r in rows:
+        assert r.ts_nb <= r.without_plug
+        assert r.bootstrap + r.tri_scheme <= r.laesa
+        assert r.bootstrap + r.tri_scheme <= r.tlaesa
+
+    benchmark.pedantic(
+        lambda: run_experiment(sf(64), "prim", "tri"), rounds=1, iterations=1
+    )

@@ -1,0 +1,54 @@
+"""Proximity algorithms re-authored onto the bound framework."""
+
+from repro.algorithms.base import ClusteringResult, KnnGraphResult, MstResult
+from repro.algorithms.clarans import clarans, default_max_neighbors
+from repro.algorithms.dbscan import NOISE, DbscanResult, dbscan
+from repro.algorithms.kcenter import KCenterResult, k_center
+from repro.algorithms.linkage import LinkageResult, Merge, single_linkage
+from repro.algorithms.queries import (
+    farthest_neighbor,
+    k_nearest,
+    nearest_neighbor,
+    range_query,
+)
+from repro.algorithms.tsp import TourResult, nearest_neighbor_tour, two_opt
+from repro.algorithms.knng import knn_graph, knn_graph_brute
+from repro.algorithms.kruskal import kruskal_mst
+from repro.algorithms.medoid_common import Assignment, assign_objects, swap_cost, total_cost
+from repro.algorithms.pam import pam
+from repro.algorithms.prim import prim_mst, prim_mst_comparisons
+from repro.algorithms.union_find import UnionFind
+
+__all__ = [
+    "Assignment",
+    "DbscanResult",
+    "KCenterResult",
+    "LinkageResult",
+    "Merge",
+    "TourResult",
+    "NOISE",
+    "dbscan",
+    "farthest_neighbor",
+    "k_center",
+    "k_nearest",
+    "nearest_neighbor",
+    "nearest_neighbor_tour",
+    "range_query",
+    "single_linkage",
+    "two_opt",
+    "ClusteringResult",
+    "KnnGraphResult",
+    "MstResult",
+    "UnionFind",
+    "assign_objects",
+    "clarans",
+    "default_max_neighbors",
+    "knn_graph",
+    "knn_graph_brute",
+    "kruskal_mst",
+    "pam",
+    "prim_mst",
+    "prim_mst_comparisons",
+    "swap_cost",
+    "total_cost",
+]

@@ -1,0 +1,79 @@
+"""Shared result types for the proximity algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class MstResult:
+    """Minimum spanning tree output.
+
+    ``edges`` are ``(u, v, weight)`` triples in the order the algorithm
+    accepted them (Prim: tree-growth order; Kruskal: ascending weight).
+    """
+
+    edges: Tuple[Tuple[int, int, float], ...]
+    total_weight: float
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def edge_set(self) -> frozenset:
+        """Orientation-free edge set for output-equality comparisons."""
+        return frozenset((min(u, v), max(u, v)) for u, v, _ in self.edges)
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Medoid clustering output.
+
+    ``assignment[o]`` is the medoid id object ``o`` belongs to; ``cost`` is
+    the total deviation (sum of each object's distance to its medoid).
+    """
+
+    medoids: Tuple[int, ...]
+    assignment: Tuple[int, ...]
+    cost: float
+    iterations: int
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.medoids)
+
+    def cluster_members(self) -> Dict[int, List[int]]:
+        """Medoid id → list of member object ids."""
+        members: Dict[int, List[int]] = {m: [] for m in self.medoids}
+        for obj, medoid in enumerate(self.assignment):
+            members[medoid].append(obj)
+        return members
+
+
+@dataclass(frozen=True)
+class KnnGraphResult:
+    """k-nearest-neighbour graph output.
+
+    ``neighbors[u]`` is the ascending ``(distance, neighbour)`` list of
+    ``u``'s ``k`` nearest objects.
+    """
+
+    neighbors: Tuple[Tuple[Tuple[float, int], ...], ...]
+    k: int
+
+    @property
+    def n(self) -> int:
+        return len(self.neighbors)
+
+    def neighbor_ids(self, u: int) -> List[int]:
+        """Just the neighbour ids of ``u`` (ascending by distance)."""
+        return [v for _, v in self.neighbors[u]]
+
+    def edge_set(self) -> frozenset:
+        """Undirected edge set of the graph."""
+        edges = set()
+        for u, lst in enumerate(self.neighbors):
+            for _, v in lst:
+                edges.add((min(u, v), max(u, v)))
+        return frozenset(edges)

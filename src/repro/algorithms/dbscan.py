@@ -1,0 +1,107 @@
+"""DBSCAN (Ester et al. 1996) over an expensive distance oracle.
+
+Density clustering is driven entirely by ε-range queries, which makes it an
+ideal host for the framework: every neighbourhood probe runs through the
+re-authored :func:`~repro.algorithms.queries.range_query`, where lower
+bounds reject far candidates and upper bounds admit near ones — both
+without oracle calls.  The returned labelling (cluster ids, core flags,
+noise) is identical to the vanilla run because the range queries are exact
+and the expansion order is deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.algorithms.queries import range_query
+from repro.core.resolver import SmartResolver
+
+#: Label assigned to noise points.
+NOISE = -1
+_UNDEFINED = -2
+
+
+@dataclass(frozen=True)
+class DbscanResult:
+    """DBSCAN output: per-object labels plus core-point flags."""
+
+    labels: Tuple[int, ...]        # cluster id per object, NOISE (-1) for noise
+    core: Tuple[bool, ...]         # True where the object is a core point
+    eps: float
+    min_pts: int
+
+    @property
+    def num_clusters(self) -> int:
+        return len({label for label in self.labels if label != NOISE})
+
+    @property
+    def noise_count(self) -> int:
+        return sum(1 for label in self.labels if label == NOISE)
+
+    def clusters(self) -> List[List[int]]:
+        """Members per cluster id (ascending), noise excluded."""
+        out: dict[int, List[int]] = {}
+        for obj, label in enumerate(self.labels):
+            if label != NOISE:
+                out.setdefault(label, []).append(obj)
+        return [out[cid] for cid in sorted(out)]
+
+
+def dbscan(resolver: SmartResolver, eps: float, min_pts: int = 4) -> DbscanResult:
+    """Exact DBSCAN with bound-pruned ε-neighbourhood queries.
+
+    Parameters
+    ----------
+    resolver:
+        The comparison engine (bound provider decides the oracle savings).
+    eps:
+        Neighbourhood radius (inclusive).
+    min_pts:
+        Minimum neighbourhood size — *including the point itself* — for a
+        core point (the original paper's convention).
+    """
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    if min_pts < 1:
+        raise ValueError("min_pts must be at least 1")
+    n = resolver.oracle.n
+    labels = [_UNDEFINED] * n
+    core = [False] * n
+
+    def neighbourhood(p: int) -> List[int]:
+        return range_query(resolver, p, eps, include_query=True)
+
+    cluster_id = -1
+    for p in range(n):
+        if labels[p] != _UNDEFINED:
+            continue
+        neighbours = neighbourhood(p)
+        if len(neighbours) < min_pts:
+            labels[p] = NOISE
+            continue
+        cluster_id += 1
+        labels[p] = cluster_id
+        core[p] = True
+        seeds = deque(q for q in neighbours if q != p)
+        while seeds:
+            q = seeds.popleft()
+            if labels[q] == NOISE:
+                labels[q] = cluster_id  # border point adopted by the cluster
+            if labels[q] != _UNDEFINED:
+                continue
+            labels[q] = cluster_id
+            q_neighbours = neighbourhood(q)
+            if len(q_neighbours) >= min_pts:
+                core[q] = True
+                seeds.extend(
+                    r for r in q_neighbours
+                    if labels[r] == _UNDEFINED or labels[r] == NOISE
+                )
+    return DbscanResult(
+        labels=tuple(labels),
+        core=tuple(core),
+        eps=eps,
+        min_pts=min_pts,
+    )

@@ -1,0 +1,78 @@
+"""Kruskal's MST algorithm, re-authored for expensive distance oracles.
+
+Vanilla Kruskal over a complete metric graph resolves all ``C(n, 2)``
+distances, sorts them, and unions.  The re-authored version keeps a lazy
+min-heap keyed by each pair's current *lower bound* and exploits two facts:
+
+* a pair whose endpoints are already connected can be discarded without
+  ever resolving it (the classic cycle check needs no distance);
+* a pair whose **resolved** distance is no larger than the lower bound of
+  every remaining pair is guaranteed to be the global minimum, so it can be
+  accepted without resolving anything else.
+
+Entries are re-keyed lazily: when a popped entry's key is stale (the bound
+provider has tightened since it was pushed) it is pushed back with the new
+key.  The accepted edge sequence is exactly the ascending-distance order of
+vanilla Kruskal (ties broken by pair id), so the output is identical.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heapify, heappop, heappush
+
+from repro.algorithms.base import MstResult
+from repro.algorithms.union_find import UnionFind
+from repro.core.resolver import SmartResolver
+
+
+def kruskal_mst(resolver: SmartResolver) -> MstResult:
+    """Exact MST via lower-bound-ordered lazy Kruskal."""
+    n = resolver.oracle.n
+    uf = UnionFind(n)
+    # Heap entries: (key, i, j, resolved) — ``key`` is a lower bound on
+    # dist(i, j), exact when ``resolved`` is True.  Pair ids break ties so
+    # the accepted order is deterministic.
+    heap: list[tuple[float, int, int, bool]] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            known = resolver.known(i, j)
+            if known is not None:
+                heap.append((known, i, j, True))
+            else:
+                heap.append((0.0, i, j, False))
+    heapify(heap)
+
+    edges: list[tuple[int, int, float]] = []
+    total = 0.0
+    while heap and len(edges) < n - 1:
+        key, i, j, resolved = heappop(heap)
+        if uf.connected(i, j):
+            continue  # cycle — discarded with zero oracle cost
+        if resolved:
+            edges.append((i, j, key))
+            total += key
+            uf.union(i, j)
+            continue
+        bounds = resolver.bounds(i, j)
+        if bounds.lower > key:
+            # Stale entry: the provider has tightened since the push.
+            heappush(heap, (bounds.lower, i, j, False))
+            continue
+        next_key = heap[0][0] if heap else math.inf
+        if bounds.is_exact and bounds.lower <= next_key:
+            # Bounds pin the distance exactly and it is already the minimum.
+            edges.append((i, j, bounds.lower))
+            total += bounds.lower
+            uf.union(i, j)
+            continue
+        d = resolver.distance(i, j)
+        if d <= next_key:
+            edges.append((i, j, d))
+            total += d
+            uf.union(i, j)
+        else:
+            heappush(heap, (d, i, j, True))
+    if len(edges) != n - 1 and n > 1:
+        raise ValueError("failed to span all objects — non-metric oracle?")
+    return MstResult(edges=tuple(edges), total_weight=total)

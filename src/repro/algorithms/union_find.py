@@ -1,0 +1,44 @@
+"""Disjoint-set forest (union by rank, path halving) for Kruskal's algorithm."""
+
+from __future__ import annotations
+
+
+class UnionFind:
+    """Classic disjoint-set structure over ``n`` elements."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("UnionFind needs at least one element")
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self._components = n
+
+    @property
+    def components(self) -> int:
+        """Number of disjoint sets remaining."""
+        return self._components
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path halving)."""
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def connected(self, x: int, y: int) -> bool:
+        """True when ``x`` and ``y`` are in the same set."""
+        return self.find(x) == self.find(y)
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of ``x`` and ``y``; True when a merge happened."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._rank[rx] < self._rank[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        if self._rank[rx] == self._rank[ry]:
+            self._rank[rx] += 1
+        self._components -= 1
+        return True

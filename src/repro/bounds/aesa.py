@@ -1,0 +1,38 @@
+"""AESA baseline — Vidal Ruiz (1986).
+
+The ancestor of LAESA: precompute *every* pairwise distance, then answer
+all queries from the matrix.  As a bound provider its bounds are exact
+(everything is known), but its bootstrap costs the full ``C(n, 2)`` oracle
+calls — the worst possible bill, included as the degenerate end of the
+landmark-budget spectrum (the paper's §6 positions LAESA precisely as the
+linear-preprocessing fix for this).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.bounds import BaseBoundProvider, Bounds
+from repro.core.partial_graph import PartialDistanceGraph
+from repro.core.resolver import SmartResolver
+
+
+class Aesa(BaseBoundProvider):
+    """Full-precomputation baseline: exact bounds after an O(n²) bootstrap."""
+
+    name = "AESA"
+
+    def __init__(self, graph: PartialDistanceGraph, max_distance: float = math.inf) -> None:
+        super().__init__(graph, max_distance)
+
+    def bootstrap(self, resolver: SmartResolver, multiplier: float = 1.0) -> int:
+        """Resolve every pairwise distance.  Returns the calls spent."""
+        before = resolver.oracle.calls
+        n = resolver.oracle.n
+        for i in range(n):
+            for j in range(i + 1, n):
+                resolver.distance(i, j)
+        return resolver.oracle.calls - before
+
+    def bounds(self, i: int, j: int) -> Bounds:
+        return self.trivial_bounds(i, j)

@@ -1,0 +1,266 @@
+"""DFT — the paper's Direct Feasibility Test (Contribution 1).
+
+Models every known distance, every range constraint, and every triangle
+inequality over the object set as a system of linear inequalities
+``A·x <= b`` over the unknown distances.  A comparison such as
+``dist(a) < dist(b)`` is then decided by testing the *reversed* constraint
+for infeasibility: if no assignment of the unknown distances satisfies
+``dist(a) >= dist(b)`` together with all metric constraints, the strict
+inequality is certain and both oracle calls are saved.
+
+This is the tightest decision procedure possible from the known distances —
+strictly stronger than any lower/upper-bound scheme because it reasons about
+the *joint* feasibility of two unknowns — and also by far the most
+expensive: the system has one variable per unknown pair and ``3·C(n,3)``
+triangle rows, so it is only practical for graphs with a few hundred edges
+(paper §5.3).  The paper used CPLEX; we use SciPy's HiGHS ``linprog``, which
+answers the same feasibility questions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from repro.core.bounds import BaseBoundProvider, Bounds
+from repro.core.exceptions import ConfigurationError, SolverError
+from repro.core.oracle import canonical_pair
+from repro.core.partial_graph import PartialDistanceGraph
+
+Pair = Tuple[int, int]
+
+#: Hard ceiling on object count — beyond this the LP explodes (3·C(n,3) rows).
+DEFAULT_MAX_OBJECTS = 64
+
+#: linprog status code for "infeasible".
+_INFEASIBLE = 2
+
+
+class DirectFeasibilityTest(BaseBoundProvider):
+    """LP-feasibility bound provider and comparison decider.
+
+    Implements both the :class:`BoundProvider` protocol (``bounds`` solves
+    two LPs, minimising and maximising the pair's variable) and the optional
+    ``decide_less`` hook the :class:`SmartResolver` consults for pairwise
+    comparisons — the latter is where DFT beats every bound scheme.
+    """
+
+    name = "DFT"
+
+    def __init__(
+        self,
+        graph: PartialDistanceGraph,
+        max_distance: float = 1.0,
+        max_objects: int = DEFAULT_MAX_OBJECTS,
+    ) -> None:
+        if not math.isfinite(max_distance):
+            raise ConfigurationError(
+                "DFT needs a finite max_distance (the paper normalises to [0, 1])"
+            )
+        if graph.n > max_objects:
+            raise ConfigurationError(
+                f"DFT is limited to {max_objects} objects (got {graph.n}); "
+                "it is not meant for large graphs — use SPLUB or TriScheme"
+            )
+        super().__init__(graph, max_distance)
+        self._dirty = True
+        self._var_index: Dict[Pair, int] = {}
+        self._a_ub: csr_matrix | None = None
+        self._b_ub: np.ndarray | None = None
+        self.lp_solves = 0
+
+    # -- system construction ---------------------------------------------
+
+    def notify_resolved(self, i: int, j: int, distance: float) -> None:
+        self._dirty = True
+
+    def _rebuild(self) -> None:
+        """(Re)build the triangle-inequality system over the unknown pairs."""
+        n = self.graph.n
+        self._var_index = {
+            pair: idx for idx, pair in enumerate(self.graph.unknown_pairs())
+        }
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        rhs: list[float] = []
+        row = 0
+        get = self.graph.get
+        var = self._var_index
+
+        def emit(terms: list[tuple[Pair, float]], bound: float) -> int:
+            """Append one inequality ``sum coeff·x <= bound`` (knowns folded in)."""
+            nonlocal row
+            constant = 0.0
+            entries: list[tuple[int, float]] = []
+            for pair, coeff in terms:
+                known = get(*pair)
+                if known is not None:
+                    constant += coeff * known
+                else:
+                    entries.append((var[pair], coeff))
+            if not entries:
+                return row
+            for col, coeff in entries:
+                rows.append(row)
+                cols.append(col)
+                data.append(coeff)
+            rhs.append(bound - constant)
+            row += 1
+            return row
+
+        for u in range(n):
+            for v in range(u + 1, n):
+                for w in range(v + 1, n):
+                    e1 = (u, v)
+                    e2 = (u, w)
+                    e3 = (v, w)
+                    if get(*e1) is not None and get(*e2) is not None and get(*e3) is not None:
+                        continue
+                    emit([(e1, 1.0), (e2, -1.0), (e3, -1.0)], 0.0)
+                    emit([(e2, 1.0), (e1, -1.0), (e3, -1.0)], 0.0)
+                    emit([(e3, 1.0), (e1, -1.0), (e2, -1.0)], 0.0)
+
+        num_vars = len(self._var_index)
+        self._a_ub = csr_matrix(
+            (data, (rows, cols)), shape=(row, max(num_vars, 1))
+        )
+        self._b_ub = np.asarray(rhs, dtype=np.float64)
+        self._dirty = False
+
+    def _ensure_system(self) -> None:
+        if self._dirty:
+            self._rebuild()
+
+    @property
+    def num_constraints(self) -> int:
+        """Triangle rows currently in the system (range rows are var bounds)."""
+        self._ensure_system()
+        return int(self._a_ub.shape[0])
+
+    @property
+    def num_variables(self) -> int:
+        """Unknown pairs currently modelled as LP variables."""
+        self._ensure_system()
+        return len(self._var_index)
+
+    # -- LP plumbing ------------------------------------------------------------
+
+    def _solve(
+        self,
+        objective: np.ndarray | None,
+        extra_rows: list[tuple[Dict[int, float], float]] | None = None,
+    ):
+        """Run linprog with the triangle system plus optional extra rows."""
+        self._ensure_system()
+        num_vars = max(len(self._var_index), 1)
+        a_ub = self._a_ub
+        b_ub = self._b_ub
+        if extra_rows:
+            extra_data, extra_rows_idx, extra_cols, extra_rhs = [], [], [], []
+            for r, (coeffs, bound) in enumerate(extra_rows):
+                for col, coeff in coeffs.items():
+                    extra_rows_idx.append(r)
+                    extra_cols.append(col)
+                    extra_data.append(coeff)
+                extra_rhs.append(bound)
+            extra = csr_matrix(
+                (extra_data, (extra_rows_idx, extra_cols)),
+                shape=(len(extra_rows), num_vars),
+            )
+            from scipy.sparse import vstack
+
+            a_ub = vstack([a_ub, extra], format="csr")
+            b_ub = np.concatenate([b_ub, np.asarray(extra_rhs)])
+        c = objective if objective is not None else np.zeros(num_vars)
+        self.lp_solves += 1
+        result = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            bounds=(0.0, self.max_distance),
+            method="highs",
+        )
+        if result.status not in (0, _INFEASIBLE, 3):
+            raise SolverError(f"linprog failed with status {result.status}: {result.message}")
+        return result
+
+    # -- protocol: bounds -----------------------------------------------------
+
+    def bounds(self, i: int, j: int) -> Bounds:
+        if i == j:
+            return Bounds(0.0, 0.0)
+        known = self.graph.get(i, j)
+        if known is not None:
+            return Bounds(known, known)
+        self._ensure_system()
+        idx = self._var_index[canonical_pair(i, j)]
+        num_vars = len(self._var_index)
+        objective = np.zeros(num_vars)
+        objective[idx] = 1.0
+        low = self._solve(objective)
+        high = self._solve(-objective)
+        if low.status != 0 or high.status != 0:
+            # Inconsistent system can only arise from a non-metric oracle.
+            raise SolverError("triangle system is infeasible — oracle is not a metric")
+        lb = max(0.0, float(low.fun))
+        ub = min(self.max_distance, float(-high.fun))
+        if lb > ub:
+            lb = ub
+        return Bounds(lb, ub)
+
+    # -- decider hook (used by SmartResolver) -------------------------------------
+
+    def decide_less(self, a: Pair, b: Pair) -> Optional[bool]:
+        """Certain answer to ``dist(*a) < dist(*b)`` or None when undecidable.
+
+        * infeasibility of ``x_a >= x_b`` proves ``dist(a) < dist(b)``;
+        * infeasibility of ``x_a <= x_b`` proves ``dist(a) > dist(b)``.
+        """
+        self._ensure_system()
+        da = self.graph.get(*a)
+        db = self.graph.get(*b)
+        if da is not None and db is not None:
+            return da < db
+        terms_a = self._terms(a)
+        terms_b = self._terms(b)
+
+        # Row for "x_b - x_a <= 0"  (i.e. x_a >= x_b feasible?)
+        coeffs_ge, rhs_ge = self._combine(terms_b, terms_a)
+        if self._infeasible(coeffs_ge, rhs_ge):
+            return True
+        # Row for "x_a - x_b <= 0"  (i.e. x_a <= x_b feasible?)
+        coeffs_le, rhs_le = self._combine(terms_a, terms_b)
+        if self._infeasible(coeffs_le, rhs_le):
+            return False
+        return None
+
+    def _terms(self, pair: Pair) -> tuple[Dict[int, float], float]:
+        """Represent a pair's distance as (variable coefficients, constant)."""
+        known = self.graph.get(*pair)
+        if known is not None:
+            return {}, known
+        return {self._var_index[canonical_pair(*pair)]: 1.0}, 0.0
+
+    @staticmethod
+    def _combine(
+        plus: tuple[Dict[int, float], float],
+        minus: tuple[Dict[int, float], float],
+    ) -> tuple[Dict[int, float], float]:
+        """Build the row ``plus − minus <= 0`` → (coeffs, rhs)."""
+        coeffs: Dict[int, float] = dict(plus[0])
+        for col, coeff in minus[0].items():
+            coeffs[col] = coeffs.get(col, 0.0) - coeff
+        rhs = minus[1] - plus[1]
+        return coeffs, rhs
+
+    def _infeasible(self, coeffs: Dict[int, float], rhs: float) -> bool:
+        if not coeffs:
+            # Constant row: infeasible iff the constant violates the bound.
+            return 0.0 > rhs
+        result = self._solve(None, extra_rows=[(coeffs, rhs)])
+        return result.status == _INFEASIBLE

@@ -1,0 +1,105 @@
+"""LAESA baseline — Micó, Oncina & Vidal (1994).
+
+Keeps an ``L × n`` matrix ``D`` of resolved landmark-to-object distances and
+bounds any pair through the landmarks:
+
+    LB(i, j) = max_l |D[l, i] − D[l, j]|
+    UB(i, j) = min_l  D[l, i] + D[l, j]
+
+Queries are ``O(L)`` (vectorised); updates only matter when the resolved
+edge touches a landmark.  The bounds are fast but loose — the scheme only
+ever "sees" paths of length 2 through the fixed landmark set, whereas the
+Tri Scheme exploits *every* triangle accumulated so far.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.bounds import BaseBoundProvider, Bounds
+from repro.core.partial_graph import PartialDistanceGraph
+from repro.core.resolver import SmartResolver
+from repro.bounds.landmarks import (
+    default_num_landmarks,
+    resolve_landmark_matrix,
+    select_landmarks_maxmin,
+)
+
+
+class Laesa(BaseBoundProvider):
+    """Landmark-matrix bound provider.
+
+    Construct, then call :meth:`bootstrap` with the resolver to pick
+    landmarks and pre-pay their distance rows.
+    """
+
+    name = "LAESA"
+
+    def __init__(
+        self,
+        graph: PartialDistanceGraph,
+        max_distance: float = math.inf,
+        num_landmarks: int | None = None,
+    ) -> None:
+        super().__init__(graph, max_distance)
+        self._requested_landmarks = num_landmarks
+        self.landmarks: List[int] = []
+        self._landmark_row: dict[int, int] = {}
+        self._matrix: np.ndarray | None = None
+
+    # -- construction -----------------------------------------------------
+
+    def bootstrap(self, resolver: SmartResolver, multiplier: float = 1.0) -> int:
+        """Select landmarks and resolve the landmark matrix.
+
+        Returns the number of oracle calls charged for the bootstrap.
+        """
+        before = resolver.oracle.calls
+        n = resolver.oracle.n
+        count = self._requested_landmarks or default_num_landmarks(n, multiplier)
+        count = min(count, n)
+        self.landmarks = select_landmarks_maxmin(resolver, count)
+        self._matrix = resolve_landmark_matrix(resolver, self.landmarks)
+        self._landmark_row = {lm: row for row, lm in enumerate(self.landmarks)}
+        return resolver.oracle.calls - before
+
+    def adopt(self, landmarks: Sequence[int], matrix: np.ndarray) -> None:
+        """Install an externally resolved landmark matrix (shared bootstraps)."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape[0] != len(landmarks):
+            raise ValueError("matrix row count must equal the number of landmarks")
+        self.landmarks = list(landmarks)
+        self._matrix = matrix
+        self._landmark_row = {lm: row for row, lm in enumerate(self.landmarks)}
+
+    # -- protocol -------------------------------------------------------------
+
+    def bounds(self, i: int, j: int) -> Bounds:
+        if i == j:
+            return Bounds(0.0, 0.0)
+        known = self.graph.get(i, j)
+        if known is not None:
+            return Bounds(known, known)
+        if self._matrix is None or not self.landmarks:
+            return self.trivial_bounds(i, j)
+        col_i = self._matrix[:, i]
+        col_j = self._matrix[:, j]
+        lb = float(np.max(np.abs(col_i - col_j)))
+        ub = min(float(np.min(col_i + col_j)), self.max_distance)
+        if lb > ub:
+            lb = ub
+        return Bounds(lb, ub)
+
+    def notify_resolved(self, i: int, j: int, distance: float) -> None:
+        """Refresh matrix cells when a landmark's distance was resolved."""
+        if self._matrix is None:
+            return
+        row = self._landmark_row.get(i)
+        if row is not None:
+            self._matrix[row, j] = distance
+        row = self._landmark_row.get(j)
+        if row is not None:
+            self._matrix[row, i] = distance

@@ -1,0 +1,152 @@
+"""Landmark selection and bootstrap utilities.
+
+LAESA-style schemes pre-pay ``L`` rows of the distance matrix: every
+landmark's distance to every object is resolved up front.  The same routine
+doubles as the paper's "Bootstrapping Tri Scheme through Landmarks": because
+resolutions flow through the shared :class:`SmartResolver`, the landmark
+edges land in the partial graph, and the Tri Scheme immediately has ``L``
+triangles over every unknown pair.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.resolver import SmartResolver
+
+
+def default_num_landmarks(n: int, multiplier: float = 1.0) -> int:
+    """The paper's default landmark budget, ``k = log2(n)`` (at least 1)."""
+    if n <= 1:
+        return 1
+    return max(1, int(round(multiplier * math.log2(n))))
+
+
+def select_landmarks_maxmin(
+    resolver: SmartResolver,
+    num_landmarks: int,
+    first: int = 0,
+) -> List[int]:
+    """Farthest-first (max-min) landmark selection, the standard LAESA pick.
+
+    Resolves ``(num_landmarks − 1) × n`` distances through the resolver while
+    selecting: each new landmark is the object maximising the distance to its
+    nearest already-chosen landmark.
+    """
+    n = resolver.oracle.n
+    if not 1 <= num_landmarks <= n:
+        raise ValueError(f"num_landmarks must be in [1, {n}]; got {num_landmarks}")
+    landmarks = [first]
+    nearest = np.full(n, math.inf)
+    while len(landmarks) < num_landmarks:
+        newest = landmarks[-1]
+        for obj in range(n):
+            d = resolver.distance(newest, obj)
+            if d < nearest[obj]:
+                nearest[obj] = d
+        nearest[landmarks] = -math.inf
+        candidate = int(np.argmax(nearest))
+        landmarks.append(candidate)
+    return landmarks
+
+
+def resolve_landmark_matrix(
+    resolver: SmartResolver,
+    landmarks: Sequence[int],
+) -> np.ndarray:
+    """Resolve and return the ``L × n`` landmark-to-object distance matrix."""
+    n = resolver.oracle.n
+    matrix = np.empty((len(landmarks), n))
+    for row, landmark in enumerate(landmarks):
+        for obj in range(n):
+            matrix[row, obj] = resolver.distance(landmark, obj)
+    return matrix
+
+
+def bootstrap_with_landmarks(
+    resolver: SmartResolver,
+    num_landmarks: int | None = None,
+    multiplier: float = 1.0,
+    strategy: str = "maxmin",
+) -> List[int]:
+    """Run the LAESA bootstrap: pick landmarks and resolve their rows.
+
+    Returns the landmark ids.  All resolved edges are recorded in the shared
+    partial graph, so *any* provider attached to the resolver benefits.
+    ``strategy`` selects how landmarks are picked (see
+    :data:`SELECTION_STRATEGIES`).
+    """
+    n = resolver.oracle.n
+    if num_landmarks is None:
+        num_landmarks = default_num_landmarks(n, multiplier)
+    num_landmarks = min(num_landmarks, n)
+    landmarks = select_landmarks(resolver, num_landmarks, strategy)
+    resolve_landmark_matrix(resolver, landmarks)
+    return landmarks
+
+
+def select_landmarks_random(
+    resolver: SmartResolver,
+    num_landmarks: int,
+    seed: int = 0,
+) -> List[int]:
+    """Uniform-random landmark selection (no selection-time oracle calls).
+
+    The cheapest strategy: zero calls spent choosing, at the price of
+    landmarks that may cluster together and cover the space poorly.
+    """
+    n = resolver.oracle.n
+    if not 1 <= num_landmarks <= n:
+        raise ValueError(f"num_landmarks must be in [1, {n}]; got {num_landmarks}")
+    rng = np.random.default_rng(seed)
+    return sorted(int(x) for x in rng.choice(n, size=num_landmarks, replace=False))
+
+
+def select_landmarks_maxsum(
+    resolver: SmartResolver,
+    num_landmarks: int,
+    first: int = 0,
+) -> List[int]:
+    """Max-sum selection: each landmark maximises total distance to the rest.
+
+    A greedier spread criterion than max-min; tends to pick boundary
+    objects.  Costs the same selection calls as max-min.
+    """
+    n = resolver.oracle.n
+    if not 1 <= num_landmarks <= n:
+        raise ValueError(f"num_landmarks must be in [1, {n}]; got {num_landmarks}")
+    landmarks = [first]
+    total = np.zeros(n)
+    while len(landmarks) < num_landmarks:
+        newest = landmarks[-1]
+        for obj in range(n):
+            total[obj] += resolver.distance(newest, obj)
+        total[landmarks] = -math.inf
+        candidate = int(np.argmax(total))
+        landmarks.append(candidate)
+    return landmarks
+
+
+#: Selection strategies accepted by :func:`bootstrap_with_landmarks`.
+SELECTION_STRATEGIES = ("maxmin", "maxsum", "random")
+
+
+def select_landmarks(
+    resolver: SmartResolver,
+    num_landmarks: int,
+    strategy: str = "maxmin",
+    seed: int = 0,
+) -> List[int]:
+    """Dispatch to a landmark-selection strategy by name."""
+    if strategy == "maxmin":
+        return select_landmarks_maxmin(resolver, num_landmarks)
+    if strategy == "maxsum":
+        return select_landmarks_maxsum(resolver, num_landmarks)
+    if strategy == "random":
+        return select_landmarks_random(resolver, num_landmarks, seed)
+    raise ValueError(
+        f"unknown strategy {strategy!r}; choose from {SELECTION_STRATEGIES}"
+    )

@@ -1,0 +1,268 @@
+"""Command-line interface: run any algorithm × provider × dataset matrix.
+
+Examples
+--------
+Compare all schemes on Prim's over SF-like data::
+
+    python -m repro run --dataset sf --n 150 --algorithm prim \
+        --providers none tri laesa tlaesa
+
+Sweep dataset sizes for the kNN-graph builder::
+
+    python -m repro sweep --dataset urbangb --sizes 50 100 150 \
+        --algorithm knng --k 5 --providers tri laesa
+
+Inspect a provider's bound quality::
+
+    python -m repro bounds --dataset sf --n 150 --edges 2500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.datasets import flickr_space, sf_poi_space, urbangb_space
+from repro.harness import (
+    PROVIDER_NAMES,
+    bounds_quality_experiment,
+    percentage_save,
+    print_table,
+    run_experiment,
+)
+
+DATASETS = {
+    "sf": lambda n, seed: sf_poi_space(n, seed=seed),
+    "sf-euclid": lambda n, seed: sf_poi_space(n, seed=seed, road=False),
+    "urbangb": lambda n, seed: urbangb_space(n, seed=seed),
+    "urbangb-euclid": lambda n, seed: urbangb_space(n, seed=seed, road=False),
+    "flickr": lambda n, seed: flickr_space(n, seed=seed),
+}
+
+ALGORITHM_PARAMS = {
+    "knng": ("k",),
+    "knng-brute": ("k",),
+    "pam": ("l", "seed"),
+    "clarans": ("l", "seed"),
+    "kcenter": ("k",),
+    "dbscan": ("eps", "min_pts"),
+}
+
+
+def _build_space(args):
+    return DATASETS[args.dataset](args.n, args.seed)
+
+
+def _algorithm_kwargs(args) -> dict:
+    kwargs = {}
+    for name in ALGORITHM_PARAMS.get(args.algorithm, ()):
+        value = getattr(args, name, None)
+        if value is not None:
+            kwargs[name] = value
+    return kwargs
+
+
+def _cmd_run(args) -> int:
+    space = _build_space(args)
+    kwargs = _algorithm_kwargs(args)
+    rows = []
+    baseline_calls = None
+    for provider in args.providers:
+        record = run_experiment(
+            space,
+            args.algorithm,
+            provider,
+            landmark_bootstrap=args.bootstrap and provider == "tri",
+            oracle_cost=args.oracle_cost,
+            algorithm_kwargs=kwargs,
+        )
+        if baseline_calls is None:
+            baseline_calls = record.total_calls
+        rows.append(
+            [
+                provider,
+                record.bootstrap_calls,
+                record.algorithm_calls,
+                record.total_calls,
+                round(percentage_save(baseline_calls, record.total_calls), 1),
+                round(record.cpu_seconds, 3),
+                round(record.completion_seconds, 2),
+            ]
+        )
+    print_table(
+        ["provider", "bootstrap", "algorithm", "total", "save% vs first",
+         "cpu (s)", "completion (s)"],
+        rows,
+        title=f"{args.algorithm} on {args.dataset} (n={args.n}, "
+        f"oracle={args.oracle_cost}s/call)",
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    kwargs = _algorithm_kwargs(args)
+    rows = []
+    for n in args.sizes:
+        space = DATASETS[args.dataset](n, args.seed)
+        row: List = [n]
+        for provider in args.providers:
+            record = run_experiment(
+                space,
+                args.algorithm,
+                provider,
+                landmark_bootstrap=args.bootstrap and provider == "tri",
+                algorithm_kwargs=kwargs,
+            )
+            row.append(record.total_calls)
+        rows.append(row)
+    print_table(
+        ["n", *args.providers],
+        rows,
+        title=f"{args.algorithm} total oracle calls on {args.dataset}",
+    )
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    space = _build_space(args)
+    results = bounds_quality_experiment(
+        space,
+        num_edges=args.edges,
+        num_queries=args.queries,
+        providers=tuple(args.providers),
+    )
+    print_table(
+        ["provider", "mean LB", "mean UB", "gap", "rel err LB", "rel err UB",
+         "query (µs)", "update (ms)"],
+        [
+            [
+                r.provider,
+                round(r.mean_lower, 4),
+                round(r.mean_upper, 4),
+                round(r.mean_gap, 4),
+                round(r.rel_err_lower_vs_adm, 5),
+                round(r.rel_err_upper_vs_adm, 5),
+                round(r.mean_query_seconds * 1e6, 1),
+                round(r.update_seconds * 1e3, 2),
+            ]
+            for r in results
+        ],
+        title=f"bound quality on {args.dataset} (n={args.n}, m={args.edges})",
+    )
+    return 0
+
+
+def _cmd_indexes(args) -> int:
+    """Framework vs classic metric indexes on an NN-query workload."""
+    import numpy as np
+
+    from repro.algorithms.queries import nearest_neighbor
+    from repro.bounds import TriScheme
+    from repro.core.resolver import SmartResolver
+    from repro.index import Gnat, MTree, VpTree
+
+    space = _build_space(args)
+    rng = np.random.default_rng(args.seed)
+    queries = [int(q) for q in rng.integers(space.n, size=args.queries)]
+
+    rows = []
+    oracle = space.oracle()
+    resolver = SmartResolver(oracle)
+    resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+    for q in queries:
+        nearest_neighbor(resolver, q)
+    rows.append(["framework (Tri)", 0, oracle.calls, oracle.calls])
+
+    for label, factory in (
+        ("VP-tree", lambda o: VpTree(o, rng=np.random.default_rng(0))),
+        ("M-tree", lambda o: MTree(o, rng=np.random.default_rng(0))),
+        ("GNAT", lambda o: Gnat(o, rng=np.random.default_rng(0))),
+    ):
+        oracle = space.oracle()
+        index = factory(oracle)
+        build = index.construction_calls
+        for q in queries:
+            index.nearest(q)
+        rows.append([label, build, oracle.calls - build, oracle.calls])
+
+    print_table(
+        ["approach", "build calls", "query calls", "total"],
+        rows,
+        title=f"{args.queries} NN queries on {args.dataset} (n={args.n})",
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reducing expensive distance calls for proximity problems "
+        "(SIGMOD 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, algorithms=True):
+        p.add_argument("--dataset", choices=sorted(DATASETS), default="sf")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument(
+            "--providers", nargs="+", default=["none", "tri", "laesa", "tlaesa"],
+            choices=list(PROVIDER_NAMES),
+        )
+        if algorithms:
+            p.add_argument(
+                "--algorithm",
+                default="prim",
+                choices=["prim", "prim-cmp", "kruskal", "knng", "knng-brute",
+                         "pam", "clarans", "kcenter", "linkage", "nn-tour",
+                         "dbscan"],
+            )
+            p.add_argument("--k", type=int, default=None, help="k for knng/kcenter")
+            p.add_argument("--l", type=int, default=None, help="clusters for pam/clarans")
+            p.add_argument("--eps", type=float, default=None, help="radius for dbscan")
+            p.add_argument("--min-pts", dest="min_pts", type=int, default=None,
+                           help="core threshold for dbscan")
+            p.add_argument("--bootstrap", action="store_true",
+                           help="LAESA-bootstrap the Tri Scheme")
+
+    run_p = sub.add_parser("run", help="one dataset size, many providers")
+    common(run_p)
+    run_p.add_argument("--n", type=int, default=100)
+    run_p.add_argument("--oracle-cost", type=float, default=0.0,
+                       help="simulated seconds per oracle call")
+    run_p.set_defaults(func=_cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="sweep dataset sizes")
+    common(sweep_p)
+    sweep_p.add_argument("--sizes", nargs="+", type=int, required=True)
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    bounds_p = sub.add_parser("bounds", help="bound-quality comparison")
+    common(bounds_p, algorithms=False)
+    bounds_p.add_argument("--n", type=int, default=150)
+    bounds_p.add_argument("--edges", type=int, default=2000)
+    bounds_p.add_argument("--queries", type=int, default=200)
+    bounds_p.set_defaults(
+        func=_cmd_bounds,
+    )
+    bounds_p.set_defaults(providers=["splub", "tri", "laesa", "tlaesa", "adm"])
+
+    indexes_p = sub.add_parser(
+        "indexes", help="framework vs VP-tree/M-tree/GNAT on NN queries"
+    )
+    indexes_p.add_argument("--dataset", choices=sorted(DATASETS), default="sf")
+    indexes_p.add_argument("--seed", type=int, default=7)
+    indexes_p.add_argument("--n", type=int, default=150)
+    indexes_p.add_argument("--queries", type=int, default=30)
+    indexes_p.set_defaults(func=_cmd_indexes)
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Core substrate: oracle accounting, partial graph, bounds, resolver."""
+
+from repro.core.bounds import (
+    BaseBoundProvider,
+    BoundProvider,
+    Bounds,
+    IntersectionBounder,
+    TrivialBounder,
+    UNBOUNDED,
+)
+from repro.core.exceptions import (
+    BudgetExceededError,
+    ConfigurationError,
+    InvalidObjectError,
+    MetricViolationError,
+    ReproError,
+    SolverError,
+    UnknownDistanceError,
+)
+from repro.core.oracle import DistanceOracle, OracleStats, WallClockOracle, canonical_pair
+from repro.core.partial_graph import PartialDistanceGraph
+from repro.core.persistence import load_graph, resume_resolver, save_graph, seed_oracle_cache
+from repro.core.validation import ValidatingOracle
+from repro.core.resolver import ResolverStats, SmartResolver
+
+__all__ = [
+    "BaseBoundProvider",
+    "BoundProvider",
+    "Bounds",
+    "BudgetExceededError",
+    "ConfigurationError",
+    "DistanceOracle",
+    "IntersectionBounder",
+    "InvalidObjectError",
+    "MetricViolationError",
+    "OracleStats",
+    "PartialDistanceGraph",
+    "ReproError",
+    "ResolverStats",
+    "SmartResolver",
+    "SolverError",
+    "TrivialBounder",
+    "UNBOUNDED",
+    "UnknownDistanceError",
+    "ValidatingOracle",
+    "load_graph",
+    "resume_resolver",
+    "save_graph",
+    "seed_oracle_cache",
+    "WallClockOracle",
+    "canonical_pair",
+]

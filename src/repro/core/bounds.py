@@ -1,0 +1,146 @@
+"""Bound values and the provider protocol shared by every scheme.
+
+A *bound provider* answers Problem 1 of the paper (BOUNDS: produce a lower
+and upper bound on an unknown distance without calling the oracle) and
+Problem 2 (UPDATE: absorb a newly resolved edge into its data structures).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.core.partial_graph import PartialDistanceGraph
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """A closed interval ``[lower, upper]`` known to contain a distance."""
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.lower < 0:
+            object.__setattr__(self, "lower", 0.0)
+        if self.upper < self.lower - 1e-12:
+            raise ValueError(f"inverted bounds: lower={self.lower} > upper={self.upper}")
+
+    @property
+    def gap(self) -> float:
+        """Width of the interval (``inf`` when the upper bound is unknown)."""
+        return self.upper - self.lower
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the interval pins the distance to a single value."""
+        return self.upper - self.lower <= 1e-12
+
+    def intersect(self, other: "Bounds") -> "Bounds":
+        """Tightest interval consistent with both bounds."""
+        return Bounds(max(self.lower, other.lower), min(self.upper, other.upper))
+
+    def contains(self, value: float, tol: float = 1e-9) -> bool:
+        """True when ``value`` lies within the interval up to ``tol``."""
+        return self.lower - tol <= value <= self.upper + tol
+
+
+#: Bounds carrying no information at all.
+UNBOUNDED = Bounds(0.0, math.inf)
+
+
+@runtime_checkable
+class BoundProvider(Protocol):
+    """Protocol every bound scheme implements.
+
+    Implementations share a :class:`PartialDistanceGraph`; resolution events
+    flow in through :meth:`notify_resolved` (the paper's UPDATE problem) and
+    queries through :meth:`bounds` (the BOUNDS problem).
+    """
+
+    #: Human-readable scheme name used in reports ("Tri", "SPLUB", ...).
+    name: str
+
+    def bounds(self, i: int, j: int) -> Bounds:
+        """Lower/upper bounds on ``dist(i, j)`` from known distances only."""
+        ...
+
+    def notify_resolved(self, i: int, j: int, distance: float) -> None:
+        """Absorb a freshly resolved edge (already added to the graph)."""
+        ...
+
+
+class BaseBoundProvider:
+    """Convenience base: holds the shared graph and a default diameter cap.
+
+    ``max_distance`` plays the role of the paper's normalisation to ``[0, 1]``:
+    with no information at all the upper bound is the metric's diameter cap
+    (``inf`` when unknown).
+    """
+
+    name = "base"
+
+    def __init__(self, graph: PartialDistanceGraph, max_distance: float = math.inf) -> None:
+        if max_distance <= 0:
+            raise ValueError("max_distance must be positive")
+        self.graph = graph
+        self.max_distance = float(max_distance)
+
+    def trivial_bounds(self, i: int, j: int) -> Bounds:
+        """Bounds knowing nothing beyond the (optional) diameter cap."""
+        if i == j:
+            return Bounds(0.0, 0.0)
+        known = self.graph.get(i, j)
+        if known is not None:
+            return Bounds(known, known)
+        return Bounds(0.0, self.max_distance)
+
+    def bounds(self, i: int, j: int) -> Bounds:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def notify_resolved(self, i: int, j: int, distance: float) -> None:
+        """Default update: nothing beyond the shared graph insert."""
+
+
+class TrivialBounder(BaseBoundProvider):
+    """The "Without Plug" scheme: no pruning information whatsoever.
+
+    Running a proximity algorithm with this provider reproduces the vanilla
+    algorithm's oracle-call count (every comparison resolves).
+    """
+
+    name = "none"
+
+    def bounds(self, i: int, j: int) -> Bounds:
+        return self.trivial_bounds(i, j)
+
+
+class IntersectionBounder(BaseBoundProvider):
+    """Combine several providers by intersecting their intervals.
+
+    Useful for ablations (e.g. Tri ∩ LAESA) — the result is at least as tight
+    as the tightest member on every query.
+    """
+
+    def __init__(
+        self,
+        graph: PartialDistanceGraph,
+        providers: list,
+        max_distance: float = math.inf,
+    ) -> None:
+        super().__init__(graph, max_distance)
+        if not providers:
+            raise ValueError("IntersectionBounder needs at least one provider")
+        self.providers = list(providers)
+        self.name = "+".join(p.name for p in self.providers)
+
+    def bounds(self, i: int, j: int) -> Bounds:
+        result = self.trivial_bounds(i, j)
+        for provider in self.providers:
+            result = result.intersect(provider.bounds(i, j))
+        return result
+
+    def notify_resolved(self, i: int, j: int, distance: float) -> None:
+        for provider in self.providers:
+            provider.notify_resolved(i, j, distance)

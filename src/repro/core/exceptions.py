@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class MetricViolationError(ReproError):
+    """A distance function violated a metric axiom.
+
+    Raised by validating wrappers (e.g. ``ValidatingOracle``) when a returned
+    distance is negative, asymmetric, or breaks the triangle inequality with
+    previously observed distances.
+    """
+
+
+class UnknownDistanceError(ReproError, KeyError):
+    """A distance was requested that is not present in a partial graph."""
+
+    def __init__(self, i: int, j: int) -> None:
+        super().__init__(f"distance between objects {i} and {j} is not resolved")
+        self.i = i
+        self.j = j
+
+
+class InvalidObjectError(ReproError, IndexError):
+    """An object index lies outside the universe of the dataset or graph."""
+
+    def __init__(self, index: int, universe_size: int) -> None:
+        super().__init__(
+            f"object index {index} out of range for universe of size {universe_size}"
+        )
+        self.index = index
+        self.universe_size = universe_size
+
+
+class BudgetExceededError(ReproError):
+    """A distance-call budget set on an oracle was exhausted."""
+
+    def __init__(self, budget: int) -> None:
+        super().__init__(f"distance-oracle call budget of {budget} exhausted")
+        self.budget = budget
+
+
+class SolverError(ReproError):
+    """An LP solver (used by the Direct Feasibility Test) failed unexpectedly."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed or combined with invalid parameters."""

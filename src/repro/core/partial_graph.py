@@ -1,0 +1,184 @@
+"""Partial distance graph — the evolving store of resolved distances.
+
+The paper abstracts the problem state as a weighted complete graph in which
+only some edges (resolved distances) are *known*.  Every bound provider reads
+this structure; every oracle resolution appends one edge.
+
+Two access patterns dominate:
+
+* **Tri Scheme** intersects the adjacency lists of an unknown edge's two
+  endpoints to enumerate triangles; the paper keeps per-node balanced BSTs so
+  intersection runs in sorted-merge order and insertion costs ``O(log n)``.
+  Python's ``bisect`` over a flat list gives the same sorted-merge iteration
+  with ``O(log n)`` search and ``O(n)`` worst-case insert, which is faster in
+  practice at these sizes than a pointer-based tree; we use it as the BST
+  substitute.
+* **SPLUB** runs Dijkstra over the known edges, which wants cheap iteration
+  over ``(neighbour, weight)`` pairs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.core.exceptions import InvalidObjectError, UnknownDistanceError
+from repro.core.oracle import canonical_pair
+
+Edge = Tuple[int, int]
+
+
+class PartialDistanceGraph:
+    """Known-distance store over ``n`` objects with sorted adjacency lists."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise InvalidObjectError(0, n)
+        self._n = n
+        self._weights: Dict[Edge, float] = {}
+        # _adjacency[u] is a sorted list of neighbour ids with known distance.
+        self._adjacency: List[List[int]] = [[] for _ in range(n)]
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of objects (nodes) in the universe."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of known (resolved) edges."""
+        return self._weights.items().__len__()
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __contains__(self, pair: Edge) -> bool:
+        i, j = pair
+        return canonical_pair(i, j) in self._weights
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """Return True when ``dist(i, j)`` is known."""
+        return canonical_pair(i, j) in self._weights
+
+    def degree(self, i: int) -> int:
+        """Number of known edges incident on object ``i``."""
+        self._check_index(i)
+        return len(self._adjacency[i])
+
+    # -- edge access ----------------------------------------------------------
+
+    def weight(self, i: int, j: int) -> float:
+        """Return the known distance for ``(i, j)`` or raise ``UnknownDistanceError``."""
+        if i == j:
+            return 0.0
+        try:
+            return self._weights[canonical_pair(i, j)]
+        except KeyError:
+            raise UnknownDistanceError(i, j) from None
+
+    def get(self, i: int, j: int, default: float | None = None) -> float | None:
+        """Return the known distance for ``(i, j)`` or ``default``."""
+        if i == j:
+            return 0.0
+        return self._weights.get(canonical_pair(i, j), default)
+
+    def add_edge(self, i: int, j: int, distance: float) -> bool:
+        """Record a resolved distance.
+
+        Returns True when the edge was new, False when it merely re-recorded
+        an identical known value.  Conflicting re-insertion raises ValueError
+        (a metric distance cannot change).
+        """
+        self._check_index(i)
+        self._check_index(j)
+        if i == j:
+            raise ValueError("self-distances are implicit and always 0")
+        if distance < 0:
+            raise ValueError(f"negative distance {distance} for edge ({i}, {j})")
+        key = canonical_pair(i, j)
+        existing = self._weights.get(key)
+        if existing is not None:
+            if existing != distance:
+                raise ValueError(
+                    f"edge {key} already known with distance {existing}, "
+                    f"refusing to overwrite with {distance}"
+                )
+            return False
+        self._weights[key] = float(distance)
+        insort(self._adjacency[key[0]], key[1])
+        insort(self._adjacency[key[1]], key[0])
+        return True
+
+    # -- iteration --------------------------------------------------------------
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over known edges as ``(i, j, weight)`` with ``i < j``."""
+        for (i, j), w in self._weights.items():
+            yield i, j, w
+
+    def neighbors(self, i: int) -> Iterable[int]:
+        """Sorted ids of objects whose distance to ``i`` is known."""
+        self._check_index(i)
+        return iter(self._adjacency[i])
+
+    def adjacency_list(self, i: int) -> List[int]:
+        """The sorted adjacency array of ``i`` (do not mutate)."""
+        self._check_index(i)
+        return self._adjacency[i]
+
+    def neighbor_items(self, i: int) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(neighbour, weight)`` pairs for node ``i``."""
+        self._check_index(i)
+        weights = self._weights
+        for v in self._adjacency[i]:
+            yield v, weights[canonical_pair(i, v)]
+
+    def common_neighbors(self, i: int, j: int) -> Iterator[int]:
+        """Sorted-merge intersection of the adjacency lists of ``i`` and ``j``.
+
+        This is the triangle-enumeration primitive of the Tri Scheme
+        (Algorithm 2 of the paper).
+        """
+        a = self._adjacency[i]
+        b = self._adjacency[j]
+        # Iterate over the shorter list and bisect into the longer one when the
+        # lists have very different lengths; otherwise do a linear merge.
+        if len(a) > len(b):
+            a, b = b, a
+        if len(b) > 8 * max(len(a), 1):
+            for v in a:
+                pos = bisect_left(b, v)
+                if pos < len(b) and b[pos] == v:
+                    yield v
+            return
+        ia = ib = 0
+        while ia < len(a) and ib < len(b):
+            va, vb = a[ia], b[ib]
+            if va == vb:
+                yield va
+                ia += 1
+                ib += 1
+            elif va < vb:
+                ia += 1
+            else:
+                ib += 1
+
+    def unknown_pairs(self) -> Iterator[Edge]:
+        """Iterate every pair whose distance is still unknown (i < j)."""
+        for i in range(self._n):
+            for j in range(i + 1, self._n):
+                if (i, j) not in self._weights:
+                    yield (i, j)
+
+    def copy(self) -> "PartialDistanceGraph":
+        """Deep copy of the graph (weights and adjacency)."""
+        clone = PartialDistanceGraph(self._n)
+        clone._weights = dict(self._weights)
+        clone._adjacency = [list(adj) for adj in self._adjacency]
+        return clone
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self._n:
+            raise InvalidObjectError(i, self._n)

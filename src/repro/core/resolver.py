@@ -1,0 +1,295 @@
+"""The unified re-authoring framework (the paper's Contribution 1 & 2 glue).
+
+Proximity algorithms never talk to the oracle directly.  They hold a
+:class:`SmartResolver` and phrase every distance-dependent ``IF`` through it:
+
+* ``resolver.is_at_least(i, j, t)`` — "is ``dist(i, j) >= t``?"
+* ``resolver.less(a, b)``           — "is ``dist(*a) < dist(*b)``?"
+* ``resolver.argmin(u, candidates)`` — bounded nearest-candidate search.
+
+Each predicate first consults the configured :class:`BoundProvider`; only
+when the bounds are inconclusive does it resolve the distance(s) through the
+oracle — exactly the paper's reformulated ``IF`` statement
+
+    if LBdist(o_i, o_j) >= UBdist(o_k, o_l): ...
+
+with a fallback that keeps the host algorithm's output bit-identical to its
+vanilla version.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.core.bounds import BoundProvider, Bounds, TrivialBounder
+from repro.core.oracle import DistanceOracle
+from repro.core.partial_graph import PartialDistanceGraph
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class ResolverStats:
+    """Counters describing how comparisons were decided."""
+
+    decided_by_bounds: int = 0
+    decided_by_oracle: int = 0
+    bound_queries: int = 0
+    resolutions: int = 0
+
+    @property
+    def total_comparisons(self) -> int:
+        return self.decided_by_bounds + self.decided_by_oracle
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of comparisons settled without any oracle call."""
+        total = self.total_comparisons
+        if total == 0:
+            return 0.0
+        return self.decided_by_bounds / total
+
+
+class SmartResolver:
+    """Bound-aware, exactness-preserving distance comparison engine.
+
+    Parameters
+    ----------
+    oracle:
+        The expensive distance oracle.
+    bounder:
+        A bound provider sharing ``graph``.  Defaults to
+        :class:`TrivialBounder` (no pruning — the vanilla algorithm).
+    graph:
+        The partial distance graph.  When omitted a fresh one is created; when
+        a ``bounder`` is supplied its graph is reused so both views agree.
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        bounder: Optional[BoundProvider] = None,
+        graph: Optional[PartialDistanceGraph] = None,
+    ) -> None:
+        if graph is None:
+            graph = getattr(bounder, "graph", None)
+            if graph is None:
+                graph = PartialDistanceGraph(oracle.n)
+        bounder_graph = getattr(bounder, "graph", None)
+        if bounder_graph is not None and bounder_graph is not graph:
+            raise ValueError("bounder and resolver must share the same PartialDistanceGraph")
+        self.oracle = oracle
+        self.graph = graph
+        self.bounder: BoundProvider = bounder or TrivialBounder(graph)
+        self.stats = ResolverStats()
+
+    # -- raw access ---------------------------------------------------------
+
+    def known(self, i: int, j: int) -> Optional[float]:
+        """The resolved distance for ``(i, j)``, or None (never calls the oracle)."""
+        return self.graph.get(i, j)
+
+    def distance(self, i: int, j: int) -> float:
+        """The exact distance, resolving through the oracle when unknown."""
+        if i == j:
+            return 0.0
+        cached = self.graph.get(i, j)
+        if cached is not None:
+            return cached
+        value = self.oracle(i, j)
+        self.stats.resolutions += 1
+        if self.graph.add_edge(i, j, value):
+            self.bounder.notify_resolved(i, j, value)
+        return value
+
+    def bounds(self, i: int, j: int) -> Bounds:
+        """Current bounds on ``dist(i, j)`` (free — no oracle calls)."""
+        self.stats.bound_queries += 1
+        known = self.graph.get(i, j)
+        if known is not None:
+            return Bounds(known, known)
+        return self.bounder.bounds(i, j)
+
+    # -- re-authored predicates ----------------------------------------------
+
+    def is_at_least(self, i: int, j: int, threshold: float) -> bool:
+        """Exact answer to ``dist(i, j) >= threshold``.
+
+        Decides from bounds when possible (``LB >= t`` or ``UB < t``); falls
+        back to one oracle resolution otherwise.
+        """
+        b = self.bounds(i, j)
+        if b.lower >= threshold:
+            self.stats.decided_by_bounds += 1
+            return True
+        if b.upper < threshold:
+            self.stats.decided_by_bounds += 1
+            return False
+        self.stats.decided_by_oracle += 1
+        return self.distance(i, j) >= threshold
+
+    def is_greater(self, i: int, j: int, threshold: float) -> bool:
+        """Exact answer to ``dist(i, j) > threshold``."""
+        b = self.bounds(i, j)
+        if b.lower > threshold:
+            self.stats.decided_by_bounds += 1
+            return True
+        if b.upper <= threshold:
+            self.stats.decided_by_bounds += 1
+            return False
+        self.stats.decided_by_oracle += 1
+        return self.distance(i, j) > threshold
+
+    def is_less_than(self, i: int, j: int, threshold: float) -> bool:
+        """Exact answer to ``dist(i, j) < threshold``."""
+        return not self.is_at_least(i, j, threshold)
+
+    def less(self, a: Pair, b: Pair) -> bool:
+        """Exact answer to ``dist(*a) < dist(*b)``.
+
+        Uses the paper's §3 reformulation ``UB(a) < LB(b) ⇒ true`` /
+        ``LB(a) >= UB(b) ⇒ false`` before resorting to resolution.  When the
+        provider exposes a ``decide_less`` hook (the Direct Feasibility
+        Test), the joint-feasibility decision runs before any oracle call.
+        """
+        ba = self.bounds(*a)
+        bb = self.bounds(*b)
+        if ba.upper < bb.lower:
+            self.stats.decided_by_bounds += 1
+            return True
+        if ba.lower >= bb.upper:
+            self.stats.decided_by_bounds += 1
+            return False
+        decider = getattr(self.bounder, "decide_less", None)
+        if decider is not None:
+            verdict = decider(a, b)
+            if verdict is not None:
+                self.stats.decided_by_bounds += 1
+                return verdict
+        self.stats.decided_by_oracle += 1
+        # Resolve the pair with the wider interval first: its value may settle
+        # the comparison against the other pair's bounds with a single call.
+        first, second = (a, b) if ba.gap >= bb.gap else (b, a)
+        d_first = self.distance(*first)
+        b_second = self.bounds(*second)
+        if first == a:
+            if d_first < b_second.lower:
+                return True
+            if d_first >= b_second.upper:
+                return False
+            return d_first < self.distance(*b)
+        if b_second.upper < d_first:
+            return True
+        if b_second.lower >= d_first:
+            return False
+        return self.distance(*a) < d_first
+
+    def compare(self, a: Pair, b: Pair) -> int:
+        """Exact three-way comparison: sign of ``dist(*a) − dist(*b)``."""
+        ba = self.bounds(*a)
+        bb = self.bounds(*b)
+        if ba.upper < bb.lower:
+            self.stats.decided_by_bounds += 1
+            return -1
+        if ba.lower > bb.upper:
+            self.stats.decided_by_bounds += 1
+            return 1
+        if ba.is_exact and bb.is_exact:
+            self.stats.decided_by_bounds += 1
+            da, db = ba.lower, bb.lower
+        else:
+            decider = getattr(self.bounder, "decide_less", None)
+            if decider is not None:
+                if decider(a, b):
+                    self.stats.decided_by_bounds += 1
+                    return -1
+                if decider(b, a):
+                    self.stats.decided_by_bounds += 1
+                    return 1
+            self.stats.decided_by_oracle += 1
+            da = self.distance(*a)
+            db = self.distance(*b)
+        if da < db:
+            return -1
+        if da > db:
+            return 1
+        return 0
+
+    # -- bounded searches ------------------------------------------------------
+
+    def argmin(
+        self,
+        u: int,
+        candidates: Sequence[int],
+        upper_limit: float = math.inf,
+    ) -> Tuple[Optional[int], float]:
+        """Exact nearest candidate to ``u`` with lower-bound pruning.
+
+        Returns ``(index, distance)`` of the candidate minimising
+        ``dist(u, c)`` with earliest-index tie-breaking (matching a vanilla
+        linear scan), or ``(None, inf)`` when every candidate's distance is
+        provably ``>= upper_limit``.  Candidates whose lower bound already
+        meets the current best are skipped without oracle calls.
+        """
+        best_idx: Optional[int] = None
+        best_dist = upper_limit
+        # Probe candidates in ascending lower-bound order so tight candidates
+        # shrink the pruning threshold early.
+        order = sorted(
+            range(len(candidates)),
+            key=lambda pos: self.bounds(u, candidates[pos]).lower,
+        )
+        for pos in order:
+            c = candidates[pos]
+            b = self.bounds(u, c)
+            if b.lower > best_dist:
+                self.stats.decided_by_bounds += 1
+                continue
+            if b.lower == best_dist and best_idx is not None and best_idx <= pos:
+                # Cannot strictly improve, and cannot win the tie either.
+                self.stats.decided_by_bounds += 1
+                continue
+            self.stats.decided_by_oracle += 1
+            d = self.distance(u, c)
+            if d < best_dist or (d == best_dist and (best_idx is None or pos < best_idx)):
+                best_dist = d
+                best_idx = pos
+        if best_idx is None:
+            return None, math.inf
+        return candidates[best_idx], best_dist
+
+    def knearest(
+        self,
+        u: int,
+        candidates: Iterable[int],
+        k: int,
+    ) -> list[Tuple[float, int]]:
+        """Exact ``k`` nearest candidates to ``u`` with threshold pruning.
+
+        Returns ``[(distance, candidate), ...]`` sorted ascending (ties by
+        candidate id), identical to a vanilla full scan.  A candidate is
+        resolved only when its lower bound beats the current ``k``-th best.
+        """
+        if k <= 0:
+            return []
+        pool = [c for c in candidates if c != u]
+        # Ascending lower bound order maximises early threshold shrinkage.
+        pool.sort(key=lambda c: self.bounds(u, c).lower)
+        heap: list[Tuple[float, int]] = []
+        kth = math.inf
+        for c in pool:
+            b = self.bounds(u, c)
+            if len(heap) >= k and b.lower > kth:
+                self.stats.decided_by_bounds += 1
+                continue
+            self.stats.decided_by_oracle += 1
+            d = self.distance(u, c)
+            heap.append((d, c))
+            if len(heap) >= k:
+                heap.sort()
+                del heap[k:]
+                kth = heap[-1][0]
+        heap.sort()
+        return heap[:k]

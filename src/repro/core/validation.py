@@ -1,0 +1,110 @@
+"""Runtime metric validation for untrusted oracles.
+
+Third-party distance services occasionally return garbage — stale cache
+entries, asymmetric driving times, plain errors.  Because every bound
+scheme in this library *assumes* the triangle inequality, a single corrupt
+answer can silently poison pruning decisions.  :class:`ValidatingOracle`
+wraps any distance function and cross-checks each fresh answer against the
+already-resolved distances, raising
+:class:`~repro.core.exceptions.MetricViolationError` the moment an answer
+is inconsistent with being a metric.
+
+Checking a new distance ``d(i, j)`` against *all* resolved triangles
+incident on the pair costs ``O(min(deg(i), deg(j)))`` — the same sorted
+intersection the Tri Scheme uses — so validation is cheap relative to the
+oracle call it guards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from bisect import insort
+
+from repro.core.exceptions import MetricViolationError
+from repro.core.oracle import DistanceFn, DistanceOracle, canonical_pair
+
+
+class ValidatingOracle(DistanceOracle):
+    """Distance oracle that enforces metric consistency on the fly.
+
+    Parameters
+    ----------
+    distance_fn, n, cost_per_call, budget:
+        As for :class:`DistanceOracle`.
+    tolerance:
+        Absolute slack allowed before a triangle violation is reported
+        (floating-point noise from honest oracles should pass).
+    relaxation:
+        The paper also covers *relaxed* triangle inequalities
+        ``d(i,j) <= c · (d(i,k) + d(k,j))``; set ``relaxation=c`` (>= 1) to
+        validate against the relaxed form instead.
+    """
+
+    def __init__(
+        self,
+        distance_fn: DistanceFn,
+        n: int,
+        cost_per_call: float = 0.0,
+        budget: int | None = None,
+        tolerance: float = 1e-9,
+        relaxation: float = 1.0,
+    ) -> None:
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if relaxation < 1.0:
+            raise ValueError("relaxation factor must be >= 1")
+        super().__init__(distance_fn, n, cost_per_call=cost_per_call, budget=budget)
+        self._tolerance = tolerance
+        self._relaxation = relaxation
+        self._resolved: Dict[Tuple[int, int], float] = {}
+        self._adjacency: List[List[int]] = [[] for _ in range(n)]
+        self.triangles_checked = 0
+
+    def __call__(self, i: int, j: int) -> float:
+        fresh = not self.is_resolved(i, j)
+        value = super().__call__(i, j)
+        if fresh and i != j:
+            self._check_and_record(*canonical_pair(i, j), value)
+        return value
+
+    # -- consistency machinery -----------------------------------------------
+
+    def _check_and_record(self, i: int, j: int, d_ij: float) -> None:
+        adj_i = self._adjacency[i]
+        adj_j = self._adjacency[j]
+        if len(adj_i) > len(adj_j):
+            adj_i, adj_j = adj_j, adj_i
+        other = set(adj_j)
+        c = self._relaxation
+        tol = self._tolerance
+        for w in adj_i:
+            if w not in other:
+                continue
+            self.triangles_checked += 1
+            d_iw = self._resolved[canonical_pair(i, w)]
+            d_jw = self._resolved[canonical_pair(j, w)]
+            if d_ij > c * (d_iw + d_jw) + tol:
+                raise MetricViolationError(
+                    f"d({i},{j})={d_ij} exceeds "
+                    f"{c}·(d({i},{w})+d({j},{w}))={c * (d_iw + d_jw)}"
+                )
+            if d_iw > c * (d_ij + d_jw) + tol:
+                raise MetricViolationError(
+                    f"d({i},{w})={d_iw} exceeds "
+                    f"{c}·(d({i},{j})+d({j},{w}))={c * (d_ij + d_jw)}"
+                )
+            if d_jw > c * (d_ij + d_iw) + tol:
+                raise MetricViolationError(
+                    f"d({j},{w})={d_jw} exceeds "
+                    f"{c}·(d({i},{j})+d({i},{w}))={c * (d_ij + d_iw)}"
+                )
+        self._resolved[(i, j)] = d_ij
+        insort(self._adjacency[i], j)
+        insort(self._adjacency[j], i)
+
+    def reset(self) -> None:
+        super().reset()
+        self._resolved.clear()
+        self._adjacency = [[] for _ in range(self.n)]
+        self.triangles_checked = 0

@@ -1,0 +1,23 @@
+"""Dataset generators: synthetic clouds and paper-dataset facades."""
+
+from repro.datasets.facades import flickr_space, sf_poi_space, urbangb_space
+from repro.datasets.loaders import (
+    load_distance_matrix_csv,
+    load_points_csv,
+    load_sequences,
+    space_from_points_csv,
+)
+from repro.datasets.synthetic import clustered_points, ring_points, uniform_points
+
+__all__ = [
+    "clustered_points",
+    "flickr_space",
+    "load_distance_matrix_csv",
+    "load_points_csv",
+    "load_sequences",
+    "ring_points",
+    "sf_poi_space",
+    "space_from_points_csv",
+    "uniform_points",
+    "urbangb_space",
+]

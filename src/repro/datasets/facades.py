@@ -1,0 +1,66 @@
+"""Laptop-scale stand-ins for the paper's three evaluation datasets.
+
+Each facade reproduces the *metric structure* of the original at a
+configurable size:
+
+* **SF POI** (21k points of interest, Google Maps driving distance) →
+  clustered 2-D points under a simulated road-network shortest-path metric.
+* **UrbanGB** (360k accident locations, Google Maps driving distance) →
+  more, tighter clusters (urban Great Britain accident hot-spots) under the
+  same road-network metric.
+* **Flickr1M** (image feature vectors, Euclidean) → 256-dimensional
+  Gaussian-mixture feature vectors under Euclidean distance.
+
+The paper's claims are about relative oracle-call counts and bound
+tightness, which depend on the metric's cluster/structure, not on the data's
+provenance; see DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import clustered_points
+from repro.spaces.roadnet import RoadNetworkSpace
+from repro.spaces.vector import EuclideanSpace
+
+
+def sf_poi_space(n: int = 200, seed: int = 7, road: bool = True):
+    """San-Francisco-POI-like space: moderately clustered city points.
+
+    ``road=True`` returns the road-network (driving-distance) metric used by
+    the paper; ``road=False`` falls back to plain Euclidean for speed.
+    """
+    rng = np.random.default_rng(seed)
+    points = clustered_points(
+        n, dim=2, num_clusters=max(4, n // 40), spread=0.06, box=1.0, rng=rng
+    )
+    if road:
+        return RoadNetworkSpace(points, k=6, detour_range=(1.05, 1.45), rng=rng)
+    return EuclideanSpace(points)
+
+
+def urbangb_space(n: int = 200, seed: int = 11, road: bool = True):
+    """UrbanGB-like space: many dense accident clusters along a road net."""
+    rng = np.random.default_rng(seed)
+    points = clustered_points(
+        n, dim=2, num_clusters=max(8, n // 20), spread=0.025, box=1.0, rng=rng
+    )
+    if road:
+        return RoadNetworkSpace(points, k=5, detour_range=(1.1, 1.6), rng=rng)
+    return EuclideanSpace(points)
+
+
+def flickr_space(n: int = 200, dim: int = 256, seed: int = 13) -> EuclideanSpace:
+    """Flickr1M-like space: high-dimensional image feature vectors.
+
+    Real image descriptors concentrate on a low-dimensional manifold, so
+    the generator uses a few compact clusters (strong intra/inter contrast).
+    With a loose spread, 256-d distance concentration would make every
+    triangle bound vacuous — unlike real feature data.
+    """
+    rng = np.random.default_rng(seed)
+    points = clustered_points(
+        n, dim=dim, num_clusters=4, spread=0.05, box=1.0, rng=rng
+    )
+    return EuclideanSpace(points)

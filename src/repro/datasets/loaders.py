@@ -1,0 +1,131 @@
+"""Loaders for user-supplied data files.
+
+Adoption glue: turn the files people actually have — CSVs of coordinates,
+text files of sequences, precomputed distance matrices — into metric
+spaces the framework can consume.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.spaces.matrix import MatrixSpace
+from repro.spaces.roadnet import RoadNetworkSpace
+from repro.spaces.strings import EditDistanceSpace
+from repro.spaces.vector import EuclideanSpace, ManhattanSpace, MinkowskiSpace
+
+PathLike = Union[str, os.PathLike]
+
+
+def load_points_csv(
+    path: PathLike,
+    columns: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+    skip_header: Optional[bool] = None,
+) -> np.ndarray:
+    """Read a point matrix from a CSV file.
+
+    ``columns`` selects named columns (requires a header row); without it
+    every numeric column of every row is used.  ``skip_header=None``
+    auto-detects a header by attempting to parse the first row as floats.
+    """
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle, delimiter=delimiter))
+    if not rows:
+        raise ValueError(f"{path} is empty")
+    header: Optional[List[str]] = None
+    body = rows
+    first_is_header = skip_header
+    if first_is_header is None:
+        try:
+            [float(cell) for cell in rows[0]]
+            first_is_header = False
+        except ValueError:
+            first_is_header = True
+    if first_is_header:
+        header = [cell.strip() for cell in rows[0]]
+        body = rows[1:]
+    if columns is not None:
+        if header is None:
+            raise ValueError("column selection requires a header row")
+        missing = [c for c in columns if c not in header]
+        if missing:
+            raise ValueError(f"columns {missing} not found in header {header}")
+        idx = [header.index(c) for c in columns]
+    else:
+        idx = list(range(len(body[0]))) if body else []
+    if not body:
+        raise ValueError(f"{path} holds no data rows")
+    points = np.array(
+        [[float(row[i]) for i in idx] for row in body], dtype=np.float64
+    )
+    return points
+
+
+def space_from_points_csv(
+    path: PathLike,
+    metric: str = "euclidean",
+    columns: Optional[Sequence[str]] = None,
+    **loader_kwargs,
+):
+    """Build a vector/road space directly from a CSV of coordinates.
+
+    ``metric``: "euclidean", "manhattan", "minkowski:<p>", or "road"
+    (2-D only; simulated driving distances).
+    """
+    points = load_points_csv(path, columns=columns, **loader_kwargs)
+    if metric == "euclidean":
+        return EuclideanSpace(points)
+    if metric == "manhattan":
+        return ManhattanSpace(points)
+    if metric.startswith("minkowski:"):
+        p = float(metric.split(":", 1)[1])
+        return MinkowskiSpace(points, p=p)
+    if metric == "road":
+        return RoadNetworkSpace(points)
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def load_sequences(path: PathLike, normalise: bool = False) -> EditDistanceSpace:
+    """Build an edit-distance space from a text file (one sequence per line).
+
+    Blank lines and ``>``-prefixed FASTA headers are skipped; FASTA records
+    spanning multiple lines are concatenated.
+    """
+    with open(path) as handle:
+        lines = [line.strip() for line in handle]
+    lines = [line for line in lines if line]
+    fasta_mode = any(line.startswith(">") for line in lines)
+    sequences: List[str] = []
+    if fasta_mode:
+        current: List[str] = []
+        for line in lines:
+            if line.startswith(">"):
+                if current:
+                    sequences.append("".join(current))
+                    current = []
+                continue
+            current.append(line)
+        if current:
+            sequences.append("".join(current))
+    else:
+        sequences = lines
+    if not sequences:
+        raise ValueError(f"{path} holds no sequences")
+    return EditDistanceSpace(sequences, normalise=normalise)
+
+
+def load_distance_matrix_csv(
+    path: PathLike,
+    delimiter: str = ",",
+    validate: bool = True,
+) -> MatrixSpace:
+    """Build a matrix space from a CSV of precomputed pairwise distances."""
+    matrix = np.loadtxt(path, delimiter=delimiter)
+    if matrix.ndim != 2:
+        raise ValueError(f"{path} does not hold a 2-D matrix")
+    return MatrixSpace(matrix, validate=validate)

@@ -1,0 +1,58 @@
+"""Synthetic point-cloud generators used by the dataset facades."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_points(
+    n: int,
+    dim: int = 2,
+    low: float = 0.0,
+    high: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """``n`` points uniform over a ``dim``-dimensional box."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = rng or np.random.default_rng()
+    return rng.uniform(low, high, size=(n, dim))
+
+
+def clustered_points(
+    n: int,
+    dim: int = 2,
+    num_clusters: int = 8,
+    spread: float = 0.05,
+    box: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Gaussian-mixture point cloud: ``num_clusters`` centres in a box.
+
+    ``spread`` is each cluster's standard deviation as a fraction of the box
+    side, giving the density contrast typical of urban POI data.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if num_clusters <= 0:
+        raise ValueError("num_clusters must be positive")
+    rng = rng or np.random.default_rng()
+    centres = rng.uniform(0.0, box, size=(num_clusters, dim))
+    assignment = rng.integers(num_clusters, size=n)
+    noise = rng.normal(scale=spread * box, size=(n, dim))
+    return centres[assignment] + noise
+
+
+def ring_points(
+    n: int,
+    radius: float = 1.0,
+    noise: float = 0.02,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Points on a noisy circle — an adversarial geometry for landmark schemes."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = rng or np.random.default_rng()
+    angles = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    radii = radius + rng.normal(scale=noise, size=n)
+    return np.column_stack((radii * np.cos(angles), radii * np.sin(angles)))

@@ -1,0 +1,68 @@
+"""Experiment harness: runner, provider factory, reporting, experiments."""
+
+from repro.harness.experiments import (
+    BoundQualityResult,
+    PrimTableRow,
+    bounds_quality_experiment,
+    dft_experiment,
+    landmark_count_sweep,
+    oracle_cost_sweep,
+    parameter_sweep,
+    prim_call_table,
+    size_sweep,
+    tri_gap_vs_edges,
+)
+from repro.harness.providers import LANDMARK_PROVIDERS, PROVIDER_NAMES, attach_provider, make_provider
+from repro.harness.reporting import (
+    format_value,
+    print_series,
+    print_table,
+    render_series,
+    render_table,
+)
+from repro.harness.runner import ALGORITHMS, ExperimentRecord, percentage_save, run_experiment
+from repro.harness.stats import Summary, compare_schemes, repeat_experiment, summarize
+from repro.harness.tracing import CallEvent, TracingOracle, load_trace
+from repro.harness.workloads import (
+    batched_queries,
+    focused_queries,
+    uniform_queries,
+    zipf_queries,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BoundQualityResult",
+    "ExperimentRecord",
+    "LANDMARK_PROVIDERS",
+    "PROVIDER_NAMES",
+    "PrimTableRow",
+    "attach_provider",
+    "bounds_quality_experiment",
+    "dft_experiment",
+    "format_value",
+    "landmark_count_sweep",
+    "make_provider",
+    "oracle_cost_sweep",
+    "parameter_sweep",
+    "percentage_save",
+    "prim_call_table",
+    "print_series",
+    "print_table",
+    "render_series",
+    "render_table",
+    "run_experiment",
+    "CallEvent",
+    "Summary",
+    "TracingOracle",
+    "load_trace",
+    "batched_queries",
+    "compare_schemes",
+    "focused_queries",
+    "repeat_experiment",
+    "size_sweep",
+    "summarize",
+    "uniform_queries",
+    "zipf_queries",
+    "tri_gap_vs_edges",
+]

@@ -1,0 +1,83 @@
+"""ASCII table/series rendering for experiment output.
+
+The benchmarks print the same row/series structure the paper's tables and
+figures report; these helpers keep that output consistent and legible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_value(value: Any) -> str:
+    """Human formatting: thousands separators for ints, 4 sig-figs for floats."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table (right-aligned numeric columns)."""
+    rendered_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[idx]) for idx, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> None:
+    """Print :func:`render_table` output (with a leading blank line)."""
+    print()
+    print(render_table(headers, rows, title))
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render figure-style data: one x column plus one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = [[x, *(vals[idx] for vals in series.values())] for idx, x in enumerate(xs)]
+    return render_table(headers, rows, title)
+
+
+def print_series(
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    title: str | None = None,
+) -> None:
+    """Print :func:`render_series` output (with a leading blank line)."""
+    print()
+    print(render_series(x_label, xs, series, title))

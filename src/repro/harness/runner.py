@@ -1,0 +1,155 @@
+"""Experiment runner: algorithm × provider × dataset with full accounting.
+
+Reproduces the paper's measurement discipline:
+
+* **oracle calls** are split into *bootstrap* (landmark pre-pay) and
+  *algorithm* phases — Tables 2 and 3 report them separately;
+* **CPU overhead** is wall time minus simulated oracle latency (§5.1.5);
+* **completion time** under an expensive oracle is reconstructed on the
+  virtual clock as ``cpu_seconds + calls × cost_per_call``, which is exactly
+  the arithmetic behind the paper's Figures 7d/8a/8b and avoids hours of
+  sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.algorithms import clarans, knn_graph, knn_graph_brute, kruskal_mst, pam, prim_mst
+from repro.algorithms.dbscan import dbscan
+from repro.algorithms.kcenter import k_center
+from repro.algorithms.linkage import single_linkage
+from repro.algorithms.prim import prim_mst_comparisons
+from repro.algorithms.tsp import nearest_neighbor_tour
+from repro.bounds.landmarks import bootstrap_with_landmarks, default_num_landmarks
+from repro.core.resolver import SmartResolver
+from repro.harness.providers import LANDMARK_PROVIDERS, attach_provider
+from repro.spaces.base import MetricSpace
+
+#: Host algorithms runnable by name.
+ALGORITHMS: Dict[str, Callable[..., Any]] = {
+    "prim": prim_mst,
+    "prim-cmp": prim_mst_comparisons,
+    "kruskal": kruskal_mst,
+    "knng": knn_graph,
+    "knng-brute": knn_graph_brute,
+    "pam": pam,
+    "clarans": clarans,
+    "dbscan": dbscan,
+    "kcenter": k_center,
+    "linkage": single_linkage,
+    "nn-tour": nearest_neighbor_tour,
+}
+
+
+@dataclass
+class ExperimentRecord:
+    """One (dataset, algorithm, provider) measurement."""
+
+    algorithm: str
+    provider: str
+    n: int
+    num_pairs: int
+    bootstrap_calls: int
+    algorithm_calls: int
+    cpu_seconds: float
+    oracle_cost_per_call: float
+    result: Any = field(repr=False, default=None)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_calls(self) -> int:
+        """Bootstrap plus algorithm oracle calls."""
+        return self.bootstrap_calls + self.algorithm_calls
+
+    @property
+    def oracle_seconds(self) -> float:
+        """Simulated oracle latency for the whole run."""
+        return self.total_calls * self.oracle_cost_per_call
+
+    @property
+    def completion_seconds(self) -> float:
+        """End-to-end virtual completion time (CPU + oracle latency)."""
+        return self.cpu_seconds + self.oracle_seconds
+
+    def completion_at(self, cost_per_call: float) -> float:
+        """Completion time re-priced at a different per-call oracle cost."""
+        return self.cpu_seconds + self.total_calls * cost_per_call
+
+    def save_vs(self, baseline: "ExperimentRecord") -> float:
+        """Percentage of total oracle calls saved relative to ``baseline``."""
+        return percentage_save(baseline.total_calls, self.total_calls)
+
+
+def percentage_save(baseline_calls: float, our_calls: float) -> float:
+    """``100 · (baseline − ours) / baseline`` (0 when the baseline is 0)."""
+    if baseline_calls <= 0:
+        return 0.0
+    return 100.0 * (baseline_calls - our_calls) / baseline_calls
+
+
+def run_experiment(
+    space: MetricSpace,
+    algorithm: str,
+    provider: str = "none",
+    num_landmarks: Optional[int] = None,
+    landmark_bootstrap: bool = False,
+    oracle_cost: float = 0.0,
+    algorithm_kwargs: Optional[Dict[str, Any]] = None,
+) -> ExperimentRecord:
+    """Run one measurement.
+
+    Parameters
+    ----------
+    space:
+        The metric space (wrapped in a fresh counting oracle).
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    provider:
+        Bound provider name (see :data:`~repro.harness.providers.PROVIDER_NAMES`).
+    num_landmarks:
+        Landmark budget for "laesa"/"tlaesa" or a Tri/SPLUB bootstrap;
+        defaults to the paper's ``log2(n)``.
+    landmark_bootstrap:
+        When True and the provider is not itself landmark-based, run the
+        paper's LAESA bootstrap first so the provider starts with ``L``
+        resolved rows (the "Tri Scheme with bootstrap" configuration).
+    oracle_cost:
+        Simulated seconds per oracle call (virtual clock).
+    algorithm_kwargs:
+        Extra keyword arguments for the host algorithm (``k``, ``l``, ...).
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}")
+    oracle = space.oracle(cost_per_call=oracle_cost)
+    resolver = SmartResolver(oracle)
+    max_distance = space.diameter_bound()
+    _, bootstrap_calls = attach_provider(
+        resolver, provider, max_distance, num_landmarks, bootstrap=True
+    )
+    if landmark_bootstrap and provider.lower() not in LANDMARK_PROVIDERS:
+        count = num_landmarks or default_num_landmarks(oracle.n)
+        before = oracle.calls
+        bootstrap_with_landmarks(resolver, count)
+        bootstrap_calls += oracle.calls - before
+
+    start_calls = oracle.calls
+    start = time.perf_counter()
+    result = ALGORITHMS[algorithm](resolver, **(algorithm_kwargs or {}))
+    cpu_seconds = time.perf_counter() - start
+
+    n = oracle.n
+    return ExperimentRecord(
+        algorithm=algorithm,
+        provider=provider,
+        n=n,
+        num_pairs=n * (n - 1) // 2,
+        bootstrap_calls=bootstrap_calls,
+        algorithm_calls=oracle.calls - start_calls,
+        cpu_seconds=cpu_seconds,
+        oracle_cost_per_call=oracle_cost,
+        result=result,
+        params=dict(algorithm_kwargs or {}),
+    )

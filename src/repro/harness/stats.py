@@ -1,0 +1,67 @@
+"""Multi-seed aggregation for experiment rigor.
+
+The paper averages key experiments over 10 runs (§5.3).  These helpers run
+an experiment factory across seeds and summarise the per-seed measurements
+with mean, standard deviation, and a normal-approximation confidence
+interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/σ/CI summary of one metric across repeated runs."""
+
+    mean: float
+    std: float
+    count: int
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.std:.2g} (n={self.count})"
+
+
+#: z-value for a 95 % normal confidence interval.
+_Z95 = 1.959963984540054
+
+
+def summarize(values: Sequence[float], z: float = _Z95) -> Summary:
+    """Summarise a sample of measurements.
+
+    Uses the sample standard deviation (ddof=1) and a z-interval on the
+    mean; with a single value the interval collapses to the point.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    count = len(values)
+    mean = sum(values) / count
+    if count == 1:
+        return Summary(mean=mean, std=0.0, count=1, ci_low=mean, ci_high=mean)
+    variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+    std = math.sqrt(variance)
+    half = z * std / math.sqrt(count)
+    return Summary(mean=mean, std=std, count=count, ci_low=mean - half, ci_high=mean + half)
+
+
+def repeat_experiment(
+    factory: Callable[[int], float],
+    seeds: Sequence[int],
+) -> Summary:
+    """Run ``factory(seed)`` per seed and summarise the returned metric."""
+    values = [factory(seed) for seed in seeds]
+    return summarize(values)
+
+
+def compare_schemes(
+    factories: dict,
+    seeds: Sequence[int],
+) -> dict:
+    """Summarise several labelled experiment factories over the same seeds."""
+    return {label: repeat_experiment(factory, seeds) for label, factory in factories.items()}

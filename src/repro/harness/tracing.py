@@ -1,0 +1,140 @@
+"""Resolution tracing: observe *when* and *why* oracle calls happen.
+
+A :class:`TracingOracle` wraps any oracle and records every charged call
+as a :class:`CallEvent` (sequence number, pair, value, wall-clock offset,
+and the active phase label).  Traces answer the questions the aggregate
+counters cannot: how calls cluster over an algorithm's lifetime, how the
+bootstrap/algorithm phases split, and how quickly the call rate decays as
+the shared graph warms up — the paper's compounding effect, per run.
+"""
+
+from __future__ import annotations
+
+import csv
+import time
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+from repro.core.oracle import DistanceOracle
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """One charged oracle call."""
+
+    sequence: int
+    i: int
+    j: int
+    distance: float
+    elapsed_seconds: float
+    phase: str
+
+
+class TracingOracle(DistanceOracle):
+    """Oracle wrapper that records every charged call.
+
+    Use :meth:`phase` to label sections of a run::
+
+        oracle = TracingOracle(space.distance, space.n)
+        with oracle.phase("bootstrap"):
+            bootstrap_with_landmarks(resolver)
+        with oracle.phase("prim"):
+            prim_mst(resolver)
+    """
+
+    def __init__(self, distance_fn, n, cost_per_call: float = 0.0, budget=None) -> None:
+        super().__init__(distance_fn, n, cost_per_call=cost_per_call, budget=budget)
+        self.events: List[CallEvent] = []
+        self._phase = "default"
+        self._start = time.perf_counter()
+
+    def __call__(self, i: int, j: int) -> float:
+        fresh = i != j and not self.is_resolved(i, j)
+        value = super().__call__(i, j)
+        if fresh:
+            self.events.append(
+                CallEvent(
+                    sequence=len(self.events),
+                    i=min(i, j),
+                    j=max(i, j),
+                    distance=value,
+                    elapsed_seconds=time.perf_counter() - self._start,
+                    phase=self._phase,
+                )
+            )
+        return value
+
+    # -- phases -------------------------------------------------------------
+
+    def phase(self, label: str) -> "_PhaseContext":
+        """Context manager labelling subsequent calls with ``label``."""
+        return _PhaseContext(self, label)
+
+    @property
+    def current_phase(self) -> str:
+        return self._phase
+
+    # -- analysis -------------------------------------------------------------
+
+    def calls_per_phase(self) -> dict:
+        """Charged-call count per phase label."""
+        out: dict = {}
+        for event in self.events:
+            out[event.phase] = out.get(event.phase, 0) + 1
+        return out
+
+    def call_rate_halves(self) -> tuple:
+        """Calls in the first vs second half of the event sequence's span.
+
+        A decaying rate (first > second) is the compounding signature.
+        """
+        if not self.events:
+            return (0, 0)
+        midpoint = len(self.events) // 2
+        return (midpoint, len(self.events) - midpoint)
+
+    def write_csv(self, path) -> None:
+        """Dump the trace as CSV (sequence, i, j, distance, t, phase)."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["sequence", "i", "j", "distance", "elapsed_seconds", "phase"])
+            for e in self.events:
+                writer.writerow([e.sequence, e.i, e.j, e.distance, e.elapsed_seconds, e.phase])
+
+    def reset(self) -> None:
+        super().reset()
+        self.events = []
+        self._start = time.perf_counter()
+
+
+class _PhaseContext:
+    def __init__(self, oracle: TracingOracle, label: str) -> None:
+        self._oracle = oracle
+        self._label = label
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> TracingOracle:
+        self._previous = self._oracle._phase
+        self._oracle._phase = self._label
+        return self._oracle
+
+    def __exit__(self, *exc_info) -> None:
+        self._oracle._phase = self._previous
+
+
+def load_trace(path) -> List[CallEvent]:
+    """Read a CSV trace written by :meth:`TracingOracle.write_csv`."""
+    events: List[CallEvent] = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            events.append(
+                CallEvent(
+                    sequence=int(row["sequence"]),
+                    i=int(row["i"]),
+                    j=int(row["j"]),
+                    distance=float(row["distance"]),
+                    elapsed_seconds=float(row["elapsed_seconds"]),
+                    phase=row["phase"],
+                )
+            )
+    return events

@@ -1,0 +1,77 @@
+"""Query-workload generators for the query-serving comparisons.
+
+The framework's advantage over build-then-query indexes depends on the
+*workload*: how many queries arrive, how skewed they are, and whether they
+revisit the same region (where the shared partial graph compounds).  These
+generators produce the standard shapes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def uniform_queries(n: int, count: int, seed: int = 0) -> List[int]:
+    """``count`` query object ids drawn uniformly (with repetition)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = np.random.default_rng(seed)
+    return [int(q) for q in rng.integers(n, size=count)]
+
+
+def zipf_queries(n: int, count: int, exponent: float = 1.2, seed: int = 0) -> List[int]:
+    """Zipf-skewed queries: a few hot objects dominate the workload.
+
+    Object ``rank r`` is drawn with probability proportional to
+    ``(r + 1)^-exponent`` over a random permutation of the ids, mimicking
+    popularity-skewed production query logs.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    rng = np.random.default_rng(seed)
+    weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-exponent)
+    weights /= weights.sum()
+    permutation = rng.permutation(n)
+    ranks = rng.choice(n, size=count, p=weights)
+    return [int(permutation[r]) for r in ranks]
+
+
+def focused_queries(
+    n: int,
+    count: int,
+    focus_fraction: float = 0.1,
+    seed: int = 0,
+) -> List[int]:
+    """All queries land inside one contiguous id block (a hot region).
+
+    With clustered datasets whose ids correlate with location this models a
+    geographically focused workload; the shared graph saturates the region
+    quickly.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not 0 < focus_fraction <= 1:
+        raise ValueError("focus_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    width = max(1, int(round(focus_fraction * n)))
+    start = int(rng.integers(max(1, n - width + 1)))
+    return [start + int(q) for q in rng.integers(width, size=count)]
+
+
+def batched_queries(
+    n: int,
+    batches: int,
+    batch_size: int,
+    seed: int = 0,
+) -> List[List[int]]:
+    """A list of query batches (uniform), for amortisation experiments."""
+    if batches < 0 or batch_size < 0:
+        raise ValueError("batches and batch_size must be non-negative")
+    rng = np.random.default_rng(seed)
+    return [
+        [int(q) for q in rng.integers(n, size=batch_size)] for _ in range(batches)
+    ]

@@ -1,0 +1,15 @@
+"""Metric index structures from the paper's related work (§6).
+
+These are *comparators*, not part of the framework: they pay a construction
+bill of oracle calls to answer NN/range queries cheaply, whereas the
+framework saves calls inside arbitrary proximity algorithms with no upfront
+cost.  The benchmarks pit the two approaches against each other on query
+workloads.
+"""
+
+from repro.index.bktree import BkTree
+from repro.index.gnat import Gnat
+from repro.index.mtree import MTree
+from repro.index.vptree import VpTree
+
+__all__ = ["BkTree", "Gnat", "MTree", "VpTree"]

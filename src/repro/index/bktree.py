@@ -1,0 +1,118 @@
+"""Burkhard–Keller tree (1973) — related-work comparator for discrete metrics.
+
+BK-trees index objects under an *integer-valued* metric (edit distance,
+Hamming): children of a node are bucketed by their exact distance to the
+node's object, and a range query with tolerance ``t`` only descends into
+child buckets whose distance lies in ``[d − t, d + t]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.oracle import DistanceOracle
+
+
+class _Node:
+    __slots__ = ("obj", "children")
+
+    def __init__(self, obj: int) -> None:
+        self.obj = obj
+        self.children: Dict[int, "_Node"] = {}
+
+
+class BkTree:
+    """Discrete-metric index over a distance oracle.
+
+    The metric must return (near-)integer distances; each insert resolves
+    one distance per level descended.
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        objects: Optional[List[int]] = None,
+    ) -> None:
+        self.oracle = oracle
+        self._root: Optional[_Node] = None
+        self._size = 0
+        before = oracle.calls
+        for obj in objects if objects is not None else range(oracle.n):
+            self.insert(obj)
+        #: Oracle calls spent constructing the index.
+        self.construction_calls = oracle.calls - before
+
+    def __len__(self) -> int:
+        return self._size
+
+    @staticmethod
+    def _as_key(distance: float) -> int:
+        key = int(round(distance))
+        if abs(distance - key) > 1e-6:
+            raise ValueError(
+                f"BK-trees need integer-valued metrics; got distance {distance}"
+            )
+        return key
+
+    def insert(self, obj: int) -> None:
+        """Insert one object (one oracle call per tree level)."""
+        if self._root is None:
+            self._root = _Node(obj)
+            self._size = 1
+            return
+        node = self._root
+        while True:
+            if node.obj == obj:
+                return  # already present
+            key = self._as_key(self.oracle(node.obj, obj))
+            if key == 0:
+                return  # duplicate of an indexed object
+            child = node.children.get(key)
+            if child is None:
+                node.children[key] = _Node(obj)
+                self._size += 1
+                return
+            node = child
+
+    def range(self, query: int, tolerance: int) -> List[Tuple[int, int]]:
+        """All indexed objects within ``tolerance`` of ``query``.
+
+        Returns ``(distance, object)`` pairs sorted ascending.
+        """
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if self._root is None:
+            return []
+        hits: List[Tuple[int, int]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            d = self._as_key(self.oracle(query, node.obj))
+            if d <= tolerance and node.obj != query:
+                hits.append((d, node.obj))
+            low, high = d - tolerance, d + tolerance
+            for key, child in node.children.items():
+                if low <= key <= high:
+                    stack.append(child)
+        hits.sort()
+        return hits
+
+    def nearest(self, query: int) -> Tuple[int, int]:
+        """Exact nearest indexed object to ``query`` (excluding itself)."""
+        if self._root is None:
+            raise ValueError("empty index")
+        best_obj: Optional[int] = None
+        best_d = math.inf
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            d = self._as_key(self.oracle(query, node.obj))
+            if node.obj != query and d < best_d:
+                best_obj, best_d = node.obj, d
+            for key, child in node.children.items():
+                if abs(key - d) < best_d:
+                    stack.append(child)
+        if best_obj is None:
+            raise ValueError("index holds no candidate other than the query")
+        return best_obj, int(best_d)

@@ -1,0 +1,206 @@
+"""GNAT — Geometric Near-neighbor Access Tree (Brin 1995).
+
+The Voronoi-family metric index from the paper's §6: each node picks ``k``
+split points, assigns every object to its nearest split point, and records
+per (split-point, subtree) *distance ranges*.  A range query at radius
+``r`` measures the query against each split point and discards any subtree
+whose recorded range ``[lo, hi]`` cannot intersect ``[d − r, d + r]`` —
+triangle-inequality pruning with precomputed geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.oracle import DistanceOracle
+
+
+class _Node:
+    __slots__ = ("splits", "children", "ranges", "bucket")
+
+    def __init__(self) -> None:
+        self.splits: List[int] = []
+        self.children: List[Optional["_Node"]] = []
+        # ranges[i][j] = (lo, hi) of d(splits[i], x) over x in children[j].
+        self.ranges: List[List[Tuple[float, float]]] = []
+        self.bucket: List[int] = []
+
+
+class Gnat:
+    """Geometric near-neighbour access tree over a distance oracle.
+
+    Parameters
+    ----------
+    oracle:
+        Distance oracle over object ids.
+    objects:
+        Ids to index (defaults to the whole universe).
+    arity:
+        Split points per node.
+    leaf_size:
+        Maximum bucket size before a node splits.
+    rng:
+        Generator for split-point sampling.
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        objects: Optional[List[int]] = None,
+        arity: int = 4,
+        leaf_size: int = 6,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if arity < 2:
+            raise ValueError("arity must be at least 2")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be at least 1")
+        self.oracle = oracle
+        self._arity = arity
+        self._leaf_size = leaf_size
+        self._rng = rng or np.random.default_rng(0)
+        ids = list(objects) if objects is not None else list(range(oracle.n))
+        before = oracle.calls
+        self._root = self._build(ids)
+        #: Oracle calls spent constructing the index.
+        self.construction_calls = oracle.calls - before
+        self._size = len(ids)
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self, ids: List[int]) -> Optional[_Node]:
+        if not ids:
+            return None
+        node = _Node()
+        if len(ids) <= max(self._leaf_size, self._arity):
+            node.bucket = list(ids)
+            return node
+        # Greedy-spread split points: first random, rest max-min.
+        first = int(self._rng.integers(len(ids)))
+        splits = [ids[first]]
+        nearest = {o: math.inf for o in ids}
+        while len(splits) < min(self._arity, len(ids)):
+            newest = splits[-1]
+            for o in ids:
+                d = self.oracle(newest, o)
+                if d < nearest[o]:
+                    nearest[o] = d
+            candidate = max(
+                (o for o in ids if o not in splits),
+                key=lambda o: nearest[o],
+            )
+            splits.append(candidate)
+        node.splits = splits
+        partitions: List[List[int]] = [[] for _ in splits]
+        for o in ids:
+            if o in splits:
+                continue
+            distances = [self.oracle(s, o) for s in splits]
+            partitions[int(np.argmin(distances))].append(o)
+        # Distance ranges: every split point against every partition.
+        node.ranges = [
+            [(math.inf, -math.inf)] * len(splits) for _ in splits
+        ]
+        for i, s in enumerate(splits):
+            for j, members in enumerate(partitions):
+                lo, hi = math.inf, -math.inf
+                for o in members:
+                    d = self.oracle(s, o)
+                    lo = min(lo, d)
+                    hi = max(hi, d)
+                # The partition's own split point belongs to its region.
+                d_sj = self.oracle(s, splits[j])
+                lo = min(lo, d_sj)
+                hi = max(hi, d_sj)
+                node.ranges[i][j] = (lo, hi)
+        node.children = [self._build(members) for members in partitions]
+        return node
+
+    # -- queries -------------------------------------------------------------
+
+    def range(self, query: int, radius: float) -> List[int]:
+        """All indexed objects within ``radius`` of ``query`` (inclusive)."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        hits: List[int] = []
+
+        def visit(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            if node.bucket:
+                for o in node.bucket:
+                    if self.oracle(query, o) <= radius:
+                        hits.append(o)
+                return
+            alive = [True] * len(node.children)
+            split_distances: List[Optional[float]] = [None] * len(node.splits)
+            for i, s in enumerate(node.splits):
+                # Skip measuring split points whose region is already dead
+                # *and* which cannot prune anything new — simple variant:
+                # always measure (GNAT's original measures all of them).
+                d = self.oracle(query, s)
+                split_distances[i] = d
+                if d <= radius:
+                    hits.append(s)
+                for j in range(len(node.children)):
+                    if not alive[j]:
+                        continue
+                    lo, hi = node.ranges[i][j]
+                    if lo == math.inf:
+                        continue
+                    if d + radius < lo or d - radius > hi:
+                        alive[j] = False
+            for j, child in enumerate(node.children):
+                if alive[j]:
+                    visit(child)
+
+        visit(self._root)
+        return sorted(set(hits))
+
+    def nearest(self, query: int) -> Tuple[int, float]:
+        """Exact nearest indexed object via shrinking-radius range search."""
+        best_obj: Optional[int] = None
+        best_d = math.inf
+
+        def visit(node: Optional[_Node]) -> None:
+            nonlocal best_obj, best_d
+            if node is None:
+                return
+            if node.bucket:
+                for o in node.bucket:
+                    if o == query:
+                        continue
+                    d = self.oracle(query, o)
+                    if d < best_d:
+                        best_obj, best_d = o, d
+                return
+            alive = [True] * len(node.children)
+            order = []
+            for i, s in enumerate(node.splits):
+                d = self.oracle(query, s)
+                if s != query and d < best_d:
+                    best_obj, best_d = s, d
+                order.append((d, i))
+                for j in range(len(node.children)):
+                    if not alive[j]:
+                        continue
+                    lo, hi = node.ranges[i][j]
+                    if lo == math.inf:
+                        continue
+                    if d + best_d < lo or d - best_d > hi:
+                        alive[j] = False
+            order.sort()
+            for _, j in order:
+                if alive[j]:
+                    visit(node.children[j])
+
+        visit(self._root)
+        if best_obj is None:
+            raise ValueError("index holds no candidate other than the query")
+        return best_obj, best_d

@@ -1,0 +1,155 @@
+"""Vantage-point tree (Yianilos 1993) — related-work comparator.
+
+The classic metric index from the paper's §6: build a binary tree by
+recursively picking a vantage point and splitting the rest by the median
+distance to it.  Construction pays ``O(n log n)`` oracle calls up front;
+each query then prunes subtrees whose annulus cannot intersect the query
+ball.
+
+Included to let the benchmarks compare the *index* approach (pay a big
+build bill, answer queries cheaply, NN/range queries only) against the
+paper's framework (no build bill, savings accrue inside arbitrary
+proximity algorithms).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.oracle import DistanceOracle
+
+
+@dataclass
+class _Node:
+    vantage: int
+    radius: float = 0.0                  # median split distance
+    inside: Optional["_Node"] = None     # d(vantage, ·) <= radius
+    outside: Optional["_Node"] = None    # d(vantage, ·) >  radius
+    bucket: List[int] = field(default_factory=list)  # leaf members
+
+
+class VpTree:
+    """Exact nearest-neighbour / range index over a distance oracle.
+
+    Parameters
+    ----------
+    oracle:
+        Distance oracle over object ids; construction and queries charge it.
+    objects:
+        Ids to index (defaults to the oracle's whole universe).
+    leaf_size:
+        Maximum bucket size before a node stops splitting.
+    rng:
+        Generator for vantage-point sampling (deterministic by default).
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        objects: Optional[List[int]] = None,
+        leaf_size: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be at least 1")
+        self.oracle = oracle
+        self._leaf_size = leaf_size
+        self._rng = rng or np.random.default_rng(0)
+        ids = list(objects) if objects is not None else list(range(oracle.n))
+        before = oracle.calls
+        self._root = self._build(ids)
+        #: Oracle calls spent constructing the index.
+        self.construction_calls = oracle.calls - before
+        self._size = len(ids)
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self, ids: List[int]) -> Optional[_Node]:
+        if not ids:
+            return None
+        if len(ids) <= self._leaf_size:
+            node = _Node(vantage=ids[0])
+            node.bucket = list(ids)
+            return node
+        pick = int(self._rng.integers(len(ids)))
+        vantage = ids[pick]
+        rest = [o for idx, o in enumerate(ids) if idx != pick]
+        distances = [(self.oracle(vantage, o), o) for o in rest]
+        distances.sort()
+        median_idx = len(distances) // 2
+        radius = distances[median_idx][0]
+        inside = [o for d, o in distances if d <= radius]
+        outside = [o for d, o in distances if d > radius]
+        node = _Node(vantage=vantage, radius=radius)
+        node.inside = self._build(inside)
+        node.outside = self._build(outside)
+        return node
+
+    # -- queries -------------------------------------------------------------
+
+    def nearest(self, query: int) -> Tuple[int, float]:
+        """Exact nearest indexed object to ``query`` (excluding itself)."""
+        best: List = [None, math.inf]
+
+        def visit(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            if node.bucket:
+                for o in node.bucket:
+                    if o == query:
+                        continue
+                    d = self.oracle(query, o)
+                    if d < best[1]:
+                        best[0], best[1] = o, d
+                return
+            d_v = self.oracle(query, node.vantage)
+            if node.vantage != query and d_v < best[1]:
+                best[0], best[1] = node.vantage, d_v
+            # Search the nearer side first; the other only if the annulus
+            # boundary is within the current best radius.
+            if d_v <= node.radius:
+                visit(node.inside)
+                if d_v + best[1] > node.radius:
+                    visit(node.outside)
+            else:
+                visit(node.outside)
+                if d_v - best[1] <= node.radius:
+                    visit(node.inside)
+
+        visit(self._root)
+        if best[0] is None:
+            raise ValueError("index holds no candidate other than the query")
+        return best[0], best[1]
+
+    def range(self, query: int, radius: float) -> List[int]:
+        """All indexed objects within ``radius`` of ``query`` (inclusive)."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        hits: List[int] = []
+
+        def visit(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            if node.bucket:
+                for o in node.bucket:
+                    if self.oracle(query, o) <= radius:
+                        hits.append(o)
+                return
+            d_v = self.oracle(query, node.vantage)
+            if d_v <= radius:
+                hits.append(node.vantage)
+            if d_v - radius <= node.radius:
+                visit(node.inside)
+            if d_v + radius > node.radius:
+                visit(node.outside)
+
+        visit(self._root)
+        hits.sort()
+        return hits

@@ -1,0 +1,41 @@
+"""Metric spaces: the expensive-oracle substrates."""
+
+from repro.spaces.base import BaseSpace, MetricSpace, check_metric_axioms
+from repro.spaces.graphs import GraphShortestPathSpace, UltrametricSpace, random_ultrametric
+from repro.spaces.matrix import MatrixSpace, metric_closure, random_metric_matrix
+from repro.spaces.roadnet import RoadNetworkSpace
+from repro.spaces.sets import HammingSpace, HausdorffSpace, JaccardSpace
+from repro.spaces.strings import EditDistanceSpace, levenshtein, random_strings
+from repro.spaces.vector import (
+    ChebyshevSpace,
+    CosineAngularSpace,
+    EuclideanSpace,
+    ManhattanSpace,
+    MinkowskiSpace,
+    SquaredEuclideanSpace,
+)
+
+__all__ = [
+    "BaseSpace",
+    "ChebyshevSpace",
+    "CosineAngularSpace",
+    "EditDistanceSpace",
+    "EuclideanSpace",
+    "GraphShortestPathSpace",
+    "HammingSpace",
+    "HausdorffSpace",
+    "JaccardSpace",
+    "ManhattanSpace",
+    "MatrixSpace",
+    "MetricSpace",
+    "MinkowskiSpace",
+    "RoadNetworkSpace",
+    "UltrametricSpace",
+    "SquaredEuclideanSpace",
+    "check_metric_axioms",
+    "levenshtein",
+    "metric_closure",
+    "random_metric_matrix",
+    "random_ultrametric",
+    "random_strings",
+]

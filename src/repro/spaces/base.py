@@ -1,0 +1,99 @@
+"""Metric-space protocol and helpers.
+
+A *space* bundles a collection of ``n`` objects with a metric over their
+integer ids.  Spaces are the thing you wrap in a
+:class:`~repro.core.oracle.DistanceOracle`; the rest of the library never
+sees coordinates — only ids and distances, which is exactly the paper's
+"general metric space, atomic objects" setting.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.core.exceptions import MetricViolationError
+from repro.core.oracle import DistanceOracle
+
+
+@runtime_checkable
+class MetricSpace(Protocol):
+    """Protocol for object collections with a metric over integer ids."""
+
+    @property
+    def n(self) -> int:
+        """Number of objects."""
+        ...
+
+    def distance(self, i: int, j: int) -> float:
+        """Metric distance between objects ``i`` and ``j``."""
+        ...
+
+    def diameter_bound(self) -> float:
+        """An upper bound on any pairwise distance (``inf`` when unknown)."""
+        ...
+
+
+class BaseSpace:
+    """Shared plumbing for concrete spaces."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("a space needs at least one object")
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def diameter_bound(self) -> float:
+        return math.inf
+
+    def distance(self, i: int, j: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def oracle(self, cost_per_call: float = 0.0, budget: int | None = None) -> DistanceOracle:
+        """Wrap this space in a counting :class:`DistanceOracle`."""
+        return DistanceOracle(self.distance, self._n, cost_per_call=cost_per_call, budget=budget)
+
+
+def check_metric_axioms(
+    space: MetricSpace,
+    sample_triples: Iterable[tuple[int, int, int]] | None = None,
+    tol: float = 1e-9,
+) -> None:
+    """Verify identity, symmetry, and triangle inequality on sampled triples.
+
+    Raises :class:`MetricViolationError` on the first violation.  With
+    ``sample_triples=None`` every triple is checked — only sensible for very
+    small spaces.
+    """
+    n = space.n
+    if sample_triples is None:
+        sample_triples = itertools.combinations(range(n), 3) if n >= 3 else []
+    for i in range(min(n, 50)):
+        if abs(space.distance(i, i)) > tol:
+            raise MetricViolationError(f"d({i},{i}) = {space.distance(i, i)} != 0")
+    for i, j, k in sample_triples:
+        dij = space.distance(i, j)
+        dji = space.distance(j, i)
+        if abs(dij - dji) > tol:
+            raise MetricViolationError(f"asymmetry: d({i},{j})={dij} vs d({j},{i})={dji}")
+        if dij < -tol:
+            raise MetricViolationError(f"negative distance d({i},{j})={dij}")
+        dik = space.distance(i, k)
+        dkj = space.distance(k, j)
+        # Check all three sides of the triangle against the other two.
+        for side, a, b, label in (
+            (dij, dik, dkj, (i, j, k)),
+            (dik, dij, dkj, (i, k, j)),
+            (dkj, dik, dij, (k, j, i)),
+        ):
+            if side > a + b + tol:
+                raise MetricViolationError(
+                    f"triangle violation on triple {label}: {side} > {a} + {b}"
+                )

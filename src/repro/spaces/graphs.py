@@ -1,0 +1,131 @@
+"""Graph-derived metric spaces.
+
+* :class:`GraphShortestPathSpace` — the metric induced by shortest paths on
+  *any* user-supplied weighted graph (the general form of the road-network
+  substitute; works for social graphs, grids, transit networks, ...).
+* :class:`UltrametricSpace` / :func:`random_ultrametric` — tree-induced
+  ultrametrics, where ``d(x, z) <= max(d(x, y), d(y, z))``.  Ultrametrics
+  are the extreme case for triangle-based pruning: every triangle is
+  isosceles with the two larger sides equal, so Tri bounds collapse to
+  exact values unusually often — a useful best-case probe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components, dijkstra
+
+from repro.spaces.base import BaseSpace
+
+
+class GraphShortestPathSpace(BaseSpace):
+    """Metric = shortest-path distance over a weighted undirected graph.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (objects).
+    edges:
+        Iterable of ``(u, v, weight)`` with positive weights.  The graph
+        must be connected (otherwise some distances would be infinite,
+        which the oracle rejects).
+    """
+
+    def __init__(self, n: int, edges: Iterable[Tuple[int, int, float]]) -> None:
+        super().__init__(n)
+        rows, cols, weights = [], [], []
+        total = 0.0
+        for u, v, w in edges:
+            if not 0 <= u < n or not 0 <= v < n:
+                raise ValueError(f"edge ({u}, {v}) out of range for {n} nodes")
+            if w <= 0:
+                raise ValueError(f"edge weights must be positive; got {w}")
+            rows.extend((u, v))
+            cols.extend((v, u))
+            weights.extend((w, w))
+            total += w
+        self._adjacency = csr_matrix((weights, (rows, cols)), shape=(n, n))
+        components, _ = connected_components(self._adjacency, directed=False)
+        if n > 1 and components != 1:
+            raise ValueError(
+                f"graph has {components} connected components; the induced "
+                "distance would be infinite between components"
+            )
+        self._total_weight = total
+        self._row_cache: Dict[int, np.ndarray] = {}
+
+    def distance(self, i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        if j in self._row_cache and i not in self._row_cache:
+            i, j = j, i
+        row = self._row_cache.get(i)
+        if row is None:
+            row = dijkstra(self._adjacency, directed=False, indices=i)
+            self._row_cache[i] = row
+        return float(row[j])
+
+    def diameter_bound(self) -> float:
+        return self._total_weight
+
+
+class UltrametricSpace(BaseSpace):
+    """Metric from a merge dendrogram: ``d(x, y)`` = height where x, y join."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square; got {matrix.shape}")
+        n = matrix.shape[0]
+        super().__init__(n)
+        # Verify the strong (ultrametric) triangle inequality on a sample.
+        rng = np.random.default_rng(0)
+        for _ in range(min(200, n**3)):
+            i, j, k = rng.integers(n, size=3)
+            if matrix[i, j] > max(matrix[i, k], matrix[k, j]) + 1e-9:
+                raise ValueError(
+                    f"matrix is not ultrametric on triple ({i}, {j}, {k})"
+                )
+        self.matrix = matrix
+
+    def distance(self, i: int, j: int) -> float:
+        return float(self.matrix[i, j])
+
+    def diameter_bound(self) -> float:
+        return float(self.matrix.max())
+
+
+def random_ultrametric(
+    n: int,
+    rng: np.random.Generator | None = None,
+    max_height: float = 1.0,
+) -> np.ndarray:
+    """Random ultrametric matrix via a random binary merge tree.
+
+    Clusters merge bottom-up at strictly increasing heights; the distance
+    between two objects is the height of their lowest common merge.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = rng or np.random.default_rng()
+    matrix = np.zeros((n, n))
+    clusters = [[i] for i in range(n)]
+    heights = np.sort(rng.uniform(0.0, max_height, size=max(n - 1, 1)))
+    step = 0
+    while len(clusters) > 1:
+        a = int(rng.integers(len(clusters)))
+        b = int(rng.integers(len(clusters) - 1))
+        if b >= a:
+            b += 1
+        height = float(heights[step])
+        step += 1
+        for x in clusters[a]:
+            for y in clusters[b]:
+                matrix[x, y] = matrix[y, x] = height
+        merged = clusters[a] + clusters[b]
+        clusters = [c for idx, c in enumerate(clusters) if idx not in (a, b)]
+        clusters.append(merged)
+    return matrix

@@ -1,0 +1,83 @@
+"""Explicit distance-matrix space.
+
+The most general metric space of all: a ground-truth ``n × n`` matrix.  Used
+throughout the tests (random metric matrices via metric repair) and wherever
+an experiment wants full control over the metric structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import MetricViolationError
+from repro.spaces.base import BaseSpace
+
+
+class MatrixSpace(BaseSpace):
+    """A metric given by an explicit symmetric matrix of distances."""
+
+    def __init__(self, matrix: np.ndarray, validate: bool = True) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square; got shape {matrix.shape}")
+        super().__init__(matrix.shape[0])
+        self.matrix = matrix
+        if validate:
+            self._validate()
+
+    def _validate(self, tol: float = 1e-9) -> None:
+        m = self.matrix
+        if np.any(np.abs(np.diag(m)) > tol):
+            raise MetricViolationError("non-zero diagonal in distance matrix")
+        if np.any(np.abs(m - m.T) > tol):
+            raise MetricViolationError("asymmetric distance matrix")
+        if np.any(m < -tol):
+            raise MetricViolationError("negative distances in matrix")
+        # Triangle check: d(i,j) <= min_k d(i,k) + d(k,j).  O(n^3) via one
+        # matmul-style reduction per row block; fine for the sizes we validate.
+        n = self.n
+        if n <= 600:
+            for k in range(n):
+                through_k = m[:, k][:, None] + m[k, :][None, :]
+                if np.any(m > through_k + tol):
+                    raise MetricViolationError(
+                        f"triangle inequality violated through intermediate {k}"
+                    )
+
+    def distance(self, i: int, j: int) -> float:
+        return float(self.matrix[i, j])
+
+    def diameter_bound(self) -> float:
+        return float(self.matrix.max())
+
+
+def metric_closure(matrix: np.ndarray) -> np.ndarray:
+    """Repair an arbitrary non-negative symmetric matrix into a metric.
+
+    Computes the all-pairs shortest-path closure (Floyd–Warshall), which is
+    the largest metric dominated by the input — the standard way to
+    synthesise ground-truth general-metric datasets.
+    """
+    m = np.asarray(matrix, dtype=np.float64).copy()
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"matrix must be square; got shape {m.shape}")
+    m = np.minimum(m, m.T)
+    np.fill_diagonal(m, 0.0)
+    n = m.shape[0]
+    for k in range(n):
+        np.minimum(m, m[:, k][:, None] + m[k, :][None, :], out=m)
+    return m
+
+
+def random_metric_matrix(
+    n: int,
+    rng: np.random.Generator | None = None,
+    low: float = 0.1,
+    high: float = 1.0,
+) -> np.ndarray:
+    """Random ground-truth metric on ``n`` objects (shortest-path closure)."""
+    rng = rng or np.random.default_rng()
+    raw = rng.uniform(low, high, size=(n, n))
+    raw = (raw + raw.T) / 2.0
+    np.fill_diagonal(raw, 0.0)
+    return metric_closure(raw)

@@ -1,0 +1,131 @@
+"""Simulated road-network metric — the Google Maps API substitute.
+
+The paper's SF POI and UrbanGB experiments fetch point-to-point *driving*
+distances from a maps API.  Driving distance is the shortest-path metric of
+the underlying road graph, so we reproduce it faithfully: build a random
+road graph over the generated points (k-nearest-neighbour edges made
+connected via a Euclidean spanning tree, each road inflated by a per-edge
+detour factor) and answer each oracle call with a graph shortest path.
+
+Shortest-path distances on a connected, positively weighted undirected graph
+always satisfy the metric axioms, so every bound scheme applies unchanged —
+this is precisely why the substitution preserves the paper's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra, minimum_spanning_tree
+from scipy.spatial import cKDTree
+
+from repro.spaces.base import BaseSpace
+
+
+class RoadNetworkSpace(BaseSpace):
+    """Points connected by a synthetic road graph; distance = shortest path.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, 2)`` — the POI coordinates.
+    k:
+        Each point gets roads to its ``k`` nearest Euclidean neighbours.
+    detour_range:
+        Per-road multiplicative detour factor range (roads are never shorter
+        than the crow-flies distance).
+    rng:
+        Random generator for the detour factors.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        k: int = 6,
+        detour_range: tuple[float, float] = (1.0, 1.5),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2); got {points.shape}")
+        lo, hi = detour_range
+        if lo < 1.0 or hi < lo:
+            raise ValueError("detour factors must satisfy 1 <= lo <= hi")
+        super().__init__(points.shape[0])
+        self.points = points
+        rng = rng or np.random.default_rng(0)
+        self._adjacency = self._build_road_graph(points, k, (lo, hi), rng)
+        self._row_cache: Dict[int, np.ndarray] = {}
+
+    @staticmethod
+    def _build_road_graph(
+        points: np.ndarray,
+        k: int,
+        detour_range: tuple[float, float],
+        rng: np.random.Generator,
+    ) -> csr_matrix:
+        n = points.shape[0]
+        rows: list[int] = []
+        cols: list[int] = []
+        if n > 1:
+            tree = cKDTree(points)
+            neighbours = min(k + 1, n)
+            _, idx = tree.query(points, k=neighbours)
+            idx = np.atleast_2d(idx)
+            for i in range(n):
+                for j in idx[i]:
+                    j = int(j)
+                    if j != i:
+                        rows.append(i)
+                        cols.append(j)
+        base = csr_matrix(
+            (np.ones(len(rows)), (rows, cols)), shape=(n, n)
+        )
+        # Guarantee connectivity: union with the Euclidean MST edges.
+        dense_needed = n <= 1  # trivially connected
+        if not dense_needed and n > 1:
+            euclid = np.sqrt(((points[:, None, :] - points[None, :, :]) ** 2).sum(-1))
+            mst = minimum_spanning_tree(csr_matrix(euclid))
+            mst_coo = mst.tocoo()
+            rows.extend(mst_coo.row.tolist())
+            cols.extend(mst_coo.col.tolist())
+        # Deduplicate and symmetrise; weight = euclidean * detour.
+        pair_set = set()
+        for r, c in zip(rows, cols):
+            if r != c:
+                pair_set.add((min(r, c), max(r, c)))
+        rr, cc, ww = [], [], []
+        for r, c in sorted(pair_set):
+            euclid_rc = float(np.linalg.norm(points[r] - points[c]))
+            detour = float(rng.uniform(*detour_range))
+            w = euclid_rc * detour if euclid_rc > 0 else 0.0
+            rr.extend((r, c))
+            cc.extend((c, r))
+            ww.extend((w, w))
+        return csr_matrix((ww, (rr, cc)), shape=(n, n))
+
+    def _row(self, i: int) -> np.ndarray:
+        cached = self._row_cache.get(i)
+        if cached is None:
+            cached = dijkstra(self._adjacency, directed=False, indices=i)
+            self._row_cache[i] = cached
+        return cached
+
+    def distance(self, i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        # Prefer a cached source row from either endpoint.
+        if j in self._row_cache and i not in self._row_cache:
+            i, j = j, i
+        return float(self._row(i)[j])
+
+    def diameter_bound(self) -> float:
+        """Total road length is a crude but safe diameter cap."""
+        return float(self._adjacency.sum()) / 2.0
+
+    @property
+    def num_roads(self) -> int:
+        """Number of undirected road segments in the network."""
+        return int(self._adjacency.nnz // 2)

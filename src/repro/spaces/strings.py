@@ -1,0 +1,96 @@
+"""String space under Levenshtein edit distance.
+
+Edit distance on long sequences (DNA, protein strings) is one of the paper's
+motivating expensive oracles: each call is ``O(|a| · |b|)`` dynamic
+programming, so for kilobase-scale sequences a single distance dwarfs any
+local bookkeeping.  Levenshtein distance is a true metric, so every bound
+scheme in this library applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.spaces.base import BaseSpace
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic two-row DP Levenshtein distance."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    current = [0] * (len(b) + 1)
+    for i, ca in enumerate(a, start=1):
+        current[0] = i
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(
+                previous[j] + 1,      # deletion
+                current[j - 1] + 1,   # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+        previous, current = current, previous
+    return previous[len(b)]
+
+
+class EditDistanceSpace(BaseSpace):
+    """Strings under (optionally normalised) Levenshtein distance.
+
+    ``normalise=True`` divides by the diameter cap ``max_len`` so distances
+    live in ``[0, 1]`` like the paper's running example.  Scaling by a
+    positive constant preserves the metric axioms.
+    """
+
+    def __init__(self, strings: Sequence[str], normalise: bool = False) -> None:
+        strings = list(strings)
+        super().__init__(len(strings))
+        self.strings = strings
+        self._max_len = max((len(s) for s in strings), default=1) or 1
+        self._normalise = normalise
+
+    def distance(self, i: int, j: int) -> float:
+        raw = levenshtein(self.strings[i], self.strings[j])
+        if self._normalise:
+            return raw / self._max_len
+        return float(raw)
+
+    def diameter_bound(self) -> float:
+        return 1.0 if self._normalise else float(self._max_len)
+
+
+def random_strings(
+    n: int,
+    length: int = 64,
+    alphabet: str = "ACGT",
+    mutation_rate: float = 0.15,
+    num_seeds: int = 4,
+    rng: np.random.Generator | None = None,
+) -> list[str]:
+    """Generate ``n`` strings as mutated copies of a few random seeds.
+
+    Mimics DNA-like datasets: a handful of ancestral sequences with point
+    mutations, giving natural cluster structure (small intra-family edit
+    distances, large inter-family ones).
+    """
+    rng = rng or np.random.default_rng()
+    letters = list(alphabet)
+    seeds = [
+        "".join(rng.choice(letters, size=length)) for _ in range(max(1, num_seeds))
+    ]
+    strings = []
+    for _ in range(n):
+        base = seeds[int(rng.integers(len(seeds)))]
+        chars = list(base)
+        for pos in range(len(chars)):
+            if rng.random() < mutation_rate:
+                chars[pos] = letters[int(rng.integers(len(letters)))]
+        strings.append("".join(chars))
+    return strings

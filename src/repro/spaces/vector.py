@@ -1,0 +1,136 @@
+"""Vector spaces under Minkowski metrics.
+
+Although the paper's framework deliberately avoids exploiting coordinates,
+its evaluation datasets (SF POI, UrbanGB, Flickr1M) *are* point sets; the
+framework simply treats their distances as opaque oracle answers.  These
+spaces provide those oracles.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.spaces.base import BaseSpace
+
+
+class MinkowskiSpace(BaseSpace):
+    """Points in ``R^d`` under the ``L_p`` metric.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    p:
+        Minkowski order; ``p >= 1`` is required for the triangle inequality.
+    """
+
+    def __init__(self, points: np.ndarray, p: float = 2.0) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D (n, d); got shape {points.shape}")
+        if p < 1:
+            raise ValueError(f"L_p with p={p} < 1 is not a metric")
+        super().__init__(points.shape[0])
+        self.points = points
+        self.p = float(p)
+
+    def distance(self, i: int, j: int) -> float:
+        delta = self.points[i] - self.points[j]
+        if self.p == 2.0:
+            return float(math.sqrt(float(np.dot(delta, delta))))
+        if self.p == 1.0:
+            return float(np.abs(delta).sum())
+        if math.isinf(self.p):
+            return float(np.abs(delta).max())
+        return float(np.power(np.abs(delta) ** self.p, 1.0).sum() ** (1.0 / self.p))
+
+    def diameter_bound(self) -> float:
+        """Bounding-box diameter — cheap and safe (no pairwise scan)."""
+        span = self.points.max(axis=0) - self.points.min(axis=0)
+        if self.p == 2.0:
+            return float(math.sqrt(float(np.dot(span, span))))
+        if self.p == 1.0:
+            return float(span.sum())
+        if math.isinf(self.p):
+            return float(span.max())
+        return float((span**self.p).sum() ** (1.0 / self.p))
+
+
+class EuclideanSpace(MinkowskiSpace):
+    """Points under the Euclidean (``L_2``) metric."""
+
+    def __init__(self, points: np.ndarray) -> None:
+        super().__init__(points, p=2.0)
+
+
+class ManhattanSpace(MinkowskiSpace):
+    """Points under the city-block (``L_1``) metric."""
+
+    def __init__(self, points: np.ndarray) -> None:
+        super().__init__(points, p=1.0)
+
+
+class ChebyshevSpace(MinkowskiSpace):
+    """Points under the ``L_inf`` metric."""
+
+    def __init__(self, points: np.ndarray) -> None:
+        super().__init__(points, p=math.inf)
+
+
+class SquaredEuclideanSpace(BaseSpace):
+    """Points under *squared* Euclidean distance — a 2-relaxed metric.
+
+    ``|a − c|² <= 2·(|a − b|² + |b − c|²)`` always, so this space satisfies
+    the paper's relaxed triangle inequality with factor 2 but not the plain
+    one.  Use it with ``TriScheme(..., relaxation=2.0)`` (and the
+    2-relaxed :class:`~repro.core.validation.ValidatingOracle`).
+    """
+
+    #: Relaxation factor of the triangle inequality this space satisfies.
+    triangle_relaxation = 2.0
+
+    def __init__(self, points: np.ndarray) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D (n, d); got shape {points.shape}")
+        super().__init__(points.shape[0])
+        self.points = points
+
+    def distance(self, i: int, j: int) -> float:
+        delta = self.points[i] - self.points[j]
+        return float(np.dot(delta, delta))
+
+    def diameter_bound(self) -> float:
+        span = self.points.max(axis=0) - self.points.min(axis=0)
+        return float(np.dot(span, span))
+
+
+class CosineAngularSpace(BaseSpace):
+    """Unit-normalised vectors under the *angular* distance.
+
+    Raw cosine dissimilarity violates the triangle inequality; the angle
+    ``arccos(cos_sim) / pi`` is a proper metric on the unit sphere, which is
+    what content-based retrieval systems actually use when they need
+    metric-space pruning.
+    """
+
+    def __init__(self, points: np.ndarray) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D (n, d); got shape {points.shape}")
+        norms = np.linalg.norm(points, axis=1, keepdims=True)
+        if np.any(norms == 0):
+            raise ValueError("zero vectors cannot be normalised for angular distance")
+        super().__init__(points.shape[0])
+        self.points = points / norms
+
+    def distance(self, i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        cos = float(np.clip(np.dot(self.points[i], self.points[j]), -1.0, 1.0))
+        return math.acos(cos) / math.pi
+
+    def diameter_bound(self) -> float:
+        return 1.0

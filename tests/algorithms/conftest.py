@@ -1,0 +1,47 @@
+"""Fixtures for the proximity-algorithm tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds import Adm, Laesa, Splub, Tlaesa, TriScheme
+from repro.core.resolver import SmartResolver
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+from repro.spaces.vector import EuclideanSpace
+
+#: (name, class, needs_bootstrap) for the parametrised exactness sweeps.
+PROVIDER_CASES = [
+    ("none", None, False),
+    ("tri", TriScheme, False),
+    ("splub", Splub, False),
+    ("adm", Adm, False),
+    ("laesa", Laesa, True),
+    ("tlaesa", Tlaesa, True),
+]
+
+PROVIDER_IDS = [case[0] for case in PROVIDER_CASES]
+
+
+def build_resolver(space, provider_cls, needs_bootstrap):
+    """Fresh oracle + resolver with the given provider attached."""
+    oracle = space.oracle()
+    resolver = SmartResolver(oracle)
+    if provider_cls is not None:
+        provider = provider_cls(resolver.graph, space.diameter_bound())
+        resolver.bounder = provider
+        if needs_bootstrap:
+            provider.bootstrap(resolver)
+    return oracle, resolver
+
+
+@pytest.fixture
+def metric_space(rng):
+    return MatrixSpace(random_metric_matrix(18, rng))
+
+
+@pytest.fixture
+def euclid(rng):
+    centres = rng.uniform(0, 1, size=(3, 2))
+    points = centres[rng.integers(3, size=30)] + rng.normal(scale=0.04, size=(30, 2))
+    return EuclideanSpace(points)

@@ -1,0 +1,61 @@
+"""Exactness and savings tests for the re-authored CLARANS."""
+
+import pytest
+
+from repro.algorithms.clarans import clarans, default_max_neighbors
+from repro.algorithms.medoid_common import total_cost
+from repro.bounds.tri import TriScheme
+
+from tests.algorithms.conftest import PROVIDER_CASES, PROVIDER_IDS, build_resolver
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_identical_trajectory_across_providers(self, metric_space, name, cls, boot):
+        _, r_plain = build_resolver(metric_space, None, False)
+        vanilla = clarans(r_plain, l=3, seed=21, num_local=1, max_neighbors=30)
+        _, resolver = build_resolver(metric_space, cls, boot)
+        augmented = clarans(resolver, l=3, seed=21, num_local=1, max_neighbors=30)
+        assert augmented.medoids == vanilla.medoids
+        assert augmented.cost == pytest.approx(vanilla.cost)
+        assert augmented.iterations == vanilla.iterations
+
+    def test_cost_consistent_with_medoids(self, metric_space):
+        _, resolver = build_resolver(metric_space, TriScheme, False)
+        result = clarans(resolver, l=3, seed=4, num_local=1, max_neighbors=25)
+        _, fresh = build_resolver(metric_space, None, False)
+        assert result.cost == pytest.approx(total_cost(fresh, list(result.medoids)))
+
+    def test_num_local_keeps_best(self, metric_space):
+        _, r1 = build_resolver(metric_space, None, False)
+        single = clarans(r1, l=3, seed=9, num_local=1, max_neighbors=20)
+        _, r3 = build_resolver(metric_space, None, False)
+        multi = clarans(r3, l=3, seed=9, num_local=3, max_neighbors=20)
+        assert multi.cost <= single.cost + 1e-9
+
+    def test_deterministic_given_seed(self, metric_space):
+        _, r1 = build_resolver(metric_space, None, False)
+        a = clarans(r1, l=3, seed=7, num_local=1, max_neighbors=20)
+        _, r2 = build_resolver(metric_space, None, False)
+        b = clarans(r2, l=3, seed=7, num_local=1, max_neighbors=20)
+        assert a.medoids == b.medoids
+
+    def test_parameter_validation(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        with pytest.raises(ValueError):
+            clarans(resolver, l=0)
+        with pytest.raises(ValueError):
+            clarans(resolver, l=metric_space.n)
+
+    def test_default_max_neighbors_rule(self):
+        assert default_max_neighbors(1000, 10) == int(0.0125 * 10 * 990)
+        assert default_max_neighbors(30, 2) == 10  # l-proportional floor kicks in
+
+
+class TestSavings:
+    def test_tri_saves_calls(self, euclid):
+        oracle_plain, r_plain = build_resolver(euclid, None, False)
+        clarans(r_plain, l=4, seed=3, num_local=1, max_neighbors=40)
+        oracle_tri, r_tri = build_resolver(euclid, TriScheme, False)
+        clarans(r_tri, l=4, seed=3, num_local=1, max_neighbors=40)
+        assert oracle_tri.calls < oracle_plain.calls

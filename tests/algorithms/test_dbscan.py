@@ -1,0 +1,93 @@
+"""Exactness tests for DBSCAN over expensive oracles."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dbscan import NOISE, dbscan
+from repro.bounds.tri import TriScheme
+from repro.core.resolver import SmartResolver
+from repro.spaces.vector import EuclideanSpace
+
+from tests.algorithms.conftest import PROVIDER_CASES, PROVIDER_IDS, build_resolver
+
+
+@pytest.fixture
+def blobs(rng):
+    """Two well-separated blobs plus two isolated noise points."""
+    a = rng.normal(loc=0.0, scale=0.05, size=(15, 2))
+    b = rng.normal(loc=3.0, scale=0.05, size=(15, 2))
+    noise = np.array([[10.0, 10.0], [-10.0, -10.0]])
+    return EuclideanSpace(np.vstack([a, b, noise]))
+
+
+class TestClusterStructure:
+    def test_finds_two_blobs(self, blobs):
+        _, resolver = build_resolver(blobs, TriScheme, False)
+        result = dbscan(resolver, eps=0.5, min_pts=4)
+        assert result.num_clusters == 2
+        assert result.noise_count == 2
+        assert result.labels[30] == NOISE
+        assert result.labels[31] == NOISE
+
+    def test_blob_members_share_labels(self, blobs):
+        _, resolver = build_resolver(blobs, None, False)
+        result = dbscan(resolver, eps=0.5, min_pts=4)
+        assert len({result.labels[i] for i in range(15)}) == 1
+        assert len({result.labels[i] for i in range(15, 30)}) == 1
+        assert result.labels[0] != result.labels[15]
+
+    def test_core_flags(self, blobs):
+        _, resolver = build_resolver(blobs, None, False)
+        result = dbscan(resolver, eps=0.5, min_pts=4)
+        assert any(result.core[:15])
+        assert not result.core[30] and not result.core[31]
+
+    def test_clusters_listing(self, blobs):
+        _, resolver = build_resolver(blobs, None, False)
+        result = dbscan(resolver, eps=0.5, min_pts=4)
+        clusters = result.clusters()
+        assert sorted(len(c) for c in clusters) == [15, 15]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_identical_labels_across_providers(self, euclid, name, cls, boot):
+        _, vanilla_resolver = build_resolver(euclid, None, False)
+        vanilla = dbscan(vanilla_resolver, eps=0.15, min_pts=3)
+        _, resolver = build_resolver(euclid, cls, boot)
+        augmented = dbscan(resolver, eps=0.15, min_pts=3)
+        assert augmented.labels == vanilla.labels
+        assert augmented.core == vanilla.core
+
+    def test_matches_eps_semantics(self, blobs):
+        # Everything is one cluster at a huge eps; all noise at eps ~ 0.
+        _, r_big = build_resolver(blobs, None, False)
+        assert dbscan(r_big, eps=100.0, min_pts=4).num_clusters == 1
+        _, r_small = build_resolver(blobs, None, False)
+        tiny = dbscan(r_small, eps=1e-9, min_pts=2)
+        assert tiny.num_clusters == 0
+        assert tiny.noise_count == blobs.n
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, blobs):
+        _, resolver = build_resolver(blobs, None, False)
+        with pytest.raises(ValueError):
+            dbscan(resolver, eps=-1.0)
+        with pytest.raises(ValueError):
+            dbscan(resolver, eps=0.5, min_pts=0)
+
+
+class TestSavings:
+    def test_tri_saves_calls(self, blobs):
+        oracle_plain, r_plain = build_resolver(blobs, None, False)
+        dbscan(r_plain, eps=0.5, min_pts=4)
+        oracle_tri, r_tri = build_resolver(blobs, TriScheme, False)
+        dbscan(r_tri, eps=0.5, min_pts=4)
+        assert oracle_tri.calls < oracle_plain.calls
+
+    def test_vanilla_bounded_by_all_pairs(self, blobs):
+        oracle, resolver = build_resolver(blobs, None, False)
+        dbscan(resolver, eps=0.5, min_pts=4)
+        n = blobs.n
+        assert oracle.calls <= n * (n - 1) // 2

@@ -1,0 +1,87 @@
+"""Exactness tests for the re-authored greedy k-center."""
+
+import math
+
+import pytest
+
+from repro.algorithms.kcenter import k_center
+from repro.bounds.tri import TriScheme
+
+from tests.algorithms.conftest import PROVIDER_CASES, PROVIDER_IDS, build_resolver
+
+
+def brute_greedy(space, k, first=0):
+    """Reference farthest-first traversal straight off the metric."""
+    centers = [first]
+    nearest = [math.inf] * space.n
+    nearest[first] = 0.0
+    while True:
+        newest = centers[-1]
+        for o in range(space.n):
+            d = space.distance(o, newest)
+            if d < nearest[o]:
+                nearest[o] = d
+        if len(centers) == k:
+            break
+        best, best_d = -1, -math.inf
+        for o in range(space.n):
+            if o not in centers and nearest[o] > best_d:
+                best_d = nearest[o]
+                best = o
+        centers.append(best)
+    return centers, max(nearest)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_matches_brute_greedy(self, metric_space, name, cls, boot):
+        _, resolver = build_resolver(metric_space, cls, boot)
+        result = k_center(resolver, k=4)
+        ref_centers, ref_radius = brute_greedy(metric_space, 4)
+        assert list(result.centers) == ref_centers
+        assert result.radius == pytest.approx(ref_radius)
+
+    def test_assignment_is_nearest_center(self, metric_space):
+        _, resolver = build_resolver(metric_space, TriScheme, False)
+        result = k_center(resolver, k=3)
+        for o in range(metric_space.n):
+            assigned = metric_space.distance(o, result.assignment[o])
+            best = min(metric_space.distance(o, c) for c in result.centers)
+            assert assigned == pytest.approx(best)
+
+    def test_radius_covers_everyone(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        result = k_center(resolver, k=3)
+        for o in range(metric_space.n):
+            nearest = min(metric_space.distance(o, c) for c in result.centers)
+            assert nearest <= result.radius + 1e-9
+
+    def test_k_equals_one(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        result = k_center(resolver, k=1, first=5)
+        assert result.centers == (5,)
+
+    def test_radius_decreases_with_k(self, metric_space):
+        radii = []
+        for k in (1, 3, 6):
+            _, resolver = build_resolver(metric_space, None, False)
+            radii.append(k_center(resolver, k=k).radius)
+        assert radii[0] >= radii[1] >= radii[2]
+
+    def test_parameter_validation(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        with pytest.raises(ValueError):
+            k_center(resolver, k=0)
+        with pytest.raises(ValueError):
+            k_center(resolver, k=metric_space.n + 1)
+        with pytest.raises(ValueError):
+            k_center(resolver, k=2, first=-1)
+
+
+class TestSavings:
+    def test_tri_saves_calls(self, euclid):
+        oracle_plain, r_plain = build_resolver(euclid, None, False)
+        k_center(r_plain, k=5)
+        oracle_tri, r_tri = build_resolver(euclid, TriScheme, False)
+        k_center(r_tri, k=5)
+        assert oracle_tri.calls <= oracle_plain.calls

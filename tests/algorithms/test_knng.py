@@ -1,0 +1,76 @@
+"""Exactness and savings tests for the kNN-graph builders."""
+
+import pytest
+
+from repro.algorithms.knng import knn_graph, knn_graph_brute
+from repro.bounds.tri import TriScheme
+
+from tests.algorithms.conftest import PROVIDER_CASES, PROVIDER_IDS, build_resolver
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_matches_brute_force(self, metric_space, name, cls, boot):
+        _, r_brute = build_resolver(metric_space, None, False)
+        brute = knn_graph_brute(r_brute, k=4)
+        _, resolver = build_resolver(metric_space, cls, boot)
+        pruned = knn_graph(resolver, k=4)
+        for u in range(metric_space.n):
+            assert pruned.neighbor_ids(u) == brute.neighbor_ids(u), f"node {u}"
+
+    def test_distances_ascending(self, euclid):
+        _, resolver = build_resolver(euclid, TriScheme, False)
+        result = knn_graph(resolver, k=5)
+        for u in range(euclid.n):
+            dists = [d for d, _ in result.neighbors[u]]
+            assert dists == sorted(dists)
+
+    def test_no_self_neighbours(self, euclid):
+        _, resolver = build_resolver(euclid, TriScheme, False)
+        result = knn_graph(resolver, k=3)
+        for u in range(euclid.n):
+            assert u not in result.neighbor_ids(u)
+
+    def test_k_validation(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        with pytest.raises(ValueError):
+            knn_graph(resolver, k=0)
+        with pytest.raises(ValueError):
+            knn_graph(resolver, k=metric_space.n)
+        with pytest.raises(ValueError):
+            knn_graph_brute(resolver, k=0)
+
+    def test_result_metadata(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        result = knn_graph(resolver, k=2)
+        assert result.n == metric_space.n
+        assert result.k == 2
+        assert all(len(row) == 2 for row in result.neighbors)
+
+    def test_edge_set_undirected(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        result = knn_graph(resolver, k=2)
+        for i, j in result.edge_set():
+            assert i < j
+
+
+class TestSavings:
+    def test_tri_prunes_candidates(self, euclid):
+        oracle_brute, r_brute = build_resolver(euclid, None, False)
+        knn_graph_brute(r_brute, k=5)
+        oracle_tri, r_tri = build_resolver(euclid, TriScheme, False)
+        knn_graph(r_tri, k=5)
+        assert oracle_tri.calls < oracle_brute.calls
+
+    def test_brute_resolves_all_pairs(self, metric_space):
+        oracle, resolver = build_resolver(metric_space, None, False)
+        knn_graph_brute(resolver, k=3)
+        n = metric_space.n
+        assert oracle.calls == n * (n - 1) // 2
+
+    def test_larger_k_needs_more_calls(self, euclid):
+        oracle_small, r_small = build_resolver(euclid, TriScheme, False)
+        knn_graph(r_small, k=2)
+        oracle_large, r_large = build_resolver(euclid, TriScheme, False)
+        knn_graph(r_large, k=8)
+        assert oracle_large.calls >= oracle_small.calls

@@ -1,0 +1,99 @@
+"""Exactness tests for single-linkage clustering via the re-authored MST."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms.linkage import single_linkage
+from repro.bounds.tri import TriScheme
+
+from tests.algorithms.conftest import PROVIDER_CASES, PROVIDER_IDS, build_resolver
+
+
+def scipy_reference(space, k):
+    """Flat k-clustering from scipy's single-linkage for cross-validation."""
+    from scipy.cluster.hierarchy import fcluster, linkage
+    from scipy.spatial.distance import squareform
+
+    n = space.n
+    condensed = [space.distance(i, j) for i, j in itertools.combinations(range(n), 2)]
+    tree = linkage(condensed, method="single")
+    labels = fcluster(tree, t=k, criterion="maxclust")
+    clusters = {}
+    for obj, label in enumerate(labels):
+        clusters.setdefault(label, []).append(obj)
+    return sorted(
+        (sorted(members) for members in clusters.values()),
+        key=lambda m: m[0],
+    )
+
+
+class TestDendrogram:
+    def test_merge_count(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        result = single_linkage(resolver)
+        assert len(result.merges) == metric_space.n - 1
+
+    def test_heights_non_decreasing(self, metric_space):
+        _, resolver = build_resolver(metric_space, TriScheme, False)
+        result = single_linkage(resolver)
+        heights = result.heights()
+        assert heights == sorted(heights)
+
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_identical_across_providers(self, euclid, name, cls, boot):
+        _, vanilla_resolver = build_resolver(euclid, None, False)
+        vanilla = single_linkage(vanilla_resolver)
+        _, resolver = build_resolver(euclid, cls, boot)
+        augmented = single_linkage(resolver)
+        assert augmented.heights() == pytest.approx(vanilla.heights())
+
+
+class TestCuts:
+    @pytest.mark.parametrize("k", [1, 2, 4, 7])
+    def test_cut_k_matches_scipy(self, euclid, k):
+        _, resolver = build_resolver(euclid, TriScheme, False)
+        result = single_linkage(resolver)
+        ours = result.cut_k(k)
+        ref = scipy_reference(euclid, k)
+        assert ours == ref
+
+    def test_cut_k_cluster_count(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        result = single_linkage(resolver)
+        for k in (1, 3, metric_space.n):
+            assert len(result.cut_k(k)) == k
+
+    def test_cut_height_extremes(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        result = single_linkage(resolver)
+        assert len(result.cut(-1.0)) == metric_space.n        # nothing merged
+        top = max(result.heights())
+        assert len(result.cut(top)) == 1                      # everything merged
+
+    def test_cut_partitions_universe(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        result = single_linkage(resolver)
+        clusters = result.cut_k(4)
+        flat = sorted(obj for cluster in clusters for obj in cluster)
+        assert flat == list(range(metric_space.n))
+
+    def test_cut_k_validation(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        result = single_linkage(resolver)
+        with pytest.raises(ValueError):
+            result.cut_k(0)
+        with pytest.raises(ValueError):
+            result.cut_k(metric_space.n + 1)
+
+
+class TestSavings:
+    def test_whole_hierarchy_at_mst_price(self, euclid):
+        from repro.algorithms.kruskal import kruskal_mst
+
+        oracle_mst, r_mst = build_resolver(euclid, TriScheme, False)
+        kruskal_mst(r_mst)
+        oracle_link, r_link = build_resolver(euclid, TriScheme, False)
+        single_linkage(r_link)
+        assert oracle_link.calls == oracle_mst.calls

@@ -1,0 +1,102 @@
+"""Unit tests for the shared medoid machinery (assignment, swap cost)."""
+
+import math
+
+import pytest
+
+from repro.algorithms.medoid_common import assign_objects, swap_cost, total_cost
+from repro.bounds.tri import TriScheme
+
+from tests.algorithms.conftest import build_resolver
+
+
+def brute_assignment(space, medoids):
+    """Reference nearest/second-nearest from the raw metric."""
+    nearest, d1, d2 = [], [], []
+    for o in range(space.n):
+        if o in medoids:
+            nearest.append(o)
+            d1.append(0.0)
+            d2.append(math.inf)
+            continue
+        scored = sorted((space.distance(o, m), m) for m in medoids)
+        d1.append(scored[0][0])
+        nearest.append(scored[0][1])
+        d2.append(scored[1][0] if len(scored) > 1 else math.inf)
+    return nearest, d1, d2
+
+
+def brute_cost(space, medoids):
+    return sum(min(space.distance(o, m) for m in medoids) for o in range(space.n))
+
+
+class TestAssignment:
+    def test_matches_brute_force(self, metric_space):
+        medoids = [1, 5, 11]
+        _, resolver = build_resolver(metric_space, TriScheme, False)
+        assignment = assign_objects(resolver, medoids)
+        ref_nearest, ref_d1, ref_d2 = brute_assignment(metric_space, medoids)
+        assert assignment.d1 == pytest.approx(ref_d1)
+        for o in range(metric_space.n):
+            if o not in medoids:
+                assert assignment.nearest[o] == ref_nearest[o]
+                assert assignment.d2[o] == pytest.approx(ref_d2[o])
+
+    def test_cost_property(self, metric_space):
+        medoids = [0, 9]
+        _, resolver = build_resolver(metric_space, None, False)
+        assignment = assign_objects(resolver, medoids)
+        assert assignment.cost == pytest.approx(brute_cost(metric_space, medoids))
+
+    def test_medoids_map_to_themselves(self, metric_space):
+        medoids = [2, 7]
+        _, resolver = build_resolver(metric_space, None, False)
+        assignment = assign_objects(resolver, medoids)
+        for m in medoids:
+            assert assignment.nearest[m] == m
+            assert assignment.d1[m] == 0.0
+
+
+class TestSwapCost:
+    def test_matches_cost_difference(self, metric_space):
+        """TC(m, h) must equal cost(S − m + h) − cost(S), exactly."""
+        medoids = [1, 5, 11]
+        _, resolver = build_resolver(metric_space, TriScheme, False)
+        assignment = assign_objects(resolver, medoids)
+        for h in (0, 3, 8, 14):
+            for m in medoids:
+                delta = swap_cost(resolver, medoids, assignment, m, h)
+                after = [x for x in medoids if x != m] + [h]
+                expected = brute_cost(metric_space, after) - brute_cost(
+                    metric_space, medoids
+                )
+                assert delta == pytest.approx(expected), (m, h)
+
+    def test_identical_across_providers(self, metric_space):
+        medoids = [2, 9, 15]
+        _, r_plain = build_resolver(metric_space, None, False)
+        a_plain = assign_objects(r_plain, medoids)
+        _, r_tri = build_resolver(metric_space, TriScheme, False)
+        a_tri = assign_objects(r_tri, medoids)
+        for m in medoids:
+            for h in (0, 4, 10):
+                d_plain = swap_cost(r_plain, medoids, a_plain, m, h)
+                d_tri = swap_cost(r_tri, medoids, a_tri, m, h)
+                assert d_plain == pytest.approx(d_tri)
+
+    def test_rejects_bad_arguments(self, metric_space):
+        medoids = [1, 5]
+        _, resolver = build_resolver(metric_space, None, False)
+        assignment = assign_objects(resolver, medoids)
+        with pytest.raises(ValueError):
+            swap_cost(resolver, medoids, assignment, 3, 0)  # 3 not a medoid
+        with pytest.raises(ValueError):
+            swap_cost(resolver, medoids, assignment, 1, 5)  # 5 already a medoid
+
+
+class TestTotalCost:
+    def test_matches_brute(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        assert total_cost(resolver, [0, 6, 12]) == pytest.approx(
+            brute_cost(metric_space, [0, 6, 12])
+        )

@@ -1,0 +1,137 @@
+"""Exactness and savings tests for Prim's and Kruskal's re-authored MSTs."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.kruskal import kruskal_mst
+from repro.algorithms.prim import prim_mst, prim_mst_comparisons
+from repro.bounds.tri import TriScheme
+from repro.core.resolver import SmartResolver
+
+from tests.algorithms.conftest import PROVIDER_CASES, PROVIDER_IDS, build_resolver
+
+
+def reference_mst_weight(space):
+    """networkx MST weight over the fully materialised complete graph."""
+    g = nx.Graph()
+    for i, j in itertools.combinations(range(space.n), 2):
+        g.add_edge(i, j, weight=space.distance(i, j))
+    tree = nx.minimum_spanning_tree(g)
+    return sum(d["weight"] for _, _, d in tree.edges(data=True))
+
+
+class TestPrimCorrectness:
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_weight_matches_networkx(self, metric_space, name, cls, boot):
+        _, resolver = build_resolver(metric_space, cls, boot)
+        result = prim_mst(resolver)
+        assert result.total_weight == pytest.approx(reference_mst_weight(metric_space))
+        assert result.num_edges == metric_space.n - 1
+
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_edge_set_matches_vanilla(self, euclid, name, cls, boot):
+        # Euclidean random points: distinct weights → unique MST.
+        _, vanilla_resolver = build_resolver(euclid, None, False)
+        vanilla = prim_mst(vanilla_resolver)
+        _, resolver = build_resolver(euclid, cls, boot)
+        augmented = prim_mst(resolver)
+        assert augmented.edge_set() == vanilla.edge_set()
+
+    def test_root_parameter(self, metric_space):
+        _, r0 = build_resolver(metric_space, None, False)
+        _, r5 = build_resolver(metric_space, None, False)
+        w0 = prim_mst(r0, root=0).total_weight
+        w5 = prim_mst(r5, root=5).total_weight
+        assert w0 == pytest.approx(w5)
+
+    def test_invalid_root_rejected(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        with pytest.raises(ValueError):
+            prim_mst(resolver, root=99)
+
+    def test_vanilla_resolves_every_pair(self, metric_space):
+        oracle, resolver = build_resolver(metric_space, None, False)
+        prim_mst(resolver)
+        n = metric_space.n
+        assert oracle.calls == n * (n - 1) // 2
+
+
+class TestPrimSavings:
+    def test_tri_scheme_saves_calls(self, euclid):
+        oracle_plain, r_plain = build_resolver(euclid, None, False)
+        prim_mst(r_plain)
+        oracle_tri, r_tri = build_resolver(euclid, TriScheme, False)
+        prim_mst(r_tri)
+        assert oracle_tri.calls < oracle_plain.calls
+
+    def test_edges_in_result_are_resolved(self, euclid):
+        _, resolver = build_resolver(euclid, TriScheme, False)
+        result = prim_mst(resolver)
+        for u, v, w in result.edges:
+            assert resolver.known(u, v) == pytest.approx(w)
+
+
+class TestPrimComparisons:
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES[:4], ids=PROVIDER_IDS[:4])
+    def test_matches_key_based_prim(self, metric_space, name, cls, boot):
+        _, r_key = build_resolver(metric_space, None, False)
+        key_based = prim_mst(r_key)
+        _, r_cmp = build_resolver(metric_space, cls, boot)
+        cmp_based = prim_mst_comparisons(r_cmp)
+        assert cmp_based.edge_set() == key_based.edge_set()
+        assert cmp_based.total_weight == pytest.approx(key_based.total_weight)
+
+    def test_invalid_root(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        with pytest.raises(ValueError):
+            prim_mst_comparisons(resolver, root=-1)
+
+
+class TestKruskalCorrectness:
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_weight_matches_networkx(self, metric_space, name, cls, boot):
+        _, resolver = build_resolver(metric_space, cls, boot)
+        result = kruskal_mst(resolver)
+        assert result.total_weight == pytest.approx(reference_mst_weight(metric_space))
+
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_edge_set_matches_prim(self, euclid, name, cls, boot):
+        _, r_prim = build_resolver(euclid, None, False)
+        prim_result = prim_mst(r_prim)
+        _, r_kruskal = build_resolver(euclid, cls, boot)
+        kruskal_result = kruskal_mst(r_kruskal)
+        assert kruskal_result.edge_set() == prim_result.edge_set()
+
+    def test_edges_sorted_ascending(self, euclid):
+        _, resolver = build_resolver(euclid, TriScheme, False)
+        result = kruskal_mst(resolver)
+        weights = [w for _, _, w in result.edges]
+        assert weights == sorted(weights)
+
+    def test_single_object(self, rng):
+        from repro.spaces.matrix import MatrixSpace
+
+        space = MatrixSpace(np.zeros((1, 1)))
+        _, resolver = build_resolver(space, None, False)
+        result = kruskal_mst(resolver)
+        assert result.num_edges == 0
+        assert result.total_weight == 0.0
+
+
+class TestKruskalSavings:
+    def test_dramatic_savings_with_tri(self, euclid):
+        oracle_plain, r_plain = build_resolver(euclid, None, False)
+        kruskal_mst(r_plain)
+        oracle_tri, r_tri = build_resolver(euclid, TriScheme, False)
+        kruskal_mst(r_tri)
+        # Kruskal discards intra-component pairs without resolving: big wins.
+        assert oracle_tri.calls < oracle_plain.calls
+
+    def test_cycle_discard_requires_no_resolution(self, euclid):
+        oracle, resolver = build_resolver(euclid, TriScheme, False)
+        kruskal_mst(resolver)
+        n = euclid.n
+        assert oracle.calls < n * (n - 1) // 2

@@ -1,0 +1,82 @@
+"""Exactness and savings tests for the re-authored PAM."""
+
+import pytest
+
+from repro.algorithms.medoid_common import total_cost
+from repro.algorithms.pam import pam
+from repro.bounds.tri import TriScheme
+
+from tests.algorithms.conftest import PROVIDER_CASES, PROVIDER_IDS, build_resolver
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_identical_output_across_providers(self, metric_space, name, cls, boot):
+        _, r_plain = build_resolver(metric_space, None, False)
+        vanilla = pam(r_plain, l=3, seed=11)
+        _, resolver = build_resolver(metric_space, cls, boot)
+        augmented = pam(resolver, l=3, seed=11)
+        assert augmented.medoids == vanilla.medoids
+        assert augmented.cost == pytest.approx(vanilla.cost)
+        assert augmented.assignment == vanilla.assignment
+
+    def test_cost_is_consistent_with_medoids(self, metric_space):
+        _, resolver = build_resolver(metric_space, TriScheme, False)
+        result = pam(resolver, l=3, seed=5)
+        _, fresh = build_resolver(metric_space, None, False)
+        assert result.cost == pytest.approx(total_cost(fresh, list(result.medoids)))
+
+    def test_swap_phase_never_worsens(self, metric_space):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        initial = sorted(int(x) for x in rng.choice(metric_space.n, size=3, replace=False))
+        _, fresh = build_resolver(metric_space, None, False)
+        initial_cost = total_cost(fresh, initial)
+        _, resolver = build_resolver(metric_space, None, False)
+        result = pam(resolver, l=3, seed=11)
+        assert result.cost <= initial_cost + 1e-9
+
+    def test_assignment_points_to_medoids(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        result = pam(resolver, l=4, seed=2)
+        assert set(result.assignment) <= set(result.medoids)
+        for m in result.medoids:
+            assert result.assignment[m] == m
+
+    def test_cluster_members_partition(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        result = pam(resolver, l=3, seed=2)
+        members = result.cluster_members()
+        all_objs = sorted(obj for lst in members.values() for obj in lst)
+        assert all_objs == list(range(metric_space.n))
+
+    def test_build_init(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        result = pam(resolver, l=3, init="build")
+        assert len(result.medoids) == 3
+        assert result.cost > 0
+
+    def test_parameter_validation(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        with pytest.raises(ValueError):
+            pam(resolver, l=0)
+        with pytest.raises(ValueError):
+            pam(resolver, l=metric_space.n)
+        with pytest.raises(ValueError):
+            pam(resolver, l=3, init="bogus")
+
+
+class TestSavings:
+    def test_tri_saves_calls(self, euclid):
+        oracle_plain, r_plain = build_resolver(euclid, None, False)
+        pam(r_plain, l=4, seed=1)
+        oracle_tri, r_tri = build_resolver(euclid, TriScheme, False)
+        pam(r_tri, l=4, seed=1)
+        assert oracle_tri.calls < oracle_plain.calls
+
+    def test_vanilla_never_exceeds_all_pairs(self, euclid):
+        oracle, resolver = build_resolver(euclid, None, False)
+        pam(resolver, l=4, seed=1)
+        n = euclid.n
+        assert oracle.calls <= n * (n - 1) // 2

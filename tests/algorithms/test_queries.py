@@ -1,0 +1,126 @@
+"""Exactness tests for the re-authored metric-space queries."""
+
+import math
+
+import pytest
+
+from repro.algorithms.queries import (
+    farthest_neighbor,
+    k_nearest,
+    nearest_neighbor,
+    range_query,
+)
+from repro.bounds.tri import TriScheme
+
+from tests.algorithms.conftest import PROVIDER_CASES, PROVIDER_IDS, build_resolver
+
+
+def warm(resolver, n):
+    """Resolve a spanning star so Tri has triangles to work with."""
+    for j in range(1, n):
+        resolver.distance(0, j)
+
+
+class TestNearestNeighbor:
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_matches_brute(self, metric_space, name, cls, boot):
+        _, resolver = build_resolver(metric_space, cls, boot)
+        obj, dist = nearest_neighbor(resolver, 3)
+        expected = min(
+            ((metric_space.distance(3, c), c) for c in range(metric_space.n) if c != 3),
+        )
+        assert dist == pytest.approx(expected[0])
+        assert metric_space.distance(3, obj) == pytest.approx(expected[0])
+
+    def test_candidate_subset(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        obj, dist = nearest_neighbor(resolver, 0, candidates=[5, 9, 12])
+        expected = min((metric_space.distance(0, c), c) for c in (5, 9, 12))
+        assert (dist, obj) == (pytest.approx(expected[0]), expected[1])
+
+    def test_requires_candidates(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        with pytest.raises(ValueError):
+            nearest_neighbor(resolver, 0, candidates=[0])
+
+
+class TestKNearest:
+    def test_matches_brute(self, metric_space):
+        _, resolver = build_resolver(metric_space, TriScheme, False)
+        result = k_nearest(resolver, 2, 5)
+        brute = sorted(
+            (metric_space.distance(2, c), c) for c in range(metric_space.n) if c != 2
+        )[:5]
+        assert result == [(pytest.approx(d), c) for d, c in brute]
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_matches_brute(self, metric_space, name, cls, boot):
+        _, resolver = build_resolver(metric_space, cls, boot)
+        radius = 0.45
+        hits = range_query(resolver, 1, radius)
+        brute = sorted(
+            c for c in range(metric_space.n)
+            if c != 1 and metric_space.distance(1, c) <= radius
+        )
+        assert hits == brute
+
+    def test_include_query(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        hits = range_query(resolver, 4, 0.3, include_query=True)
+        assert 4 in hits
+
+    def test_zero_radius(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        assert range_query(resolver, 4, 0.0) == []
+
+    def test_negative_radius_rejected(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        with pytest.raises(ValueError):
+            range_query(resolver, 0, -0.1)
+
+    def test_certain_inclusion_saves_calls(self, metric_space):
+        oracle, resolver = build_resolver(metric_space, TriScheme, False)
+        warm(resolver, metric_space.n)
+        # A radius covering everything: upper bounds certify inclusion.
+        diameter = metric_space.diameter_bound()
+        before = oracle.calls
+        hits = range_query(resolver, 0, diameter * 2)
+        assert len(hits) == metric_space.n - 1
+        assert oracle.calls == before  # not a single extra resolution
+
+    def test_certain_exclusion_saves_calls(self, metric_space):
+        oracle, resolver = build_resolver(metric_space, TriScheme, False)
+        warm(resolver, metric_space.n)
+        before = oracle.calls
+        tiny = 1e-9
+        hits = range_query(resolver, 0, tiny)
+        assert hits == []
+        # Lower bounds from the star triangles reject most candidates free.
+        assert oracle.calls - before < metric_space.n - 1
+
+
+class TestFarthestNeighbor:
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_matches_brute(self, metric_space, name, cls, boot):
+        _, resolver = build_resolver(metric_space, cls, boot)
+        obj, dist = farthest_neighbor(resolver, 6)
+        expected = max(
+            metric_space.distance(6, c) for c in range(metric_space.n) if c != 6
+        )
+        assert dist == pytest.approx(expected)
+
+    def test_requires_candidates(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        with pytest.raises(ValueError):
+            farthest_neighbor(resolver, 0, candidates=[0])
+
+    def test_pruning_saves_calls(self, metric_space):
+        oracle, resolver = build_resolver(metric_space, TriScheme, False)
+        warm(resolver, metric_space.n)
+        for j in range(2, metric_space.n):
+            resolver.distance(1, j)
+        before = oracle.calls
+        farthest_neighbor(resolver, 0)
+        assert oracle.calls == before  # everything already resolved

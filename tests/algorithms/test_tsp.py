@@ -1,0 +1,90 @@
+"""Exactness tests for the re-authored TSP heuristics."""
+
+import pytest
+
+from repro.algorithms.tsp import nearest_neighbor_tour, two_opt
+from repro.bounds.tri import TriScheme
+
+from tests.algorithms.conftest import PROVIDER_CASES, PROVIDER_IDS, build_resolver
+
+
+def brute_nn_tour(space, start=0):
+    unvisited = [o for o in range(space.n) if o != start]
+    order = [start]
+    current = start
+    total = 0.0
+    while unvisited:
+        nxt = min(unvisited, key=lambda c: (space.distance(current, c), unvisited.index(c)))
+        total += space.distance(current, nxt)
+        order.append(nxt)
+        unvisited.remove(nxt)
+        current = nxt
+    total += space.distance(order[-1], start)
+    return order, total
+
+
+class TestNearestNeighborTour:
+    @pytest.mark.parametrize("name, cls, boot", PROVIDER_CASES, ids=PROVIDER_IDS)
+    def test_matches_vanilla_greedy(self, metric_space, name, cls, boot):
+        _, resolver = build_resolver(metric_space, cls, boot)
+        result = nearest_neighbor_tour(resolver)
+        ref_order, ref_length = brute_nn_tour(metric_space)
+        assert list(result.order) == ref_order
+        assert result.length == pytest.approx(ref_length)
+
+    def test_visits_everything_once(self, metric_space):
+        _, resolver = build_resolver(metric_space, TriScheme, False)
+        result = nearest_neighbor_tour(resolver, start=3)
+        assert sorted(result.order) == list(range(metric_space.n))
+        assert result.order[0] == 3
+
+    def test_invalid_start(self, metric_space):
+        _, resolver = build_resolver(metric_space, None, False)
+        with pytest.raises(ValueError):
+            nearest_neighbor_tour(resolver, start=metric_space.n)
+
+    def test_savings_with_tri(self, euclid):
+        oracle_plain, r_plain = build_resolver(euclid, None, False)
+        nearest_neighbor_tour(r_plain)
+        oracle_tri, r_tri = build_resolver(euclid, TriScheme, False)
+        nearest_neighbor_tour(r_tri)
+        assert oracle_tri.calls < oracle_plain.calls
+
+
+class TestTwoOpt:
+    def test_never_lengthens(self, euclid):
+        _, resolver = build_resolver(euclid, TriScheme, False)
+        initial = nearest_neighbor_tour(resolver)
+        improved = two_opt(resolver, initial)
+        assert improved.length <= initial.length + 1e-9
+
+    def test_matches_vanilla_trajectory(self, metric_space):
+        _, r_plain = build_resolver(metric_space, None, False)
+        tour_plain = two_opt(r_plain, nearest_neighbor_tour(r_plain))
+        _, r_tri = build_resolver(metric_space, TriScheme, False)
+        tour_tri = two_opt(r_tri, nearest_neighbor_tour(r_tri))
+        assert tour_tri.order == tour_plain.order
+        assert tour_tri.length == pytest.approx(tour_plain.length)
+
+    def test_still_a_tour(self, euclid):
+        _, resolver = build_resolver(euclid, TriScheme, False)
+        improved = two_opt(resolver, nearest_neighbor_tour(resolver))
+        assert sorted(improved.order) == list(range(euclid.n))
+
+    def test_tiny_instances_passthrough(self, rng):
+        from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+        space = MatrixSpace(random_metric_matrix(3, rng))
+        _, resolver = build_resolver(space, None, False)
+        tour = nearest_neighbor_tour(resolver)
+        assert two_opt(resolver, tour).order == tour.order
+
+    def test_improves_a_bad_tour(self, euclid):
+        from repro.algorithms.tsp import TourResult, _tour_length
+
+        _, resolver = build_resolver(euclid, None, False)
+        # Deliberately terrible tour: identity order on clustered data.
+        order = list(range(euclid.n))
+        bad = TourResult(order=tuple(order), length=_tour_length(resolver, order))
+        improved = two_opt(resolver, bad)
+        assert improved.length < bad.length

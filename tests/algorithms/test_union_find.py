@@ -1,0 +1,58 @@
+"""Unit tests for the disjoint-set forest."""
+
+import pytest
+
+from repro.algorithms.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.components == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_connects(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1) is True
+        assert uf.connected(0, 1)
+        assert uf.components == 4
+
+    def test_duplicate_union_is_noop(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        assert uf.union(1, 0) is False
+        assert uf.components == 4
+
+    def test_transitivity(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(4, 5)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 4)
+
+    def test_full_merge(self):
+        uf = UnionFind(8)
+        for i in range(7):
+            uf.union(i, i + 1)
+        assert uf.components == 1
+        assert uf.connected(0, 7)
+
+    def test_find_is_consistent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(2) == uf.find(3)
+        assert uf.find(0) != uf.find(2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UnionFind(0)
+
+    def test_path_halving_does_not_break_roots(self):
+        uf = UnionFind(16)
+        for i in range(1, 16):
+            uf.union(0, i)
+        roots = {uf.find(i) for i in range(16)}
+        assert len(roots) == 1

@@ -1,0 +1,56 @@
+"""Fixtures shared by the bound-provider tests."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.partial_graph import PartialDistanceGraph
+from repro.core.resolver import SmartResolver
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+#: Hand-crafted running example in the spirit of the paper's Figure 1:
+#: 7 objects, 8 known edges, distances in [0, 1].
+RUNNING_EXAMPLE_EDGES = {
+    (1, 3): 0.8,
+    (3, 4): 0.1,
+    (0, 1): 0.3,
+    (0, 2): 0.4,
+    (2, 3): 0.5,
+    (2, 4): 0.45,
+    (5, 6): 0.2,
+    (2, 5): 0.6,
+}
+
+
+@pytest.fixture
+def running_example_graph():
+    """The 7-object partial graph with 8 known edges."""
+    g = PartialDistanceGraph(7)
+    for (i, j), w in RUNNING_EXAMPLE_EDGES.items():
+        g.add_edge(i, j, w)
+    return g
+
+
+@pytest.fixture
+def partially_resolved(rng):
+    """A ground-truth metric plus a resolver holding a random partial graph.
+
+    Returns ``(matrix, resolver)`` with 60 of the 190 pairs resolved.
+    """
+    matrix = random_metric_matrix(20, rng)
+    space = MatrixSpace(matrix)
+    resolver = SmartResolver(space.oracle())
+    pairs = list(itertools.combinations(range(20), 2))
+    picker = random.Random(7)
+    for i, j in picker.sample(pairs, 60):
+        resolver.distance(i, j)
+    return matrix, resolver
+
+
+def unknown_pairs(graph):
+    """All unresolved pairs of a partial graph."""
+    return list(graph.unknown_pairs())

@@ -1,0 +1,122 @@
+"""Unit tests for the ADM baselines (full closure and incremental)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds.adm import Adm, AdmIncremental
+from repro.bounds.splub import Splub
+from repro.core.partial_graph import PartialDistanceGraph
+
+from tests.bounds.conftest import unknown_pairs
+
+
+class TestAdmMatchesSplub:
+    """ADM and SPLUB must produce the *same* (tightest) bounds."""
+
+    def test_equal_on_running_example(self, running_example_graph):
+        adm = Adm(running_example_graph, max_distance=2.0)
+        splub = Splub(running_example_graph, max_distance=2.0)
+        for i, j in unknown_pairs(running_example_graph):
+            ba = adm.bounds(i, j)
+            bs = splub.bounds(i, j)
+            assert ba.lower == pytest.approx(bs.lower)
+            assert ba.upper == pytest.approx(bs.upper)
+
+    def test_equal_on_random_metric(self, partially_resolved):
+        matrix, resolver = partially_resolved
+        cap = float(matrix.max())
+        adm = Adm(resolver.graph, max_distance=cap)
+        splub = Splub(resolver.graph, max_distance=cap)
+        for i, j in unknown_pairs(resolver.graph):
+            ba = adm.bounds(i, j)
+            bs = splub.bounds(i, j)
+            assert ba.lower == pytest.approx(bs.lower)
+            assert ba.upper == pytest.approx(bs.upper)
+
+    def test_incremental_equals_constructor(self, running_example_graph):
+        # Building ADM over the filled graph vs replaying insertions must agree.
+        replay_graph = PartialDistanceGraph(7)
+        adm_replay = Adm(replay_graph, max_distance=2.0)
+        for i, j, w in running_example_graph.edges():
+            replay_graph.add_edge(i, j, w)
+            adm_replay.notify_resolved(i, j, w)
+        adm_full = Adm(running_example_graph, max_distance=2.0)
+        for i, j in unknown_pairs(running_example_graph):
+            assert adm_replay.bounds(i, j).lower == pytest.approx(
+                adm_full.bounds(i, j).lower
+            )
+            assert adm_replay.bounds(i, j).upper == pytest.approx(
+                adm_full.bounds(i, j).upper
+            )
+
+
+class TestAdmQueries:
+    def test_known_edge_exact(self, running_example_graph):
+        adm = Adm(running_example_graph, max_distance=2.0)
+        assert adm.bounds(2, 5).is_exact
+
+    def test_self_pair(self, running_example_graph):
+        adm = Adm(running_example_graph, max_distance=2.0)
+        assert adm.bounds(3, 3).is_exact
+
+    def test_upper_matrix_is_closure(self, running_example_graph):
+        adm = Adm(running_example_graph, max_distance=2.0)
+        hi = adm.upper_matrix()
+        # sp(1, 2) through node 0.
+        assert hi[1, 2] == pytest.approx(0.7)
+        assert hi[2, 1] == pytest.approx(0.7)
+
+    def test_empty_graph_trivial_bounds(self):
+        g = PartialDistanceGraph(5)
+        adm = Adm(g, max_distance=1.0)
+        b = adm.bounds(0, 1)
+        assert b.lower == 0.0
+        assert b.upper == 1.0
+
+
+class TestAdmIncremental:
+    def test_sound_against_ground_truth(self, partially_resolved):
+        matrix, resolver = partially_resolved
+        cap = float(matrix.max())
+        graph = PartialDistanceGraph(matrix.shape[0])
+        adm_inc = AdmIncremental(graph, max_distance=cap)
+        for i, j, w in resolver.graph.edges():
+            graph.add_edge(i, j, w)
+            adm_inc.notify_resolved(i, j, w)
+        for i, j in unknown_pairs(graph):
+            b = adm_inc.bounds(i, j)
+            assert b.lower - 1e-9 <= matrix[i, j] <= b.upper + 1e-9
+
+    def test_never_tighter_than_full_adm(self, partially_resolved):
+        matrix, resolver = partially_resolved
+        cap = float(matrix.max())
+        full = Adm(resolver.graph, max_distance=cap)
+        graph = PartialDistanceGraph(matrix.shape[0])
+        inc = AdmIncremental(graph, max_distance=cap)
+        for i, j, w in resolver.graph.edges():
+            graph.add_edge(i, j, w)
+            inc.notify_resolved(i, j, w)
+        for i, j in unknown_pairs(graph)[:50]:
+            bi = inc.bounds(i, j)
+            bf = full.bounds(i, j)
+            assert bi.lower <= bf.lower + 1e-9
+            assert bi.upper >= bf.upper - 1e-9
+
+    def test_upper_bounds_match_full_adm(self, partially_resolved):
+        # The one-pass UB rule is exact; only LBs may lag.
+        matrix, resolver = partially_resolved
+        cap = float(matrix.max())
+        full = Adm(resolver.graph, max_distance=cap)
+        graph = PartialDistanceGraph(matrix.shape[0])
+        inc = AdmIncremental(graph, max_distance=cap)
+        for i, j, w in resolver.graph.edges():
+            graph.add_edge(i, j, w)
+            inc.notify_resolved(i, j, w)
+        for i, j in unknown_pairs(graph)[:50]:
+            assert inc.bounds(i, j).upper == pytest.approx(full.bounds(i, j).upper)
+
+    def test_known_edge_exact(self, running_example_graph):
+        inc = AdmIncremental(running_example_graph, max_distance=2.0)
+        assert inc.bounds(0, 1).is_exact

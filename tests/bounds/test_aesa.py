@@ -1,0 +1,61 @@
+"""Unit tests for the AESA full-precomputation baseline."""
+
+import pytest
+
+from repro.bounds.aesa import Aesa
+from repro.core.resolver import SmartResolver
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+@pytest.fixture
+def space(rng):
+    return MatrixSpace(random_metric_matrix(12, rng))
+
+
+class TestBootstrap:
+    def test_resolves_every_pair(self, space):
+        oracle = space.oracle()
+        resolver = SmartResolver(oracle)
+        aesa = Aesa(resolver.graph, space.diameter_bound())
+        resolver.bounder = aesa
+        calls = aesa.bootstrap(resolver)
+        n = space.n
+        assert calls == n * (n - 1) // 2
+        assert resolver.graph.num_edges == calls
+
+    def test_bounds_exact_after_bootstrap(self, space):
+        resolver = SmartResolver(space.oracle())
+        aesa = Aesa(resolver.graph, space.diameter_bound())
+        resolver.bounder = aesa
+        aesa.bootstrap(resolver)
+        for i in range(space.n):
+            for j in range(i + 1, space.n):
+                b = aesa.bounds(i, j)
+                assert b.is_exact
+                assert b.lower == pytest.approx(space.distance(i, j))
+
+
+class TestAsBaseline:
+    def test_zero_algorithm_phase_calls(self, space):
+        from repro.harness import run_experiment
+
+        record = run_experiment(space, "prim", "aesa")
+        n = space.n
+        assert record.bootstrap_calls == n * (n - 1) // 2
+        assert record.algorithm_calls == 0
+
+    def test_output_still_exact(self, space):
+        from repro.harness import run_experiment
+
+        vanilla = run_experiment(space, "prim", "none")
+        aesa = run_experiment(space, "prim", "aesa")
+        assert aesa.result.total_weight == pytest.approx(vanilla.result.total_weight)
+
+    def test_trivial_bounds_before_bootstrap(self, space):
+        from repro.core.partial_graph import PartialDistanceGraph
+
+        g = PartialDistanceGraph(space.n)
+        aesa = Aesa(g, max_distance=1.0)
+        b = aesa.bounds(0, 1)
+        assert b.lower == 0.0
+        assert b.upper == 1.0

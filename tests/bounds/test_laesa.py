@@ -1,0 +1,108 @@
+"""Unit tests for the LAESA landmark bound provider."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.laesa import Laesa
+from repro.bounds.splub import Splub
+from repro.core.partial_graph import PartialDistanceGraph
+from repro.core.resolver import SmartResolver
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+from tests.bounds.conftest import unknown_pairs
+
+
+@pytest.fixture
+def bootstrapped(rng):
+    """Ground truth, resolver, and a bootstrapped LAESA over 18 objects."""
+    matrix = random_metric_matrix(18, rng)
+    space = MatrixSpace(matrix)
+    resolver = SmartResolver(space.oracle())
+    laesa = Laesa(resolver.graph, max_distance=float(matrix.max()), num_landmarks=4)
+    resolver.bounder = laesa
+    laesa.bootstrap(resolver)
+    return matrix, resolver, laesa
+
+
+class TestBootstrap:
+    def test_reports_call_count(self, rng):
+        matrix = random_metric_matrix(18, rng)
+        space = MatrixSpace(matrix)
+        resolver = SmartResolver(space.oracle())
+        laesa = Laesa(resolver.graph, num_landmarks=4)
+        calls = laesa.bootstrap(resolver)
+        assert calls == resolver.oracle.calls
+        assert calls == 4 * 17 - (4 * 3) // 2
+
+    def test_landmark_rows_match_truth(self, bootstrapped):
+        matrix, _, laesa = bootstrapped
+        for row, lm in enumerate(laesa.landmarks):
+            assert np.allclose(laesa._matrix[row], matrix[lm])
+
+
+class TestBounds:
+    def test_formula_matches_manual(self, bootstrapped):
+        matrix, resolver, laesa = bootstrapped
+        i, j = next(iter(unknown_pairs(resolver.graph)))
+        b = laesa.bounds(i, j)
+        rows = np.array([matrix[lm] for lm in laesa.landmarks])
+        expected_lb = np.abs(rows[:, i] - rows[:, j]).max()
+        expected_ub = (rows[:, i] + rows[:, j]).min()
+        assert b.lower == pytest.approx(expected_lb)
+        assert b.upper == pytest.approx(min(expected_ub, laesa.max_distance))
+
+    def test_sound_against_ground_truth(self, bootstrapped):
+        matrix, resolver, laesa = bootstrapped
+        for i, j in unknown_pairs(resolver.graph):
+            b = laesa.bounds(i, j)
+            assert b.lower - 1e-9 <= matrix[i, j] <= b.upper + 1e-9
+
+    def test_never_tighter_than_splub_on_same_graph(self, bootstrapped):
+        # SPLUB sees all landmark edges, so it dominates LAESA's 2-hop view.
+        matrix, resolver, laesa = bootstrapped
+        splub = Splub(resolver.graph, max_distance=float(matrix.max()))
+        for i, j in unknown_pairs(resolver.graph)[:40]:
+            bl = laesa.bounds(i, j)
+            bs = splub.bounds(i, j)
+            assert bl.lower <= bs.lower + 1e-9
+            assert bl.upper >= bs.upper - 1e-9
+
+    def test_unbootstrapped_returns_trivial(self, rng):
+        g = PartialDistanceGraph(6)
+        laesa = Laesa(g, max_distance=1.5)
+        b = laesa.bounds(0, 1)
+        assert b.lower == 0.0
+        assert b.upper == 1.5
+
+    def test_known_pair_exact(self, bootstrapped):
+        _, resolver, laesa = bootstrapped
+        lm = laesa.landmarks[0]
+        other = (lm + 1) % resolver.oracle.n
+        assert laesa.bounds(lm, other).is_exact
+
+
+class TestUpdates:
+    def test_landmark_edge_refreshes_matrix(self, rng):
+        matrix = random_metric_matrix(10, rng)
+        g = PartialDistanceGraph(10)
+        laesa = Laesa(g, max_distance=float(matrix.max()))
+        fake = np.full((1, 10), 0.5)
+        fake[0, 3] = 0.0
+        laesa.adopt([3], fake)
+        laesa.notify_resolved(3, 7, 0.123)
+        assert laesa._matrix[0, 7] == pytest.approx(0.123)
+
+    def test_non_landmark_edge_ignored(self, bootstrapped):
+        _, _, laesa = bootstrapped
+        before = laesa._matrix.copy()
+        non_landmarks = [o for o in range(18) if o not in laesa.landmarks]
+        laesa.notify_resolved(non_landmarks[0], non_landmarks[1], 0.5)
+        assert np.array_equal(before, laesa._matrix)
+
+
+class TestAdopt:
+    def test_shape_mismatch_rejected(self):
+        g = PartialDistanceGraph(5)
+        laesa = Laesa(g)
+        with pytest.raises(ValueError):
+            laesa.adopt([0, 1], np.zeros((3, 5)))

@@ -1,0 +1,79 @@
+"""Unit tests for the alternative landmark-selection strategies."""
+
+import pytest
+
+from repro.bounds.landmarks import (
+    SELECTION_STRATEGIES,
+    bootstrap_with_landmarks,
+    select_landmarks,
+    select_landmarks_maxsum,
+    select_landmarks_random,
+)
+from repro.core.resolver import SmartResolver
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+import numpy as np
+
+
+@pytest.fixture
+def resolver(rng):
+    space = MatrixSpace(random_metric_matrix(20, rng))
+    return SmartResolver(space.oracle())
+
+
+class TestRandomSelection:
+    def test_no_selection_calls(self, resolver):
+        select_landmarks_random(resolver, 5)
+        assert resolver.oracle.calls == 0
+
+    def test_distinct_and_in_range(self, resolver):
+        landmarks = select_landmarks_random(resolver, 6, seed=3)
+        assert len(set(landmarks)) == 6
+        assert all(0 <= lm < 20 for lm in landmarks)
+
+    def test_deterministic_given_seed(self, resolver):
+        a = select_landmarks_random(resolver, 5, seed=9)
+        b = select_landmarks_random(resolver, 5, seed=9)
+        assert a == b
+
+    def test_count_validation(self, resolver):
+        with pytest.raises(ValueError):
+            select_landmarks_random(resolver, 0)
+        with pytest.raises(ValueError):
+            select_landmarks_random(resolver, 21)
+
+
+class TestMaxsumSelection:
+    def test_second_maximises_total(self, rng):
+        matrix = random_metric_matrix(15, rng)
+        space = MatrixSpace(matrix)
+        resolver = SmartResolver(space.oracle())
+        landmarks = select_landmarks_maxsum(resolver, 2)
+        assert landmarks[1] == int(np.argmax(matrix[0]))  # sum == row 0 here
+
+    def test_distinct(self, resolver):
+        landmarks = select_landmarks_maxsum(resolver, 6)
+        assert len(set(landmarks)) == 6
+
+    def test_count_validation(self, resolver):
+        with pytest.raises(ValueError):
+            select_landmarks_maxsum(resolver, 0)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("strategy", SELECTION_STRATEGIES)
+    def test_every_strategy_works(self, resolver, strategy):
+        landmarks = select_landmarks(resolver, 4, strategy)
+        assert len(set(landmarks)) == 4
+
+    def test_unknown_strategy_rejected(self, resolver):
+        with pytest.raises(ValueError):
+            select_landmarks(resolver, 4, "psychic")
+
+    @pytest.mark.parametrize("strategy", SELECTION_STRATEGIES)
+    def test_bootstrap_resolves_rows(self, rng, strategy):
+        space = MatrixSpace(random_metric_matrix(16, rng))
+        resolver = SmartResolver(space.oracle())
+        landmarks = bootstrap_with_landmarks(resolver, 3, strategy=strategy)
+        for lm in landmarks:
+            assert resolver.graph.degree(lm) == 15

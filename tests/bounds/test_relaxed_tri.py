@@ -1,0 +1,114 @@
+"""Tests for the Tri Scheme under relaxed triangle inequalities."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bounds.tri import TriScheme
+from repro.core.resolver import SmartResolver
+from repro.spaces.vector import EuclideanSpace, SquaredEuclideanSpace
+
+
+@pytest.fixture
+def points(rng):
+    return rng.uniform(0, 1, size=(20, 2))
+
+
+@pytest.fixture
+def squared_space(points):
+    return SquaredEuclideanSpace(points)
+
+
+class TestSquaredEuclideanSpace:
+    def test_is_square_of_euclidean(self, points):
+        sq = SquaredEuclideanSpace(points)
+        eu = EuclideanSpace(points)
+        for i, j in itertools.combinations(range(8), 2):
+            assert sq.distance(i, j) == pytest.approx(eu.distance(i, j) ** 2)
+
+    def test_violates_plain_triangle(self):
+        # Collinear 0-1-2 at unit spacing: 4 > 1 + 1.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        sq = SquaredEuclideanSpace(pts)
+        assert sq.distance(0, 2) > sq.distance(0, 1) + sq.distance(1, 2)
+
+    def test_satisfies_two_relaxed_triangle(self, squared_space):
+        c = squared_space.triangle_relaxation
+        n = squared_space.n
+        for i, j, k in itertools.combinations(range(n), 3):
+            dij = squared_space.distance(i, j)
+            dik = squared_space.distance(i, k)
+            dkj = squared_space.distance(k, j)
+            assert dij <= c * (dik + dkj) + 1e-9
+
+    def test_diameter_dominates(self, squared_space):
+        cap = squared_space.diameter_bound()
+        for i, j in itertools.combinations(range(squared_space.n), 2):
+            assert squared_space.distance(i, j) <= cap + 1e-9
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            SquaredEuclideanSpace(np.array([1.0, 2.0]))
+
+
+class TestRelaxedTriScheme:
+    def test_relaxed_bounds_contain_truth(self, squared_space):
+        resolver = SmartResolver(squared_space.oracle())
+        tri = TriScheme(
+            resolver.graph, squared_space.diameter_bound(), relaxation=2.0
+        )
+        resolver.bounder = tri
+        for w in range(2, squared_space.n):
+            resolver.distance(0, w)
+            resolver.distance(1, w)
+        b = tri.bounds(0, 1)
+        truth = squared_space.distance(0, 1)
+        assert b.lower - 1e-9 <= truth <= b.upper + 1e-9
+
+    def test_plain_bounds_would_be_unsound(self, rng):
+        """Using c=1 bounds on a 2-relaxed metric must break soundness."""
+        pts = np.array([[float(i), 0.0] for i in range(8)])
+        space = SquaredEuclideanSpace(pts)
+        resolver = SmartResolver(space.oracle())
+        wrong = TriScheme(resolver.graph, space.diameter_bound(), relaxation=1.0)
+        resolver.bounder = wrong
+        for w in range(2, 8):
+            resolver.distance(0, w)
+            resolver.distance(1, w)
+        b = wrong.bounds(0, 1)
+        truth = space.distance(0, 1)
+        # On collinear squared distances the plain UB underestimates.
+        assert not (b.lower - 1e-9 <= truth <= b.upper + 1e-9)
+
+    def test_relaxation_one_matches_original(self, rng):
+        space = EuclideanSpace(rng.uniform(0, 1, size=(15, 2)))
+        resolver = SmartResolver(space.oracle())
+        plain = TriScheme(resolver.graph, space.diameter_bound())
+        relaxed = TriScheme(resolver.graph, space.diameter_bound(), relaxation=1.0)
+        for w in range(2, 15):
+            resolver.distance(0, w)
+            resolver.distance(1, w)
+        assert plain.bounds(0, 1).lower == relaxed.bounds(0, 1).lower
+        assert plain.bounds(0, 1).upper == relaxed.bounds(0, 1).upper
+
+    def test_invalid_relaxation_rejected(self, rng):
+        from repro.core.partial_graph import PartialDistanceGraph
+
+        with pytest.raises(ValueError):
+            TriScheme(PartialDistanceGraph(4), relaxation=0.9)
+
+    def test_exact_algorithms_on_relaxed_metric(self, squared_space):
+        """Prim over a 2-relaxed metric with relaxed Tri: identical output."""
+        from repro.algorithms import prim_mst
+
+        vanilla = prim_mst(SmartResolver(squared_space.oracle()))
+        oracle = squared_space.oracle()
+        resolver = SmartResolver(oracle)
+        resolver.bounder = TriScheme(
+            resolver.graph, squared_space.diameter_bound(), relaxation=2.0
+        )
+        augmented = prim_mst(resolver)
+        assert augmented.total_weight == pytest.approx(vanilla.total_weight)
+        n = squared_space.n
+        assert oracle.calls <= n * (n - 1) // 2

@@ -1,0 +1,96 @@
+"""Unit tests for the TLAESA tree-descending landmark provider."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.laesa import Laesa
+from repro.bounds.tlaesa import Tlaesa
+from repro.core.partial_graph import PartialDistanceGraph
+from repro.core.resolver import SmartResolver
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+from tests.bounds.conftest import unknown_pairs
+
+
+@pytest.fixture
+def bootstrapped(rng):
+    matrix = random_metric_matrix(20, rng)
+    space = MatrixSpace(matrix)
+    resolver = SmartResolver(space.oracle())
+    tlaesa = Tlaesa(resolver.graph, max_distance=float(matrix.max()), num_landmarks=6)
+    resolver.bounder = tlaesa
+    tlaesa.bootstrap(resolver)
+    return matrix, resolver, tlaesa
+
+
+class TestBootstrap:
+    def test_same_budget_as_laesa(self, rng):
+        matrix = random_metric_matrix(20, rng)
+        space = MatrixSpace(matrix)
+
+        r1 = SmartResolver(space.oracle())
+        laesa = Laesa(r1.graph, num_landmarks=6)
+        laesa_calls = laesa.bootstrap(r1)
+
+        r2 = SmartResolver(space.oracle())
+        tlaesa = Tlaesa(r2.graph, num_landmarks=6)
+        tlaesa_calls = tlaesa.bootstrap(r2)
+        assert tlaesa_calls == laesa_calls
+
+    def test_tree_built(self, bootstrapped):
+        _, _, tlaesa = bootstrapped
+        assert tlaesa._root is not None
+
+
+class TestBounds:
+    def test_sound_against_ground_truth(self, bootstrapped):
+        matrix, resolver, tlaesa = bootstrapped
+        for i, j in unknown_pairs(resolver.graph):
+            b = tlaesa.bounds(i, j)
+            assert b.lower - 1e-9 <= matrix[i, j] <= b.upper + 1e-9
+
+    def test_never_tighter_than_full_laesa(self, rng):
+        # TLAESA evaluates a subset of the landmark rows, so its bounds can
+        # never beat a full-scan LAESA over the same landmarks.
+        matrix = random_metric_matrix(20, rng)
+        space = MatrixSpace(matrix)
+        resolver = SmartResolver(space.oracle())
+        tlaesa = Tlaesa(resolver.graph, max_distance=float(matrix.max()), num_landmarks=6)
+        resolver.bounder = tlaesa
+        tlaesa.bootstrap(resolver)
+        laesa = Laesa(resolver.graph, max_distance=float(matrix.max()))
+        laesa.adopt(tlaesa.landmarks, tlaesa._matrix.copy())
+        for i, j in unknown_pairs(resolver.graph)[:40]:
+            bt = tlaesa.bounds(i, j)
+            bl = laesa.bounds(i, j)
+            assert bt.lower <= bl.lower + 1e-9
+            assert bt.upper >= bl.upper - 1e-9
+
+    def test_visits_subset_of_rows(self, bootstrapped):
+        _, resolver, tlaesa = bootstrapped
+        i, j = next(iter(unknown_pairs(resolver.graph)))
+        rows = tlaesa._collect_rows(i, j)
+        assert 0 < len(rows) <= len(tlaesa.landmarks)
+        assert len(set(rows)) == len(rows)
+
+    def test_known_pair_exact(self, bootstrapped):
+        _, _, tlaesa = bootstrapped
+        lm = tlaesa.landmarks[0]
+        assert tlaesa.bounds(lm, (lm + 1) % 20).is_exact
+
+    def test_unbootstrapped_trivial(self):
+        g = PartialDistanceGraph(5)
+        t = Tlaesa(g, max_distance=1.0)
+        b = t.bounds(0, 1)
+        assert b.upper == 1.0
+
+    def test_single_landmark(self, rng):
+        matrix = random_metric_matrix(8, rng)
+        space = MatrixSpace(matrix)
+        resolver = SmartResolver(space.oracle())
+        t = Tlaesa(resolver.graph, max_distance=float(matrix.max()), num_landmarks=1)
+        resolver.bounder = t
+        t.bootstrap(resolver)
+        for i, j in unknown_pairs(resolver.graph)[:10]:
+            b = t.bounds(i, j)
+            assert b.lower - 1e-9 <= matrix[i, j] <= b.upper + 1e-9

@@ -1,0 +1,111 @@
+"""Unit tests for the Tri Scheme (Algorithm 2)."""
+
+import math
+
+import pytest
+
+from repro.bounds.splub import Splub
+from repro.bounds.tri import TriScheme
+from repro.core.partial_graph import PartialDistanceGraph
+
+from tests.bounds.conftest import unknown_pairs
+
+
+class TestRunningExample:
+    """Hand-computed bounds on the Figure-1-style 7-object example."""
+
+    def test_pair_with_two_triangles(self, running_example_graph):
+        # (1, 2) closes triangles through 0 and 3:
+        #   via 0: |0.3 − 0.4| = 0.1, 0.3 + 0.4 = 0.7
+        #   via 3: |0.8 − 0.5| = 0.3, 0.8 + 0.5 = 1.3
+        tri = TriScheme(running_example_graph, max_distance=2.0)
+        b = tri.bounds(1, 2)
+        assert b.lower == pytest.approx(0.3)
+        assert b.upper == pytest.approx(0.7)
+
+    def test_pair_with_single_triangle(self, running_example_graph):
+        # (1, 4) has only the triangle through 3: |0.8 − 0.1| / 0.8 + 0.1.
+        tri = TriScheme(running_example_graph, max_distance=2.0)
+        b = tri.bounds(1, 4)
+        assert b.lower == pytest.approx(0.7)
+        assert b.upper == pytest.approx(0.9)
+
+    def test_pair_with_no_triangle_gets_trivial_bounds(self, running_example_graph):
+        # (0, 6): 0's neighbours {1, 2} and 6's neighbours {5} are disjoint.
+        tri = TriScheme(running_example_graph, max_distance=2.0)
+        b = tri.bounds(0, 6)
+        assert b.lower == 0.0
+        assert b.upper == 2.0
+
+    def test_known_edge_returns_exact(self, running_example_graph):
+        tri = TriScheme(running_example_graph, max_distance=2.0)
+        b = tri.bounds(1, 3)
+        assert b.is_exact
+        assert b.lower == pytest.approx(0.8)
+
+    def test_self_pair(self, running_example_graph):
+        tri = TriScheme(running_example_graph)
+        assert tri.bounds(4, 4).is_exact
+
+
+class TestSoundness:
+    def test_bounds_contain_ground_truth(self, partially_resolved):
+        matrix, resolver = partially_resolved
+        tri = TriScheme(resolver.graph, max_distance=float(matrix.max()))
+        for i, j in unknown_pairs(resolver.graph):
+            b = tri.bounds(i, j)
+            assert b.lower - 1e-9 <= matrix[i, j] <= b.upper + 1e-9
+
+    def test_never_tighter_than_splub(self, partially_resolved):
+        matrix, resolver = partially_resolved
+        cap = float(matrix.max())
+        tri = TriScheme(resolver.graph, max_distance=cap)
+        splub = Splub(resolver.graph, max_distance=cap)
+        for i, j in unknown_pairs(resolver.graph)[:40]:
+            bt = tri.bounds(i, j)
+            bs = splub.bounds(i, j)
+            assert bt.lower <= bs.lower + 1e-9
+            assert bt.upper >= bs.upper - 1e-9
+
+
+class TestUpdates:
+    def test_new_edge_improves_bounds(self):
+        g = PartialDistanceGraph(4)
+        tri = TriScheme(g, max_distance=1.0)
+        assert tri.bounds(0, 1).gap == 1.0
+        g.add_edge(0, 2, 0.2)
+        g.add_edge(1, 2, 0.3)
+        tri.notify_resolved(0, 2, 0.2)  # no-op, but part of the protocol
+        b = tri.bounds(0, 1)
+        assert b.lower == pytest.approx(0.1)
+        assert b.upper == pytest.approx(0.5)
+
+    def test_monotone_tightening(self, rng):
+        # Adding triangles can only tighten Tri bounds.
+        from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+        matrix = random_metric_matrix(10, rng)
+        g = PartialDistanceGraph(10)
+        tri = TriScheme(g, max_distance=float(matrix.max()))
+        previous = tri.bounds(0, 1)
+        for w in range(2, 10):
+            g.add_edge(0, w, matrix[0, w])
+            g.add_edge(1, w, matrix[1, w])
+            current = tri.bounds(0, 1)
+            assert current.lower >= previous.lower - 1e-12
+            assert current.upper <= previous.upper + 1e-12
+            previous = current
+
+
+class TestAccounting:
+    def test_triangle_counter(self, running_example_graph):
+        tri = TriScheme(running_example_graph, max_distance=2.0)
+        tri.bounds(1, 2)
+        assert tri.triangles_inspected == 2
+        tri.bounds(1, 4)
+        assert tri.triangles_inspected == 3
+
+    def test_default_cap_is_infinite(self):
+        g = PartialDistanceGraph(3)
+        tri = TriScheme(g)
+        assert math.isinf(tri.bounds(0, 1).upper)

@@ -1,0 +1,76 @@
+"""Empirical validation of Theorem 4.2: Tri queries cost O(m/n) expected.
+
+The theorem bounds the expected lookup work of the Tri Scheme — the number
+of adjacency entries touched for a uniformly random unknown pair — by
+``4m/n``.  We verify the bound (and the linear-in-density trend) on random
+partial graphs, using ``triangles_inspected`` plus the merge length as the
+work proxy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds.tri import TriScheme
+from repro.core.partial_graph import PartialDistanceGraph
+from repro.spaces.matrix import random_metric_matrix
+
+
+def _random_partial_graph(n: int, m: int, seed: int) -> PartialDistanceGraph:
+    matrix = random_metric_matrix(n, np.random.default_rng(seed))
+    graph = PartialDistanceGraph(n)
+    rng = np.random.default_rng(seed + 1)
+    while graph.num_edges < m:
+        i, j = int(rng.integers(n)), int(rng.integers(n))
+        if i != j:
+            graph.add_edge(i, j, float(matrix[i, j]))
+    return graph
+
+
+def _mean_lookup_work(graph: PartialDistanceGraph, num_queries: int, seed: int) -> float:
+    """Average adjacency work per uniformly random unknown-pair query."""
+    n = graph.n
+    rng = np.random.default_rng(seed)
+    tri = TriScheme(graph, max_distance=10.0)
+    total = 0
+    done = 0
+    while done < num_queries:
+        i, j = int(rng.integers(n)), int(rng.integers(n))
+        if i == j or graph.has_edge(i, j):
+            continue
+        total += graph.degree(i) + graph.degree(j)  # merge scan length
+        tri.bounds(i, j)
+        done += 1
+    return total / num_queries
+
+
+class TestTheorem42:
+    @pytest.mark.parametrize("m", [100, 300, 600])
+    def test_expected_work_bounded_by_4m_over_n(self, m):
+        n = 60
+        graph = _random_partial_graph(n, m, seed=m)
+        work = _mean_lookup_work(graph, num_queries=300, seed=1)
+        # Theorem 4.2: E[time] <= 4m/n (in units of adjacency entries).
+        assert work <= 4 * m / n * 1.25  # 25 % sampling slack
+
+    def test_work_grows_linearly_with_density(self):
+        n = 60
+        works = []
+        for m in (100, 200, 400):
+            graph = _random_partial_graph(n, m, seed=m)
+            works.append(_mean_lookup_work(graph, num_queries=300, seed=2))
+        # Doubling m should roughly double the work (within generous slack).
+        assert works[1] / works[0] == pytest.approx(2.0, rel=0.5)
+        assert works[2] / works[1] == pytest.approx(2.0, rel=0.5)
+
+    def test_triangles_never_exceed_scan_work(self):
+        graph = _random_partial_graph(50, 300, seed=9)
+        tri = TriScheme(graph, max_distance=10.0)
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            i, j = int(rng.integers(50)), int(rng.integers(50))
+            if i == j or graph.has_edge(i, j):
+                continue
+            before = tri.triangles_inspected
+            tri.bounds(i, j)
+            inspected = tri.triangles_inspected - before
+            assert inspected <= min(graph.degree(i), graph.degree(j))

@@ -1,0 +1,61 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.resolver import SmartResolver
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+from repro.spaces.vector import EuclideanSpace
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_metric(rng):
+    """Ground-truth random metric on 10 objects (matrix + space)."""
+    matrix = random_metric_matrix(10, rng)
+    return matrix, MatrixSpace(matrix)
+
+
+@pytest.fixture
+def medium_metric(rng):
+    """Ground-truth random metric on 25 objects (matrix + space)."""
+    matrix = random_metric_matrix(25, rng)
+    return matrix, MatrixSpace(matrix)
+
+
+@pytest.fixture
+def euclid_space(rng):
+    """40 clustered 2-D points under the Euclidean metric."""
+    centres = rng.uniform(0, 1, size=(4, 2))
+    points = centres[rng.integers(4, size=40)] + rng.normal(scale=0.05, size=(40, 2))
+    return EuclideanSpace(points)
+
+
+@pytest.fixture
+def resolver_factory():
+    """Factory building (oracle, resolver) for a space, optionally bounded."""
+
+    def build(space, bounder_cls=None, **bounder_kwargs):
+        oracle = space.oracle()
+        resolver = SmartResolver(oracle)
+        if bounder_cls is not None:
+            resolver.bounder = bounder_cls(
+                resolver.graph, space.diameter_bound(), **bounder_kwargs
+            )
+        return oracle, resolver
+
+    return build
+
+
+def all_pairs(n):
+    """All ``(i, j)`` with ``i < j`` — helper shared by several test modules."""
+    return list(itertools.combinations(range(n), 2))

@@ -1,0 +1,66 @@
+"""Unit tests for the batched oracle request API."""
+
+import pytest
+
+from repro.core.oracle import DistanceOracle
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+@pytest.fixture
+def space(rng):
+    return MatrixSpace(random_metric_matrix(12, rng))
+
+
+class TestBatch:
+    def test_returns_distances_in_order(self, space):
+        oracle = space.oracle()
+        pairs = [(0, 1), (2, 3), (4, 5)]
+        values = oracle.batch(pairs)
+        assert values == [space.distance(i, j) for i, j in pairs]
+
+    def test_elements_charged_individually(self, space):
+        oracle = space.oracle()
+        oracle.batch([(0, 1), (2, 3), (4, 5)])
+        assert oracle.calls == 3
+
+    def test_latency_charged_per_request(self, space):
+        oracle = space.oracle(cost_per_call=2.0)
+        oracle.batch([(0, 1), (2, 3), (4, 5)])
+        assert oracle.simulated_seconds == pytest.approx(2.0)  # one request
+        assert oracle.batch_requests == 1
+
+    def test_cached_elements_free(self, space):
+        oracle = space.oracle(cost_per_call=1.0)
+        oracle(0, 1)
+        oracle.batch([(0, 1), (2, 3)])
+        assert oracle.calls == 2               # only (2, 3) was fresh
+        assert oracle.simulated_seconds == pytest.approx(2.0)  # call + batch
+
+    def test_fully_cached_batch_is_free(self, space):
+        oracle = space.oracle(cost_per_call=1.0)
+        oracle(0, 1)
+        before = oracle.simulated_seconds
+        oracle.batch([(0, 1), (1, 0)])
+        assert oracle.simulated_seconds == before
+        assert oracle.batch_requests == 0
+
+    def test_empty_batch(self, space):
+        oracle = space.oracle()
+        assert oracle.batch([]) == []
+        assert oracle.batch_requests == 0
+
+    def test_reset_clears_batch_counter(self, space):
+        oracle = space.oracle()
+        oracle.batch([(0, 1)])
+        oracle.reset()
+        assert oracle.batch_requests == 0
+
+    def test_interoperates_with_resolver_graph(self, space):
+        from repro.core.resolver import SmartResolver
+
+        oracle = space.oracle()
+        oracle.batch([(0, 1), (0, 2)])
+        resolver = SmartResolver(oracle)
+        # The resolver re-requests through the cache: no extra charges.
+        resolver.distance(0, 1)
+        assert oracle.calls == 2

@@ -1,0 +1,125 @@
+"""Unit tests for Bounds values and the trivial/composite providers."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    Bounds,
+    IntersectionBounder,
+    TrivialBounder,
+    UNBOUNDED,
+)
+from repro.core.partial_graph import PartialDistanceGraph
+
+
+class TestBounds:
+    def test_gap(self):
+        assert Bounds(0.2, 0.5).gap == pytest.approx(0.3)
+
+    def test_unbounded_gap_is_infinite(self):
+        assert math.isinf(UNBOUNDED.gap)
+
+    def test_negative_lower_clamped_to_zero(self):
+        assert Bounds(-0.5, 1.0).lower == 0.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Bounds(0.9, 0.1)
+
+    def test_is_exact(self):
+        assert Bounds(0.4, 0.4).is_exact
+        assert not Bounds(0.4, 0.41).is_exact
+
+    def test_intersect_tightens(self):
+        merged = Bounds(0.1, 0.8).intersect(Bounds(0.3, 1.5))
+        assert merged.lower == pytest.approx(0.3)
+        assert merged.upper == pytest.approx(0.8)
+
+    def test_intersect_with_unbounded_is_identity(self):
+        b = Bounds(0.2, 0.7)
+        merged = b.intersect(UNBOUNDED)
+        assert merged.lower == b.lower
+        assert merged.upper == b.upper
+
+    def test_contains(self):
+        b = Bounds(0.2, 0.5)
+        assert b.contains(0.2)
+        assert b.contains(0.5)
+        assert b.contains(0.35)
+        assert not b.contains(0.6)
+        assert not b.contains(0.1)
+
+
+class TestTrivialBounder:
+    def test_unknown_pair_gets_diameter_cap(self):
+        g = PartialDistanceGraph(4)
+        bounder = TrivialBounder(g, max_distance=2.0)
+        b = bounder.bounds(0, 1)
+        assert b.lower == 0.0
+        assert b.upper == 2.0
+
+    def test_known_pair_is_exact(self):
+        g = PartialDistanceGraph(4)
+        g.add_edge(0, 1, 0.7)
+        bounder = TrivialBounder(g, max_distance=2.0)
+        assert bounder.bounds(0, 1).is_exact
+
+    def test_self_pair(self):
+        g = PartialDistanceGraph(4)
+        bounder = TrivialBounder(g)
+        assert bounder.bounds(2, 2) == Bounds(0.0, 0.0)
+
+    def test_invalid_max_distance(self):
+        g = PartialDistanceGraph(4)
+        with pytest.raises(ValueError):
+            TrivialBounder(g, max_distance=0.0)
+
+
+class _FixedBounder:
+    """Test double returning a constant interval."""
+
+    name = "fixed"
+
+    def __init__(self, lower, upper):
+        self._b = Bounds(lower, upper)
+
+    def bounds(self, i, j):
+        return self._b
+
+    def notify_resolved(self, i, j, d):
+        self.last = (i, j, d)
+
+
+class TestIntersectionBounder:
+    def test_intersects_members(self):
+        g = PartialDistanceGraph(4)
+        combo = IntersectionBounder(
+            g, [_FixedBounder(0.1, 0.9), _FixedBounder(0.3, 1.2)], max_distance=2.0
+        )
+        b = combo.bounds(0, 1)
+        assert b.lower == pytest.approx(0.3)
+        assert b.upper == pytest.approx(0.9)
+
+    def test_name_concatenates(self):
+        g = PartialDistanceGraph(4)
+        combo = IntersectionBounder(g, [_FixedBounder(0, 1), _FixedBounder(0, 1)])
+        assert combo.name == "fixed+fixed"
+
+    def test_forwards_updates(self):
+        g = PartialDistanceGraph(4)
+        members = [_FixedBounder(0, 1), _FixedBounder(0, 1)]
+        combo = IntersectionBounder(g, members)
+        combo.notify_resolved(1, 2, 0.4)
+        assert all(m.last == (1, 2, 0.4) for m in members)
+
+    def test_requires_members(self):
+        g = PartialDistanceGraph(4)
+        with pytest.raises(ValueError):
+            IntersectionBounder(g, [])
+
+    def test_known_edge_short_circuit(self):
+        g = PartialDistanceGraph(4)
+        g.add_edge(0, 1, 0.5)
+        combo = IntersectionBounder(g, [_FixedBounder(0.0, 2.0)], max_distance=3.0)
+        assert combo.bounds(0, 1).is_exact

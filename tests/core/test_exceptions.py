@@ -1,0 +1,62 @@
+"""Unit tests for the exception hierarchy and package doctest."""
+
+import doctest
+
+import pytest
+
+import repro
+from repro.core.exceptions import (
+    BudgetExceededError,
+    ConfigurationError,
+    InvalidObjectError,
+    MetricViolationError,
+    ReproError,
+    SolverError,
+    UnknownDistanceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            MetricViolationError,
+            SolverError,
+            BudgetExceededError,
+            ConfigurationError,
+            InvalidObjectError,
+            UnknownDistanceError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_unknown_distance_is_key_error(self):
+        assert issubclass(UnknownDistanceError, KeyError)
+        err = UnknownDistanceError(3, 7)
+        assert err.i == 3 and err.j == 7
+        assert "3" in str(err) and "7" in str(err)
+
+    def test_invalid_object_is_index_error(self):
+        assert issubclass(InvalidObjectError, IndexError)
+        err = InvalidObjectError(10, 5)
+        assert err.index == 10 and err.universe_size == 5
+
+    def test_configuration_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_budget_carries_limit(self):
+        err = BudgetExceededError(42)
+        assert err.budget == 42
+        assert "42" in str(err)
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            raise BudgetExceededError(1)
+
+
+class TestPackageDoctest:
+    def test_quickstart_docstring_runs(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0  # the quickstart example actually ran

@@ -1,0 +1,127 @@
+"""Unit tests for the partial distance graph."""
+
+import pytest
+
+from repro.core.exceptions import InvalidObjectError, UnknownDistanceError
+from repro.core.partial_graph import PartialDistanceGraph
+
+
+@pytest.fixture
+def graph():
+    g = PartialDistanceGraph(6)
+    g.add_edge(0, 1, 0.5)
+    g.add_edge(1, 2, 0.3)
+    g.add_edge(0, 2, 0.6)
+    return g
+
+
+class TestConstruction:
+    def test_rejects_empty_universe(self):
+        with pytest.raises(InvalidObjectError):
+            PartialDistanceGraph(0)
+
+    def test_starts_with_no_edges(self):
+        g = PartialDistanceGraph(4)
+        assert g.num_edges == 0
+        assert len(g) == 0
+
+
+class TestAddEdge:
+    def test_add_and_lookup(self, graph):
+        assert graph.weight(0, 1) == 0.5
+        assert graph.weight(1, 0) == 0.5  # symmetric lookup
+
+    def test_add_returns_true_when_new(self):
+        g = PartialDistanceGraph(3)
+        assert g.add_edge(0, 1, 0.4) is True
+
+    def test_reinsert_same_value_is_noop(self, graph):
+        assert graph.add_edge(0, 1, 0.5) is False
+        assert graph.num_edges == 3
+
+    def test_conflicting_reinsert_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, 0.9)
+
+    def test_self_loop_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_edge(2, 2, 0.0)
+
+    def test_negative_weight_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_edge(3, 4, -0.1)
+
+    def test_out_of_range_rejected(self, graph):
+        with pytest.raises(InvalidObjectError):
+            graph.add_edge(0, 6, 0.1)
+
+
+class TestQueries:
+    def test_weight_of_unknown_raises(self, graph):
+        with pytest.raises(UnknownDistanceError):
+            graph.weight(3, 4)
+
+    def test_self_distance_is_zero(self, graph):
+        assert graph.weight(2, 2) == 0.0
+        assert graph.get(2, 2) == 0.0
+
+    def test_get_with_default(self, graph):
+        assert graph.get(3, 4) is None
+        assert graph.get(3, 4, 1.0) == 1.0
+        assert graph.get(0, 1) == 0.5
+
+    def test_has_edge_and_contains(self, graph):
+        assert graph.has_edge(2, 1)
+        assert (1, 2) in graph
+        assert not graph.has_edge(3, 5)
+
+    def test_degree(self, graph):
+        assert graph.degree(0) == 2
+        assert graph.degree(1) == 2
+        assert graph.degree(5) == 0
+
+
+class TestAdjacency:
+    def test_adjacency_stays_sorted(self):
+        g = PartialDistanceGraph(8)
+        for other in (5, 2, 7, 1):
+            g.add_edge(3, other, 0.1)
+        assert g.adjacency_list(3) == [1, 2, 5, 7]
+
+    def test_neighbor_items_pairs(self, graph):
+        items = dict(graph.neighbor_items(1))
+        assert items == {0: 0.5, 2: 0.3}
+
+    def test_common_neighbors(self, graph):
+        assert list(graph.common_neighbors(0, 1)) == [2]
+        assert list(graph.common_neighbors(0, 5)) == []
+
+    def test_common_neighbors_bisect_path(self):
+        # One endpoint has a much longer adjacency list, exercising the
+        # bisect branch of the intersection.
+        g = PartialDistanceGraph(100)
+        for other in range(2, 95):
+            g.add_edge(0, other, 0.1)
+        for other in (10, 50, 90):
+            g.add_edge(1, other, 0.2)
+        assert list(g.common_neighbors(0, 1)) == [10, 50, 90]
+        assert list(g.common_neighbors(1, 0)) == [10, 50, 90]
+
+
+class TestIteration:
+    def test_edges_iteration(self, graph):
+        edges = set(graph.edges())
+        assert edges == {(0, 1, 0.5), (1, 2, 0.3), (0, 2, 0.6)}
+
+    def test_unknown_pairs_complement(self, graph):
+        unknown = set(graph.unknown_pairs())
+        assert (0, 1) not in unknown
+        assert (3, 4) in unknown
+        assert len(unknown) == 6 * 5 // 2 - 3
+
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.add_edge(4, 5, 0.2)
+        assert not graph.has_edge(4, 5)
+        assert clone.has_edge(4, 5)
+        assert clone.weight(0, 1) == 0.5

@@ -1,0 +1,96 @@
+"""Unit tests for graph persistence and run resumption."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import DistanceOracle
+from repro.core.partial_graph import PartialDistanceGraph
+from repro.core.persistence import load_graph, resume_resolver, save_graph, seed_oracle_cache
+from repro.core.resolver import SmartResolver
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+@pytest.fixture
+def populated_graph(rng):
+    g = PartialDistanceGraph(12)
+    matrix = random_metric_matrix(12, rng)
+    picker = np.random.default_rng(1)
+    while g.num_edges < 20:
+        i, j = int(picker.integers(12)), int(picker.integers(12))
+        if i != j and not g.has_edge(i, j):
+            g.add_edge(i, j, float(matrix[i, j]))
+    return g
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, populated_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_graph(populated_graph, path)
+        loaded = load_graph(path)
+        assert loaded.n == populated_graph.n
+        assert set(loaded.edges()) == set(populated_graph.edges())
+
+    def test_empty_graph(self, tmp_path):
+        g = PartialDistanceGraph(5)
+        path = tmp_path / "empty.npz"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.n == 5
+        assert loaded.num_edges == 0
+
+    def test_bad_version_rejected(self, populated_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_graph(populated_graph, path)
+        data = dict(np.load(path))
+        data["version"] = np.int64(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError):
+            load_graph(path)
+
+
+class TestSeeding:
+    def test_seeded_pairs_are_free(self, populated_graph, rng):
+        matrix = random_metric_matrix(12, rng)
+        oracle = DistanceOracle(lambda i, j: float(matrix[i, j]), 12)
+        seeded = seed_oracle_cache(oracle, populated_graph)
+        assert seeded == populated_graph.num_edges
+        i, j, w = next(iter(populated_graph.edges()))
+        assert oracle(i, j) == w
+        assert oracle.calls == 0  # answered from the seeded cache
+
+    def test_size_mismatch_rejected(self, populated_graph, rng):
+        oracle = DistanceOracle(lambda i, j: 1.0, 5)
+        with pytest.raises(ValueError):
+            seed_oracle_cache(oracle, populated_graph)
+
+
+class TestResume:
+    def test_resumed_run_pays_only_the_remainder(self, rng, tmp_path):
+        from repro.algorithms import prim_mst
+        from repro.bounds import TriScheme
+
+        matrix = random_metric_matrix(15, rng)
+        space = MatrixSpace(matrix)
+
+        # Session 1: run, persist.
+        oracle1 = space.oracle()
+        resolver1 = SmartResolver(oracle1)
+        resolver1.bounder = TriScheme(resolver1.graph, space.diameter_bound())
+        result1 = prim_mst(resolver1)
+        path = tmp_path / "session.npz"
+        save_graph(resolver1.graph, path)
+
+        # Session 2: resume and re-run — zero new oracle calls.
+        oracle2 = space.oracle()
+        resolver2 = resume_resolver(oracle2, path)
+        resolver2.bounder = TriScheme(resolver2.graph, space.diameter_bound())
+        result2 = prim_mst(resolver2)
+        assert oracle2.calls == 0
+        assert result2.total_weight == pytest.approx(result1.total_weight)
+
+    def test_resume_size_mismatch(self, populated_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(populated_graph, path)
+        oracle = DistanceOracle(lambda i, j: 1.0, 99)
+        with pytest.raises(ValueError):
+            resume_resolver(oracle, path)

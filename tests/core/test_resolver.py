@@ -1,0 +1,241 @@
+"""Unit tests for the SmartResolver — the re-authoring framework."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds.tri import TriScheme
+from repro.core.bounds import Bounds, TrivialBounder
+from repro.core.partial_graph import PartialDistanceGraph
+from repro.core.resolver import SmartResolver
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+@pytest.fixture
+def space(rng):
+    return MatrixSpace(random_metric_matrix(12, rng))
+
+
+@pytest.fixture
+def resolver(space):
+    oracle = space.oracle()
+    r = SmartResolver(oracle)
+    r.bounder = TriScheme(r.graph, space.diameter_bound())
+    return r
+
+
+class TestDistance:
+    def test_resolves_through_oracle(self, resolver, space):
+        d = resolver.distance(0, 1)
+        assert d == space.distance(0, 1)
+        assert resolver.oracle.calls == 1
+
+    def test_caches_in_graph(self, resolver):
+        resolver.distance(0, 1)
+        resolver.distance(1, 0)
+        assert resolver.oracle.calls == 1
+        assert resolver.graph.has_edge(0, 1)
+
+    def test_self_distance_free(self, resolver):
+        assert resolver.distance(4, 4) == 0.0
+        assert resolver.oracle.calls == 0
+
+    def test_known_returns_none_without_calls(self, resolver):
+        assert resolver.known(0, 1) is None
+        assert resolver.oracle.calls == 0
+
+    def test_notifies_bounder(self, space):
+        events = []
+
+        class Spy(TrivialBounder):
+            def notify_resolved(self, i, j, d):
+                events.append((i, j))
+
+        oracle = space.oracle()
+        r = SmartResolver(oracle)
+        r.bounder = Spy(r.graph)
+        r.distance(2, 5)
+        assert events == [(2, 5)]
+
+
+class TestBoundsQuery:
+    def test_known_pair_is_exact(self, resolver, space):
+        resolver.distance(0, 1)
+        b = resolver.bounds(0, 1)
+        assert b.is_exact
+        assert b.lower == space.distance(0, 1)
+
+    def test_unknown_pair_contains_truth(self, resolver, space):
+        for j in range(2, 8):
+            resolver.distance(0, j)
+            resolver.distance(1, j)
+        b = resolver.bounds(0, 1)
+        assert b.lower - 1e-9 <= space.distance(0, 1) <= b.upper + 1e-9
+        assert resolver.oracle.calls == 12  # bounds() itself charged nothing
+
+
+class TestPredicates:
+    def test_is_at_least_matches_truth(self, resolver, space):
+        truth = space.distance(3, 7)
+        assert resolver.is_at_least(3, 7, truth) is True
+        assert resolver.is_at_least(3, 7, truth + 0.01) is False
+        assert resolver.is_at_least(3, 7, truth - 0.01) is True
+
+    def test_is_greater_matches_truth(self, resolver, space):
+        truth = space.distance(2, 9)
+        assert resolver.is_greater(2, 9, truth) is False
+        assert resolver.is_greater(2, 9, truth - 0.01) is True
+
+    def test_is_less_than_is_negation(self, resolver, space):
+        truth = space.distance(4, 6)
+        assert resolver.is_less_than(4, 6, truth) is False
+        assert resolver.is_less_than(4, 6, truth + 0.01) is True
+
+    def test_is_at_least_prunes_with_bounds(self, space):
+        oracle = space.oracle()
+        r = SmartResolver(oracle)
+        r.bounder = TriScheme(r.graph, space.diameter_bound())
+        # Build triangles around (0, 1) so its bounds are informative.
+        for w in range(2, 12):
+            r.distance(0, w)
+            r.distance(1, w)
+        calls_before = oracle.calls
+        ub = r.bounds(0, 1).upper
+        # A threshold above the upper bound must be decided without a call.
+        assert r.is_at_least(0, 1, ub + 0.001) is False
+        assert oracle.calls == calls_before
+
+    def test_less_matches_truth(self, resolver, space):
+        truth = space.distance(0, 1) < space.distance(2, 3)
+        assert resolver.less((0, 1), (2, 3)) is truth
+
+    def test_less_on_equal_distances_is_false(self, space):
+        oracle = space.oracle()
+        r = SmartResolver(oracle)
+        assert r.less((5, 6), (6, 5)) is False  # same pair: equal, not less
+
+    def test_compare_signs(self, resolver, space):
+        da = space.distance(0, 1)
+        db = space.distance(2, 3)
+        expected = -1 if da < db else (1 if da > db else 0)
+        assert resolver.compare((0, 1), (2, 3)) == expected
+
+    def test_compare_equal_pair(self, resolver):
+        assert resolver.compare((3, 4), (4, 3)) == 0
+
+
+class TestDeciderHook:
+    def test_decide_less_short_circuits(self, space):
+        class Decider(TrivialBounder):
+            def decide_less(self, a, b):
+                return True
+
+        oracle = space.oracle()
+        r = SmartResolver(oracle)
+        r.bounder = Decider(r.graph, space.diameter_bound())
+        assert r.less((0, 1), (2, 3)) is True
+        assert oracle.calls == 0
+        assert r.stats.decided_by_bounds == 1
+
+    def test_decide_less_none_falls_back(self, space):
+        class Decider(TrivialBounder):
+            def decide_less(self, a, b):
+                return None
+
+        oracle = space.oracle()
+        r = SmartResolver(oracle)
+        r.bounder = Decider(r.graph, space.diameter_bound())
+        truth = space.distance(0, 1) < space.distance(2, 3)
+        assert r.less((0, 1), (2, 3)) is truth
+        assert oracle.calls >= 1
+
+
+class TestArgmin:
+    def test_matches_linear_scan(self, resolver, space):
+        candidates = [3, 5, 7, 9, 11]
+        best, dist = resolver.argmin(0, candidates)
+        expected = min(candidates, key=lambda c: (space.distance(0, c), candidates.index(c)))
+        assert best == expected
+        assert dist == pytest.approx(space.distance(0, expected))
+
+    def test_respects_upper_limit(self, resolver, space):
+        candidates = [3, 5]
+        floor = min(space.distance(0, c) for c in candidates)
+        best, dist = resolver.argmin(0, candidates, upper_limit=floor / 2)
+        assert best is None
+        assert math.isinf(dist)
+
+    def test_tie_break_earliest_candidate(self, rng):
+        # Duplicate objects at equal distance: earliest position must win.
+        matrix = np.array(
+            [
+                [0.0, 1.0, 1.0, 2.0],
+                [1.0, 0.0, 0.5, 1.0],
+                [1.0, 0.5, 0.0, 1.0],
+                [2.0, 1.0, 1.0, 0.0],
+            ]
+        )
+        space = MatrixSpace(matrix)
+        r = SmartResolver(space.oracle())
+        best, dist = r.argmin(0, [2, 1])  # d(0,2) == d(0,1) == 1.0
+        assert best == 2  # position 0 in the candidate list
+        assert dist == 1.0
+
+
+class TestKnearest:
+    def test_matches_brute_force(self, resolver, space):
+        result = resolver.knearest(0, range(12), 4)
+        brute = sorted((space.distance(0, v), v) for v in range(12) if v != 0)[:4]
+        assert result == brute
+
+    def test_k_zero_returns_empty(self, resolver):
+        assert resolver.knearest(0, range(12), 0) == []
+
+    def test_k_larger_than_pool(self, resolver, space):
+        result = resolver.knearest(0, [1, 2], 10)
+        brute = sorted((space.distance(0, v), v) for v in (1, 2))
+        assert result == brute
+
+    def test_pruning_saves_calls_with_triangles(self, space):
+        oracle = space.oracle()
+        r = SmartResolver(oracle)
+        r.bounder = TriScheme(r.graph, space.diameter_bound())
+        # Warm the graph so bounds are informative for node 0's scan.
+        for u in range(1, 12):
+            for v in range(u + 1, 12):
+                r.distance(u, v)
+        before = oracle.calls
+        r.knearest(0, range(12), 2)
+        resolved_for_scan = oracle.calls - before
+        assert resolved_for_scan < 11  # pruning skipped at least one candidate
+
+
+class TestStats:
+    def test_counters_accumulate(self, resolver):
+        resolver.is_at_least(0, 1, 0.0)  # decided by bounds: lb >= 0 always
+        assert resolver.stats.decided_by_bounds == 1
+        resolver.distance(0, 2)
+        assert resolver.stats.resolutions == 1
+
+    def test_prune_rate(self, resolver):
+        assert resolver.stats.prune_rate == 0.0
+        resolver.is_at_least(0, 1, 0.0)
+        assert resolver.stats.prune_rate == 1.0
+
+
+class TestConstruction:
+    def test_mismatched_graphs_rejected(self, space):
+        oracle = space.oracle()
+        g1 = PartialDistanceGraph(space.n)
+        g2 = PartialDistanceGraph(space.n)
+        bounder = TrivialBounder(g1)
+        with pytest.raises(ValueError):
+            SmartResolver(oracle, bounder=bounder, graph=g2)
+
+    def test_bounder_graph_adopted(self, space):
+        oracle = space.oracle()
+        g = PartialDistanceGraph(space.n)
+        bounder = TrivialBounder(g)
+        r = SmartResolver(oracle, bounder=bounder)
+        assert r.graph is g

@@ -1,0 +1,115 @@
+"""Unit tests for the metric-validating oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import MetricViolationError
+from repro.core.validation import ValidatingOracle
+from repro.spaces.matrix import random_metric_matrix
+
+
+def oracle_from_matrix(matrix, **kwargs):
+    return ValidatingOracle(
+        lambda i, j: float(matrix[i, j]), matrix.shape[0], **kwargs
+    )
+
+
+class TestHonestOracle:
+    def test_accepts_true_metric(self, rng):
+        matrix = random_metric_matrix(12, rng)
+        oracle = oracle_from_matrix(matrix)
+        for i in range(12):
+            for j in range(i + 1, 12):
+                oracle(i, j)
+        assert oracle.calls == 66
+        assert oracle.triangles_checked > 0
+
+    def test_counting_still_works(self, rng):
+        matrix = random_metric_matrix(8, rng)
+        oracle = oracle_from_matrix(matrix)
+        oracle(0, 1)
+        oracle(0, 1)
+        assert oracle.calls == 1
+        assert oracle.cache_hits == 1
+
+
+class TestViolationDetection:
+    def test_detects_direct_violation(self, rng):
+        matrix = random_metric_matrix(6, rng)
+        matrix = matrix.copy()
+        matrix[0, 1] = matrix[1, 0] = 100.0  # breaks every triangle through 0-1
+        oracle = oracle_from_matrix(matrix)
+        oracle(0, 2)
+        oracle(1, 2)
+        with pytest.raises(MetricViolationError):
+            oracle(0, 1)
+
+    def test_detects_violation_on_third_edge(self, rng):
+        # The corrupted edge arrives first; the violation surfaces when the
+        # closing edge of the triangle is resolved.
+        matrix = random_metric_matrix(6, rng)
+        matrix = matrix.copy()
+        matrix[0, 1] = matrix[1, 0] = 100.0
+        oracle = oracle_from_matrix(matrix)
+        oracle(0, 1)
+        oracle(0, 2)
+        with pytest.raises(MetricViolationError):
+            oracle(1, 2)
+
+    def test_order_independent_of_unrelated_edges(self, rng):
+        matrix = random_metric_matrix(8, rng).copy()
+        matrix[3, 4] = matrix[4, 3] = 50.0
+        oracle = oracle_from_matrix(matrix)
+        oracle(0, 1)  # unrelated, fine
+        oracle(3, 5)
+        oracle(4, 5)
+        with pytest.raises(MetricViolationError):
+            oracle(3, 4)
+
+
+class TestRelaxedTriangle:
+    def test_relaxation_admits_near_metrics(self, rng):
+        # A distance 1.5× over the triangle cap passes with relaxation=2.
+        matrix = random_metric_matrix(6, rng).copy()
+        cap = matrix[0, 2] + matrix[2, 1]
+        matrix[0, 1] = matrix[1, 0] = 1.5 * cap
+        strict = oracle_from_matrix(matrix)
+        strict(0, 2)
+        strict(1, 2)
+        with pytest.raises(MetricViolationError):
+            strict(0, 1)
+        relaxed = oracle_from_matrix(matrix, relaxation=2.0)
+        relaxed(0, 2)
+        relaxed(1, 2)
+        assert relaxed(0, 1) == pytest.approx(1.5 * cap)
+
+    def test_invalid_parameters(self, rng):
+        matrix = random_metric_matrix(4, rng)
+        with pytest.raises(ValueError):
+            oracle_from_matrix(matrix, relaxation=0.5)
+        with pytest.raises(ValueError):
+            oracle_from_matrix(matrix, tolerance=-1.0)
+
+
+class TestReset:
+    def test_reset_clears_consistency_state(self, rng):
+        matrix = random_metric_matrix(6, rng)
+        oracle = oracle_from_matrix(matrix)
+        oracle(0, 1)
+        oracle(0, 2)
+        oracle.reset()
+        assert oracle.triangles_checked == 0
+        assert oracle.calls == 0
+        oracle(1, 2)  # would close a triangle if state survived reset
+        assert oracle.triangles_checked == 0
+
+
+class TestIntegrationWithResolver:
+    def test_resolver_runs_on_validating_oracle(self, rng):
+        from repro.algorithms import prim_mst
+        from repro.core.resolver import SmartResolver
+
+        matrix = random_metric_matrix(10, rng)
+        oracle = oracle_from_matrix(matrix)
+        result = prim_mst(SmartResolver(oracle))
+        assert result.num_edges == 9

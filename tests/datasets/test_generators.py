@@ -1,0 +1,89 @@
+"""Unit tests for the synthetic generators and dataset facades."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.facades import flickr_space, sf_poi_space, urbangb_space
+from repro.datasets.synthetic import clustered_points, ring_points, uniform_points
+from repro.spaces.roadnet import RoadNetworkSpace
+from repro.spaces.vector import EuclideanSpace
+
+
+class TestUniformPoints:
+    def test_shape_and_range(self, rng):
+        pts = uniform_points(50, dim=3, low=-1, high=2, rng=rng)
+        assert pts.shape == (50, 3)
+        assert pts.min() >= -1 and pts.max() <= 2
+
+    def test_deterministic(self):
+        a = uniform_points(10, rng=np.random.default_rng(1))
+        b = uniform_points(10, rng=np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            uniform_points(0)
+
+
+class TestClusteredPoints:
+    def test_shape(self, rng):
+        pts = clustered_points(60, dim=4, num_clusters=3, rng=rng)
+        assert pts.shape == (60, 4)
+
+    def test_cluster_structure_visible(self, rng):
+        pts = clustered_points(100, num_clusters=2, spread=0.01, rng=rng)
+        # Nearest-neighbour distances are far below the global scale.
+        from scipy.spatial.distance import pdist
+
+        d = pdist(pts)
+        assert np.percentile(d, 10) < np.percentile(d, 90) / 3
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            clustered_points(0, rng=rng)
+        with pytest.raises(ValueError):
+            clustered_points(10, num_clusters=0, rng=rng)
+
+
+class TestRingPoints:
+    def test_on_circle(self, rng):
+        pts = ring_points(80, radius=2.0, noise=0.0, rng=rng)
+        radii = np.linalg.norm(pts, axis=1)
+        assert np.allclose(radii, 2.0)
+
+    def test_rejects_nonpositive_n(self, rng):
+        with pytest.raises(ValueError):
+            ring_points(0, rng=rng)
+
+
+class TestFacades:
+    def test_sf_road_and_euclid_variants(self):
+        road = sf_poi_space(40)
+        euclid = sf_poi_space(40, road=False)
+        assert isinstance(road, RoadNetworkSpace)
+        assert isinstance(euclid, EuclideanSpace)
+        assert road.n == euclid.n == 40
+
+    def test_urbangb_variants(self):
+        assert isinstance(urbangb_space(30), RoadNetworkSpace)
+        assert isinstance(urbangb_space(30, road=False), EuclideanSpace)
+
+    def test_flickr_dimension(self):
+        space = flickr_space(25, dim=64)
+        assert space.points.shape == (25, 64)
+
+    def test_deterministic_given_seed(self):
+        a = sf_poi_space(30, seed=9, road=False)
+        b = sf_poi_space(30, seed=9, road=False)
+        assert np.array_equal(a.points, b.points)
+
+    def test_different_seeds_differ(self):
+        a = sf_poi_space(30, seed=1, road=False)
+        b = sf_poi_space(30, seed=2, road=False)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_road_distances_metric(self):
+        from repro.spaces.base import check_metric_axioms
+
+        space = urbangb_space(20)
+        check_metric_axioms(space)

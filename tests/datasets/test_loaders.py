@@ -1,0 +1,127 @@
+"""Unit tests for the user-data loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import (
+    load_distance_matrix_csv,
+    load_points_csv,
+    load_sequences,
+    space_from_points_csv,
+)
+from repro.core.exceptions import MetricViolationError
+from repro.spaces.matrix import random_metric_matrix
+
+
+class TestLoadPointsCsv:
+    def test_plain_numeric_csv(self, tmp_path):
+        path = tmp_path / "pts.csv"
+        path.write_text("0.1,0.2\n0.3,0.4\n")
+        points = load_points_csv(path)
+        assert points.shape == (2, 2)
+        assert points[1, 1] == pytest.approx(0.4)
+
+    def test_header_autodetected(self, tmp_path):
+        path = tmp_path / "pts.csv"
+        path.write_text("x,y\n1,2\n3,4\n")
+        points = load_points_csv(path)
+        assert points.shape == (2, 2)
+
+    def test_column_selection(self, tmp_path):
+        path = tmp_path / "pts.csv"
+        path.write_text("id,lat,lon\n7,51.5,-0.1\n8,48.9,2.3\n")
+        points = load_points_csv(path, columns=["lat", "lon"])
+        assert points.shape == (2, 2)
+        assert points[0, 0] == pytest.approx(51.5)
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "pts.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="not found"):
+            load_points_csv(path, columns=["z"])
+
+    def test_columns_without_header_rejected(self, tmp_path):
+        path = tmp_path / "pts.csv"
+        path.write_text("1,2\n3,4\n")
+        with pytest.raises(ValueError, match="header"):
+            load_points_csv(path, columns=["x"], skip_header=False)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "pts.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_points_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "pts.csv"
+        path.write_text("x,y\n")
+        with pytest.raises(ValueError, match="no data"):
+            load_points_csv(path)
+
+
+class TestSpaceFromCsv:
+    @pytest.fixture
+    def csv_path(self, tmp_path):
+        path = tmp_path / "pts.csv"
+        rng = np.random.default_rng(1)
+        rows = "\n".join(f"{x},{y}" for x, y in rng.random((20, 2)))
+        path.write_text(rows + "\n")
+        return path
+
+    def test_euclidean(self, csv_path):
+        space = space_from_points_csv(csv_path)
+        assert space.n == 20
+
+    def test_manhattan_and_minkowski(self, csv_path):
+        assert space_from_points_csv(csv_path, metric="manhattan").n == 20
+        assert space_from_points_csv(csv_path, metric="minkowski:3").p == 3.0
+
+    def test_road(self, csv_path):
+        space = space_from_points_csv(csv_path, metric="road")
+        assert space.num_roads > 0
+
+    def test_unknown_metric(self, csv_path):
+        with pytest.raises(ValueError, match="unknown metric"):
+            space_from_points_csv(csv_path, metric="hyperbolic")
+
+
+class TestLoadSequences:
+    def test_plain_lines(self, tmp_path):
+        path = tmp_path / "seqs.txt"
+        path.write_text("ACGT\nTTTT\n\nGGGG\n")
+        space = load_sequences(path)
+        assert space.n == 3
+        assert space.distance(0, 1) == 3
+
+    def test_fasta_records_concatenate(self, tmp_path):
+        path = tmp_path / "seqs.fasta"
+        path.write_text(">one\nACG\nT\n>two\nTTTT\n")
+        space = load_sequences(path)
+        assert space.n == 2
+        assert space.strings[0] == "ACGT"
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "seqs.txt"
+        path.write_text(">header only\n")
+        with pytest.raises(ValueError):
+            load_sequences(path)
+
+
+class TestLoadDistanceMatrix:
+    def test_round_trip(self, tmp_path, rng):
+        matrix = random_metric_matrix(8, rng)
+        path = tmp_path / "dist.csv"
+        np.savetxt(path, matrix, delimiter=",")
+        space = load_distance_matrix_csv(path)
+        assert space.n == 8
+        assert space.distance(1, 5) == pytest.approx(matrix[1, 5])
+
+    def test_validation_catches_non_metric(self, tmp_path):
+        bad = np.array([[0.0, 1.0, 9.0], [1.0, 0.0, 1.0], [9.0, 1.0, 0.0]])
+        path = tmp_path / "bad.csv"
+        np.savetxt(path, bad, delimiter=",")
+        with pytest.raises(MetricViolationError):
+            load_distance_matrix_csv(path)
+        # validate=False loads it anyway (caller's responsibility).
+        space = load_distance_matrix_csv(path, validate=False)
+        assert space.distance(0, 2) == 9.0

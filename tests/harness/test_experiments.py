@@ -1,0 +1,124 @@
+"""Smoke tests for the per-figure experiment definitions (tiny sizes)."""
+
+import math
+
+import pytest
+
+from repro.harness.experiments import (
+    bounds_quality_experiment,
+    dft_experiment,
+    landmark_count_sweep,
+    oracle_cost_sweep,
+    parameter_sweep,
+    prim_call_table,
+    size_sweep,
+    tri_gap_vs_edges,
+)
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+import numpy as np
+
+
+def space_factory(n):
+    return MatrixSpace(random_metric_matrix(n, np.random.default_rng(n)))
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return space_factory(24)
+
+
+class TestBoundsQuality:
+    def test_splub_matches_adm(self, small_space):
+        results = bounds_quality_experiment(
+            small_space, num_edges=80, num_queries=30, providers=("splub", "adm")
+        )
+        by_name = {r.provider: r for r in results}
+        assert by_name["splub"].rel_err_lower_vs_adm == pytest.approx(0.0, abs=1e-9)
+        assert by_name["splub"].rel_err_upper_vs_adm == pytest.approx(0.0, abs=1e-9)
+
+    def test_tri_between_exact_and_landmarks(self, small_space):
+        results = bounds_quality_experiment(
+            small_space,
+            num_edges=120,
+            num_queries=40,
+            providers=("splub", "tri", "laesa"),
+        )
+        by_name = {r.provider: r for r in results}
+        assert by_name["splub"].mean_gap <= by_name["tri"].mean_gap + 1e-9
+
+    def test_all_queries_unknown_pairs(self, small_space):
+        results = bounds_quality_experiment(
+            small_space, num_edges=60, num_queries=20, providers=("tri",)
+        )
+        assert results[0].queries == 20
+
+
+class TestTriGap:
+    def test_gap_shrinks_with_edges(self, small_space):
+        rows = tri_gap_vs_edges(small_space, [60, 150, 250], num_queries=40)
+        gaps = [row["gap"] for row in rows]
+        assert gaps[0] >= gaps[-1]
+
+    def test_row_fields(self, small_space):
+        rows = tri_gap_vs_edges(small_space, [50], num_queries=10)
+        assert set(rows[0]) == {"edges", "mean_lb", "mean_ub", "gap"}
+
+
+class TestPrimTable:
+    def test_row_shape_and_sanity(self):
+        rows = prim_call_table(space_factory, [16, 24])
+        assert len(rows) == 2
+        for row in rows:
+            assert row.without_plug == row.num_edges
+            assert row.ts_nb <= row.without_plug
+            assert row.bootstrap > 0
+
+    def test_save_percentages_finite(self):
+        rows = prim_call_table(space_factory, [16])
+        assert math.isfinite(rows[0].save_vs_laesa)
+        assert math.isfinite(rows[0].save_vs_tlaesa)
+
+
+class TestSizeSweep:
+    def test_calls_grow_with_size(self):
+        sweep = size_sweep(space_factory, [12, 24], "prim", providers=("tri",))
+        records = sweep["tri"]
+        assert records[0].total_calls < records[1].total_calls
+
+
+class TestOracleCostSweep:
+    def test_monotone_in_cost(self, small_space):
+        out = oracle_cost_sweep(small_space, "prim", [0.0, 1.0, 2.0], providers=("tri",))
+        times = out["tri"]
+        assert times[0] < times[1] < times[2]
+
+
+class TestParameterSweep:
+    def test_records_per_value(self, small_space):
+        out = parameter_sweep(
+            small_space,
+            "knng",
+            "k",
+            [2, 4],
+            providers=("tri",),
+        )
+        assert len(out["tri"]) == 2
+        assert out["tri"][0].params["k"] == 2
+
+
+class TestLandmarkSweep:
+    def test_counts_tracked(self, small_space):
+        out = landmark_count_sweep(small_space, "prim", [2, 4], providers=("laesa",))
+        assert len(out["laesa"]) == 2
+        assert out["laesa"][0].bootstrap_calls < out["laesa"][1].bootstrap_calls
+
+
+class TestDftExperiment:
+    def test_runs_and_stays_exact(self):
+        out = dft_experiment(space_factory, [8], providers=("dft", "none"))
+        dft_rec = out["dft"][0]
+        none_rec = out["none"][0]
+        assert dft_rec.result.edge_set() == none_rec.result.edge_set()
+        assert dft_rec.total_calls <= none_rec.total_calls

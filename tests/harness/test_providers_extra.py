@@ -1,0 +1,71 @@
+"""Extra coverage for the provider factory and bootstrap plumbing."""
+
+import pytest
+
+from repro.bounds import Aesa
+from repro.core.resolver import SmartResolver
+from repro.harness.providers import LANDMARK_PROVIDERS, attach_provider, make_provider
+from repro.harness.runner import run_experiment
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+@pytest.fixture
+def space(rng):
+    return MatrixSpace(random_metric_matrix(14, rng))
+
+
+class TestAesaThroughFactory:
+    def test_name_registered_as_landmark_provider(self):
+        assert "aesa" in LANDMARK_PROVIDERS
+
+    def test_attach_runs_full_bootstrap(self, space):
+        oracle = space.oracle()
+        resolver = SmartResolver(oracle)
+        provider, calls = attach_provider(resolver, "aesa")
+        assert isinstance(provider, Aesa)
+        n = space.n
+        assert calls == n * (n - 1) // 2
+
+    def test_attach_without_bootstrap(self, space):
+        oracle = space.oracle()
+        resolver = SmartResolver(oracle)
+        _, calls = attach_provider(resolver, "aesa", bootstrap=False)
+        assert calls == 0
+
+
+class TestBootstrapInteractions:
+    def test_landmark_bootstrap_flag_ignored_for_landmark_providers(self, space):
+        # laesa bootstraps itself; the extra flag must not double-bootstrap.
+        record = run_experiment(
+            space, "prim", "laesa", num_landmarks=3, landmark_bootstrap=True
+        )
+        n = space.n
+        expected = 3 * (n - 1) - 3  # three maxmin stars
+        assert record.bootstrap_calls == expected
+
+    def test_num_landmarks_controls_tri_bootstrap(self, space):
+        small = run_experiment(
+            space, "prim", "tri", landmark_bootstrap=True, num_landmarks=2
+        )
+        large = run_experiment(
+            space, "prim", "tri", landmark_bootstrap=True, num_landmarks=5
+        )
+        assert small.bootstrap_calls < large.bootstrap_calls
+
+    def test_splub_provider_runs_inside_algorithms(self, space):
+        record = run_experiment(space, "kruskal", "splub")
+        vanilla = run_experiment(space, "kruskal", "none")
+        assert record.result.total_weight == pytest.approx(
+            vanilla.result.total_weight
+        )
+        assert record.total_calls <= vanilla.total_calls
+
+    def test_new_hosts_run_through_runner(self, space):
+        for algorithm, kwargs in (
+            ("kcenter", {"k": 3}),
+            ("linkage", {}),
+            ("nn-tour", {}),
+            ("dbscan", {"eps": 0.4, "min_pts": 3}),
+        ):
+            record = run_experiment(space, algorithm, "tri", algorithm_kwargs=kwargs)
+            assert record.algorithm_calls > 0 or record.total_calls >= 0

@@ -1,0 +1,60 @@
+"""Unit tests for the ASCII reporting helpers."""
+
+from repro.harness.reporting import format_value, render_series, render_table
+
+
+class TestFormatValue:
+    def test_int_thousands(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_small_float(self):
+        assert format_value(0.1234) == "0.1234"
+
+    def test_large_float(self):
+        assert format_value(12345.6) == "12,346"
+
+    def test_unit_float(self):
+        assert format_value(3.14159) == "3.14"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_value("Tri") == "Tri"
+
+    def test_bool_not_treated_as_int(self):
+        assert format_value(True) == "True"
+
+
+class TestRenderTable:
+    def test_structure(self):
+        out = render_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment_widths(self):
+        out = render_table(["col"], [[123456789]])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[2])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_column_per_series(self):
+        out = render_series("n", [10, 20], {"tri": [1, 2], "laesa": [3, 4]})
+        header = out.splitlines()[0]
+        assert "n" in header and "tri" in header and "laesa" in header
+        assert "4" in out
+
+    def test_rows_match_xs(self):
+        out = render_series("x", [1, 2, 3], {"s": [9, 8, 7]})
+        assert len(out.splitlines()) == 2 + 3

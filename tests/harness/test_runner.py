@@ -1,0 +1,118 @@
+"""Unit tests for the experiment runner and provider factory."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import TrivialBounder
+from repro.core.partial_graph import PartialDistanceGraph
+from repro.bounds import Adm, Laesa, Splub, Tlaesa, TriScheme
+from repro.harness.providers import PROVIDER_NAMES, attach_provider, make_provider
+from repro.harness.runner import ExperimentRecord, percentage_save, run_experiment
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+@pytest.fixture
+def space(rng):
+    return MatrixSpace(random_metric_matrix(16, rng))
+
+
+class TestMakeProvider:
+    @pytest.mark.parametrize("name", PROVIDER_NAMES)
+    def test_all_names_construct(self, name):
+        g = PartialDistanceGraph(8)
+        provider = make_provider(name, g, max_distance=1.0)
+        assert provider.graph is g
+
+    def test_type_mapping(self):
+        g = PartialDistanceGraph(8)
+        assert isinstance(make_provider("none", g), TrivialBounder)
+        assert isinstance(make_provider("tri", g), TriScheme)
+        assert isinstance(make_provider("splub", g), Splub)
+        assert isinstance(make_provider("adm", g), Adm)
+        assert isinstance(make_provider("tlaesa", g), Tlaesa)
+        laesa = make_provider("laesa", g)
+        assert isinstance(laesa, Laesa) and not isinstance(laesa, Tlaesa)
+
+    def test_unknown_name_rejected(self):
+        g = PartialDistanceGraph(8)
+        with pytest.raises(ValueError):
+            make_provider("bogus", g)
+
+    def test_case_insensitive(self):
+        g = PartialDistanceGraph(8)
+        assert isinstance(make_provider("TRI", g), TriScheme)
+
+
+class TestAttachProvider:
+    def test_landmark_bootstrap_spends_calls(self, space):
+        from repro.core.resolver import SmartResolver
+
+        oracle = space.oracle()
+        resolver = SmartResolver(oracle)
+        _, calls = attach_provider(resolver, "laesa", num_landmarks=3)
+        assert calls > 0
+        assert calls == oracle.calls
+
+    def test_graph_provider_spends_nothing(self, space):
+        from repro.core.resolver import SmartResolver
+
+        oracle = space.oracle()
+        resolver = SmartResolver(oracle)
+        _, calls = attach_provider(resolver, "tri")
+        assert calls == 0
+
+
+class TestRunExperiment:
+    def test_vanilla_prim_accounting(self, space):
+        record = run_experiment(space, "prim", "none")
+        n = space.n
+        assert record.algorithm_calls == n * (n - 1) // 2
+        assert record.bootstrap_calls == 0
+        assert record.total_calls == record.algorithm_calls
+        assert record.cpu_seconds > 0
+
+    def test_bootstrap_separated(self, space):
+        record = run_experiment(space, "prim", "laesa", num_landmarks=3)
+        assert record.bootstrap_calls > 0
+        assert record.algorithm_calls > 0
+
+    def test_tri_with_landmark_bootstrap(self, space):
+        record = run_experiment(
+            space, "prim", "tri", landmark_bootstrap=True, num_landmarks=3
+        )
+        assert record.bootstrap_calls > 0
+
+    def test_completion_time_arithmetic(self, space):
+        record = run_experiment(space, "prim", "tri", oracle_cost=0.5)
+        expected = record.cpu_seconds + 0.5 * record.total_calls
+        assert record.completion_seconds == pytest.approx(expected)
+        assert record.completion_at(2.0) == pytest.approx(
+            record.cpu_seconds + 2.0 * record.total_calls
+        )
+
+    def test_algorithm_kwargs_forwarded(self, space):
+        record = run_experiment(space, "knng", "none", algorithm_kwargs={"k": 3})
+        assert record.result.k == 3
+        assert record.params == {"k": 3}
+
+    def test_unknown_algorithm_rejected(self, space):
+        with pytest.raises(ValueError):
+            run_experiment(space, "quicksort", "none")
+
+    def test_save_vs(self, space):
+        baseline = run_experiment(space, "prim", "none")
+        ours = run_experiment(space, "prim", "tri")
+        save = ours.save_vs(baseline)
+        assert 0 <= save < 100
+
+
+class TestPercentageSave:
+    def test_basic(self):
+        assert percentage_save(100, 60) == pytest.approx(40.0)
+
+    def test_zero_baseline(self):
+        assert percentage_save(0, 10) == 0.0
+
+    def test_negative_when_worse(self):
+        assert percentage_save(100, 150) == pytest.approx(-50.0)

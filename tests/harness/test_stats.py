@@ -1,0 +1,73 @@
+"""Unit tests for the multi-seed statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.harness.stats import Summary, compare_schemes, repeat_experiment, summarize
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        s = summarize([2.0, 4.0, 6.0])
+        assert s.mean == pytest.approx(4.0)
+        assert s.std == pytest.approx(2.0)
+        assert s.count == 3
+
+    def test_confidence_interval_brackets_mean(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.ci_low < s.mean < s.ci_high
+
+    def test_single_value_collapses(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+        assert s.ci_low == s.ci_high == 7.0
+
+    def test_constant_sample(self):
+        s = summarize([5.0] * 10)
+        assert s.std == 0.0
+        assert s.ci_low == s.ci_high == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_interval_narrows_with_more_samples(self):
+        wide = summarize([0.0, 10.0])
+        narrow = summarize([0.0, 10.0] * 8)
+        assert (narrow.ci_high - narrow.ci_low) < (wide.ci_high - wide.ci_low)
+
+
+class TestRepeatExperiment:
+    def test_factory_called_per_seed(self):
+        calls = []
+
+        def factory(seed):
+            calls.append(seed)
+            return float(seed * 2)
+
+        s = repeat_experiment(factory, [1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert s.mean == pytest.approx(4.0)
+
+    def test_real_experiment_is_stable(self, rng):
+        from repro.datasets import sf_poi_space
+        from repro.harness import run_experiment
+
+        def factory(seed):
+            space = sf_poi_space(30, seed=seed, road=False)
+            return run_experiment(space, "prim", "tri").total_calls
+
+        s = repeat_experiment(factory, [0, 1, 2])
+        assert s.count == 3
+        assert 0 < s.mean < 30 * 29 / 2
+
+
+class TestCompareSchemes:
+    def test_labelled_summaries(self):
+        out = compare_schemes(
+            {"a": lambda seed: 1.0, "b": lambda seed: float(seed)},
+            seeds=[1, 3],
+        )
+        assert out["a"].mean == 1.0
+        assert out["b"].mean == pytest.approx(2.0)

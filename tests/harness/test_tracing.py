@@ -1,0 +1,92 @@
+"""Unit tests for the resolution-tracing oracle."""
+
+import pytest
+
+from repro.algorithms import prim_mst
+from repro.bounds import TriScheme
+from repro.bounds.landmarks import bootstrap_with_landmarks
+from repro.core.resolver import SmartResolver
+from repro.harness.tracing import TracingOracle, load_trace
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+@pytest.fixture
+def space(rng):
+    return MatrixSpace(random_metric_matrix(15, rng))
+
+
+@pytest.fixture
+def oracle(space):
+    return TracingOracle(space.distance, space.n)
+
+
+class TestEventRecording:
+    def test_each_charged_call_is_one_event(self, oracle):
+        oracle(0, 1)
+        oracle(0, 2)
+        oracle(0, 1)  # cached — no new event
+        assert len(oracle.events) == 2
+        assert oracle.calls == 2
+
+    def test_event_fields(self, oracle, space):
+        oracle(3, 1)
+        event = oracle.events[0]
+        assert (event.i, event.j) == (1, 3)  # canonical orientation
+        assert event.distance == pytest.approx(space.distance(1, 3))
+        assert event.sequence == 0
+        assert event.elapsed_seconds >= 0
+        assert event.phase == "default"
+
+    def test_self_distance_not_recorded(self, oracle):
+        oracle(4, 4)
+        assert oracle.events == []
+
+
+class TestPhases:
+    def test_phase_labels_applied(self, oracle):
+        with oracle.phase("alpha"):
+            oracle(0, 1)
+        with oracle.phase("beta"):
+            oracle(0, 2)
+            oracle(0, 3)
+        oracle(0, 4)
+        assert oracle.calls_per_phase() == {"alpha": 1, "beta": 2, "default": 1}
+
+    def test_phases_nest_and_restore(self, oracle):
+        with oracle.phase("outer"):
+            with oracle.phase("inner"):
+                oracle(0, 1)
+            oracle(0, 2)
+        assert oracle.calls_per_phase() == {"inner": 1, "outer": 1}
+        assert oracle.current_phase == "default"
+
+    def test_full_run_phase_split(self, space):
+        oracle = TracingOracle(space.distance, space.n)
+        resolver = SmartResolver(oracle)
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        with oracle.phase("bootstrap"):
+            bootstrap_with_landmarks(resolver, 3)
+        with oracle.phase("prim"):
+            prim_mst(resolver)
+        per_phase = oracle.calls_per_phase()
+        assert set(per_phase) == {"bootstrap", "prim"}
+        assert sum(per_phase.values()) == oracle.calls
+
+
+class TestCsvRoundTrip:
+    def test_write_and_load(self, oracle, tmp_path):
+        with oracle.phase("x"):
+            oracle(0, 1)
+            oracle(2, 3)
+        path = tmp_path / "trace.csv"
+        oracle.write_csv(path)
+        events = load_trace(path)
+        assert len(events) == 2
+        assert events[0].phase == "x"
+        assert events[1].sequence == 1
+
+    def test_reset_clears_events(self, oracle):
+        oracle(0, 1)
+        oracle.reset()
+        assert oracle.events == []
+        assert oracle.calls == 0

@@ -1,0 +1,77 @@
+"""Unit tests for the query-workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.harness.workloads import (
+    batched_queries,
+    focused_queries,
+    uniform_queries,
+    zipf_queries,
+)
+
+
+class TestUniform:
+    def test_count_and_range(self):
+        qs = uniform_queries(50, 200, seed=1)
+        assert len(qs) == 200
+        assert all(0 <= q < 50 for q in qs)
+
+    def test_deterministic(self):
+        assert uniform_queries(50, 20, seed=5) == uniform_queries(50, 20, seed=5)
+
+    def test_zero_count(self):
+        assert uniform_queries(50, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_queries(50, -1)
+
+
+class TestZipf:
+    def test_count_and_range(self):
+        qs = zipf_queries(50, 300, seed=2)
+        assert len(qs) == 300
+        assert all(0 <= q < 50 for q in qs)
+
+    def test_skew_concentrates_mass(self):
+        qs = zipf_queries(100, 2000, exponent=1.5, seed=3)
+        counts = np.bincount(qs, minlength=100)
+        top_share = np.sort(counts)[::-1][:10].sum() / len(qs)
+        assert top_share > 0.5  # top 10 of 100 objects get most queries
+
+    def test_higher_exponent_is_more_skewed(self):
+        def top_share(exponent):
+            qs = zipf_queries(100, 2000, exponent=exponent, seed=4)
+            counts = np.bincount(qs, minlength=100)
+            return np.sort(counts)[::-1][:5].sum() / len(qs)
+
+        assert top_share(2.0) > top_share(0.8)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_queries(50, 10, exponent=0.0)
+
+
+class TestFocused:
+    def test_queries_stay_in_block(self):
+        qs = focused_queries(200, 500, focus_fraction=0.1, seed=5)
+        assert max(qs) - min(qs) <= 20
+        assert all(0 <= q < 200 for q in qs)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            focused_queries(50, 10, focus_fraction=0.0)
+        with pytest.raises(ValueError):
+            focused_queries(50, 10, focus_fraction=1.5)
+
+
+class TestBatched:
+    def test_shape(self):
+        batches = batched_queries(40, batches=5, batch_size=8, seed=6)
+        assert len(batches) == 5
+        assert all(len(b) == 8 for b in batches)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            batched_queries(40, batches=-1, batch_size=8)

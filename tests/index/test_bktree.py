@@ -1,0 +1,92 @@
+"""Unit tests for the Burkhard–Keller tree comparator."""
+
+import numpy as np
+import pytest
+
+from repro.index.bktree import BkTree
+from repro.spaces.strings import EditDistanceSpace, random_strings
+
+
+@pytest.fixture
+def space(rng):
+    return EditDistanceSpace(random_strings(25, length=12, rng=rng))
+
+
+@pytest.fixture
+def tree(space):
+    return BkTree(space.oracle())
+
+
+class TestConstruction:
+    def test_size(self, tree, space):
+        assert len(tree) <= space.n  # duplicates collapse
+        assert len(tree) > 0
+
+    def test_construction_calls_counted(self, tree):
+        assert tree.construction_calls > 0
+
+    def test_duplicate_insert_is_noop(self, space):
+        tree = BkTree(space.oracle(), objects=[0, 1, 2])
+        size = len(tree)
+        tree.insert(1)
+        assert len(tree) == size
+
+    def test_rejects_non_integer_metric(self, rng):
+        from repro.spaces.vector import EuclideanSpace
+
+        space = EuclideanSpace(rng.random((5, 2)))
+        with pytest.raises(ValueError):
+            BkTree(space.oracle())
+
+
+class TestRange:
+    def test_matches_brute_force(self, tree, space):
+        for q in (0, 7, 13):
+            for tol in (1, 3, 6):
+                hits = tree.range(q, tol)
+                # Duplicate strings collapse in the index (and the query's
+                # own string is excluded), so compare deduplicated content.
+                brute_content = {
+                    (int(space.distance(q, c)), space.strings[c])
+                    for c in range(space.n)
+                    if space.strings[c] != space.strings[q]
+                    and space.distance(q, c) <= tol
+                }
+                hit_content = {(d, space.strings[o]) for d, o in hits}
+                assert hit_content == brute_content
+
+    def test_negative_tolerance_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.range(0, -1)
+
+    def test_sorted_output(self, tree):
+        hits = tree.range(2, 8)
+        assert hits == sorted(hits)
+
+
+class TestNearest:
+    def test_matches_brute_force(self, tree, space):
+        # The index holds one representative per distinct string (the first
+        # occurrence); nearest() answers over exactly that set, minus q.
+        representatives = {}
+        for obj, text in enumerate(space.strings):
+            representatives.setdefault(text, obj)
+        indexed = set(representatives.values())
+        for q in range(0, space.n, 5):
+            _, dist = tree.nearest(q)
+            expected = min(
+                int(space.distance(q, c)) for c in indexed if c != q
+            )
+            assert dist == expected
+
+    def test_empty_index_rejected(self, space):
+        tree = BkTree(space.oracle(), objects=[])
+        with pytest.raises(ValueError):
+            tree.nearest(0)
+
+    def test_query_pruning(self, space):
+        oracle = space.oracle()
+        tree = BkTree(oracle)
+        before = oracle.calls
+        tree.nearest(0)
+        assert oracle.calls - before <= len(tree)

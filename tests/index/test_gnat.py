@@ -1,0 +1,76 @@
+"""Unit tests for the GNAT comparator."""
+
+import numpy as np
+import pytest
+
+from repro.index.gnat import Gnat
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+from repro.spaces.vector import EuclideanSpace
+
+
+@pytest.fixture
+def space(rng):
+    return MatrixSpace(random_metric_matrix(40, rng))
+
+
+@pytest.fixture
+def tree(space):
+    return Gnat(space.oracle(), arity=4, leaf_size=5, rng=np.random.default_rng(8))
+
+
+class TestConstruction:
+    def test_size(self, tree, space):
+        assert len(tree) == space.n
+
+    def test_construction_calls_counted(self, tree):
+        assert tree.construction_calls > 0
+
+    def test_parameter_validation(self, space):
+        with pytest.raises(ValueError):
+            Gnat(space.oracle(), arity=1)
+        with pytest.raises(ValueError):
+            Gnat(space.oracle(), leaf_size=0)
+
+    def test_tiny_collection_is_one_bucket(self, rng):
+        space = MatrixSpace(random_metric_matrix(4, rng))
+        tree = Gnat(space.oracle(), leaf_size=6)
+        assert len(tree) == 4
+
+
+class TestRange:
+    @pytest.mark.parametrize("radius", [0.0, 0.25, 0.5, 0.9])
+    def test_matches_brute_force(self, tree, space, radius):
+        for q in (0, 17, 33):
+            hits = tree.range(q, radius)
+            brute = sorted(
+                c for c in range(space.n) if space.distance(q, c) <= radius
+            )
+            assert hits == brute
+
+    def test_negative_radius_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.range(0, -0.1)
+
+
+class TestNearest:
+    def test_matches_brute_force(self, tree, space):
+        for q in range(space.n):
+            _, dist = tree.nearest(q)
+            expected = min(space.distance(q, c) for c in range(space.n) if c != q)
+            assert dist == pytest.approx(expected)
+
+    def test_excludes_query(self, tree):
+        obj, _ = tree.nearest(20)
+        assert obj != 20
+
+
+class TestPruning:
+    def test_range_ranges_prune_subtrees(self, rng):
+        centres = rng.uniform(0, 1, size=(5, 2))
+        points = centres[rng.integers(5, size=80)] + rng.normal(scale=0.02, size=(80, 2))
+        space = EuclideanSpace(points)
+        oracle = space.oracle()
+        tree = Gnat(oracle, arity=4, leaf_size=5, rng=np.random.default_rng(2))
+        oracle.reset()  # count query calls from scratch
+        tree.range(0, 0.05)
+        assert oracle.calls < 80

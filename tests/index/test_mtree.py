@@ -1,0 +1,93 @@
+"""Unit tests for the M-tree comparator."""
+
+import numpy as np
+import pytest
+
+from repro.index.mtree import MTree
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+from repro.spaces.vector import EuclideanSpace
+
+
+@pytest.fixture
+def space(rng):
+    return MatrixSpace(random_metric_matrix(40, rng))
+
+
+@pytest.fixture
+def tree(space):
+    return MTree(space.oracle(), capacity=4, rng=np.random.default_rng(5))
+
+
+class TestConstruction:
+    def test_size(self, tree, space):
+        assert len(tree) == space.n
+
+    def test_construction_calls_counted(self, tree):
+        assert tree.construction_calls > 0
+
+    def test_subset_indexing(self, space):
+        tree = MTree(space.oracle(), objects=[1, 4, 9, 16, 25, 36])
+        assert len(tree) == 6
+
+    def test_invalid_capacity(self, space):
+        with pytest.raises(ValueError):
+            MTree(space.oracle(), capacity=1)
+
+    def test_small_capacity_still_correct(self, space):
+        tree = MTree(space.oracle(), capacity=2, rng=np.random.default_rng(1))
+        hits = tree.range(0, 0.4)
+        brute = sorted(
+            c for c in range(space.n) if space.distance(0, c) <= 0.4
+        )
+        assert hits == brute
+
+
+class TestRange:
+    @pytest.mark.parametrize("radius", [0.0, 0.2, 0.5, 0.9])
+    def test_matches_brute_force(self, tree, space, radius):
+        for q in (0, 13, 27):
+            hits = tree.range(q, radius)
+            brute = sorted(
+                c for c in range(space.n) if space.distance(q, c) <= radius
+            )
+            assert hits == brute
+
+    def test_negative_radius_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.range(0, -0.5)
+
+
+class TestNearest:
+    def test_matches_brute_force(self, tree, space):
+        for q in range(space.n):
+            _, dist = tree.nearest(q)
+            expected = min(space.distance(q, c) for c in range(space.n) if c != q)
+            assert dist == pytest.approx(expected)
+
+    def test_excludes_query(self, tree):
+        obj, _ = tree.nearest(11)
+        assert obj != 11
+
+    def test_two_objects(self, rng):
+        space = MatrixSpace(random_metric_matrix(2, rng))
+        tree = MTree(space.oracle())
+        obj, dist = tree.nearest(0)
+        assert obj == 1
+        assert dist == pytest.approx(space.distance(0, 1))
+
+
+class TestPruning:
+    def test_parent_distance_rule_saves_calls(self, rng):
+        # Clustered Euclidean data: range queries should not touch every
+        # object once the tree is built.
+        centres = rng.uniform(0, 1, size=(5, 2))
+        points = centres[rng.integers(5, size=80)] + rng.normal(scale=0.02, size=(80, 2))
+        space = EuclideanSpace(points)
+        oracle = space.oracle()
+        tree = MTree(oracle, capacity=6, rng=np.random.default_rng(2))
+        # Drop the cache so query calls are really counted.
+        oracle.reset()
+        tree.oracle = oracle
+        before = oracle.calls
+        tree.range(0, 0.05)
+        assert oracle.calls - before < 80

@@ -1,0 +1,87 @@
+"""Unit tests for the vantage-point tree comparator."""
+
+import numpy as np
+import pytest
+
+from repro.index.vptree import VpTree
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+from repro.spaces.vector import EuclideanSpace
+
+
+@pytest.fixture
+def space(rng):
+    return MatrixSpace(random_metric_matrix(30, rng))
+
+
+@pytest.fixture
+def tree(space):
+    return VpTree(space.oracle(), rng=np.random.default_rng(2))
+
+
+class TestConstruction:
+    def test_size(self, tree, space):
+        assert len(tree) == space.n
+
+    def test_construction_calls_counted(self, tree, space):
+        assert 0 < tree.construction_calls <= space.n * (space.n - 1) // 2
+
+    def test_subset_indexing(self, space):
+        tree = VpTree(space.oracle(), objects=[0, 3, 5, 9, 12])
+        assert len(tree) == 5
+
+    def test_invalid_leaf_size(self, space):
+        with pytest.raises(ValueError):
+            VpTree(space.oracle(), leaf_size=0)
+
+
+class TestNearest:
+    def test_matches_brute_force(self, tree, space):
+        for q in range(space.n):
+            obj, dist = tree.nearest(q)
+            expected = min(
+                space.distance(q, c) for c in range(space.n) if c != q
+            )
+            assert dist == pytest.approx(expected)
+
+    def test_excludes_query_itself(self, tree, space):
+        obj, dist = tree.nearest(7)
+        assert obj != 7
+
+    def test_single_other_object(self, rng):
+        space = MatrixSpace(random_metric_matrix(2, rng))
+        tree = VpTree(space.oracle())
+        obj, dist = tree.nearest(0)
+        assert obj == 1
+        assert dist == pytest.approx(space.distance(0, 1))
+
+
+class TestRange:
+    def test_matches_brute_force(self, tree, space):
+        for q in (0, 5, 11):
+            for radius in (0.2, 0.5, 0.9):
+                hits = tree.range(q, radius)
+                brute = sorted(
+                    c for c in range(space.n) if space.distance(q, c) <= radius
+                )
+                assert hits == brute
+
+    def test_zero_radius_returns_self_only(self, tree):
+        assert tree.range(4, 0.0) == [4]
+
+    def test_negative_radius_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.range(0, -0.1)
+
+
+class TestQueryCost:
+    def test_queries_prune_candidates(self, rng):
+        # Clustered data: NN queries should touch far fewer than n objects.
+        centres = rng.uniform(0, 1, size=(4, 2))
+        points = centres[rng.integers(4, size=60)] + rng.normal(scale=0.02, size=(60, 2))
+        space = EuclideanSpace(points)
+        oracle = space.oracle()
+        tree = VpTree(oracle, rng=np.random.default_rng(1))
+        before = oracle.calls
+        tree.nearest(0)
+        per_query = oracle.calls - before
+        assert per_query < 60

@@ -1,0 +1,79 @@
+"""Unit tests for the metric-space protocol helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import MetricViolationError
+from repro.spaces.base import BaseSpace, MetricSpace, check_metric_axioms
+from repro.spaces.vector import EuclideanSpace
+
+
+class _BrokenSpace(BaseSpace):
+    """A deliberately non-metric space for validating the checker."""
+
+    def __init__(self, n, mode):
+        super().__init__(n)
+        self.mode = mode
+
+    def distance(self, i, j):
+        if self.mode == "identity" and i == j:
+            return 1.0
+        if i == j:
+            return 0.0
+        if self.mode == "asymmetric":
+            return float(i * 10 + j)
+        if self.mode == "negative":
+            return -1.0
+        if self.mode == "triangle":
+            # d(0,2) huge, everything else tiny.
+            if {i, j} == {0, 2}:
+                return 100.0
+            return 1.0
+        return 1.0
+
+
+class TestCheckMetricAxioms:
+    def test_accepts_euclidean(self, rng):
+        check_metric_axioms(EuclideanSpace(rng.normal(size=(10, 3))))
+
+    def test_detects_identity_violation(self):
+        with pytest.raises(MetricViolationError, match="!= 0"):
+            check_metric_axioms(_BrokenSpace(5, "identity"))
+
+    def test_detects_asymmetry(self):
+        with pytest.raises(MetricViolationError, match="asymmetry"):
+            check_metric_axioms(_BrokenSpace(5, "asymmetric"))
+
+    def test_detects_negative(self):
+        with pytest.raises(MetricViolationError, match="negative"):
+            check_metric_axioms(_BrokenSpace(5, "negative"))
+
+    def test_detects_triangle_violation(self):
+        with pytest.raises(MetricViolationError, match="triangle"):
+            check_metric_axioms(_BrokenSpace(5, "triangle"))
+
+    def test_sampled_triples_only(self, rng):
+        space = _BrokenSpace(10, "triangle")
+        # A sample that avoids the bad triple passes.
+        check_metric_axioms(space, sample_triples=[(1, 3, 5)])
+        with pytest.raises(MetricViolationError):
+            check_metric_axioms(space, sample_triples=[(0, 1, 2)])
+
+
+class TestBaseSpace:
+    def test_protocol_conformance(self, rng):
+        space = EuclideanSpace(rng.normal(size=(5, 2)))
+        assert isinstance(space, MetricSpace)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            _BrokenSpace(0, "identity")
+
+    def test_default_diameter_is_infinite(self):
+        space = _BrokenSpace(5, "ok")
+        assert space.diameter_bound() == float("inf")
+
+    def test_oracle_factory(self, rng):
+        space = EuclideanSpace(rng.normal(size=(5, 2)))
+        oracle = space.oracle(budget=3)
+        assert oracle.n == 5

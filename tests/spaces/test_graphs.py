@@ -1,0 +1,130 @@
+"""Unit tests for graph-derived metric spaces (shortest path, ultrametric)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.spaces.base import check_metric_axioms
+from repro.spaces.graphs import GraphShortestPathSpace, UltrametricSpace, random_ultrametric
+
+
+class TestGraphShortestPathSpace:
+    @pytest.fixture
+    def path_graph(self):
+        # 0 - 1 - 2 - 3 chain plus a long shortcut 0-3.
+        return GraphShortestPathSpace(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)]
+        )
+
+    def test_shortest_path_wins(self, path_graph):
+        assert path_graph.distance(0, 3) == pytest.approx(3.0)
+
+    def test_metric_axioms(self, path_graph):
+        check_metric_axioms(path_graph)
+
+    def test_symmetry(self, path_graph):
+        assert path_graph.distance(1, 3) == path_graph.distance(3, 1)
+
+    def test_diameter_dominates(self, path_graph):
+        cap = path_graph.diameter_bound()
+        for i, j in itertools.combinations(range(4), 2):
+            assert path_graph.distance(i, j) <= cap + 1e-9
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="components"):
+            GraphShortestPathSpace(4, [(0, 1, 1.0)])
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            GraphShortestPathSpace(2, [(0, 1, 0.0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            GraphShortestPathSpace(2, [(0, 5, 1.0)])
+
+    def test_works_with_framework(self):
+        from repro.algorithms import prim_mst
+        from repro.bounds import TriScheme
+        from repro.core.resolver import SmartResolver
+
+        rng = np.random.default_rng(4)
+        edges = [(i, i + 1, float(rng.uniform(0.5, 2.0))) for i in range(19)]
+        edges += [
+            (int(rng.integers(20)), int(rng.integers(20)), float(rng.uniform(1, 3)))
+            for _ in range(15)
+        ]
+        edges = [(u, v, w) for u, v, w in edges if u != v]
+        space = GraphShortestPathSpace(20, edges)
+        vanilla = prim_mst(SmartResolver(space.oracle()))
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        augmented = prim_mst(resolver)
+        assert augmented.total_weight == pytest.approx(vanilla.total_weight)
+
+
+class TestUltrametric:
+    @pytest.fixture
+    def matrix(self, rng):
+        return random_ultrametric(20, rng)
+
+    def test_generator_produces_ultrametric(self, matrix):
+        n = matrix.shape[0]
+        for i, j, k in itertools.combinations(range(n), 3):
+            assert matrix[i, j] <= max(matrix[i, k], matrix[k, j]) + 1e-9
+
+    def test_space_validates(self, matrix):
+        space = UltrametricSpace(matrix)
+        check_metric_axioms(space)
+
+    def test_non_ultrametric_rejected(self):
+        bad = np.array(
+            [
+                [0.0, 1.0, 3.0],
+                [1.0, 0.0, 1.0],
+                [3.0, 1.0, 0.0],
+            ]
+        )
+        with pytest.raises(ValueError, match="ultrametric"):
+            UltrametricSpace(bad)
+
+    def test_generator_deterministic(self):
+        a = random_ultrametric(8, np.random.default_rng(3))
+        b = random_ultrametric(8, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_tri_bounds_sound_and_informative(self, matrix):
+        """Tri bounds stay sound on ultrametrics and tighten with triangles.
+
+        (Note: the *ultrametric* inference d(i,j) = max(d(i,w), d(j,w)) when
+        the two differ is strictly stronger than the triangle bounds; plain
+        Tri only certifies the |difference| / sum interval.)
+        """
+        from repro.bounds import TriScheme
+        from repro.core.resolver import SmartResolver
+
+        space = UltrametricSpace(matrix)
+        resolver = SmartResolver(space.oracle())
+        tri = TriScheme(resolver.graph, space.diameter_bound())
+        resolver.bounder = tri
+        n = space.n
+        for w in range(2, n):
+            resolver.distance(0, w)
+            resolver.distance(1, w)
+        b = resolver.bounds(0, 1)
+        truth = matrix[0, 1]
+        assert b.lower - 1e-9 <= truth <= b.upper + 1e-9
+        assert b.gap < space.diameter_bound()  # genuinely informative
+
+    def test_exact_mst_on_ultrametric(self, matrix):
+        from repro.algorithms import kruskal_mst, prim_mst
+        from repro.bounds import TriScheme
+        from repro.core.resolver import SmartResolver
+
+        space = UltrametricSpace(matrix)
+        vanilla = prim_mst(SmartResolver(space.oracle()))
+        oracle = space.oracle()
+        resolver = SmartResolver(oracle)
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        augmented = kruskal_mst(resolver)
+        assert augmented.total_weight == pytest.approx(vanilla.total_weight)

@@ -1,0 +1,106 @@
+"""Unit tests for the explicit-matrix space and metric repair utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import MetricViolationError
+from repro.spaces.base import check_metric_axioms
+from repro.spaces.matrix import MatrixSpace, metric_closure, random_metric_matrix
+
+
+class TestMatrixSpace:
+    def test_lookup(self):
+        m = np.array([[0.0, 1.0], [1.0, 0.0]])
+        space = MatrixSpace(m)
+        assert space.distance(0, 1) == 1.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            MatrixSpace(np.zeros((2, 3)))
+
+    def test_rejects_nonzero_diagonal(self):
+        m = np.array([[0.5, 1.0], [1.0, 0.0]])
+        with pytest.raises(MetricViolationError):
+            MatrixSpace(m)
+
+    def test_rejects_asymmetry(self):
+        m = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(MetricViolationError):
+            MatrixSpace(m)
+
+    def test_rejects_negative(self):
+        m = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(MetricViolationError):
+            MatrixSpace(m)
+
+    def test_rejects_triangle_violation(self):
+        m = np.array(
+            [
+                [0.0, 1.0, 10.0],
+                [1.0, 0.0, 1.0],
+                [10.0, 1.0, 0.0],
+            ]
+        )
+        with pytest.raises(MetricViolationError):
+            MatrixSpace(m)
+
+    def test_validate_false_skips_checks(self):
+        m = np.array([[0.0, 1.0], [2.0, 0.0]])
+        space = MatrixSpace(m, validate=False)
+        assert space.distance(0, 1) == 1.0
+
+    def test_diameter_bound_is_max(self, rng):
+        m = random_metric_matrix(8, rng)
+        assert MatrixSpace(m).diameter_bound() == m.max()
+
+
+class TestMetricClosure:
+    def test_fixes_triangle_violations(self):
+        raw = np.array(
+            [
+                [0.0, 1.0, 10.0],
+                [1.0, 0.0, 1.0],
+                [10.0, 1.0, 0.0],
+            ]
+        )
+        fixed = metric_closure(raw)
+        assert fixed[0, 2] == pytest.approx(2.0)  # shortest path 0→1→2
+        MatrixSpace(fixed)  # validates
+
+    def test_idempotent_on_metrics(self, rng):
+        m = random_metric_matrix(10, rng)
+        again = metric_closure(m)
+        assert np.allclose(m, again)
+
+    def test_never_increases_distances(self, rng):
+        raw = rng.uniform(0.1, 1.0, size=(8, 8))
+        raw = (raw + raw.T) / 2
+        np.fill_diagonal(raw, 0.0)
+        closed = metric_closure(raw)
+        assert np.all(closed <= raw + 1e-12)
+
+    def test_symmetrises(self):
+        raw = np.array([[0.0, 3.0], [1.0, 0.0]])
+        closed = metric_closure(raw)
+        assert closed[0, 1] == closed[1, 0] == 1.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            metric_closure(np.zeros((2, 3)))
+
+
+class TestRandomMetricMatrix:
+    def test_produces_valid_metric(self, rng):
+        m = random_metric_matrix(15, rng)
+        check_metric_axioms(MatrixSpace(m))
+
+    def test_deterministic_given_generator(self):
+        a = random_metric_matrix(6, np.random.default_rng(1))
+        b = random_metric_matrix(6, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_respects_range_cap(self, rng):
+        m = random_metric_matrix(10, rng, low=0.2, high=0.5)
+        off_diag = m[~np.eye(10, dtype=bool)]
+        assert off_diag.max() <= 0.5 + 1e-12
+        assert off_diag.min() > 0.0

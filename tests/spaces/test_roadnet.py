@@ -1,0 +1,72 @@
+"""Unit tests for the simulated road-network (maps API substitute) space."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.spaces.base import check_metric_axioms
+from repro.spaces.roadnet import RoadNetworkSpace
+
+
+@pytest.fixture
+def space(rng):
+    points = rng.uniform(0, 1, size=(25, 2))
+    return RoadNetworkSpace(points, rng=np.random.default_rng(3))
+
+
+class TestRoadNetwork:
+    def test_metric_axioms(self, space):
+        check_metric_axioms(space)
+
+    def test_all_pairs_reachable(self, space):
+        for i, j in itertools.combinations(range(space.n), 2):
+            assert np.isfinite(space.distance(i, j))
+
+    def test_dominates_crow_flies(self, space):
+        # Roads detour, so driving distance >= Euclidean distance.
+        pts = space.points
+        for i, j in itertools.combinations(range(10), 2):
+            euclid = float(np.linalg.norm(pts[i] - pts[j]))
+            assert space.distance(i, j) >= euclid - 1e-9
+
+    def test_symmetry(self, space):
+        assert space.distance(3, 9) == pytest.approx(space.distance(9, 3))
+
+    def test_diameter_bound_dominates(self, space):
+        cap = space.diameter_bound()
+        for i, j in itertools.combinations(range(space.n), 2):
+            assert space.distance(i, j) <= cap + 1e-9
+
+    def test_row_cache_reuse(self, space):
+        space.distance(0, 5)
+        assert 0 in space._row_cache
+        # Querying (7, 0) should reuse row 0 rather than computing row 7.
+        space.distance(7, 0)
+        assert 7 not in space._row_cache
+
+    def test_deterministic_given_seed(self, rng):
+        points = rng.uniform(0, 1, size=(15, 2))
+        a = RoadNetworkSpace(points, rng=np.random.default_rng(7))
+        b = RoadNetworkSpace(points, rng=np.random.default_rng(7))
+        assert a.distance(2, 11) == pytest.approx(b.distance(2, 11))
+
+    def test_num_roads_positive(self, space):
+        assert space.num_roads >= space.n - 1  # at least a spanning structure
+
+
+class TestValidation:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            RoadNetworkSpace(np.zeros((5, 3)))
+
+    def test_rejects_bad_detour_range(self, rng):
+        points = rng.uniform(0, 1, size=(5, 2))
+        with pytest.raises(ValueError):
+            RoadNetworkSpace(points, detour_range=(0.5, 1.2))
+        with pytest.raises(ValueError):
+            RoadNetworkSpace(points, detour_range=(1.5, 1.2))
+
+    def test_single_point(self):
+        space = RoadNetworkSpace(np.array([[0.3, 0.4]]))
+        assert space.distance(0, 0) == 0.0

@@ -1,0 +1,130 @@
+"""Unit tests for the set/sequence metric spaces (Hausdorff, Jaccard, Hamming)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.spaces.base import check_metric_axioms
+from repro.spaces.sets import HammingSpace, HausdorffSpace, JaccardSpace
+
+
+class TestHausdorff:
+    @pytest.fixture
+    def space(self, rng):
+        sets = [rng.uniform(0, 1, size=(rng.integers(3, 10), 2)) for _ in range(12)]
+        return HausdorffSpace(sets)
+
+    def test_metric_axioms(self, space):
+        check_metric_axioms(space)
+
+    def test_identical_sets_zero(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        space = HausdorffSpace([pts, pts.copy()])
+        assert space.distance(0, 1) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        space = HausdorffSpace([a, b])
+        assert space.distance(0, 1) == pytest.approx(5.0)
+
+    def test_asymmetric_coverage(self):
+        # A inside B's hull but B has a far outlier: H = outlier's distance.
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.0, 0.0], [10.0, 0.0]])
+        space = HausdorffSpace([a, b])
+        assert space.distance(0, 1) == pytest.approx(10.0)
+
+    def test_diameter_dominates(self, space):
+        cap = space.diameter_bound()
+        for i, j in itertools.combinations(range(space.n), 2):
+            assert space.distance(i, j) <= cap + 1e-9
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(ValueError):
+            HausdorffSpace([np.empty((0, 2)), np.array([[0.0, 0.0]])])
+
+    def test_rejects_mixed_dimensions(self):
+        with pytest.raises(ValueError):
+            HausdorffSpace([np.zeros((2, 2)), np.zeros((2, 3))])
+
+
+class TestJaccard:
+    @pytest.fixture
+    def space(self):
+        return JaccardSpace([
+            {1, 2, 3},
+            {2, 3, 4},
+            {1, 2, 3},
+            set(),
+            {9},
+        ])
+
+    def test_metric_axioms(self, space):
+        check_metric_axioms(space)
+
+    def test_known_value(self, space):
+        # |{2,3}| / |{1,2,3,4}| = 2/4 → distance 0.5.
+        assert space.distance(0, 1) == pytest.approx(0.5)
+
+    def test_identical_sets(self, space):
+        assert space.distance(0, 2) == 0.0
+
+    def test_disjoint_sets(self, space):
+        assert space.distance(0, 4) == 1.0
+
+    def test_empty_vs_empty(self):
+        space = JaccardSpace([set(), set()])
+        assert space.distance(0, 1) == 0.0
+
+    def test_empty_vs_nonempty(self, space):
+        assert space.distance(0, 3) == 1.0
+
+    def test_diameter(self, space):
+        assert space.diameter_bound() == 1.0
+
+
+class TestHamming:
+    def test_known_value(self):
+        space = HammingSpace(["ACGT", "ACGA", "TCGA"])
+        assert space.distance(0, 1) == 1
+        assert space.distance(0, 2) == 2
+        assert space.distance(1, 2) == 1
+
+    def test_metric_axioms(self, rng):
+        codes = ["".join(rng.choice(list("01"), size=12)) for _ in range(10)]
+        check_metric_axioms(HammingSpace(codes))
+
+    def test_normalised(self):
+        space = HammingSpace(["0000", "1111"], normalise=True)
+        assert space.distance(0, 1) == pytest.approx(1.0)
+        assert space.diameter_bound() == 1.0
+
+    def test_raw_diameter(self):
+        space = HammingSpace(["0000", "1111"])
+        assert space.diameter_bound() == 4.0
+
+    def test_rejects_ragged_codes(self):
+        with pytest.raises(ValueError):
+            HammingSpace(["abc", "ab"])
+
+    def test_accepts_tuples(self):
+        space = HammingSpace([(1, 2, 3), (1, 0, 3)])
+        assert space.distance(0, 1) == 1
+
+
+class TestOracleIntegration:
+    def test_clustering_over_jaccard(self, rng):
+        from repro.algorithms import pam
+        from repro.bounds import TriScheme
+        from repro.core.resolver import SmartResolver
+
+        universe = list(range(30))
+        sets = [set(rng.choice(universe, size=8, replace=False)) for _ in range(25)]
+        space = JaccardSpace(sets)
+        vanilla = pam(SmartResolver(space.oracle()), l=3, seed=0)
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = TriScheme(resolver.graph, 1.0)
+        augmented = pam(resolver, l=3, seed=0)
+        assert augmented.medoids == vanilla.medoids

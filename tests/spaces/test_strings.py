@@ -1,0 +1,78 @@
+"""Unit tests for the edit-distance space."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.spaces.base import check_metric_axioms
+from repro.spaces.strings import EditDistanceSpace, levenshtein, random_strings
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xyz", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("a", "b", 1),
+            ("abcdef", "azced", 3),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_symmetric(self):
+        assert levenshtein("sunday", "saturday") == levenshtein("saturday", "sunday")
+
+    def test_bounded_by_longer_length(self, rng):
+        strings = random_strings(10, length=20, rng=rng)
+        for a, b in itertools.combinations(strings, 2):
+            assert levenshtein(a, b) <= max(len(a), len(b))
+
+
+class TestEditDistanceSpace:
+    def test_distance_matches_function(self):
+        space = EditDistanceSpace(["kitten", "sitting", "mitten"])
+        assert space.distance(0, 1) == 3
+        assert space.distance(0, 2) == 1
+
+    def test_metric_axioms(self, rng):
+        space = EditDistanceSpace(random_strings(10, length=16, rng=rng))
+        check_metric_axioms(space)
+
+    def test_normalised_distances_in_unit_interval(self, rng):
+        space = EditDistanceSpace(random_strings(8, length=12, rng=rng), normalise=True)
+        for i, j in itertools.combinations(range(8), 2):
+            assert 0.0 <= space.distance(i, j) <= 1.0
+
+    def test_diameter_bound(self, rng):
+        raw = EditDistanceSpace(random_strings(8, length=12, rng=rng))
+        assert raw.diameter_bound() == 12
+        norm = EditDistanceSpace(random_strings(8, length=12, rng=rng), normalise=True)
+        assert norm.diameter_bound() == 1.0
+
+
+class TestRandomStrings:
+    def test_count_and_length(self, rng):
+        strings = random_strings(20, length=30, rng=rng)
+        assert len(strings) == 20
+        assert all(len(s) == 30 for s in strings)
+
+    def test_alphabet_respected(self, rng):
+        strings = random_strings(10, length=15, alphabet="AB", rng=rng)
+        assert all(set(s) <= {"A", "B"} for s in strings)
+
+    def test_family_structure(self, rng):
+        # With zero mutation, strings collapse onto the seed sequences.
+        strings = random_strings(30, length=20, mutation_rate=0.0, num_seeds=3, rng=rng)
+        assert len(set(strings)) <= 3
+
+    def test_deterministic(self):
+        a = random_strings(5, rng=np.random.default_rng(9))
+        b = random_strings(5, rng=np.random.default_rng(9))
+        assert a == b

@@ -1,0 +1,132 @@
+"""Unit tests for the vector (Minkowski/angular) metric spaces."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import chebyshev, cityblock, euclidean
+
+from repro.spaces.base import check_metric_axioms
+from repro.spaces.vector import (
+    ChebyshevSpace,
+    CosineAngularSpace,
+    EuclideanSpace,
+    ManhattanSpace,
+    MinkowskiSpace,
+)
+
+
+@pytest.fixture
+def points(rng):
+    return rng.normal(size=(15, 4))
+
+
+class TestMinkowskiDistances:
+    def test_euclidean_matches_scipy(self, points):
+        space = EuclideanSpace(points)
+        for i, j in itertools.combinations(range(6), 2):
+            assert space.distance(i, j) == pytest.approx(euclidean(points[i], points[j]))
+
+    def test_manhattan_matches_scipy(self, points):
+        space = ManhattanSpace(points)
+        for i, j in itertools.combinations(range(6), 2):
+            assert space.distance(i, j) == pytest.approx(cityblock(points[i], points[j]))
+
+    def test_chebyshev_matches_scipy(self, points):
+        space = ChebyshevSpace(points)
+        for i, j in itertools.combinations(range(6), 2):
+            assert space.distance(i, j) == pytest.approx(chebyshev(points[i], points[j]))
+
+    def test_symmetry(self, points):
+        space = EuclideanSpace(points)
+        assert space.distance(3, 7) == space.distance(7, 3)
+
+    def test_identity(self, points):
+        space = EuclideanSpace(points)
+        assert space.distance(5, 5) == 0.0
+
+    def test_metric_axioms_hold(self, points):
+        for space in (EuclideanSpace(points), ManhattanSpace(points), ChebyshevSpace(points)):
+            check_metric_axioms(space)
+
+
+class TestDiameterBound:
+    def test_euclidean_diameter_dominates_all_pairs(self, points):
+        space = EuclideanSpace(points)
+        cap = space.diameter_bound()
+        for i, j in itertools.combinations(range(space.n), 2):
+            assert space.distance(i, j) <= cap + 1e-12
+
+    def test_manhattan_diameter_dominates_all_pairs(self, points):
+        space = ManhattanSpace(points)
+        cap = space.diameter_bound()
+        for i, j in itertools.combinations(range(space.n), 2):
+            assert space.distance(i, j) <= cap + 1e-12
+
+    def test_chebyshev_diameter_dominates_all_pairs(self, points):
+        space = ChebyshevSpace(points)
+        cap = space.diameter_bound()
+        for i, j in itertools.combinations(range(space.n), 2):
+            assert space.distance(i, j) <= cap + 1e-12
+
+
+class TestValidation:
+    def test_rejects_one_dimensional_input(self):
+        with pytest.raises(ValueError):
+            EuclideanSpace(np.array([1.0, 2.0, 3.0]))
+
+    def test_rejects_p_below_one(self, points):
+        with pytest.raises(ValueError):
+            MinkowskiSpace(points, p=0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EuclideanSpace(np.empty((0, 2)))
+
+    def test_len_and_n(self, points):
+        space = EuclideanSpace(points)
+        assert len(space) == space.n == 15
+
+
+class TestCosineAngular:
+    def test_distance_in_unit_interval(self, rng):
+        space = CosineAngularSpace(rng.normal(size=(10, 8)))
+        for i, j in itertools.combinations(range(10), 2):
+            assert 0.0 <= space.distance(i, j) <= 1.0
+
+    def test_identical_directions_are_zero(self):
+        pts = np.array([[1.0, 0.0], [2.0, 0.0], [0.0, 3.0]])
+        space = CosineAngularSpace(pts)
+        assert space.distance(0, 1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_opposite_directions_are_one(self):
+        pts = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        space = CosineAngularSpace(pts)
+        assert space.distance(0, 1) == pytest.approx(1.0)
+
+    def test_orthogonal_is_half(self):
+        pts = np.array([[1.0, 0.0], [0.0, 1.0]])
+        space = CosineAngularSpace(pts)
+        assert space.distance(0, 1) == pytest.approx(0.5)
+
+    def test_metric_axioms_hold(self, rng):
+        space = CosineAngularSpace(rng.normal(size=(12, 5)))
+        check_metric_axioms(space)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            CosineAngularSpace(np.array([[0.0, 0.0], [1.0, 0.0]]))
+
+
+class TestOracleBridge:
+    def test_oracle_wraps_space(self, points):
+        space = EuclideanSpace(points)
+        oracle = space.oracle()
+        assert oracle.n == space.n
+        assert oracle(0, 1) == pytest.approx(space.distance(0, 1))
+
+    def test_oracle_cost_passthrough(self, points):
+        oracle = EuclideanSpace(points).oracle(cost_per_call=2.0)
+        oracle(0, 1)
+        assert oracle.simulated_seconds == pytest.approx(2.0)

@@ -1,0 +1,108 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.dataset == "sf"
+        assert args.algorithm == "prim"
+        assert args.n == 100
+
+    def test_sweep_requires_sizes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_unknown_provider_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--providers", "bogus"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "mars"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRunCommand:
+    def test_prim_table_printed(self, capsys):
+        code = main([
+            "run", "--dataset", "sf-euclid", "--n", "40",
+            "--algorithm", "prim", "--providers", "none", "tri",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tri" in out
+        assert "total" in out
+
+    def test_clustering_with_l(self, capsys):
+        code = main([
+            "run", "--dataset", "sf-euclid", "--n", "30",
+            "--algorithm", "pam", "--l", "3", "--providers", "none", "tri",
+        ])
+        assert code == 0
+        assert "pam" in capsys.readouterr().out
+
+    def test_knng_with_k(self, capsys):
+        code = main([
+            "run", "--dataset", "flickr", "--n", "30",
+            "--algorithm", "knng", "--k", "3", "--providers", "tri",
+        ])
+        assert code == 0
+
+    def test_oracle_cost_column(self, capsys):
+        code = main([
+            "run", "--dataset", "sf-euclid", "--n", "30",
+            "--algorithm", "prim", "--providers", "tri",
+            "--oracle-cost", "0.5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "completion" in out
+
+    def test_bootstrap_flag(self, capsys):
+        code = main([
+            "run", "--dataset", "sf-euclid", "--n", "40",
+            "--algorithm", "prim", "--providers", "tri", "--bootstrap",
+        ])
+        assert code == 0
+
+
+class TestSweepCommand:
+    def test_sweep_prints_rows(self, capsys):
+        code = main([
+            "sweep", "--dataset", "sf-euclid", "--sizes", "20", "30",
+            "--algorithm", "kruskal", "--providers", "tri",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "20" in out and "30" in out
+
+
+class TestBoundsCommand:
+    def test_bounds_table(self, capsys):
+        code = main([
+            "bounds", "--dataset", "sf-euclid", "--n", "40",
+            "--edges", "200", "--queries", "30",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "splub" in out
+        assert "rel err" in out
+
+
+class TestIndexesCommand:
+    def test_comparison_table(self, capsys):
+        code = main([
+            "indexes", "--dataset", "sf-euclid", "--n", "40", "--queries", "5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "framework" in out
+        assert "VP-tree" in out
+        assert "GNAT" in out

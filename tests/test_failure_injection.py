@@ -1,0 +1,161 @@
+"""Failure-injection tests: the library under misbehaving oracles.
+
+Expensive oracles fail in practice — rate limits, corrupt answers,
+timeouts.  These tests pin down what the library guarantees in each case.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import knn_graph, pam, prim_mst
+from repro.bounds import TriScheme
+from repro.core.exceptions import BudgetExceededError, MetricViolationError
+from repro.core.oracle import DistanceOracle
+from repro.core.resolver import SmartResolver
+from repro.core.validation import ValidatingOracle
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+@pytest.fixture
+def matrix(rng):
+    return random_metric_matrix(15, rng)
+
+
+class FlakyOracleError(RuntimeError):
+    """Stand-in for a network/timeout failure from the oracle."""
+
+
+class TestTransientFailures:
+    def test_exception_propagates_cleanly(self, matrix):
+        calls = {"count": 0}
+
+        def flaky(i, j):
+            calls["count"] += 1
+            if calls["count"] == 10:
+                raise FlakyOracleError("simulated timeout")
+            return float(matrix[i, j])
+
+        oracle = DistanceOracle(flaky, 15)
+        resolver = SmartResolver(oracle)
+        resolver.bounder = TriScheme(resolver.graph, float(matrix.max()))
+        with pytest.raises(FlakyOracleError):
+            prim_mst(resolver)
+
+    def test_failed_call_is_not_cached_or_charged(self, matrix):
+        attempts = {"count": 0}
+
+        def flaky(i, j):
+            attempts["count"] += 1
+            if attempts["count"] == 1:
+                raise FlakyOracleError
+            return float(matrix[i, j])
+
+        oracle = DistanceOracle(flaky, 15)
+        with pytest.raises(FlakyOracleError):
+            oracle(0, 1)
+        assert oracle.calls == 0  # failed attempts are not charged
+        assert not oracle.is_resolved(0, 1)
+        # A retry succeeds, returns the right value, and charges once.
+        assert oracle(0, 1) == matrix[0, 1]
+        assert oracle.calls == 1
+
+    def test_resolver_state_survives_failure_and_can_resume(self, matrix):
+        toggle = {"fail": False}
+
+        def flaky(i, j):
+            if toggle["fail"]:
+                raise FlakyOracleError
+            return float(matrix[i, j])
+
+        oracle = DistanceOracle(flaky, 15)
+        resolver = SmartResolver(oracle)
+        resolver.bounder = TriScheme(resolver.graph, float(matrix.max()))
+        for j in range(1, 10):
+            resolver.distance(0, j)
+        edges_before = resolver.graph.num_edges
+        toggle["fail"] = True
+        with pytest.raises(FlakyOracleError):
+            resolver.distance(3, 7)
+        toggle["fail"] = False
+        # Nothing corrupted: the graph kept its edges and new work succeeds.
+        assert resolver.graph.num_edges == edges_before
+        result = prim_mst(resolver)
+        assert result.num_edges == 14
+
+
+class TestBudgetExhaustion:
+    def test_partial_graph_remains_usable(self, matrix):
+        space = MatrixSpace(matrix)
+        oracle = space.oracle(budget=40)
+        resolver = SmartResolver(oracle)
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        with pytest.raises(BudgetExceededError):
+            knn_graph(resolver, k=3)
+        # Everything resolved before exhaustion is still known and sound.
+        assert resolver.graph.num_edges == 40
+        for i, j, w in resolver.graph.edges():
+            assert w == pytest.approx(matrix[i, j])
+
+    def test_budget_scoped_to_oracle_not_resolver(self, matrix):
+        space = MatrixSpace(matrix)
+        oracle = space.oracle(budget=40)
+        resolver = SmartResolver(oracle)
+        with pytest.raises(BudgetExceededError):
+            pam(resolver, l=3, seed=0)
+        # A fresh oracle with the same resolver graph carries on.
+        fresh = space.oracle()
+        resumed = SmartResolver(fresh, graph=resolver.graph)
+        result = pam(resumed, l=3, seed=0)
+        assert len(result.medoids) == 3
+
+
+class TestCorruptAnswers:
+    def test_nan_distance_rejected_at_the_oracle(self, matrix):
+        oracle = DistanceOracle(lambda i, j: math.nan, 5)
+        with pytest.raises(ValueError, match="invalid distance"):
+            oracle(0, 1)
+
+    def test_infinite_distance_rejected_at_the_oracle(self, matrix):
+        oracle = DistanceOracle(lambda i, j: math.inf, 5)
+        with pytest.raises(ValueError, match="invalid distance"):
+            oracle(0, 1)
+
+    def test_validating_oracle_catches_corruption_early(self, matrix):
+        corrupted = matrix.copy()
+        corrupted[2, 3] = corrupted[3, 2] = 100.0  # non-metric spike
+
+        oracle = ValidatingOracle(lambda i, j: float(corrupted[i, j]), 15)
+        resolver = SmartResolver(oracle)
+        resolver.bounder = TriScheme(resolver.graph, 200.0)
+        with pytest.raises(MetricViolationError):
+            prim_mst(resolver)
+
+    def test_unvalidated_corruption_still_yields_spanning_tree(self, matrix):
+        """Without validation the library cannot promise exactness — but it
+        must not crash or hang; it still returns *a* spanning tree."""
+        corrupted = matrix.copy()
+        corrupted[2, 3] = corrupted[3, 2] = 100.0
+
+        oracle = DistanceOracle(lambda i, j: float(corrupted[i, j]), 15)
+        resolver = SmartResolver(oracle)
+        resolver.bounder = TriScheme(resolver.graph, 200.0)
+        result = prim_mst(resolver)
+        assert result.num_edges == 14
+
+
+class TestNegativeAndAsymmetric:
+    def test_negative_distance_rejected_at_the_oracle(self):
+        oracle = DistanceOracle(lambda i, j: -1.0, 4)
+        with pytest.raises(ValueError):
+            oracle(0, 1)
+
+    def test_asymmetric_function_is_canonicalised(self, rng):
+        # The oracle always evaluates the canonical (min, max) orientation,
+        # so an asymmetric function cannot produce inconsistent answers.
+        def asymmetric(i, j):
+            return float(i * 10 + j)  # only ever called with i < j
+
+        oracle = DistanceOracle(asymmetric, 6)
+        assert oracle(5, 2) == oracle(2, 5) == 25.0

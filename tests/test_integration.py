@@ -1,0 +1,165 @@
+"""End-to-end integration tests across the whole stack."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    EditDistanceSpace,
+    Laesa,
+    RoadNetworkSpace,
+    SmartResolver,
+    Splub,
+    TriScheme,
+    clarans,
+    knn_graph,
+    kruskal_mst,
+    pam,
+    prim_mst,
+)
+from repro.algorithms import knn_graph_brute
+from repro.bounds.landmarks import bootstrap_with_landmarks
+from repro.datasets import flickr_space, sf_poi_space, urbangb_space
+from repro.harness import run_experiment
+from repro.spaces.strings import random_strings
+
+
+class TestRoadNetworkPipeline:
+    """The paper's flagship scenario: MST over maps-API driving distances."""
+
+    def test_prim_with_tri_on_sf_poi(self):
+        space = sf_poi_space(60)
+        vanilla = run_experiment(space, "prim", "none")
+        tri = run_experiment(space, "prim", "tri")
+        assert tri.result.total_weight == pytest.approx(vanilla.result.total_weight)
+        assert tri.total_calls < vanilla.total_calls
+
+    def test_kruskal_with_bootstrap_on_urbangb(self):
+        space = urbangb_space(60)
+        vanilla = run_experiment(space, "kruskal", "none")
+        tri = run_experiment(space, "kruskal", "tri", landmark_bootstrap=True)
+        assert tri.result.total_weight == pytest.approx(vanilla.result.total_weight)
+        assert tri.total_calls < vanilla.total_calls
+
+
+class TestHighDimensionalPipeline:
+    def test_pam_on_flickr_features(self):
+        space = flickr_space(50, dim=64)
+        vanilla = run_experiment(space, "pam", "none", algorithm_kwargs={"l": 4})
+        tri = run_experiment(space, "pam", "tri", algorithm_kwargs={"l": 4})
+        assert tri.result.medoids == vanilla.result.medoids
+
+    def test_knng_on_flickr_features(self):
+        space = flickr_space(40, dim=32)
+        oracle = space.oracle()
+        resolver = SmartResolver(oracle)
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        pruned = knn_graph(resolver, k=4)
+        brute = knn_graph_brute(SmartResolver(space.oracle()), k=4)
+        for u in range(space.n):
+            assert pruned.neighbor_ids(u) == brute.neighbor_ids(u)
+
+
+class TestEditDistancePipeline:
+    """Bioinformatics scenario: clustering DNA-like strings."""
+
+    def test_clarans_over_edit_distance(self):
+        strings = random_strings(35, length=24, num_seeds=3, rng=np.random.default_rng(5))
+        space = EditDistanceSpace(strings)
+        vanilla = run_experiment(
+            space, "clarans", "none",
+            algorithm_kwargs={"l": 3, "seed": 2, "num_local": 1, "max_neighbors": 25},
+        )
+        tri = run_experiment(
+            space, "clarans", "tri",
+            algorithm_kwargs={"l": 3, "seed": 2, "num_local": 1, "max_neighbors": 25},
+        )
+        assert tri.result.medoids == vanilla.result.medoids
+        assert tri.total_calls <= vanilla.total_calls
+
+    def test_mst_over_edit_distance(self):
+        strings = random_strings(30, length=20, rng=np.random.default_rng(9))
+        space = EditDistanceSpace(strings, normalise=True)
+        vanilla = run_experiment(space, "prim", "none")
+        splub = run_experiment(space, "prim", "splub")
+        assert splub.result.total_weight == pytest.approx(vanilla.result.total_weight)
+
+
+class TestSharedGraphSynergy:
+    """Resolutions accumulate: later queries get tighter bounds for free."""
+
+    def test_mst_then_knng_reuses_graph(self):
+        space = sf_poi_space(50, road=False)
+        oracle = space.oracle()
+        resolver = SmartResolver(oracle)
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        prim_mst(resolver)
+        calls_after_mst = oracle.calls
+        knn_graph(resolver, k=3)
+        knng_extra = oracle.calls - calls_after_mst
+
+        fresh_oracle = space.oracle()
+        fresh = SmartResolver(fresh_oracle)
+        fresh.bounder = TriScheme(fresh.graph, space.diameter_bound())
+        knn_graph(fresh, k=3)
+        assert knng_extra < fresh_oracle.calls  # warm graph beats cold start
+
+    def test_bootstrap_benefits_tri(self):
+        space = sf_poi_space(70, road=False)
+
+        cold_oracle = space.oracle()
+        cold = SmartResolver(cold_oracle)
+        cold.bounder = TriScheme(cold.graph, space.diameter_bound())
+        prim_mst(cold)
+
+        warm_oracle = space.oracle()
+        warm = SmartResolver(warm_oracle)
+        warm.bounder = TriScheme(warm.graph, space.diameter_bound())
+        bootstrap_with_landmarks(warm, 6)
+        boot_calls = warm_oracle.calls
+        prim_mst(warm)
+        algo_calls = warm_oracle.calls - boot_calls
+        # The bootstrapped run spends fewer calls inside the algorithm.
+        assert algo_calls < cold_oracle.calls
+
+
+class TestBudgetedOracle:
+    def test_budget_stops_runaway_algorithms(self):
+        from repro.core.exceptions import BudgetExceededError
+
+        space = sf_poi_space(40, road=False)
+        oracle = space.oracle(budget=50)
+        resolver = SmartResolver(oracle)
+        with pytest.raises(BudgetExceededError):
+            prim_mst(resolver)
+
+    def test_virtual_clock_accumulates(self):
+        space = sf_poi_space(30, road=False)
+        record = run_experiment(space, "prim", "tri", oracle_cost=1.5)
+        assert record.oracle_seconds == pytest.approx(1.5 * record.total_calls)
+
+
+class TestFullSchemeMatrix:
+    """Every provider × every algorithm on one dataset: outputs all agree."""
+
+    @pytest.mark.parametrize("algorithm,kwargs", [
+        ("prim", {}),
+        ("kruskal", {}),
+        ("knng", {"k": 3}),
+        ("pam", {"l": 3, "seed": 0}),
+        ("clarans", {"l": 3, "seed": 0, "num_local": 1, "max_neighbors": 15}),
+    ])
+    def test_all_providers_agree(self, algorithm, kwargs):
+        space = sf_poi_space(32, road=False)
+        reference = run_experiment(space, algorithm, "none", algorithm_kwargs=kwargs)
+        for provider in ("tri", "splub", "adm", "laesa", "tlaesa"):
+            record = run_experiment(space, algorithm, provider, algorithm_kwargs=kwargs)
+            ref, out = reference.result, record.result
+            if algorithm in ("prim", "kruskal"):
+                assert out.total_weight == pytest.approx(ref.total_weight), provider
+            elif algorithm == "knng":
+                for u in range(space.n):
+                    assert out.neighbor_ids(u) == ref.neighbor_ids(u), provider
+            else:
+                assert out.medoids == ref.medoids, provider

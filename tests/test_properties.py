@@ -1,0 +1,270 @@
+"""Property-based tests (hypothesis) on the library's core invariants.
+
+These are the paper's load-bearing guarantees:
+
+* every synthesised ground truth is a true metric;
+* every bound provider's interval contains the true distance, always;
+* every bound-aware predicate agrees with ground truth, always;
+* every augmented algorithm's output matches its vanilla run, always.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import knn_graph, knn_graph_brute, kruskal_mst, pam, prim_mst
+from repro.bounds import Adm, AdmIncremental, Laesa, Splub, Tlaesa, TriScheme
+from repro.core.bounds import Bounds
+from repro.core.resolver import SmartResolver
+from repro.spaces.matrix import MatrixSpace, metric_closure, random_metric_matrix
+from repro.spaces.strings import levenshtein
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def metric_instances(draw, min_n=4, max_n=12):
+    """A random ground-truth metric plus a subset of resolved pairs."""
+    n = draw(st.integers(min_n, max_n))
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    matrix = random_metric_matrix(n, rng)
+    num_resolved = draw(st.integers(0, n * (n - 1) // 2))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    picker = np.random.default_rng(seed + 1)
+    picker.shuffle(pairs)
+    return matrix, pairs[:num_resolved]
+
+
+class TestMetricSynthesis:
+    @given(st.integers(3, 14), st.integers(0, 2**31 - 1))
+    @settings(**COMMON_SETTINGS)
+    def test_random_metric_satisfies_triangle(self, n, seed):
+        m = random_metric_matrix(n, np.random.default_rng(seed))
+        for k in range(n):
+            through = m[:, k][:, None] + m[k, :][None, :]
+            assert np.all(m <= through + 1e-9)
+
+    @given(st.integers(3, 10), st.integers(0, 2**31 - 1))
+    @settings(**COMMON_SETTINGS)
+    def test_closure_is_idempotent(self, n, seed):
+        rng = np.random.default_rng(seed)
+        raw = rng.uniform(0.05, 1.0, size=(n, n))
+        closed = metric_closure(raw)
+        assert np.allclose(metric_closure(closed), closed)
+
+
+class TestBoundSoundness:
+    @given(metric_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_all_providers_contain_truth(self, instance):
+        matrix, resolved = instance
+        n = matrix.shape[0]
+        space = MatrixSpace(matrix, validate=False)
+        resolver = SmartResolver(space.oracle())
+        for i, j in resolved:
+            resolver.distance(i, j)
+        cap = float(matrix.max()) or 1.0
+        providers = [
+            TriScheme(resolver.graph, cap),
+            Splub(resolver.graph, cap),
+            Adm(resolver.graph, cap),
+        ]
+        inc_graph = resolver.graph.copy()
+        inc = AdmIncremental(inc_graph, cap)
+        providers.append(inc)
+        for i in range(n):
+            for j in range(i + 1, n):
+                truth = matrix[i, j]
+                for provider in providers:
+                    b = provider.bounds(i, j)
+                    assert b.lower - 1e-7 <= truth <= b.upper + 1e-7, (
+                        provider.name,
+                        (i, j),
+                    )
+
+    @given(metric_instances(min_n=5, max_n=10))
+    @settings(**COMMON_SETTINGS)
+    def test_splub_equals_adm_everywhere(self, instance):
+        matrix, resolved = instance
+        space = MatrixSpace(matrix, validate=False)
+        resolver = SmartResolver(space.oracle())
+        for i, j in resolved:
+            resolver.distance(i, j)
+        cap = float(matrix.max()) or 1.0
+        splub = Splub(resolver.graph, cap)
+        adm = Adm(resolver.graph, cap)
+        n = matrix.shape[0]
+        for i in range(n):
+            for j in range(i + 1, n):
+                bs = splub.bounds(i, j)
+                ba = adm.bounds(i, j)
+                assert bs.lower == pytest.approx(ba.lower, abs=1e-7)
+                assert bs.upper == pytest.approx(ba.upper, abs=1e-7)
+
+    @given(metric_instances(min_n=5, max_n=10))
+    @settings(**COMMON_SETTINGS)
+    def test_landmark_bounds_contain_truth(self, instance):
+        matrix, _ = instance
+        n = matrix.shape[0]
+        space = MatrixSpace(matrix, validate=False)
+        cap = float(matrix.max()) or 1.0
+        resolver = SmartResolver(space.oracle())
+        laesa = Laesa(resolver.graph, cap, num_landmarks=min(3, n))
+        resolver.bounder = laesa
+        laesa.bootstrap(resolver)
+        tlaesa = Tlaesa(resolver.graph, cap)
+        tlaesa.adopt(laesa.landmarks, laesa._matrix.copy())
+        for i in range(n):
+            for j in range(i + 1, n):
+                truth = matrix[i, j]
+                for provider in (laesa, tlaesa):
+                    b = provider.bounds(i, j)
+                    assert b.lower - 1e-7 <= truth <= b.upper + 1e-7
+
+
+class TestPredicateExactness:
+    @given(metric_instances(min_n=5, max_n=10), st.integers(0, 10**6))
+    @settings(**COMMON_SETTINGS)
+    def test_is_at_least_matches_truth(self, instance, seed):
+        matrix, resolved = instance
+        n = matrix.shape[0]
+        space = MatrixSpace(matrix, validate=False)
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = TriScheme(resolver.graph, float(matrix.max()) or 1.0)
+        for i, j in resolved:
+            resolver.distance(i, j)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            i, j = int(rng.integers(n)), int(rng.integers(n))
+            if i == j:
+                continue
+            t = float(rng.uniform(0, matrix.max() or 1.0))
+            assert resolver.is_at_least(i, j, t) == (matrix[i, j] >= t)
+
+    @given(metric_instances(min_n=5, max_n=10), st.integers(0, 10**6))
+    @settings(**COMMON_SETTINGS)
+    def test_less_matches_truth(self, instance, seed):
+        matrix, resolved = instance
+        n = matrix.shape[0]
+        space = MatrixSpace(matrix, validate=False)
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = TriScheme(resolver.graph, float(matrix.max()) or 1.0)
+        for i, j in resolved:
+            resolver.distance(i, j)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            a = (int(rng.integers(n)), int(rng.integers(n)))
+            b = (int(rng.integers(n)), int(rng.integers(n)))
+            if a[0] == a[1] or b[0] == b[1]:
+                continue
+            assert resolver.less(a, b) == (matrix[a] < matrix[b])
+
+
+class TestAlgorithmExactness:
+    @given(metric_instances(min_n=5, max_n=11))
+    @settings(**COMMON_SETTINGS)
+    def test_mst_weight_invariant_under_providers(self, instance):
+        matrix, _ = instance
+        space = MatrixSpace(matrix, validate=False)
+        cap = float(matrix.max()) or 1.0
+
+        def run(provider_cls, algorithm):
+            resolver = SmartResolver(space.oracle())
+            if provider_cls is not None:
+                resolver.bounder = provider_cls(resolver.graph, cap)
+            return algorithm(resolver).total_weight
+
+        reference = run(None, prim_mst)
+        assert run(TriScheme, prim_mst) == pytest.approx(reference)
+        assert run(TriScheme, kruskal_mst) == pytest.approx(reference)
+        assert run(Splub, kruskal_mst) == pytest.approx(reference)
+
+    @given(metric_instances(min_n=6, max_n=11), st.integers(1, 3))
+    @settings(**COMMON_SETTINGS)
+    def test_knng_invariant_under_providers(self, instance, k):
+        matrix, _ = instance
+        n = matrix.shape[0]
+        if k >= n:
+            return
+        space = MatrixSpace(matrix, validate=False)
+        cap = float(matrix.max()) or 1.0
+
+        brute_resolver = SmartResolver(space.oracle())
+        brute = knn_graph_brute(brute_resolver, k=k)
+        tri_resolver = SmartResolver(space.oracle())
+        tri_resolver.bounder = TriScheme(tri_resolver.graph, cap)
+        pruned = knn_graph(tri_resolver, k=k)
+        for u in range(n):
+            assert pruned.neighbor_ids(u) == brute.neighbor_ids(u)
+
+    @given(metric_instances(min_n=7, max_n=11), st.integers(2, 3), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_pam_invariant_under_providers(self, instance, l, seed):
+        matrix, _ = instance
+        space = MatrixSpace(matrix, validate=False)
+        cap = float(matrix.max()) or 1.0
+
+        vanilla_resolver = SmartResolver(space.oracle())
+        vanilla = pam(vanilla_resolver, l=l, seed=seed)
+        tri_resolver = SmartResolver(space.oracle())
+        tri_resolver.bounder = TriScheme(tri_resolver.graph, cap)
+        augmented = pam(tri_resolver, l=l, seed=seed)
+        assert augmented.medoids == vanilla.medoids
+        assert augmented.cost == pytest.approx(vanilla.cost)
+
+
+class TestLevenshteinProperties:
+    @given(st.text(max_size=25), st.text(max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(st.text(max_size=15), st.text(max_size=15), st.text(max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_length_difference_lower_bound(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+
+class TestBoundsValueProperties:
+    @given(
+        st.floats(0, 10, allow_nan=False),
+        st.floats(0, 10, allow_nan=False),
+        st.floats(0, 10, allow_nan=False),
+        st.floats(0, 10, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_is_commutative_and_tightening(self, l1, u1, l2, u2):
+        if u1 < l1 or u2 < l2:
+            return
+        a, b = Bounds(l1, u1), Bounds(l2, u2)
+        try:
+            ab = a.intersect(b)
+            ba = b.intersect(a)
+        except ValueError:
+            # Disjoint intervals: intersection undefined both ways.
+            with pytest.raises(ValueError):
+                b.intersect(a)
+            return
+        assert ab.lower == ba.lower and ab.upper == ba.upper
+        assert ab.lower >= max(a.lower, b.lower) - 1e-12
+        assert ab.upper <= min(a.upper, b.upper) + 1e-12
