@@ -1,0 +1,89 @@
+"""Acceptance benchmark for the batched oracle execution pipeline.
+
+With a simulated-latency oracle (``cost_per_call > 0``) *and* a small real
+per-call sleep, the threaded executor must cut the combined
+simulated + real wall-clock of kNN-graph construction by at least 3× versus
+the serial executor — at identical oracle call counts and byte-identical
+outputs.  The speed-up has two independent sources that this benchmark
+exercises together:
+
+* real time: worker threads overlap the sleeps, so a batch of B calls costs
+  roughly ``B / workers`` sleeps of wall time instead of ``B``;
+* simulated time: :class:`BatchOracle` prices a batch of B fresh calls as
+  ``ceil(B / parallelism)`` latency waves and refunds the difference.
+"""
+
+import time
+
+from repro.algorithms import knn_graph
+from repro.core.oracle import DistanceOracle
+from repro.core.resolver import SmartResolver
+from repro.exec import BatchOracle, SerialExecutor, ThreadedExecutor
+from repro.harness import render_table
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+import numpy as np
+
+N = 32
+K = 5
+COST_PER_CALL = 1.0  # simulated seconds per fresh oracle call
+REAL_SLEEP = 0.002  # real seconds per fresh oracle call
+WORKERS = 16
+
+
+def _space():
+    return MatrixSpace(random_metric_matrix(N, np.random.default_rng(23)))
+
+
+def _run(space, executor):
+    def slow_distance(i, j):
+        time.sleep(REAL_SLEEP)
+        return space.distance(i, j)
+
+    oracle = DistanceOracle(slow_distance, space.n, cost_per_call=COST_PER_CALL)
+    with BatchOracle(oracle, executor=executor) as batcher:
+        resolver = SmartResolver(oracle, batcher=batcher)
+        start = time.perf_counter()
+        result = knn_graph(resolver, k=K)
+        real = time.perf_counter() - start
+    return result, oracle.calls, real, oracle.simulated_seconds
+
+
+def test_threaded_executor_speedup(benchmark, report):
+    space = _space()
+    serial_graph, serial_calls, serial_real, serial_sim = _run(
+        space, SerialExecutor()
+    )
+    threaded_graph, threaded_calls, threaded_real, threaded_sim = _run(
+        space, ThreadedExecutor(workers=WORKERS)
+    )
+
+    # Concurrency must be invisible in the outputs and the accounting.
+    for u in range(N):
+        assert threaded_graph.neighbor_ids(u) == serial_graph.neighbor_ids(u)
+    assert threaded_calls == serial_calls
+
+    serial_total = serial_real + serial_sim
+    threaded_total = threaded_real + threaded_sim
+    speedup = serial_total / threaded_total
+    report(
+        render_table(
+            ["executor", "oracle calls", "real (s)", "simulated (s)", "total (s)"],
+            [
+                ["serial", serial_calls, round(serial_real, 3),
+                 round(serial_sim, 3), round(serial_total, 3)],
+                [f"threaded×{WORKERS}", threaded_calls, round(threaded_real, 3),
+                 round(threaded_sim, 3), round(threaded_total, 3)],
+                ["speed-up", "", "", "", f"{speedup:.1f}×"],
+            ],
+            title=f"Batched {K}-NN graph over n={N} "
+            f"(cost_per_call={COST_PER_CALL}s simulated + {REAL_SLEEP * 1e3:.0f}ms real)",
+        )
+    )
+    assert speedup >= 3.0
+
+    benchmark.pedantic(
+        lambda: _run(space, ThreadedExecutor(workers=WORKERS)),
+        rounds=1,
+        iterations=1,
+    )

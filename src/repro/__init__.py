@@ -54,6 +54,16 @@ from repro.spaces import (
     random_metric_matrix,
 )
 from repro.datasets import flickr_space, sf_poi_space, urbangb_space
+from repro.exec import (
+    BatchOracle,
+    MemoryCacheBackend,
+    RetryPolicy,
+    SerialExecutor,
+    SqliteCacheBackend,
+    ThreadedExecutor,
+    make_executor,
+    open_cache,
+)
 from repro.index import BkTree, Gnat, MTree, VpTree
 from repro.algorithms import (
     clarans,
@@ -77,9 +87,15 @@ __version__ = "1.0.0"
 __all__ = [
     "Adm",
     "Aesa",
+    "BatchOracle",
     "BkTree",
     "Gnat",
     "MTree",
+    "MemoryCacheBackend",
+    "RetryPolicy",
+    "SerialExecutor",
+    "SqliteCacheBackend",
+    "ThreadedExecutor",
     "Bounds",
     "DirectFeasibilityTest",
     "DistanceOracle",
@@ -118,6 +134,8 @@ __all__ = [
     "knn_graph",
     "kruskal_mst",
     "load_graph",
+    "make_executor",
+    "open_cache",
     "pam",
     "prim_mst",
     "prim_mst_comparisons",

@@ -10,6 +10,12 @@ The random walk consumes its RNG stream independently of the bound
 provider, and every accepted/rejected decision is based on the *exact* swap
 delta, so a vanilla run and a bound-augmented run with the same seed follow
 the identical trajectory — only the oracle-call counts differ.
+
+Each sampled neighbour's delta evaluation runs through
+:func:`~repro.algorithms.medoid_common.swap_cost`, which — when the
+resolver carries a :class:`repro.exec.BatchOracle` — prefetches the whole
+undecidable frontier of ``(object, candidate)`` pairs as one concurrent
+batch before the per-object decision loop, without changing the trajectory.
 """
 
 from __future__ import annotations

@@ -44,9 +44,10 @@ class DirectFeasibilityTest(BaseBoundProvider):
     """LP-feasibility bound provider and comparison decider.
 
     Implements both the :class:`BoundProvider` protocol (``bounds`` solves
-    two LPs, minimising and maximising the pair's variable) and the optional
-    ``decide_less`` hook the :class:`SmartResolver` consults for pairwise
-    comparisons — the latter is where DFT beats every bound scheme.
+    two LPs, minimising and maximising the pair's variable) and overrides
+    :meth:`BoundProvider.decide_less` — the formal joint-comparison method
+    the :class:`SmartResolver` consults before resolving — with an LP over
+    both pairs at once.  The latter is where DFT beats every bound scheme.
     """
 
     name = "DFT"

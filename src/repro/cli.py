@@ -76,6 +76,9 @@ def _cmd_run(args) -> int:
             landmark_bootstrap=args.bootstrap and provider == "tri",
             oracle_cost=args.oracle_cost,
             algorithm_kwargs=kwargs,
+            executor=args.executor,
+            workers=args.workers,
+            oracle_cache=args.oracle_cache,
         )
         if baseline_calls is None:
             baseline_calls = record.total_calls
@@ -95,7 +98,8 @@ def _cmd_run(args) -> int:
          "cpu (s)", "completion (s)"],
         rows,
         title=f"{args.algorithm} on {args.dataset} (n={args.n}, "
-        f"oracle={args.oracle_cost}s/call)",
+        f"oracle={args.oracle_cost}s/call, "
+        f"executor={args.executor or 'inline'})",
     )
     return 0
 
@@ -113,6 +117,9 @@ def _cmd_sweep(args) -> int:
                 provider,
                 landmark_bootstrap=args.bootstrap and provider == "tri",
                 algorithm_kwargs=kwargs,
+                executor=args.executor,
+                workers=args.workers,
+                oracle_cache=args.oracle_cache,
             )
             row.append(record.total_calls)
         rows.append(row)
@@ -224,6 +231,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="core threshold for dbscan")
             p.add_argument("--bootstrap", action="store_true",
                            help="LAESA-bootstrap the Tri Scheme")
+            p.add_argument("--executor", choices=["serial", "threaded"],
+                           default=None,
+                           help="route resolutions through the batched "
+                           "execution pipeline (outputs are identical)")
+            p.add_argument("--workers", type=int, default=8,
+                           help="thread-pool size for --executor threaded")
+            p.add_argument("--oracle-cache", dest="oracle_cache", default=None,
+                           help="persistent distance cache (':memory:' or a "
+                           "SQLite file path); repeated runs never re-pay")
 
     run_p = sub.add_parser("run", help="one dataset size, many providers")
     common(run_p)

@@ -13,6 +13,7 @@ from repro.core.exceptions import (
     ConfigurationError,
     InvalidObjectError,
     MetricViolationError,
+    OracleResolutionError,
     ReproError,
     SolverError,
     UnknownDistanceError,
@@ -33,6 +34,7 @@ __all__ = [
     "IntersectionBounder",
     "InvalidObjectError",
     "MetricViolationError",
+    "OracleResolutionError",
     "OracleStats",
     "PartialDistanceGraph",
     "ReproError",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Optional, Protocol, Tuple, runtime_checkable
 
 from repro.core.partial_graph import PartialDistanceGraph
 
@@ -70,6 +70,18 @@ class BoundProvider(Protocol):
         """Absorb a freshly resolved edge (already added to the graph)."""
         ...
 
+    def decide_less(self, a: Tuple[int, int], b: Tuple[int, int]) -> Optional[bool]:
+        """Optionally decide ``dist(*a) < dist(*b)`` without an oracle call.
+
+        Per-pair intervals can overlap even when the *joint* constraint set
+        forces an order; schemes able to reason about both pairs at once
+        (the Direct Feasibility Test) answer here.  Return True/False for a
+        proven verdict, or None when inconclusive — the resolver then falls
+        back to resolution.  Most schemes simply return None
+        (:class:`BaseBoundProvider` provides that default).
+        """
+        ...
+
 
 class BaseBoundProvider:
     """Convenience base: holds the shared graph and a default diameter cap.
@@ -101,6 +113,10 @@ class BaseBoundProvider:
 
     def notify_resolved(self, i: int, j: int, distance: float) -> None:
         """Default update: nothing beyond the shared graph insert."""
+
+    def decide_less(self, a: Tuple[int, int], b: Tuple[int, int]) -> Optional[bool]:
+        """Default joint decision: inconclusive (schemes bound pairs independently)."""
+        return None
 
 
 class TrivialBounder(BaseBoundProvider):
@@ -144,3 +160,11 @@ class IntersectionBounder(BaseBoundProvider):
     def notify_resolved(self, i: int, j: int, distance: float) -> None:
         for provider in self.providers:
             provider.notify_resolved(i, j, distance)
+
+    def decide_less(self, a: Tuple[int, int], b: Tuple[int, int]) -> Optional[bool]:
+        """First member verdict wins; members never disagree on proven facts."""
+        for provider in self.providers:
+            verdict = provider.decide_less(a, b)
+            if verdict is not None:
+                return verdict
+        return None

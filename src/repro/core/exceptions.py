@@ -52,5 +52,20 @@ class SolverError(ReproError):
     """An LP solver (used by the Direct Feasibility Test) failed unexpectedly."""
 
 
+class OracleResolutionError(ReproError):
+    """An oracle call kept failing after every configured retry.
+
+    Raised by the executors in :mod:`repro.exec` once a pair's attempts are
+    exhausted; ``__cause__`` carries the final underlying failure.
+    """
+
+    def __init__(self, pair: tuple[int, int], attempts: int) -> None:
+        super().__init__(
+            f"oracle call for pair {pair} failed after {attempts} attempt(s)"
+        )
+        self.pair = pair
+        self.attempts = attempts
+
+
 class ConfigurationError(ReproError, ValueError):
     """A component was constructed or combined with invalid parameters."""

@@ -10,18 +10,33 @@ wraps an arbitrary symmetric distance function over integer object ids and
 * accumulates *simulated* oracle latency on a virtual clock, which lets the
   "vary the oracle cost" experiments (Figures 7d, 8a, 8b) run instantly, and
 * optionally enforces a hard call budget.
+
+Two resolution paths exist.  :meth:`DistanceOracle.__call__` evaluates the
+distance function inline — the classic synchronous path.  :meth:`record`
+commits an *externally computed* value with identical validation and
+accounting; it is the commit half of the batched execution pipeline
+(:mod:`repro.exec`), which evaluates the distance function on worker threads
+and commits results in deterministic order on the caller's thread.  Both
+paths funnel through one charging routine, so subclasses observing charges
+(:class:`~repro.harness.tracing.TracingOracle`,
+:class:`~repro.core.validation.ValidatingOracle`) override the single
+:meth:`_on_charged` hook instead of ``__call__``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import math
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Iterable, List, Tuple
 
 from repro.core.exceptions import BudgetExceededError, InvalidObjectError
 
 DistanceFn = Callable[[int, int], float]
+
+Pair = Tuple[int, int]
 
 
 def canonical_pair(i: int, j: int) -> Tuple[int, int]:
@@ -33,17 +48,27 @@ def canonical_pair(i: int, j: int) -> Tuple[int, int]:
 
 @dataclass(frozen=True)
 class OracleStats:
-    """Immutable snapshot of an oracle's accounting counters."""
+    """Immutable snapshot of an oracle's accounting counters.
+
+    The classic three-field constructor ``OracleStats(calls, cache_hits,
+    simulated_seconds)`` is still accepted; the fault-tolerance counters
+    (``retries``, ``timeouts``) default to zero so snapshots taken before
+    and after the batched-execution pipeline remain subtractable.
+    """
 
     calls: int
     cache_hits: int
     simulated_seconds: float
+    retries: int = 0
+    timeouts: int = 0
 
     def __sub__(self, other: "OracleStats") -> "OracleStats":
         return OracleStats(
             calls=self.calls - other.calls,
             cache_hits=self.cache_hits - other.cache_hits,
             simulated_seconds=self.simulated_seconds - other.simulated_seconds,
+            retries=self.retries - other.retries,
+            timeouts=self.timeouts - other.timeouts,
         )
 
 
@@ -60,18 +85,39 @@ class DistanceOracle:
     cost_per_call:
         Simulated latency, in seconds, charged to the virtual clock per
         uncached call.  Defaults to 0 (count-only accounting).
+        Keyword-only; the historical positional form is accepted with a
+        :class:`DeprecationWarning`.
     budget:
         Optional hard cap on uncached calls; exceeding it raises
-        :class:`~repro.core.exceptions.BudgetExceededError`.
+        :class:`~repro.core.exceptions.BudgetExceededError`.  Keyword-only,
+        with the same positional deprecation shim.
     """
 
     def __init__(
         self,
         distance_fn: DistanceFn,
         n: int,
+        *args,
         cost_per_call: float = 0.0,
         budget: int | None = None,
     ) -> None:
+        if args:
+            # Deprecation shim: the pre-1.1 signature took cost_per_call and
+            # budget positionally.
+            if len(args) > 2:
+                raise TypeError(
+                    f"DistanceOracle takes at most 4 positional arguments "
+                    f"({2 + len(args)} given)"
+                )
+            warnings.warn(
+                "passing cost_per_call/budget positionally is deprecated; "
+                "use keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            cost_per_call = args[0]
+            if len(args) == 2:
+                budget = args[1]
         if n <= 0:
             raise InvalidObjectError(0, n)
         if cost_per_call < 0:
@@ -87,6 +133,12 @@ class DistanceOracle:
         self._cache_hits = 0
         self._simulated_seconds = 0.0
         self._batch_requests = 0
+        self._retries = 0
+        self._timeouts = 0
+        self._listeners: List[Callable[[int, int, float], None]] = []
+        #: Identifier of the batch currently being committed (None outside
+        #: batched commits); surfaced by tracing.
+        self.active_batch: int | None = None
 
     # -- accounting -------------------------------------------------------
 
@@ -115,17 +167,81 @@ class DistanceOracle:
         """Simulated latency charged per uncached call."""
         return self._cost_per_call
 
+    @property
+    def retries(self) -> int:
+        """Failed attempts that were retried by an execution pipeline."""
+        return self._retries
+
+    @property
+    def timeouts(self) -> int:
+        """Attempts that timed out in an execution pipeline."""
+        return self._timeouts
+
+    @property
+    def distance_fn(self) -> DistanceFn:
+        """The raw distance function (for executors that evaluate off-thread).
+
+        The function must be safe to call from worker threads when paired
+        with a concurrent executor; all accounting stays on the committing
+        thread.
+        """
+        return self._fn
+
     def stats(self) -> OracleStats:
         """Snapshot the counters (subtract two snapshots to meter a phase)."""
-        return OracleStats(self._calls, self._cache_hits, self._simulated_seconds)
+        return OracleStats(
+            self._calls,
+            self._cache_hits,
+            self._simulated_seconds,
+            self._retries,
+            self._timeouts,
+        )
 
     def reset(self) -> None:
-        """Zero every counter and drop the cache."""
+        """Zero every counter and drop the cache (listeners are kept)."""
         self._cache.clear()
         self._calls = 0
         self._cache_hits = 0
         self._simulated_seconds = 0.0
         self._batch_requests = 0
+        self._retries = 0
+        self._timeouts = 0
+
+    def note_retries(self, count: int = 1) -> None:
+        """Account ``count`` retried attempts (called by executors)."""
+        if count < 0:
+            raise ValueError("retry count must be non-negative")
+        self._retries += count
+
+    def note_timeouts(self, count: int = 1) -> None:
+        """Account ``count`` timed-out attempts (called by executors)."""
+        if count < 0:
+            raise ValueError("timeout count must be non-negative")
+        self._timeouts += count
+
+    def refund_simulated(self, seconds: float) -> None:
+        """Credit the virtual clock (used when calls overlap in a batch).
+
+        Concurrent executors charge a batch of ``B`` fresh calls
+        ``ceil(B / workers)`` latency units instead of ``B``; the difference
+        is refunded through this method so ``simulated_seconds`` reflects
+        the *elapsed* (wall-clock) latency, not the summed per-call latency.
+        """
+        if seconds < 0:
+            raise ValueError("refund must be non-negative")
+        self._simulated_seconds -= seconds
+
+    def subscribe(self, listener: Callable[[int, int, float], None]) -> None:
+        """Register ``listener(i, j, distance)`` to run on every charged call.
+
+        Used by write-through cache backends; listeners survive
+        :meth:`reset`.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[int, int, float], None]) -> None:
+        """Remove a previously registered charge listener."""
+        self._listeners.remove(listener)
 
     # -- distance access ---------------------------------------------------
 
@@ -144,20 +260,64 @@ class DistanceOracle:
         if cached is not None:
             self._cache_hits += 1
             return cached
-        if self._budget is not None and self._calls >= self._budget:
-            raise BudgetExceededError(self._budget)
+        self._check_budget()
         value = float(self._fn(key[0], key[1]))
+        return self._charge(key, value)
+
+    def record(self, i: int, j: int, value: float) -> float:
+        """Commit an externally computed distance with full accounting.
+
+        The charged-call counter, budget, simulated clock, validation, and
+        observer hooks behave exactly as for :meth:`__call__`; only the
+        evaluation of the distance function is skipped.  Committing a pair
+        that is already cached is an idempotent no-op returning the cached
+        value.  This is the commit half of :class:`repro.exec.BatchOracle`.
+        """
+        self._check_index(i)
+        self._check_index(j)
+        if i == j:
+            return 0.0
+        key = canonical_pair(i, j)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self._check_budget()
+        return self._charge(key, float(value))
+
+    def seed(self, i: int, j: int, value: float) -> bool:
+        """Pre-fill the cache with a known distance, free of charge.
+
+        Returns True when the pair was newly seeded.  Used when resuming
+        from persisted distance sets — the run never re-pays for a pair a
+        previous session already bought.
+        """
+        self._check_index(i)
+        self._check_index(j)
+        if i == j:
+            return False
+        key = canonical_pair(i, j)
+        if key in self._cache:
+            return False
+        value = float(value)
         if not math.isfinite(value) or value < 0:
             raise ValueError(
-                f"distance_fn returned invalid distance {value} for {key}; "
+                f"cannot seed invalid distance {value} for {key}; "
                 "distances must be finite and non-negative"
             )
-        self._calls += 1
-        self._simulated_seconds += self._cost_per_call
         self._cache[key] = value
-        return value
+        return True
 
-    def batch(self, pairs) -> list[float]:
+    def resolve_batch(self, pairs: Iterable[Pair]) -> list[float]:
+        """Resolve many pairs, returning their distances in input order.
+
+        Each uncached element is charged as an individual call — this is the
+        serial reference semantics that :class:`repro.exec.BatchOracle`
+        reproduces concurrently.  Contrast with :meth:`batch`, which models
+        a distance-matrix endpoint charging one latency unit per request.
+        """
+        return [self(i, j) for i, j in pairs]
+
+    def batch(self, pairs: Iterable[Pair]) -> list[float]:
         """Resolve many pairs in one logical request.
 
         Real distance services (maps distance-matrix endpoints, batched
@@ -191,6 +351,44 @@ class DistanceOracle:
         if i == j:
             return 0.0
         return self._cache.get(canonical_pair(i, j))
+
+    @contextlib.contextmanager
+    def in_batch(self, batch_id: int):
+        """Label charges committed inside the context with ``batch_id``.
+
+        Tracing oracles surface the label, which lets traces distinguish
+        batched commits from inline resolutions.
+        """
+        previous = self.active_batch
+        self.active_batch = batch_id
+        try:
+            yield self
+        finally:
+            self.active_batch = previous
+
+    # -- internals ----------------------------------------------------------
+
+    def _charge(self, key: Pair, value: float) -> float:
+        """Validate, count, cache, and notify observers of one fresh call."""
+        if not math.isfinite(value) or value < 0:
+            raise ValueError(
+                f"distance_fn returned invalid distance {value} for {key}; "
+                "distances must be finite and non-negative"
+            )
+        self._calls += 1
+        self._simulated_seconds += self._cost_per_call
+        self._cache[key] = value
+        self._on_charged(key, value)
+        for listener in self._listeners:
+            listener(key[0], key[1], value)
+        return value
+
+    def _on_charged(self, key: Pair, value: float) -> None:
+        """Subclass hook: observe one charged call (tracing, validation)."""
+
+    def _check_budget(self) -> None:
+        if self._budget is not None and self._calls >= self._budget:
+            raise BudgetExceededError(self._budget)
 
     def _check_index(self, i: int) -> None:
         if not 0 <= i < self._n:

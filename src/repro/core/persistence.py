@@ -68,9 +68,7 @@ def seed_oracle_cache(oracle: DistanceOracle, graph: PartialDistanceGraph) -> in
         )
     seeded = 0
     for i, j, w in graph.edges():
-        key = (i, j)
-        if key not in oracle._cache:  # noqa: SLF001 - deliberate seeding
-            oracle._cache[key] = w
+        if oracle.seed(i, j, w):
             seeded += 1
     return seeded
 

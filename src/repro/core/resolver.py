@@ -20,24 +20,39 @@ vanilla version.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.core.bounds import BoundProvider, Bounds, TrivialBounder
-from repro.core.oracle import DistanceOracle
+from repro.core.oracle import DistanceOracle, canonical_pair
 from repro.core.partial_graph import PartialDistanceGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.batch_oracle import BatchOracle
 
 Pair = Tuple[int, int]
 
 
 @dataclass
 class ResolverStats:
-    """Counters describing how comparisons were decided."""
+    """Counters describing how predicates were decided and distances obtained.
+
+    Comparisons and resolutions are counted *separately*: one predicate that
+    falls back to the oracle increments ``decided_by_oracle`` exactly once,
+    even when settling it takes two resolutions (``less`` on two unknown
+    pairs).  Each resolution is then classified by what it cost — a charged
+    oracle call (``oracle_resolutions``), a free oracle-cache hit
+    (``cached_resolutions``) — and additionally tallied in
+    ``batched_resolutions`` when it went through ``resolve_many``.
+    """
 
     decided_by_bounds: int = 0
     decided_by_oracle: int = 0
     bound_queries: int = 0
     resolutions: int = 0
+    oracle_resolutions: int = 0
+    cached_resolutions: int = 0
+    batched_resolutions: int = 0
 
     @property
     def total_comparisons(self) -> int:
@@ -65,6 +80,11 @@ class SmartResolver:
     graph:
         The partial distance graph.  When omitted a fresh one is created; when
         a ``bounder`` is supplied its graph is reused so both views agree.
+    batcher:
+        Optional :class:`repro.exec.BatchOracle` wrapping the same oracle.
+        When present, ``resolve_many`` (and the batched ``knearest`` /
+        ``argmin`` paths) dispatch whole frontiers through it instead of
+        resolving pair by pair; outputs stay identical to the serial path.
     """
 
     def __init__(
@@ -72,6 +92,7 @@ class SmartResolver:
         oracle: DistanceOracle,
         bounder: Optional[BoundProvider] = None,
         graph: Optional[PartialDistanceGraph] = None,
+        batcher: Optional["BatchOracle"] = None,
     ) -> None:
         if graph is None:
             graph = getattr(bounder, "graph", None)
@@ -80,10 +101,18 @@ class SmartResolver:
         bounder_graph = getattr(bounder, "graph", None)
         if bounder_graph is not None and bounder_graph is not graph:
             raise ValueError("bounder and resolver must share the same PartialDistanceGraph")
+        if batcher is not None and batcher.oracle is not oracle:
+            raise ValueError("batcher must wrap the same DistanceOracle as the resolver")
         self.oracle = oracle
         self.graph = graph
         self.bounder: BoundProvider = bounder or TrivialBounder(graph)
+        self.batcher = batcher
         self.stats = ResolverStats()
+
+    @property
+    def batched(self) -> bool:
+        """True when frontiers are dispatched through a batch executor."""
+        return self.batcher is not None
 
     # -- raw access ---------------------------------------------------------
 
@@ -98,11 +127,66 @@ class SmartResolver:
         cached = self.graph.get(i, j)
         if cached is not None:
             return cached
+        before = self.oracle.calls
         value = self.oracle(i, j)
         self.stats.resolutions += 1
+        if self.oracle.calls > before:
+            self.stats.oracle_resolutions += 1
+        else:
+            self.stats.cached_resolutions += 1
         if self.graph.add_edge(i, j, value):
             self.bounder.notify_resolved(i, j, value)
         return value
+
+    def resolve_many(self, pairs: Iterable[Pair]) -> Dict[Pair, float]:
+        """Resolve a set of pairs at once, returning ``{canonical_pair: d}``.
+
+        With a batcher configured, the genuinely unknown pairs go out as one
+        executor batch and come back committed in canonical-pair sorted
+        order (graph insert + bounder notification on the calling thread,
+        exactly as if resolved serially in that order).  Without one, this
+        degrades to per-pair :meth:`distance` calls over the same sorted
+        sequence — the two paths produce identical state.
+        """
+        keys = sorted({canonical_pair(i, j) for i, j in pairs if i != j})
+        unknown = [key for key in keys if self.graph.get(*key) is None]
+        if unknown:
+            if self.batcher is None:
+                for key in unknown:
+                    self.distance(*key)
+            else:
+                before = self.oracle.calls
+                resolved = self.batcher.resolve_many(unknown)
+                fresh = self.oracle.calls - before
+                self.stats.resolutions += len(unknown)
+                self.stats.batched_resolutions += len(unknown)
+                self.stats.oracle_resolutions += fresh
+                self.stats.cached_resolutions += len(unknown) - fresh
+                for key in unknown:  # sorted — deterministic commit order
+                    if self.graph.add_edge(*key, resolved[key]):
+                        self.bounder.notify_resolved(*key, resolved[key])
+        return {key: self.graph.get(*key) for key in keys}
+
+    def prefetch_thresholds(self, items: Iterable[Tuple[Pair, float]]) -> int:
+        """Batch-resolve every pair its threshold cannot rule out.
+
+        ``items`` yields ``((i, j), threshold)`` — a pair is fetched when its
+        distance is unknown and its lower bound is below ``threshold``,
+        i.e. exactly the pairs a subsequent serial scan would resolve one by
+        one.  No-op (returns 0) without a batcher, so algorithms call this
+        unconditionally before their decision loops.
+        """
+        if self.batcher is None:
+            return 0
+        wanted = []
+        for (i, j), threshold in items:
+            if i == j or self.graph.get(i, j) is not None:
+                continue
+            if self.bounder.bounds(i, j).lower < threshold:
+                wanted.append((i, j))
+        if wanted:
+            self.resolve_many(wanted)
+        return len(wanted)
 
     def bounds(self, i: int, j: int) -> Bounds:
         """Current bounds on ``dist(i, j)`` (free — no oracle calls)."""
@@ -150,9 +234,10 @@ class SmartResolver:
         """Exact answer to ``dist(*a) < dist(*b)``.
 
         Uses the paper's §3 reformulation ``UB(a) < LB(b) ⇒ true`` /
-        ``LB(a) >= UB(b) ⇒ false`` before resorting to resolution.  When the
-        provider exposes a ``decide_less`` hook (the Direct Feasibility
-        Test), the joint-feasibility decision runs before any oracle call.
+        ``LB(a) >= UB(b) ⇒ false`` before resorting to resolution.  The
+        provider's :meth:`BoundProvider.decide_less` (a joint-feasibility
+        decision for schemes like the Direct Feasibility Test; ``None`` for
+        the rest) runs before any oracle call.
         """
         ba = self.bounds(*a)
         bb = self.bounds(*b)
@@ -162,12 +247,10 @@ class SmartResolver:
         if ba.lower >= bb.upper:
             self.stats.decided_by_bounds += 1
             return False
-        decider = getattr(self.bounder, "decide_less", None)
-        if decider is not None:
-            verdict = decider(a, b)
-            if verdict is not None:
-                self.stats.decided_by_bounds += 1
-                return verdict
+        verdict = self.bounder.decide_less(a, b)
+        if verdict is not None:
+            self.stats.decided_by_bounds += 1
+            return verdict
         self.stats.decided_by_oracle += 1
         # Resolve the pair with the wider interval first: its value may settle
         # the comparison against the other pair's bounds with a single call.
@@ -200,14 +283,12 @@ class SmartResolver:
             self.stats.decided_by_bounds += 1
             da, db = ba.lower, bb.lower
         else:
-            decider = getattr(self.bounder, "decide_less", None)
-            if decider is not None:
-                if decider(a, b):
-                    self.stats.decided_by_bounds += 1
-                    return -1
-                if decider(b, a):
-                    self.stats.decided_by_bounds += 1
-                    return 1
+            if self.bounder.decide_less(a, b):
+                self.stats.decided_by_bounds += 1
+                return -1
+            if self.bounder.decide_less(b, a):
+                self.stats.decided_by_bounds += 1
+                return 1
             self.stats.decided_by_oracle += 1
             da = self.distance(*a)
             db = self.distance(*b)
@@ -230,9 +311,12 @@ class SmartResolver:
         Returns ``(index, distance)`` of the candidate minimising
         ``dist(u, c)`` with earliest-index tie-breaking (matching a vanilla
         linear scan), or ``(None, inf)`` when every candidate's distance is
-        provably ``>= upper_limit``.  Candidates whose lower bound already
-        meets the current best are skipped without oracle calls.
+        ``>= upper_limit``.  The limit is *exclusive*: a candidate at exactly
+        ``upper_limit`` is never returned.  Candidates whose lower bound
+        already meets the current best are skipped without oracle calls.
         """
+        if self.batched and candidates:
+            return self._argmin_batched(u, candidates, upper_limit)
         best_idx: Optional[int] = None
         best_dist = upper_limit
         # Probe candidates in ascending lower-bound order so tight candidates
@@ -247,13 +331,48 @@ class SmartResolver:
             if b.lower > best_dist:
                 self.stats.decided_by_bounds += 1
                 continue
-            if b.lower == best_dist and best_idx is not None and best_idx <= pos:
-                # Cannot strictly improve, and cannot win the tie either.
+            if b.lower == best_dist and (best_idx is None or best_idx <= pos):
+                # Cannot strictly improve; cannot win a tie either (and with
+                # no incumbent, matching the exclusive limit never counts).
                 self.stats.decided_by_bounds += 1
                 continue
             self.stats.decided_by_oracle += 1
             d = self.distance(u, c)
-            if d < best_dist or (d == best_dist and (best_idx is None or pos < best_idx)):
+            if d < best_dist or (d == best_dist and best_idx is not None and pos < best_idx):
+                best_dist = d
+                best_idx = pos
+        if best_idx is None:
+            return None, math.inf
+        return candidates[best_idx], best_dist
+
+    def _argmin_batched(
+        self,
+        u: int,
+        candidates: Sequence[int],
+        upper_limit: float,
+    ) -> Tuple[Optional[int], float]:
+        """Batched argmin: one frontier resolution, then the vanilla scan.
+
+        Resolves every candidate whose lower bound leaves it alive under the
+        exclusive ``upper_limit`` — a superset of what the adaptive serial
+        scan resolves — then applies the identical update rule, so the
+        result (value and tie-broken index) matches the serial path.
+        """
+        frontier: list[int] = []
+        for pos, c in enumerate(candidates):
+            if self.bounds(u, c).lower >= upper_limit:
+                self.stats.decided_by_bounds += 1
+                continue
+            frontier.append(pos)
+        if not frontier:
+            return None, math.inf
+        self.resolve_many([(u, candidates[pos]) for pos in frontier])
+        self.stats.decided_by_oracle += len(frontier)
+        best_idx: Optional[int] = None
+        best_dist = upper_limit
+        for pos in frontier:  # ascending position — earliest index wins ties
+            d = self.distance(u, candidates[pos])
+            if d < best_dist:
                 best_dist = d
                 best_idx = pos
         if best_idx is None:
@@ -277,6 +396,8 @@ class SmartResolver:
         pool = [c for c in candidates if c != u]
         # Ascending lower bound order maximises early threshold shrinkage.
         pool.sort(key=lambda c: self.bounds(u, c).lower)
+        if self.batched and pool:
+            return self._knearest_batched(u, pool, k)
         heap: list[Tuple[float, int]] = []
         kth = math.inf
         for c in pool:
@@ -293,3 +414,26 @@ class SmartResolver:
                 kth = heap[-1][0]
         heap.sort()
         return heap[:k]
+
+    def _knearest_batched(self, u: int, pool: list, k: int) -> list[Tuple[float, int]]:
+        """Batched kNN: two frontier resolutions instead of a serial scan.
+
+        Round 1 fetches the ``k`` lowest-lower-bound candidates (the serial
+        scan resolves those unconditionally) to establish the pruning
+        threshold; round 2 fetches everything whose lower bound still beats
+        it.  The resolved set is a superset of the serial scan's, so the
+        selected neighbours are identical; under uninformative bounds the
+        two sets — and hence the oracle call counts — coincide exactly.
+        """
+        head = pool[:k]
+        self.resolve_many([(u, c) for c in head])
+        kth = sorted(self.distance(u, c) for c in head)[min(k, len(head)) - 1]
+        frontier = [c for c in pool[k:] if self.bounds(u, c).lower <= kth]
+        if len(pool) > k:
+            self.stats.decided_by_bounds += len(pool) - k - len(frontier)
+        if frontier:
+            self.resolve_many([(u, c) for c in frontier])
+        self.stats.decided_by_oracle += len(head) + len(frontier)
+        result = [(self.distance(u, c), c) for c in head + frontier]
+        result.sort()
+        return result[:k]

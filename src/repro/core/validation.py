@@ -22,7 +22,7 @@ from typing import Dict, List, Tuple
 from bisect import insort
 
 from repro.core.exceptions import MetricViolationError
-from repro.core.oracle import DistanceFn, DistanceOracle, canonical_pair
+from repro.core.oracle import DistanceFn, DistanceOracle, Pair, canonical_pair
 
 
 class ValidatingOracle(DistanceOracle):
@@ -61,12 +61,11 @@ class ValidatingOracle(DistanceOracle):
         self._adjacency: List[List[int]] = [[] for _ in range(n)]
         self.triangles_checked = 0
 
-    def __call__(self, i: int, j: int) -> float:
-        fresh = not self.is_resolved(i, j)
-        value = super().__call__(i, j)
-        if fresh and i != j:
-            self._check_and_record(*canonical_pair(i, j), value)
-        return value
+    def _on_charged(self, key: Pair, value: float) -> None:
+        # Runs for every charged resolution — inline calls and batch commits
+        # through record() alike — so concurrently evaluated distances get
+        # the same scrutiny as synchronous ones.
+        self._check_and_record(key[0], key[1], value)
 
     # -- consistency machinery -----------------------------------------------
 

@@ -1,0 +1,168 @@
+"""BatchOracle — the front end of the batched execution pipeline.
+
+Accepts *sets* of pairs, resolves the genuinely unknown ones through an
+executor (serial or threaded), and commits results into the wrapped
+:class:`~repro.core.oracle.DistanceOracle` in **canonical-pair sorted
+order**, so every downstream consumer (partial graph, bound providers,
+traces) observes the same deterministic sequence regardless of how the
+calls interleaved on worker threads.
+
+Layered on top is a pluggable write-through persistent cache
+(:mod:`repro.exec.cache`): every charged resolution — batched *or* inline —
+is written through via an oracle charge listener, and batch lookups consult
+the backend before paying, so repeated experiment runs against the same
+cache file never re-pay for a pair.
+
+Accounting: each committed fresh pair is charged exactly as a synchronous
+call (count, budget, validation), but the simulated latency clock is priced
+at ``ceil(fresh / parallelism)`` request latencies per batch — overlapping
+calls cost elapsed time, not summed time.  The refund is tracked in
+``executor.stats.simulated_seconds_saved``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.oracle import DistanceOracle, canonical_pair
+from repro.exec.cache import CacheBackend
+from repro.exec.executor import BaseExecutor, SerialExecutor
+
+Pair = Tuple[int, int]
+
+
+class BatchOracle:
+    """Batched, fault-tolerant, cache-backed access to a distance oracle.
+
+    Parameters
+    ----------
+    oracle:
+        The wrapped accounting oracle.  Its distance function is evaluated
+        by the executor (possibly on worker threads) and must therefore be
+        thread-safe when paired with :class:`~repro.exec.ThreadedExecutor`.
+    executor:
+        Resolution strategy; defaults to :class:`~repro.exec.SerialExecutor`
+        (identical behaviour to inline calls, plus retry/timeout handling).
+    cache:
+        Optional persistent :class:`~repro.exec.CacheBackend`.  Consulted
+        before dispatching a batch; every charged call on ``oracle`` is
+        written through (including inline resolutions made outside this
+        wrapper, via a charge listener).
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        executor: BaseExecutor | None = None,
+        cache: CacheBackend | None = None,
+    ) -> None:
+        self.oracle = oracle
+        self.executor = executor or SerialExecutor()
+        self.cache = cache
+        self._batch_seq = 0
+        self._cache_hits = 0
+        self._preloaded = 0
+        if cache is not None:
+            oracle.subscribe(self._write_through)
+
+    # -- persistent cache ---------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        """Pairs answered from the persistent backend instead of paid for."""
+        return self._cache_hits
+
+    @property
+    def preloaded(self) -> int:
+        """Pairs seeded into the oracle by :meth:`preload`."""
+        return self._preloaded
+
+    def _write_through(self, i: int, j: int, value: float) -> None:
+        self.cache.put(i, j, value)
+
+    def preload(self) -> int:
+        """Seed the oracle's cache with every persisted pair, free of charge.
+
+        Returns the number of seeded pairs.  Entries whose ids fall outside
+        the oracle's universe (a cache shared across datasets) are skipped.
+        """
+        if self.cache is None:
+            return 0
+        seeded = 0
+        n = self.oracle.n
+        for (i, j), value in self.cache.items():
+            if 0 <= i < n and 0 <= j < n and self.oracle.seed(i, j, value):
+                seeded += 1
+        self._preloaded += seeded
+        return seeded
+
+    # -- batched resolution -------------------------------------------------
+
+    @property
+    def batches(self) -> int:
+        """Number of non-empty batches dispatched so far."""
+        return self._batch_seq
+
+    def resolve_many(self, pairs: Iterable[Pair]) -> Dict[Pair, float]:
+        """Resolve a set of pairs, returning ``{canonical_pair: distance}``.
+
+        Already-resolved pairs are answered from the oracle cache; the
+        persistent backend is consulted next; only the remaining misses are
+        dispatched to the executor.  Fresh results are committed in sorted
+        canonical-pair order — the deterministic-commit contract the
+        resolver's bit-identical-output guarantee rests on.
+        """
+        keys = sorted({canonical_pair(i, j) for i, j in pairs if i != j})
+        unknown = [key for key in keys if not self.oracle.is_resolved(*key)]
+        misses = unknown
+        if self.cache is not None and unknown:
+            persisted = self.cache.get_many(unknown)
+            for key, value in persisted.items():
+                self.oracle.seed(*key, value)
+            self._cache_hits += len(persisted)
+            misses = [key for key in unknown if key not in persisted]
+        if misses:
+            self._dispatch(misses)
+        out: Dict[Pair, float] = {}
+        for key in keys:
+            value = self.oracle.peek(*key)
+            if value is None:  # pragma: no cover - defensive
+                value = self.oracle(*key)
+            out[key] = value
+        return out
+
+    def _dispatch(self, misses: List[Pair]) -> None:
+        """Run one executor batch and commit it deterministically."""
+        self._batch_seq += 1
+        values, report = self.executor.run(self.oracle.distance_fn, misses)
+        oracle = self.oracle
+        before = oracle.calls
+        with oracle.in_batch(self._batch_seq):
+            for key in misses:  # already sorted
+                oracle.record(*key, values[key])
+        fresh = oracle.calls - before
+        oracle.note_retries(report.retries)
+        oracle.note_timeouts(report.timeouts)
+        cost = oracle.cost_per_call
+        if cost > 0 and fresh > 0:
+            # Overlapping calls are priced by elapsed request latencies:
+            # ceil(fresh / parallelism) instead of fresh.
+            waves = math.ceil(fresh / self.executor.parallelism)
+            saved = (fresh - waves) * cost
+            if saved > 0:
+                oracle.refund_simulated(saved)
+                self.executor.stats.simulated_seconds_saved += saved
+
+    def close(self) -> None:
+        """Shut down the executor and close the persistent backend."""
+        self.executor.close()
+        if self.cache is not None:
+            self.oracle.unsubscribe(self._write_through)
+            self.cache.close()
+
+    def __enter__(self) -> "BatchOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -21,7 +21,14 @@ from repro.harness.reporting import (
     render_table,
 )
 from repro.harness.runner import ALGORITHMS, ExperimentRecord, percentage_save, run_experiment
-from repro.harness.stats import Summary, compare_schemes, repeat_experiment, summarize
+from repro.harness.stats import (
+    Summary,
+    compare_schemes,
+    merge_executor_stats,
+    repeat_experiment,
+    summarize,
+    summarize_executor_stats,
+)
 from repro.harness.tracing import CallEvent, TracingOracle, load_trace
 from repro.harness.workloads import (
     batched_queries,
@@ -59,9 +66,11 @@ __all__ = [
     "batched_queries",
     "compare_schemes",
     "focused_queries",
+    "merge_executor_stats",
     "repeat_experiment",
     "size_sweep",
     "summarize",
+    "summarize_executor_stats",
     "uniform_queries",
     "zipf_queries",
     "tri_gap_vs_edges",

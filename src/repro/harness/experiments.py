@@ -7,15 +7,13 @@ prints the resulting rows.  DESIGN.md §4 maps artifacts to functions.
 
 from __future__ import annotations
 
-import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.bounds.landmarks import default_num_landmarks
-from repro.core.bounds import Bounds
 from repro.core.resolver import SmartResolver
 from repro.harness.providers import make_provider
 from repro.harness.runner import ExperimentRecord, percentage_save, run_experiment

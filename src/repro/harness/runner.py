@@ -25,6 +25,8 @@ from repro.algorithms.prim import prim_mst_comparisons
 from repro.algorithms.tsp import nearest_neighbor_tour
 from repro.bounds.landmarks import bootstrap_with_landmarks, default_num_landmarks
 from repro.core.resolver import SmartResolver
+from repro.exec import BatchOracle, ExecutorStats, make_executor, open_cache
+from repro.exec.executor import DEFAULT_WORKERS
 from repro.harness.providers import LANDMARK_PROVIDERS, attach_provider
 from repro.spaces.base import MetricSpace
 
@@ -58,6 +60,17 @@ class ExperimentRecord:
     oracle_cost_per_call: float
     result: Any = field(repr=False, default=None)
     params: Dict[str, Any] = field(default_factory=dict)
+    #: Execution strategy: "inline" (no batching), "serial", or "threaded".
+    executor: str = "inline"
+    oracle_retries: int = 0
+    oracle_timeouts: int = 0
+    #: Virtual-clock latency actually accrued; under a concurrent executor
+    #: this is lower than ``total_calls × cost_per_call`` because
+    #: overlapping calls are priced by elapsed latency, not summed latency.
+    simulated_oracle_seconds: float = 0.0
+    #: Pairs answered by a persistent --oracle-cache backend (never charged).
+    persistent_cache_hits: int = 0
+    executor_stats: Optional[ExecutorStats] = field(repr=False, default=None)
 
     @property
     def total_calls(self) -> int:
@@ -66,7 +79,9 @@ class ExperimentRecord:
 
     @property
     def oracle_seconds(self) -> float:
-        """Simulated oracle latency for the whole run."""
+        """Simulated oracle latency for the whole run (refund-aware)."""
+        if self.simulated_oracle_seconds > 0:
+            return self.simulated_oracle_seconds
         return self.total_calls * self.oracle_cost_per_call
 
     @property
@@ -98,6 +113,9 @@ def run_experiment(
     landmark_bootstrap: bool = False,
     oracle_cost: float = 0.0,
     algorithm_kwargs: Optional[Dict[str, Any]] = None,
+    executor: Optional[str] = None,
+    workers: int = DEFAULT_WORKERS,
+    oracle_cache: Optional[str] = None,
 ) -> ExperimentRecord:
     """Run one measurement.
 
@@ -120,25 +138,46 @@ def run_experiment(
         Simulated seconds per oracle call (virtual clock).
     algorithm_kwargs:
         Extra keyword arguments for the host algorithm (``k``, ``l``, ...).
+    executor:
+        ``"serial"`` or ``"threaded"`` routes resolutions through the
+        batched execution pipeline (:mod:`repro.exec`); None keeps the
+        classic inline path.  Outputs are identical in every mode.
+    workers:
+        Thread-pool size for ``executor="threaded"``.
+    oracle_cache:
+        Path to a persistent distance cache (``":memory:"`` or a SQLite
+        file); implies the pipeline even when ``executor`` is None.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}")
     oracle = space.oracle(cost_per_call=oracle_cost)
-    resolver = SmartResolver(oracle)
-    max_distance = space.diameter_bound()
-    _, bootstrap_calls = attach_provider(
-        resolver, provider, max_distance, num_landmarks, bootstrap=True
-    )
-    if landmark_bootstrap and provider.lower() not in LANDMARK_PROVIDERS:
-        count = num_landmarks or default_num_landmarks(oracle.n)
-        before = oracle.calls
-        bootstrap_with_landmarks(resolver, count)
-        bootstrap_calls += oracle.calls - before
+    batcher = None
+    if executor is not None or oracle_cache is not None:
+        batcher = BatchOracle(
+            oracle,
+            executor=make_executor(executor or "serial", workers=workers),
+            cache=open_cache(oracle_cache),
+        )
+        batcher.preload()
+    resolver = SmartResolver(oracle, batcher=batcher)
+    try:
+        max_distance = space.diameter_bound()
+        _, bootstrap_calls = attach_provider(
+            resolver, provider, max_distance, num_landmarks, bootstrap=True
+        )
+        if landmark_bootstrap and provider.lower() not in LANDMARK_PROVIDERS:
+            count = num_landmarks or default_num_landmarks(oracle.n)
+            before = oracle.calls
+            bootstrap_with_landmarks(resolver, count)
+            bootstrap_calls += oracle.calls - before
 
-    start_calls = oracle.calls
-    start = time.perf_counter()
-    result = ALGORITHMS[algorithm](resolver, **(algorithm_kwargs or {}))
-    cpu_seconds = time.perf_counter() - start
+        start_calls = oracle.calls
+        start = time.perf_counter()
+        result = ALGORITHMS[algorithm](resolver, **(algorithm_kwargs or {}))
+        cpu_seconds = time.perf_counter() - start
+    finally:
+        if batcher is not None:
+            batcher.close()
 
     n = oracle.n
     return ExperimentRecord(
@@ -152,4 +191,10 @@ def run_experiment(
         oracle_cost_per_call=oracle_cost,
         result=result,
         params=dict(algorithm_kwargs or {}),
+        executor=batcher.executor.name if batcher is not None else "inline",
+        oracle_retries=oracle.retries,
+        oracle_timeouts=oracle.timeouts,
+        simulated_oracle_seconds=oracle.simulated_seconds,
+        persistent_cache_hits=batcher.cache_hits if batcher is not None else 0,
+        executor_stats=batcher.executor.stats.copy() if batcher is not None else None,
     )

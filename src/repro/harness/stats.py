@@ -3,14 +3,18 @@
 The paper averages key experiments over 10 runs (§5.3).  These helpers run
 an experiment factory across seeds and summarise the per-seed measurements
 with mean, standard deviation, and a normal-approximation confidence
-interval.
+interval.  Runs that went through the batched execution pipeline also carry
+:class:`~repro.exec.ExecutorStats`; :func:`merge_executor_stats` and
+:func:`summarize_executor_stats` aggregate those across seeds.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, Sequence
+
+from repro.exec import ExecutorStats
 
 
 @dataclass(frozen=True)
@@ -65,3 +69,30 @@ def compare_schemes(
 ) -> dict:
     """Summarise several labelled experiment factories over the same seeds."""
     return {label: repeat_experiment(factory, seeds) for label, factory in factories.items()}
+
+
+def merge_executor_stats(stats_list: Sequence[ExecutorStats]) -> ExecutorStats:
+    """Fold several runs' executor counters into one total.
+
+    Sums the additive counters and keeps the maxima of the high-water marks
+    (``max_in_flight``, ``largest_batch``); None entries (runs without a
+    pipeline) are skipped.
+    """
+    merged = ExecutorStats()
+    for stats in stats_list:
+        if stats is not None:
+            merged = merged.merge(stats)
+    return merged
+
+
+def summarize_executor_stats(
+    stats_list: Sequence[ExecutorStats],
+) -> Dict[str, Summary]:
+    """Per-counter :class:`Summary` across repeated runs' executor stats."""
+    present = [s for s in stats_list if s is not None]
+    if not present:
+        raise ValueError("cannot summarise executor stats without any runs")
+    return {
+        f.name: summarize([getattr(s, f.name) for s in present])
+        for f in fields(ExecutorStats)
+    }

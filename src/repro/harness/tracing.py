@@ -2,10 +2,12 @@
 
 A :class:`TracingOracle` wraps any oracle and records every charged call
 as a :class:`CallEvent` (sequence number, pair, value, wall-clock offset,
-and the active phase label).  Traces answer the questions the aggregate
-counters cannot: how calls cluster over an algorithm's lifetime, how the
-bootstrap/algorithm phases split, and how quickly the call rate decays as
-the shared graph warms up — the paper's compounding effect, per run.
+the active phase label, and — for charges committed by the batched
+execution pipeline — the batch id).  Traces answer the questions the
+aggregate counters cannot: how calls cluster over an algorithm's lifetime,
+how the bootstrap/algorithm phases split, and how quickly the call rate
+decays as the shared graph warms up — the paper's compounding effect, per
+run.
 """
 
 from __future__ import annotations
@@ -13,9 +15,9 @@ from __future__ import annotations
 import csv
 import time
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Union
+from typing import List, Optional
 
-from repro.core.oracle import DistanceOracle
+from repro.core.oracle import DistanceOracle, Pair
 
 
 @dataclass(frozen=True)
@@ -28,6 +30,9 @@ class CallEvent:
     distance: float
     elapsed_seconds: float
     phase: str
+    #: Batch id when the charge was committed by repro.exec; None for
+    #: inline synchronous resolutions.
+    batch: Optional[int] = None
 
 
 class TracingOracle(DistanceOracle):
@@ -48,21 +53,20 @@ class TracingOracle(DistanceOracle):
         self._phase = "default"
         self._start = time.perf_counter()
 
-    def __call__(self, i: int, j: int) -> float:
-        fresh = i != j and not self.is_resolved(i, j)
-        value = super().__call__(i, j)
-        if fresh:
-            self.events.append(
-                CallEvent(
-                    sequence=len(self.events),
-                    i=min(i, j),
-                    j=max(i, j),
-                    distance=value,
-                    elapsed_seconds=time.perf_counter() - self._start,
-                    phase=self._phase,
-                )
+    def _on_charged(self, key: Pair, value: float) -> None:
+        # One hook covers both resolution paths: inline __call__ and the
+        # batched pipeline's record() commits (the latter carry a batch id).
+        self.events.append(
+            CallEvent(
+                sequence=len(self.events),
+                i=key[0],
+                j=key[1],
+                distance=value,
+                elapsed_seconds=time.perf_counter() - self._start,
+                phase=self._phase,
+                batch=self.active_batch,
             )
-        return value
+        )
 
     # -- phases -------------------------------------------------------------
 
@@ -94,12 +98,24 @@ class TracingOracle(DistanceOracle):
         return (midpoint, len(self.events) - midpoint)
 
     def write_csv(self, path) -> None:
-        """Dump the trace as CSV (sequence, i, j, distance, t, phase)."""
+        """Dump the trace as CSV (sequence, i, j, distance, t, phase, batch)."""
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
-            writer.writerow(["sequence", "i", "j", "distance", "elapsed_seconds", "phase"])
+            writer.writerow(
+                ["sequence", "i", "j", "distance", "elapsed_seconds", "phase", "batch"]
+            )
             for e in self.events:
-                writer.writerow([e.sequence, e.i, e.j, e.distance, e.elapsed_seconds, e.phase])
+                writer.writerow(
+                    [
+                        e.sequence,
+                        e.i,
+                        e.j,
+                        e.distance,
+                        e.elapsed_seconds,
+                        e.phase,
+                        "" if e.batch is None else e.batch,
+                    ]
+                )
 
     def reset(self) -> None:
         super().reset()
@@ -127,6 +143,7 @@ def load_trace(path) -> List[CallEvent]:
     events: List[CallEvent] = []
     with open(path, newline="") as handle:
         for row in csv.DictReader(handle):
+            batch = row.get("batch")  # absent in pre-batching traces
             events.append(
                 CallEvent(
                     sequence=int(row["sequence"]),
@@ -135,6 +152,7 @@ def load_trace(path) -> List[CallEvent]:
                     distance=float(row["distance"]),
                     elapsed_seconds=float(row["elapsed_seconds"]),
                     phase=row["phase"],
+                    batch=int(batch) if batch else None,
                 )
             )
     return events

@@ -5,7 +5,6 @@ import pytest
 
 from repro.algorithms.dbscan import NOISE, dbscan
 from repro.bounds.tri import TriScheme
-from repro.core.resolver import SmartResolver
 from repro.spaces.vector import EuclideanSpace
 
 from tests.algorithms.conftest import PROVIDER_CASES, PROVIDER_IDS, build_resolver

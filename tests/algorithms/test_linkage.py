@@ -2,7 +2,6 @@
 
 import itertools
 
-import numpy as np
 import pytest
 
 from repro.algorithms.linkage import single_linkage
@@ -14,7 +13,6 @@ from tests.algorithms.conftest import PROVIDER_CASES, PROVIDER_IDS, build_resolv
 def scipy_reference(space, k):
     """Flat k-clustering from scipy's single-linkage for cross-validation."""
     from scipy.cluster.hierarchy import fcluster, linkage
-    from scipy.spatial.distance import squareform
 
     n = space.n
     condensed = [space.distance(i, j) for i, j in itertools.combinations(range(n), 2)]

@@ -9,7 +9,6 @@ import pytest
 from repro.algorithms.kruskal import kruskal_mst
 from repro.algorithms.prim import prim_mst, prim_mst_comparisons
 from repro.bounds.tri import TriScheme
-from repro.core.resolver import SmartResolver
 
 from tests.algorithms.conftest import PROVIDER_CASES, PROVIDER_IDS, build_resolver
 

@@ -1,6 +1,5 @@
 """Exactness tests for the re-authored metric-space queries."""
 
-import math
 
 import pytest
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import itertools
 import random
 
-import numpy as np
 import pytest
 
 from repro.core.partial_graph import PartialDistanceGraph

@@ -1,8 +1,6 @@
 """Unit tests for the ADM baselines (full closure and incremental)."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.bounds.adm import Adm, AdmIncremental

@@ -1,6 +1,5 @@
 """Unit tests for landmark selection and the bootstrap routine."""
 
-import math
 
 import numpy as np
 import pytest

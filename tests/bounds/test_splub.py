@@ -1,6 +1,5 @@
 """Unit tests for SPLUB (Algorithm 1) — exact tightest bounds."""
 
-import itertools
 import math
 
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for the TLAESA tree-descending landmark provider."""
 
-import numpy as np
 import pytest
 
 from repro.bounds.laesa import Laesa

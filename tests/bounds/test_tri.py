@@ -82,7 +82,7 @@ class TestUpdates:
 
     def test_monotone_tightening(self, rng):
         # Adding triangles can only tighten Tri bounds.
-        from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+        from repro.spaces.matrix import random_metric_matrix
 
         matrix = random_metric_matrix(10, rng)
         g = PartialDistanceGraph(10)

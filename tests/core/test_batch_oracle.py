@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.oracle import DistanceOracle
 from repro.spaces.matrix import MatrixSpace, random_metric_matrix
 
 

@@ -126,6 +126,130 @@ class TestDistanceOracle:
             DistanceOracle(manhattan_1d, 5, budget=-1)
 
 
+class TestDeprecatedPositionalConstructor:
+    def test_positional_cost_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            oracle = DistanceOracle(manhattan_1d, 10, 0.5)
+        assert oracle.cost_per_call == 0.5
+        oracle(0, 1)
+        assert oracle.simulated_seconds == pytest.approx(0.5)
+
+    def test_positional_budget_warns_but_works(self):
+        with pytest.warns(DeprecationWarning):
+            oracle = DistanceOracle(manhattan_1d, 10, 0.0, 1)
+        oracle(0, 1)
+        from repro.core.exceptions import BudgetExceededError as BEE
+
+        with pytest.raises(BEE):
+            oracle(0, 2)
+
+    def test_too_many_positionals_rejected(self):
+        with pytest.raises(TypeError):
+            DistanceOracle(manhattan_1d, 10, 0.0, 1, "extra")
+
+    def test_keyword_form_does_not_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            DistanceOracle(manhattan_1d, 10, cost_per_call=0.5, budget=3)
+
+
+class TestBatchedExecutionSurface:
+    """The commit/seed/observe API used by the repro.exec pipeline."""
+
+    def test_record_charges_like_call(self):
+        oracle = DistanceOracle(manhattan_1d, 10, cost_per_call=1.0)
+        assert oracle.record(1, 0, 1.0) == 1.0
+        assert oracle.calls == 1
+        assert oracle.simulated_seconds == 1.0
+        assert oracle.peek(0, 1) == 1.0
+
+    def test_record_is_idempotent_on_cached_pairs(self):
+        oracle = DistanceOracle(manhattan_1d, 10)
+        oracle(0, 1)
+        assert oracle.record(0, 1, 999.0) == 1.0  # cached value wins
+        assert oracle.calls == 1
+
+    def test_record_validates_value_and_indices(self):
+        oracle = DistanceOracle(manhattan_1d, 10)
+        with pytest.raises(ValueError):
+            oracle.record(0, 1, -2.0)
+        with pytest.raises(InvalidObjectError):
+            oracle.record(0, 10, 1.0)
+        assert oracle.record(4, 4, 0.0) == 0.0  # diagonal: free no-op
+
+    def test_seed_is_free_and_reports_novelty(self):
+        oracle = DistanceOracle(manhattan_1d, 10, cost_per_call=1.0)
+        assert oracle.seed(0, 1, 1.0) is True
+        assert oracle.seed(1, 0, 2.0) is False  # already known
+        assert oracle.seed(3, 3, 0.0) is False  # diagonal
+        assert oracle.calls == 0
+        assert oracle.simulated_seconds == 0.0
+        with pytest.raises(ValueError):
+            oracle.seed(0, 2, math.inf)
+
+    def test_resolve_batch_preserves_input_order(self):
+        oracle = DistanceOracle(manhattan_1d, 10)
+        assert oracle.resolve_batch([(0, 3), (5, 1), (0, 3)]) == [3.0, 4.0, 3.0]
+        assert oracle.calls == 2
+
+    def test_refund_simulated(self):
+        oracle = DistanceOracle(manhattan_1d, 10, cost_per_call=1.0)
+        oracle(0, 1)
+        oracle(0, 2)
+        oracle.refund_simulated(1.5)
+        assert oracle.simulated_seconds == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            oracle.refund_simulated(-1.0)
+
+    def test_note_retries_and_timeouts(self):
+        oracle = DistanceOracle(manhattan_1d, 10)
+        oracle.note_retries(2)
+        oracle.note_timeouts()
+        assert oracle.retries == 2
+        assert oracle.timeouts == 1
+        with pytest.raises(ValueError):
+            oracle.note_retries(-1)
+        stats = oracle.stats()
+        assert (stats.retries, stats.timeouts) == (2, 1)
+
+    def test_stats_subtraction_covers_fault_counters(self):
+        oracle = DistanceOracle(manhattan_1d, 10)
+        before = oracle.stats()
+        oracle.note_retries(3)
+        oracle.note_timeouts(2)
+        delta = oracle.stats() - before
+        assert delta.retries == 3
+        assert delta.timeouts == 2
+
+    def test_subscribe_and_unsubscribe(self):
+        oracle = DistanceOracle(manhattan_1d, 10)
+        seen = []
+        listener = lambda i, j, d: seen.append((i, j, d))  # noqa: E731
+        oracle.subscribe(listener)
+        oracle(1, 0)
+        oracle(1, 0)  # cache hit: listeners not re-notified
+        oracle.unsubscribe(listener)
+        oracle(0, 2)
+        assert seen == [(0, 1, 1.0)]
+
+    def test_listeners_survive_reset(self):
+        oracle = DistanceOracle(manhattan_1d, 10)
+        seen = []
+        oracle.subscribe(lambda i, j, d: seen.append((i, j)))
+        oracle.reset()
+        oracle(0, 1)
+        assert seen == [(0, 1)]
+
+    def test_in_batch_labels_and_restores(self):
+        oracle = DistanceOracle(manhattan_1d, 10)
+        assert oracle.active_batch is None
+        with oracle.in_batch(7):
+            assert oracle.active_batch == 7
+        assert oracle.active_batch is None
+
+
 class TestWallClockOracle:
     def test_measures_real_time(self):
         import time

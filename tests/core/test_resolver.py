@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.bounds.tri import TriScheme
-from repro.core.bounds import Bounds, TrivialBounder
+from repro.core.bounds import TrivialBounder
 from repro.core.partial_graph import PartialDistanceGraph
 from repro.core.resolver import SmartResolver
 from repro.spaces.matrix import MatrixSpace, random_metric_matrix
@@ -222,6 +222,108 @@ class TestStats:
         assert resolver.stats.prune_rate == 0.0
         resolver.is_at_least(0, 1, 0.0)
         assert resolver.stats.prune_rate == 1.0
+
+
+class TestTieBreaking:
+    """Equal distances must be settled the way a vanilla linear scan would."""
+
+    def _tied_space(self):
+        # d(0,1) == d(2,3) == 1.0, everything else distinct.
+        matrix = np.array(
+            [
+                [0.0, 1.0, 1.5, 1.5],
+                [1.0, 0.0, 1.5, 1.5],
+                [1.5, 1.5, 0.0, 1.0],
+                [1.5, 1.5, 1.0, 0.0],
+            ]
+        )
+        return MatrixSpace(matrix)
+
+    def test_compare_distinct_pairs_at_equal_distance(self):
+        space = self._tied_space()
+        r = SmartResolver(space.oracle())
+        assert r.compare((0, 1), (2, 3)) == 0
+        assert r.compare((2, 3), (0, 1)) == 0
+
+    def test_less_is_false_both_ways_on_ties(self):
+        space = self._tied_space()
+        r = SmartResolver(space.oracle())
+        assert r.less((0, 1), (2, 3)) is False
+        assert r.less((2, 3), (0, 1)) is False
+
+    def test_argmin_tie_prefers_earliest_even_when_probed_late(self):
+        # Candidates listed so the tied winner sits *after* another tied
+        # candidate in probe order: position still decides, not probe order.
+        matrix = np.array(
+            [
+                [0.0, 2.0, 1.0, 1.0],
+                [2.0, 0.0, 1.5, 1.5],
+                [1.0, 1.5, 0.0, 0.5],
+                [1.0, 1.5, 0.5, 0.0],
+            ]
+        )
+        space = MatrixSpace(matrix)
+        r = SmartResolver(space.oracle())
+        best, dist = r.argmin(0, [3, 2, 1])  # d(0,3) == d(0,2) == 1.0
+        assert best == 3  # earliest position in the candidate list
+        assert dist == 1.0
+
+
+class TestArgminUpperLimit:
+    """The ``upper_limit`` is exclusive: exact matches are never returned."""
+
+    def test_candidate_at_exact_limit_excluded(self, resolver, space):
+        candidates = [3, 5, 7]
+        floor = min(space.distance(0, c) for c in candidates)
+        best, dist = resolver.argmin(0, candidates, upper_limit=floor)
+        assert best is None
+        assert math.isinf(dist)
+
+    def test_candidate_just_under_limit_returned(self, resolver, space):
+        candidates = [3, 5, 7]
+        floor = min(space.distance(0, c) for c in candidates)
+        winner = min(candidates, key=lambda c: space.distance(0, c))
+        best, dist = resolver.argmin(0, candidates, upper_limit=floor + 1e-9)
+        assert best == winner
+        assert dist == pytest.approx(floor)
+
+
+class TestStatsSplit:
+    """Comparisons and resolutions are separate counters (see ResolverStats)."""
+
+    def test_oracle_resolution_classified(self, space):
+        r = SmartResolver(space.oracle())
+        r.distance(0, 1)
+        assert r.stats.resolutions == 1
+        assert r.stats.oracle_resolutions == 1
+        assert r.stats.cached_resolutions == 0
+
+    def test_graph_hit_is_not_a_resolution(self, space):
+        r = SmartResolver(space.oracle())
+        r.distance(0, 1)
+        r.distance(1, 0)
+        assert r.stats.resolutions == 1
+
+    def test_oracle_cache_hit_counted_as_cached(self, space):
+        oracle = space.oracle()
+        oracle.seed(0, 1, space.distance(0, 1))
+        r = SmartResolver(oracle)
+        r.distance(0, 1)
+        assert r.stats.resolutions == 1
+        assert r.stats.oracle_resolutions == 0
+        assert r.stats.cached_resolutions == 1
+
+    def test_less_fallback_is_one_comparison_two_resolutions(self, space):
+        r = SmartResolver(space.oracle())  # TrivialBounder: no pruning
+        r.less((0, 1), (2, 3))
+        assert r.stats.decided_by_oracle == 1
+        assert r.stats.resolutions == 2
+        assert r.stats.oracle_resolutions == 2
+
+    def test_bound_decision_adds_no_resolution(self, resolver):
+        resolver.is_at_least(0, 1, 0.0)  # lb >= 0 always holds
+        assert resolver.stats.decided_by_bounds == 1
+        assert resolver.stats.resolutions == 0
 
 
 class TestConstruction:

@@ -1,6 +1,5 @@
 """Unit tests for the metric-validating oracle."""
 
-import numpy as np
 import pytest
 
 from repro.core.exceptions import MetricViolationError

@@ -1,0 +1,194 @@
+"""Tests for BatchOracle: dedupe, commits, persistence, latency pricing."""
+
+import math
+
+import pytest
+
+from repro.core.oracle import DistanceOracle
+from repro.exec import (
+    BatchOracle,
+    MemoryCacheBackend,
+    RetryPolicy,
+    SerialExecutor,
+    SqliteCacheBackend,
+    ThreadedExecutor,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+
+def metric(i, j):
+    return float(abs(i - j))
+
+
+@pytest.fixture
+def oracle():
+    return DistanceOracle(metric, 20, cost_per_call=1.0)
+
+
+class TestResolveMany:
+    def test_returns_canonical_keyed_values(self, oracle):
+        batch = BatchOracle(oracle)
+        out = batch.resolve_many([(1, 0), (0, 1), (3, 2), (5, 5)])
+        assert out == {(0, 1): 1.0, (2, 3): 1.0}
+        assert oracle.calls == 2  # duplicates and the diagonal cost nothing
+
+    def test_skips_already_resolved_pairs(self, oracle):
+        oracle(0, 1)
+        batch = BatchOracle(oracle)
+        out = batch.resolve_many([(0, 1), (0, 2)])
+        assert out == {(0, 1): 1.0, (0, 2): 2.0}
+        assert oracle.calls == 2
+
+    def test_commits_in_sorted_order(self, oracle):
+        committed = []
+        oracle.subscribe(lambda i, j, d: committed.append((i, j)))
+        batch = BatchOracle(oracle, executor=ThreadedExecutor(workers=4, retry=FAST_RETRY))
+        try:
+            batch.resolve_many([(9, 8), (0, 5), (3, 1), (0, 2)])
+        finally:
+            batch.close()
+        assert committed == [(0, 2), (0, 5), (1, 3), (8, 9)]
+
+    def test_batch_counter(self, oracle):
+        batch = BatchOracle(oracle)
+        batch.resolve_many([(0, 1)])
+        batch.resolve_many([(0, 1)])  # fully cached — no new dispatch
+        batch.resolve_many([(0, 2)])
+        assert batch.batches == 2
+
+
+class TestLatencyPricing:
+    def test_serial_charges_full_latency(self, oracle):
+        batch = BatchOracle(oracle, executor=SerialExecutor(retry=FAST_RETRY))
+        batch.resolve_many([(0, j) for j in range(1, 9)])
+        assert oracle.simulated_seconds == 8.0
+
+    def test_threaded_charges_elapsed_waves(self, oracle):
+        executor = ThreadedExecutor(workers=4, retry=FAST_RETRY)
+        batch = BatchOracle(oracle, executor=executor)
+        try:
+            batch.resolve_many([(0, j) for j in range(1, 10)])  # 9 fresh pairs
+        finally:
+            batch.close()
+        # ceil(9 / 4) = 3 latency waves; 6 units refunded.
+        assert oracle.calls == 9
+        assert oracle.simulated_seconds == 3.0
+        assert executor.stats.simulated_seconds_saved == 6.0
+
+    def test_refund_skips_free_pairs(self, oracle):
+        oracle(0, 1)
+        executor = ThreadedExecutor(workers=8, retry=FAST_RETRY)
+        batch = BatchOracle(oracle, executor=executor)
+        try:
+            batch.resolve_many([(0, 1), (0, 2)])  # only one fresh pair
+        finally:
+            batch.close()
+        assert oracle.simulated_seconds == 2.0  # one inline + one batched wave
+
+
+class TestFaultPropagation:
+    def test_retry_and_timeout_counters_reach_oracle(self, oracle):
+        attempts = {}
+
+        def flaky(i, j):
+            seen = attempts.get((i, j), 0)
+            attempts[(i, j)] = seen + 1
+            if seen == 0:
+                raise TimeoutError("transient")
+            return metric(i, j)
+
+        flaky_oracle = DistanceOracle(flaky, 20)
+        batch = BatchOracle(flaky_oracle, executor=SerialExecutor(retry=FAST_RETRY))
+        out = batch.resolve_many([(0, 1), (0, 2)])
+        assert out == {(0, 1): 1.0, (0, 2): 2.0}
+        assert flaky_oracle.retries == 2
+        assert flaky_oracle.timeouts == 2
+        stats = flaky_oracle.stats()
+        assert stats.retries == 2
+        assert stats.timeouts == 2
+
+
+class TestPersistentCache:
+    def test_write_through_covers_batched_and_inline(self, oracle):
+        cache = MemoryCacheBackend()
+        batch = BatchOracle(oracle, cache=cache)
+        batch.resolve_many([(0, 1), (0, 2)])
+        oracle(0, 3)  # inline resolution is persisted too
+        assert len(cache) == 3
+        assert cache.get(3, 0) == 3.0
+
+    def test_cache_hits_are_free(self, oracle):
+        cache = MemoryCacheBackend()
+        cache.put_many({(0, 1): 1.0, (0, 2): 2.0})
+        batch = BatchOracle(oracle, cache=cache)
+        out = batch.resolve_many([(0, 1), (0, 2), (0, 3)])
+        assert out == {(0, 1): 1.0, (0, 2): 2.0, (0, 3): 3.0}
+        assert oracle.calls == 1
+        assert batch.cache_hits == 2
+
+    def test_preload_seeds_everything(self, oracle):
+        cache = MemoryCacheBackend()
+        cache.put_many({(0, 1): 1.0, (4, 7): 3.0, (100, 101): 1.0})
+        batch = BatchOracle(oracle, cache=cache)
+        assert batch.preload() == 2  # out-of-universe entries skipped
+        assert batch.preloaded == 2
+        assert oracle.peek(0, 1) == 1.0
+        assert oracle.calls == 0
+
+    def test_sqlite_roundtrip_across_sessions(self, tmp_path):
+        path = tmp_path / "distances.db"
+        first = DistanceOracle(metric, 20, cost_per_call=1.0)
+        batch = BatchOracle(first, cache=SqliteCacheBackend(path))
+        batch.resolve_many([(0, 1), (2, 9)])
+        batch.close()
+
+        second = DistanceOracle(metric, 20, cost_per_call=1.0)
+        resumed = BatchOracle(second, cache=SqliteCacheBackend(path))
+        resumed.preload()
+        out = resumed.resolve_many([(0, 1), (2, 9)])
+        resumed.close()
+        assert out == {(0, 1): 1.0, (2, 9): 7.0}
+        assert second.calls == 0
+        assert second.simulated_seconds == 0.0
+
+    def test_close_unsubscribes_listener(self, oracle):
+        cache = MemoryCacheBackend()
+        with BatchOracle(oracle, cache=cache) as batch:
+            batch.resolve_many([(0, 1)])
+        oracle(0, 2)  # after close, charges are no longer persisted
+        assert len(cache) == 1
+
+
+class TestObserversSeeBatchedCommits:
+    def test_validating_oracle_checks_batch_commits(self):
+        from repro.core.exceptions import MetricViolationError
+        from repro.core.validation import ValidatingOracle
+
+        def broken(i, j):
+            if (min(i, j), max(i, j)) == (1, 2):
+                return 100.0  # violates the triangle with (0,1) and (0,2)
+            return metric(i, j)
+
+        oracle = ValidatingOracle(broken, 10)
+        batch = BatchOracle(oracle, executor=SerialExecutor(retry=FAST_RETRY))
+        with pytest.raises(MetricViolationError):
+            batch.resolve_many([(0, 1), (0, 2), (1, 2)])
+
+    def test_tracing_oracle_records_batch_ids(self):
+        from repro.harness.tracing import TracingOracle
+
+        oracle = TracingOracle(metric, 10)
+        batch = BatchOracle(oracle)
+        batch.resolve_many([(0, 1), (0, 2)])
+        oracle(0, 3)
+        batches = [event.batch for event in oracle.events]
+        assert batches == [1, 1, None]
+
+
+def test_math_consistency_of_wave_formula():
+    # The pricing rule the implementation relies on.
+    for fresh in range(1, 50):
+        for workers in (1, 4, 16):
+            waves = math.ceil(fresh / workers)
+            assert 1 <= waves <= fresh

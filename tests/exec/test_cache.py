@@ -1,0 +1,82 @@
+"""Tests for the persistent distance-cache backends."""
+
+import pytest
+
+from repro.exec import CacheBackend, MemoryCacheBackend, SqliteCacheBackend, open_cache
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        cache = MemoryCacheBackend()
+    else:
+        cache = SqliteCacheBackend(tmp_path / "distances.db")
+    yield cache
+    cache.close()
+
+
+class TestBackendContract:
+    def test_miss_returns_none(self, backend):
+        assert backend.get(0, 1) is None
+        assert len(backend) == 0
+
+    def test_put_get_roundtrip(self, backend):
+        backend.put(3, 7, 1.5)
+        assert backend.get(3, 7) == 1.5
+        assert len(backend) == 1
+
+    def test_keys_are_canonical(self, backend):
+        backend.put(7, 3, 2.0)
+        assert backend.get(3, 7) == 2.0
+        assert backend.get(7, 3) == 2.0
+        assert list(backend.items()) == [((3, 7), 2.0)]
+
+    def test_overwrite_is_silent(self, backend):
+        backend.put(0, 1, 1.0)
+        backend.put(1, 0, 4.0)
+        assert backend.get(0, 1) == 4.0
+        assert len(backend) == 1
+
+    def test_put_many_get_many(self, backend):
+        backend.put_many({(0, 1): 1.0, (2, 1): 2.0})
+        found = backend.get_many([(1, 0), (1, 2), (5, 6)])
+        assert found == {(0, 1): 1.0, (1, 2): 2.0}
+
+    def test_context_manager(self, backend):
+        with backend as cache:
+            cache.put(0, 1, 1.0)
+            assert cache.get(0, 1) == 1.0
+
+
+class TestSqlitePersistence:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "d.db"
+        with SqliteCacheBackend(path) as cache:
+            cache.put_many({(0, 1): 1.25, (2, 3): 0.5})
+        with SqliteCacheBackend(path) as cache:
+            assert cache.get(1, 0) == 1.25
+            assert len(cache) == 2
+            assert sorted(cache.items()) == [((0, 1), 1.25), ((2, 3), 0.5)]
+
+    def test_path_property(self, tmp_path):
+        path = tmp_path / "d.db"
+        with SqliteCacheBackend(path) as cache:
+            assert cache.path == str(path)
+
+
+class TestOpenCache:
+    def test_none_disables(self):
+        assert open_cache(None) is None
+
+    def test_memory_sentinel(self):
+        cache = open_cache(":memory:")
+        assert isinstance(cache, MemoryCacheBackend)
+
+    def test_path_opens_sqlite(self, tmp_path):
+        cache = open_cache(tmp_path / "d.db")
+        assert isinstance(cache, SqliteCacheBackend)
+        cache.close()
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            CacheBackend().get(0, 1)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bounds import Aesa
 from repro.core.resolver import SmartResolver
-from repro.harness.providers import LANDMARK_PROVIDERS, attach_provider, make_provider
+from repro.harness.providers import LANDMARK_PROVIDERS, attach_provider
 from repro.harness.runner import run_experiment
 from repro.spaces.matrix import MatrixSpace, random_metric_matrix
 

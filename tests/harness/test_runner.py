@@ -1,6 +1,5 @@
 """Unit tests for the experiment runner and provider factory."""
 
-import math
 
 import pytest
 
@@ -8,7 +7,7 @@ from repro.core.bounds import TrivialBounder
 from repro.core.partial_graph import PartialDistanceGraph
 from repro.bounds import Adm, Laesa, Splub, Tlaesa, TriScheme
 from repro.harness.providers import PROVIDER_NAMES, attach_provider, make_provider
-from repro.harness.runner import ExperimentRecord, percentage_save, run_experiment
+from repro.harness.runner import percentage_save, run_experiment
 from repro.spaces.matrix import MatrixSpace, random_metric_matrix
 
 

@@ -1,10 +1,9 @@
 """Unit tests for the multi-seed statistics helpers."""
 
-import math
 
 import pytest
 
-from repro.harness.stats import Summary, compare_schemes, repeat_experiment, summarize
+from repro.harness.stats import compare_schemes, repeat_experiment, summarize
 
 
 class TestSummarize:

@@ -1,6 +1,5 @@
 """Unit tests for the Burkhard–Keller tree comparator."""
 
-import numpy as np
 import pytest
 
 from repro.index.bktree import BkTree

@@ -1,7 +1,6 @@
 """Unit tests for the vector (Minkowski/angular) metric spaces."""
 
 import itertools
-import math
 
 import numpy as np
 import pytest

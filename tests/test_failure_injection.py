@@ -6,7 +6,6 @@ timeouts.  These tests pin down what the library guarantees in each case.
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.algorithms import knn_graph, pam, prim_mst

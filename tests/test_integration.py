@@ -1,20 +1,15 @@
 """End-to-end integration tests across the whole stack."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro import (
     EditDistanceSpace,
-    Laesa,
-    RoadNetworkSpace,
     SmartResolver,
-    Splub,
     TriScheme,
     clarans,
     knn_graph,
-    kruskal_mst,
     pam,
     prim_mst,
 )

@@ -10,7 +10,6 @@ These are the paper's load-bearing guarantees:
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

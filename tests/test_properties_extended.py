@@ -163,7 +163,6 @@ class TestInfrastructureProperties:
     @given(metric_spaces(), st.integers(0, 2**16))
     @settings(**COMMON)
     def test_persistence_round_trip(self, instance, seed):
-        import io
         import tempfile
 
         space, _ = instance
