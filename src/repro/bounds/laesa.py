@@ -15,7 +15,7 @@ Tri Scheme exploits *every* triangle accumulated so far.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +37,7 @@ class Laesa(BaseBoundProvider):
     """
 
     name = "LAESA"
+    vectorized_bounds = True
 
     def __init__(
         self,
@@ -92,6 +93,45 @@ class Laesa(BaseBoundProvider):
         if lb > ub:
             lb = ub
         return Bounds(lb, ub)
+
+    def bounds_many(self, pairs: Iterable[Tuple[int, int]]) -> List[Bounds]:
+        """Batch query: one ``L × B`` matrix reduction for the whole frontier.
+
+        Column-slices the landmark matrix for every genuinely unknown pair
+        at once and reduces along the landmark axis — the same elementwise
+        operations as :meth:`bounds`, so results are identical per pair.
+        """
+        pairs = list(pairs)
+        if self._matrix is None or not self.landmarks:
+            return [self.bounds(i, j) for i, j in pairs]
+        out: List[Bounds | None] = [None] * len(pairs)
+        todo: List[int] = []
+        ii: List[int] = []
+        jj: List[int] = []
+        for idx, (i, j) in enumerate(pairs):
+            if i == j:
+                out[idx] = Bounds(0.0, 0.0)
+                continue
+            known = self.graph.get(i, j)
+            if known is not None:
+                out[idx] = Bounds(known, known)
+                continue
+            todo.append(idx)
+            ii.append(i)
+            jj.append(j)
+        if todo:
+            cols_i = self._matrix[:, ii]
+            cols_j = self._matrix[:, jj]
+            lowers = np.max(np.abs(cols_i - cols_j), axis=0)
+            uppers = np.min(cols_i + cols_j, axis=0)
+            cap = self.max_distance
+            for pos, idx in enumerate(todo):
+                lb = float(lowers[pos])
+                ub = min(float(uppers[pos]), cap)
+                if lb > ub:
+                    lb = ub
+                out[idx] = Bounds(lb, ub)
+        return out
 
     def notify_resolved(self, i: int, j: int, distance: float) -> None:
         """Refresh matrix cells when a landmark's distance was resolved."""

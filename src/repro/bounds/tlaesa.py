@@ -26,7 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.bounds import Bounds
+from repro.core.bounds import BaseBoundProvider, Bounds
 from repro.core.partial_graph import PartialDistanceGraph
 from repro.core.resolver import SmartResolver
 from repro.bounds.laesa import Laesa
@@ -155,3 +155,9 @@ class Tlaesa(Laesa):
         if lb > ub:
             lb = ub
         return Bounds(lb, ub)
+
+    # The adaptive descent visits different pivots per pair, so LAESA's
+    # full-matrix batch kernel would return *different* (tighter) bounds.
+    # Fall back to the per-pair loop to keep bounds_many ≡ bounds.
+    vectorized_bounds = False
+    bounds_many = BaseBoundProvider.bounds_many

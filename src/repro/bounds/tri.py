@@ -10,11 +10,33 @@ endpoints' adjacency lists (the paper uses balanced BSTs; we use sorted
 arrays — see ``PartialDistanceGraph``).  Expected query cost is ``O(m/n)``
 (Theorem 4.2); the update is the graph's ``O(log n)`` adjacency insert, so
 :meth:`notify_resolved` is a no-op here.
+
+Three interchangeable kernels compute the reduction:
+
+* :meth:`bounds_scalar` — the per-triangle Python loop (reference);
+* the *per-pair vectorised* kernel — a ``np.searchsorted`` intersection
+  over the graph's flat adjacency mirrors followed by array
+  ``|diw − djw|`` / ``diw + djw`` reductions;
+* the *frontier* kernel — when a whole batch shares one endpoint ``u``
+  (``knearest(u, ·)`` / ``argmin(u, ·)`` frontiers always do), one dense
+  gather of ``u``'s row plus segmented ``np.maximum.reduceat`` /
+  ``np.minimum.reduceat`` reductions answer every pair in a handful of
+  array operations total.
+
+All kernels perform the identical IEEE-754 elementwise operations and
+order-independent min/max reductions, so they return identical ``Bounds``;
+:meth:`bounds` dispatches by endpoint degree (the array kernel only wins
+once the intersected lists are long enough to amortise NumPy call overhead)
+and :meth:`bounds_many` routes shared-endpoint batches through the frontier
+kernel.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.bounds import BaseBoundProvider, Bounds
 from repro.core.partial_graph import PartialDistanceGraph
@@ -35,6 +57,13 @@ class TriScheme(BaseBoundProvider):
     """
 
     name = "Tri"
+    vectorized_bounds = True
+
+    #: Minimum endpoint degree before single-pair queries switch from the
+    #: scalar loop to the NumPy kernel.  All kernels return identical
+    #: bounds; this only moves CPU time.  Set to ``math.inf`` to force the
+    #: scalar loop everywhere (the loop-vs-vectorised benchmarks do).
+    vector_threshold: float = 32
 
     def __init__(
         self,
@@ -54,6 +83,79 @@ class TriScheme(BaseBoundProvider):
         known = self.graph.get(i, j)
         if known is not None:
             return Bounds(known, known)
+        if min(self.graph.degree(i), self.graph.degree(j)) >= self.vector_threshold:
+            return self._bounds_vector(i, j)
+        return self._bounds_loop(i, j)
+
+    def bounds_many(self, pairs: Iterable[Tuple[int, int]]) -> List[Bounds]:
+        """Batch query, routed through the fastest applicable kernel.
+
+        A batch whose unknown pairs all share one endpoint (every
+        ``knearest``/``argmin`` frontier does) is answered by the segmented
+        frontier kernel in a handful of array operations; anything else
+        falls back to the same per-pair dispatch :meth:`bounds` uses.
+        Either way the result is element-for-element identical to per-pair
+        queries.
+        """
+        pairs = list(pairs)
+        out: List[Optional[Bounds]] = [None] * len(pairs)
+        graph = self.graph
+        todo: List[int] = []
+        for idx, (i, j) in enumerate(pairs):
+            if i == j:
+                out[idx] = Bounds(0.0, 0.0)
+                continue
+            known = graph.get(i, j)
+            if known is not None:
+                out[idx] = Bounds(known, known)
+                continue
+            todo.append(idx)
+        if todo:
+            shared = self._shared_endpoint([pairs[idx] for idx in todo])
+            # An infinite vector_threshold forces the scalar loop everywhere,
+            # including here — the ablation benchmarks rely on that.
+            if shared is not None and len(todo) >= 2 and math.isfinite(self.vector_threshold):
+                others = [
+                    pairs[idx][1] if pairs[idx][0] == shared else pairs[idx][0]
+                    for idx in todo
+                ]
+                for idx, b in zip(todo, self._bounds_frontier(shared, others)):
+                    out[idx] = b
+            else:
+                threshold = self.vector_threshold
+                for idx in todo:
+                    i, j = pairs[idx]
+                    if min(graph.degree(i), graph.degree(j)) >= threshold:
+                        out[idx] = self._bounds_vector(i, j)
+                    else:
+                        out[idx] = self._bounds_loop(i, j)
+        return out
+
+    def bounds_scalar(self, i: int, j: int) -> Bounds:
+        """Reference per-triangle loop, bypassing the degree dispatch."""
+        if i == j:
+            return Bounds(0.0, 0.0)
+        known = self.graph.get(i, j)
+        if known is not None:
+            return Bounds(known, known)
+        return self._bounds_loop(i, j)
+
+    @staticmethod
+    def _shared_endpoint(pairs: Sequence[Tuple[int, int]]) -> Optional[int]:
+        """The node present in every pair, or None."""
+        cand_a, cand_b = pairs[0]
+        for i, j in pairs:
+            if cand_a != i and cand_a != j:
+                cand_a = -1
+            if cand_b != i and cand_b != j:
+                cand_b = -1
+            if cand_a < 0 and cand_b < 0:
+                return None
+        return cand_a if cand_a >= 0 else cand_b
+
+    # -- kernels ------------------------------------------------------------
+
+    def _bounds_loop(self, i: int, j: int) -> Bounds:
         lb = 0.0
         ub = self.max_distance
         weight = self.graph.weight
@@ -86,3 +188,103 @@ class TriScheme(BaseBoundProvider):
             # Only possible through floating-point jitter on a true metric.
             lb = ub
         return Bounds(lb, ub)
+
+    def _bounds_vector(self, i: int, j: int) -> Bounds:
+        ids_i, weights_i = self.graph.adjacency_arrays(i)
+        ids_j, weights_j = self.graph.adjacency_arrays(j)
+        if ids_i.size == 0 or ids_j.size == 0:
+            return Bounds(0.0, self.max_distance)
+        # Probe the shorter sorted-unique list into the longer one — cheaper
+        # than np.intersect1d's concatenate-and-sort for these sizes.
+        if ids_i.size < ids_j.size:
+            short_ids, short_w, long_ids, long_w = ids_i, weights_i, ids_j, weights_j
+        else:
+            short_ids, short_w, long_ids, long_w = ids_j, weights_j, ids_i, weights_i
+        slots = long_ids.searchsorted(short_ids)
+        # mode="clip" maps the one possible out-of-range slot onto the last
+        # element, which cannot match (its probe value is strictly larger).
+        matched = long_ids.take(slots, mode="clip") == short_ids
+        count = int(matched.sum())
+        self.triangles_inspected += count
+        if count == 0:
+            return Bounds(0.0, self.max_distance)
+        diw = short_w[matched]
+        djw = long_w[slots[matched]]
+        c = self.relaxation
+        if c == 1.0:
+            lb = float(np.abs(diw - djw).max())
+            ub = float((diw + djw).min())
+        else:
+            # min(c·(x+y)) == c·min(x+y): scaling by a positive constant is
+            # monotone under IEEE-754 rounding, so the minimising triangle's
+            # value is bit-identical to the scalar loop's.
+            lb = float(np.maximum(diw / c - djw, djw / c - diw).max())
+            ub = c * float((diw + djw).min())
+        if lb < 0.0:
+            lb = 0.0
+        if ub > self.max_distance:
+            ub = self.max_distance
+        if lb > ub:
+            lb = ub
+        return Bounds(lb, ub)
+
+    def _bounds_frontier(self, u: int, others: Sequence[int]) -> List[Bounds]:
+        """Bounds for every unknown pair ``(u, c)`` in one segmented pass.
+
+        Scatters ``u``'s adjacency into a dense row (``inf`` elsewhere),
+        gathers it at every candidate neighbour in one shot, and reduces
+        per candidate with ``np.maximum.reduceat`` / ``np.minimum.reduceat``.
+        Non-triangles contribute ``-inf``/``+inf``, which never win the
+        order-independent reductions, so each pair's result is identical to
+        the per-pair kernels'.
+        """
+        graph = self.graph
+        ids_u, weights_u = graph.adjacency_arrays(u)
+        cap = self.max_distance
+        if ids_u.size == 0:
+            return [Bounds(0.0, cap)] * len(others)
+        dense = np.full(graph.n, math.inf)
+        dense[ids_u] = weights_u
+        id_chunks: List[np.ndarray] = []
+        weight_chunks: List[np.ndarray] = []
+        lengths: List[int] = []
+        slots: List[int] = []  # positions with a non-empty adjacency
+        out: List[Optional[Bounds]] = [None] * len(others)
+        for pos, other in enumerate(others):
+            ids_c, weights_c = graph.adjacency_arrays(other)
+            if ids_c.size == 0:
+                out[pos] = Bounds(0.0, cap)
+                continue
+            id_chunks.append(ids_c)
+            weight_chunks.append(weights_c)
+            lengths.append(ids_c.size)
+            slots.append(pos)
+        if not slots:
+            return out
+        ids_cat = np.concatenate(id_chunks)
+        wc = np.concatenate(weight_chunks)
+        du = dense[ids_cat]
+        valid = np.isfinite(du)
+        self.triangles_inspected += int(valid.sum())
+        c = self.relaxation
+        if c == 1.0:
+            lb_elem = np.where(valid, np.abs(du - wc), -math.inf)
+            ub_elem = np.where(valid, du + wc, math.inf)
+        else:
+            lb_elem = np.where(valid, np.maximum(du / c - wc, wc / c - du), -math.inf)
+            ub_elem = np.where(valid, du + wc, math.inf)
+        offsets = np.zeros(len(lengths), dtype=np.intp)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        lbs = np.maximum.reduceat(lb_elem, offsets)
+        ubs = np.minimum.reduceat(ub_elem, offsets)
+        for k, pos in enumerate(slots):
+            lb = float(lbs[k])
+            ub = float(ubs[k]) if c == 1.0 else c * float(ubs[k])
+            if lb < 0.0:
+                lb = 0.0
+            if ub > cap:
+                ub = cap
+            if lb > ub:
+                lb = ub
+            out[pos] = Bounds(lb, ub)
+        return out

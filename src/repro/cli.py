@@ -91,11 +91,16 @@ def _cmd_run(args) -> int:
                 round(percentage_save(baseline_calls, record.total_calls), 1),
                 round(record.cpu_seconds, 3),
                 round(record.completion_seconds, 2),
+                round(record.bound_time_s * 1e3, 1),
+                record.bound_cache_hits,
+                record.vectorized_batches,
+                record.dijkstra_runs,
             ]
         )
     print_table(
         ["provider", "bootstrap", "algorithm", "total", "save% vs first",
-         "cpu (s)", "completion (s)"],
+         "cpu (s)", "completion (s)", "bound (ms)", "bound hits",
+         "vec batches", "dijkstras"],
         rows,
         title=f"{args.algorithm} on {args.dataset} (n={args.n}, "
         f"oracle={args.oracle_cost}s/call, "

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Protocol, Tuple, runtime_checkable
+from typing import Iterable, List, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.core.partial_graph import PartialDistanceGraph
 
@@ -93,6 +93,11 @@ class BaseBoundProvider:
 
     name = "base"
 
+    #: True when :meth:`bounds_many` runs an array kernel instead of the
+    #: per-pair loop — the resolver counts such dispatches as
+    #: ``vectorized_batches``.
+    vectorized_bounds = False
+
     def __init__(self, graph: PartialDistanceGraph, max_distance: float = math.inf) -> None:
         if max_distance <= 0:
             raise ValueError("max_distance must be positive")
@@ -110,6 +115,19 @@ class BaseBoundProvider:
 
     def bounds(self, i: int, j: int) -> Bounds:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def bounds_many(self, pairs: Iterable[Tuple[int, int]]) -> List[Bounds]:
+        """Bounds for a batch of pairs, element-for-element equal to ``bounds``.
+
+        Contract: ``bounds_many(pairs)[k] == bounds(*pairs[k])`` for every
+        ``k``, bit-for-bit — batching is a CPU optimisation, never a
+        semantic one.  The whole batch is evaluated against the *current*
+        graph state (a batch query must not resolve anything, so the state
+        cannot move mid-batch).  Schemes with an array kernel (Tri, LAESA)
+        override this and set :attr:`vectorized_bounds`; the default simply
+        loops.
+        """
+        return [self.bounds(i, j) for i, j in pairs]
 
     def notify_resolved(self, i: int, j: int, distance: float) -> None:
         """Default update: nothing beyond the shared graph insert."""
@@ -156,6 +174,20 @@ class IntersectionBounder(BaseBoundProvider):
         for provider in self.providers:
             result = result.intersect(provider.bounds(i, j))
         return result
+
+    def bounds_many(self, pairs: Iterable[Tuple[int, int]]) -> List[Bounds]:
+        """Intersect the members' batch answers pair by pair."""
+        pairs = list(pairs)
+        results = [self.trivial_bounds(i, j) for i, j in pairs]
+        for provider in self.providers:
+            member = provider.bounds_many(pairs)
+            results = [r.intersect(b) for r, b in zip(results, member)]
+        return results
+
+    @property
+    def dijkstra_runs(self) -> int:
+        """Dijkstra computations across members (SPLUB-style schemes)."""
+        return sum(getattr(p, "dijkstra_runs", 0) for p in self.providers)
 
     def notify_resolved(self, i: int, j: int, distance: float) -> None:
         for provider in self.providers:

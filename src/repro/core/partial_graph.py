@@ -15,17 +15,32 @@ Two access patterns dominate:
   substitute.
 * **SPLUB** runs Dijkstra over the known edges, which wants cheap iteration
   over ``(neighbour, weight)`` pairs.
+
+On top of the sorted lists the graph maintains *flat NumPy mirrors* of each
+node's adjacency (:meth:`adjacency_arrays`) and of the full edge set
+(:meth:`edge_arrays`), rebuilt lazily and invalidated by **edge-insert
+epochs**: :meth:`node_epoch` advances whenever a node gains a neighbour and
+:attr:`epoch` whenever any edge lands.  Because edges are never removed and
+weights never change, an epoch comparison is a complete staleness test —
+vectorised bound kernels and bound memos key their caches on it.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
-from typing import Dict, Iterable, Iterator, List, Tuple
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.exceptions import InvalidObjectError, UnknownDistanceError
 from repro.core.oracle import canonical_pair
 
 Edge = Tuple[int, int]
+
+#: Per-node mirror: (node epoch at build time, neighbour ids, weights).
+_NodeMirror = Tuple[int, np.ndarray, np.ndarray]
+#: Whole-graph mirror: (global epoch at build time, i ids, j ids, weights).
+_EdgeMirror = Tuple[int, np.ndarray, np.ndarray, np.ndarray]
 
 
 class PartialDistanceGraph:
@@ -36,8 +51,13 @@ class PartialDistanceGraph:
             raise InvalidObjectError(0, n)
         self._n = n
         self._weights: Dict[Edge, float] = {}
-        # _adjacency[u] is a sorted list of neighbour ids with known distance.
+        # _adjacency[u] is a sorted list of neighbour ids with known distance;
+        # _adj_weights[u] holds the matching weights at the same positions.
         self._adjacency: List[List[int]] = [[] for _ in range(n)]
+        self._adj_weights: List[List[float]] = [[] for _ in range(n)]
+        # Lazily rebuilt NumPy mirrors, invalidated by epoch comparison.
+        self._node_mirror: List[Optional[_NodeMirror]] = [None] * n
+        self._edge_mirror: Optional[_EdgeMirror] = None
 
     # -- introspection ------------------------------------------------------
 
@@ -49,7 +69,26 @@ class PartialDistanceGraph:
     @property
     def num_edges(self) -> int:
         """Number of known (resolved) edges."""
-        return self._weights.items().__len__()
+        return len(self._weights)
+
+    @property
+    def epoch(self) -> int:
+        """Global edge-insert epoch: advances by one per new edge.
+
+        Edges are never removed and weights never change, so two equal
+        epochs imply *identical* graphs — caches keyed on it never go wrong.
+        """
+        return len(self._weights)
+
+    def node_epoch(self, i: int) -> int:
+        """Edge-insert epoch of node ``i``: advances when ``i`` gains a neighbour.
+
+        Anything derived only from the adjacency of ``i`` (and of a second
+        node ``j``) stays exact while both epochs stand still, and merely
+        *loosens* — never breaks — once they move, because added edges only
+        add constraints.
+        """
+        return len(self._adjacency[i])
 
     def __len__(self) -> int:
         return len(self._weights)
@@ -106,10 +145,16 @@ class PartialDistanceGraph:
                     f"refusing to overwrite with {distance}"
                 )
             return False
-        self._weights[key] = float(distance)
-        insort(self._adjacency[key[0]], key[1])
-        insort(self._adjacency[key[1]], key[0])
+        distance = float(distance)
+        self._weights[key] = distance
+        self._insert_neighbor(key[0], key[1], distance)
+        self._insert_neighbor(key[1], key[0], distance)
         return True
+
+    def _insert_neighbor(self, u: int, v: int, distance: float) -> None:
+        pos = bisect_left(self._adjacency[u], v)
+        self._adjacency[u].insert(pos, v)
+        self._adj_weights[u].insert(pos, distance)
 
     # -- iteration --------------------------------------------------------------
 
@@ -131,9 +176,46 @@ class PartialDistanceGraph:
     def neighbor_items(self, i: int) -> Iterator[Tuple[int, float]]:
         """Iterate ``(neighbour, weight)`` pairs for node ``i``."""
         self._check_index(i)
-        weights = self._weights
-        for v in self._adjacency[i]:
-            yield v, weights[canonical_pair(i, v)]
+        return zip(self._adjacency[i], self._adj_weights[i])
+
+    # -- NumPy mirrors ---------------------------------------------------------
+
+    def adjacency_arrays(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat NumPy mirror of node ``i``'s adjacency: ``(ids, weights)``.
+
+        Ids are sorted and unique; ``weights[k]`` is the known distance to
+        ``ids[k]``.  The arrays are rebuilt lazily when :meth:`node_epoch`
+        has moved since the previous call and must not be mutated.
+        """
+        self._check_index(i)
+        epoch = len(self._adjacency[i])
+        mirror = self._node_mirror[i]
+        if mirror is None or mirror[0] != epoch:
+            ids = np.fromiter(self._adjacency[i], dtype=np.int64, count=epoch)
+            weights = np.fromiter(self._adj_weights[i], dtype=np.float64, count=epoch)
+            mirror = (epoch, ids, weights)
+            self._node_mirror[i] = mirror
+        return mirror[1], mirror[2]
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flat NumPy mirror of the whole edge set: ``(i_ids, j_ids, weights)``.
+
+        Rows appear in resolution (insertion) order with ``i < j``; rebuilt
+        lazily when :attr:`epoch` has moved.  Do not mutate the arrays.
+        """
+        m = len(self._weights)
+        mirror = self._edge_mirror
+        if mirror is None or mirror[0] != m:
+            i_ids = np.empty(m, dtype=np.int64)
+            j_ids = np.empty(m, dtype=np.int64)
+            weights = np.empty(m, dtype=np.float64)
+            for idx, ((i, j), w) in enumerate(self._weights.items()):
+                i_ids[idx] = i
+                j_ids[idx] = j
+                weights[idx] = w
+            mirror = (m, i_ids, j_ids, weights)
+            self._edge_mirror = mirror
+        return mirror[1], mirror[2], mirror[3]
 
     def common_neighbors(self, i: int, j: int) -> Iterator[int]:
         """Sorted-merge intersection of the adjacency lists of ``i`` and ``j``.
@@ -166,17 +248,30 @@ class PartialDistanceGraph:
                 ib += 1
 
     def unknown_pairs(self) -> Iterator[Edge]:
-        """Iterate every pair whose distance is still unknown (i < j)."""
-        for i in range(self._n):
-            for j in range(i + 1, self._n):
-                if (i, j) not in self._weights:
-                    yield (i, j)
+        """Iterate every pair whose distance is still unknown (i < j).
+
+        Walks each node's sorted adjacency alongside the candidate range so
+        known pairs are skipped by a pointer advance instead of a dict probe
+        per pair.
+        """
+        n = self._n
+        for i in range(n):
+            adj = self._adjacency[i]
+            pos = bisect_right(adj, i)  # first neighbour above i
+            nxt = adj[pos] if pos < len(adj) else n
+            for j in range(i + 1, n):
+                if j == nxt:
+                    pos += 1
+                    nxt = adj[pos] if pos < len(adj) else n
+                    continue
+                yield (i, j)
 
     def copy(self) -> "PartialDistanceGraph":
-        """Deep copy of the graph (weights and adjacency)."""
+        """Deep copy of the graph (weights and adjacency; mirrors rebuild lazily)."""
         clone = PartialDistanceGraph(self._n)
         clone._weights = dict(self._weights)
         clone._adjacency = [list(adj) for adj in self._adjacency]
+        clone._adj_weights = [list(ws) for ws in self._adj_weights]
         return clone
 
     def _check_index(self, i: int) -> None:

@@ -15,13 +15,33 @@ oracle — exactly the paper's reformulated ``IF`` statement
 
 with a fallback that keeps the host algorithm's output bit-identical to its
 vanilla version.
+
+Bound queries run through a **per-pair memo keyed on endpoint edge-insert
+epochs** (:meth:`PartialDistanceGraph.node_epoch`):
+
+* equal epochs ⇒ the graph around both endpoints is unchanged, so the
+  cached interval is *exactly* what the provider would recompute — serve it;
+* moved epochs ⇒ the cached interval is stale but still **valid** (resolving
+  edges only adds constraints, so true bounds only tighten; the cached
+  interval still contains the distance).  Predicates therefore try the
+  stale interval first — a conclusive verdict from a looser interval is
+  necessarily the verdict the fresh interval would give — and recompute
+  only when the stale interval is inconclusive.
+
+Both moves are invisible in outputs: every decision and every resolution
+happens exactly as it would without the memo; only CPU time moves.
+Frontier-shaped queries (``argmin``/``knearest`` candidate scans,
+``prefetch_thresholds``) are additionally routed through the provider's
+:meth:`~repro.core.bounds.BaseBoundProvider.bounds_many` batch API so
+vectorised schemes (Tri, LAESA) answer them with array kernels.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.bounds import BoundProvider, Bounds, TrivialBounder
 from repro.core.oracle import DistanceOracle, canonical_pair
@@ -31,6 +51,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.batch_oracle import BatchOracle
 
 Pair = Tuple[int, int]
+
+#: Memo entry: (interval, epoch of low endpoint, epoch of high endpoint).
+_MemoEntry = Tuple[Bounds, int, int]
 
 
 @dataclass
@@ -44,6 +67,14 @@ class ResolverStats:
     oracle call (``oracle_resolutions``), a free oracle-cache hit
     (``cached_resolutions``) — and additionally tallied in
     ``batched_resolutions`` when it went through ``resolve_many``.
+
+    The bound-engine counters attribute CPU rather than oracle calls:
+    ``bound_time_s`` is the wall time spent inside provider bound kernels,
+    ``bound_cache_hits`` the queries answered from the epoch memo without
+    recomputation (including stale-but-conclusive reuses),
+    ``vectorized_batches`` the multi-pair dispatches that hit a provider's
+    array kernel, and ``dijkstra_runs`` the shortest-path trees SPLUB-style
+    providers actually computed (synced by :meth:`SmartResolver.collect_stats`).
     """
 
     decided_by_bounds: int = 0
@@ -53,6 +84,10 @@ class ResolverStats:
     oracle_resolutions: int = 0
     cached_resolutions: int = 0
     batched_resolutions: int = 0
+    bound_time_s: float = 0.0
+    bound_cache_hits: int = 0
+    vectorized_batches: int = 0
+    dijkstra_runs: int = 0
 
     @property
     def total_comparisons(self) -> int:
@@ -65,6 +100,12 @@ class ResolverStats:
         if total == 0:
             return 0.0
         return self.decided_by_bounds / total
+
+    def merge(self, other: "ResolverStats") -> "ResolverStats":
+        """Sum of two runs' counters (all fields are additive)."""
+        return ResolverStats(
+            **{f.name: getattr(self, f.name) + getattr(other, f.name) for f in fields(self)}
+        )
 
 
 class SmartResolver:
@@ -85,6 +126,10 @@ class SmartResolver:
         When present, ``resolve_many`` (and the batched ``knearest`` /
         ``argmin`` paths) dispatch whole frontiers through it instead of
         resolving pair by pair; outputs stay identical to the serial path.
+    bound_cache:
+        Keep the epoch-keyed per-pair bound memo (default).  ``False``
+        recomputes every bound query from scratch — decisions, resolutions,
+        and outputs are identical either way; only CPU time moves.
     """
 
     def __init__(
@@ -93,6 +138,7 @@ class SmartResolver:
         bounder: Optional[BoundProvider] = None,
         graph: Optional[PartialDistanceGraph] = None,
         batcher: Optional["BatchOracle"] = None,
+        bound_cache: bool = True,
     ) -> None:
         if graph is None:
             graph = getattr(bounder, "graph", None)
@@ -105,9 +151,32 @@ class SmartResolver:
             raise ValueError("batcher must wrap the same DistanceOracle as the resolver")
         self.oracle = oracle
         self.graph = graph
-        self.bounder: BoundProvider = bounder or TrivialBounder(graph)
+        self._bounder: BoundProvider = bounder or TrivialBounder(graph)
         self.batcher = batcher
+        self.bound_cache = bound_cache
+        self._bound_memo: Dict[Pair, _MemoEntry] = {}
         self.stats = ResolverStats()
+
+    @property
+    def bounder(self) -> BoundProvider:
+        """The active bound provider."""
+        return self._bounder
+
+    @bounder.setter
+    def bounder(self, provider: BoundProvider) -> None:
+        # A different provider computes different (not merely looser)
+        # intervals, so the memo must not survive the swap.
+        self._bounder = provider
+        self._bound_memo.clear()
+
+    def invalidate_bound_cache(self) -> None:
+        """Drop every memoised interval.
+
+        Call this after reconfiguring the active provider in place (e.g.
+        ``Laesa.adopt`` on a provider that has already answered queries) —
+        epoch keys only track *graph* growth, not provider surgery.
+        """
+        self._bound_memo.clear()
 
     @property
     def batched(self) -> bool:
@@ -135,7 +204,8 @@ class SmartResolver:
         else:
             self.stats.cached_resolutions += 1
         if self.graph.add_edge(i, j, value):
-            self.bounder.notify_resolved(i, j, value)
+            self._bound_memo.pop(canonical_pair(i, j), None)
+            self._bounder.notify_resolved(i, j, value)
         return value
 
     def resolve_many(self, pairs: Iterable[Pair]) -> Dict[Pair, float]:
@@ -164,7 +234,8 @@ class SmartResolver:
                 self.stats.cached_resolutions += len(unknown) - fresh
                 for key in unknown:  # sorted — deterministic commit order
                     if self.graph.add_edge(*key, resolved[key]):
-                        self.bounder.notify_resolved(*key, resolved[key])
+                        self._bound_memo.pop(key, None)
+                        self._bounder.notify_resolved(*key, resolved[key])
         return {key: self.graph.get(*key) for key in keys}
 
     def prefetch_thresholds(self, items: Iterable[Tuple[Pair, float]]) -> int:
@@ -178,23 +249,152 @@ class SmartResolver:
         """
         if self.batcher is None:
             return 0
-        wanted = []
+        candidates: List[Tuple[Pair, float]] = []
         for (i, j), threshold in items:
             if i == j or self.graph.get(i, j) is not None:
                 continue
-            if self.bounder.bounds(i, j).lower < threshold:
-                wanted.append((i, j))
+            candidates.append(((i, j), threshold))
+        if not candidates:
+            return 0
+        frontier_bounds = self.bounds_many([pair for pair, _ in candidates])
+        wanted = [
+            pair
+            for (pair, threshold), b in zip(candidates, frontier_bounds)
+            if b.lower < threshold
+        ]
         if wanted:
             self.resolve_many(wanted)
         return len(wanted)
 
+    # -- bound queries ------------------------------------------------------
+
     def bounds(self, i: int, j: int) -> Bounds:
-        """Current bounds on ``dist(i, j)`` (free — no oracle calls)."""
+        """Current bounds on ``dist(i, j)`` (free — no oracle calls).
+
+        Always *fresh*: a memoised interval is served only when both
+        endpoint epochs are unchanged, i.e. when recomputation would return
+        the identical interval.
+        """
         self.stats.bound_queries += 1
+        if i == j:
+            return Bounds(0.0, 0.0)
         known = self.graph.get(i, j)
         if known is not None:
             return Bounds(known, known)
-        return self.bounder.bounds(i, j)
+        key = canonical_pair(i, j)
+        if self.bound_cache:
+            entry = self._bound_memo.get(key)
+            if (
+                entry is not None
+                and entry[1] == self.graph.node_epoch(key[0])
+                and entry[2] == self.graph.node_epoch(key[1])
+            ):
+                self.stats.bound_cache_hits += 1
+                return entry[0]
+        return self._compute_bounds(key)
+
+    def bounds_many(self, pairs: Iterable[Pair]) -> List[Bounds]:
+        """Fresh bounds for a whole frontier, batched through the provider.
+
+        Element-for-element equal to ``[self.bounds(i, j) for i, j in
+        pairs]`` — known pairs and memo hits are answered inline, the rest
+        go to the provider's ``bounds_many`` (one array-kernel dispatch for
+        vectorised schemes) and land in the memo.
+        """
+        pairs = list(pairs)
+        self.stats.bound_queries += len(pairs)
+        out: List[Optional[Bounds]] = [None] * len(pairs)
+        todo_keys: List[Pair] = []
+        todo_slots: Dict[Pair, List[int]] = {}
+        graph = self.graph
+        for idx, (i, j) in enumerate(pairs):
+            if i == j:
+                out[idx] = Bounds(0.0, 0.0)
+                continue
+            known = graph.get(i, j)
+            if known is not None:
+                out[idx] = Bounds(known, known)
+                continue
+            key = canonical_pair(i, j)
+            slots = todo_slots.get(key)
+            if slots is not None:  # duplicate within the batch
+                slots.append(idx)
+                continue
+            if self.bound_cache:
+                entry = self._bound_memo.get(key)
+                if (
+                    entry is not None
+                    and entry[1] == graph.node_epoch(key[0])
+                    and entry[2] == graph.node_epoch(key[1])
+                ):
+                    self.stats.bound_cache_hits += 1
+                    out[idx] = entry[0]
+                    continue
+            todo_slots[key] = [idx]
+            todo_keys.append(key)
+        if todo_keys:
+            batch_fn = getattr(self._bounder, "bounds_many", None)
+            start = time.perf_counter()
+            if batch_fn is None:
+                computed = [self._bounder.bounds(*key) for key in todo_keys]
+            else:
+                computed = batch_fn(todo_keys)
+            self.stats.bound_time_s += time.perf_counter() - start
+            if len(todo_keys) > 1 and getattr(self._bounder, "vectorized_bounds", False):
+                self.stats.vectorized_batches += 1
+            for key, b in zip(todo_keys, computed):
+                if self.bound_cache:
+                    self._bound_memo[key] = (
+                        b,
+                        graph.node_epoch(key[0]),
+                        graph.node_epoch(key[1]),
+                    )
+                for idx in todo_slots[key]:
+                    out[idx] = b
+        return out
+
+    def _compute_bounds(self, key: Pair) -> Bounds:
+        """Recompute (and memoise) the provider interval for a canonical pair."""
+        graph = self.graph
+        epoch_lo = graph.node_epoch(key[0])
+        epoch_hi = graph.node_epoch(key[1])
+        start = time.perf_counter()
+        b = self._bounder.bounds(*key)
+        self.stats.bound_time_s += time.perf_counter() - start
+        if self.bound_cache:
+            self._bound_memo[key] = (b, epoch_lo, epoch_hi)
+        return b
+
+    def _bounds_for_decision(self, i: int, j: int) -> Tuple[Bounds, bool]:
+        """Bounds for a predicate, allowing a stale memo entry.
+
+        Returns ``(interval, fresh)``.  A stale interval (``fresh=False``)
+        still contains the true distance — added edges only tighten bounds —
+        so a *conclusive* verdict read from it is exactly the verdict fresh
+        bounds would give.  Callers must recompute before treating an
+        inconclusive stale interval as final.
+        """
+        self.stats.bound_queries += 1
+        if i == j:
+            return Bounds(0.0, 0.0), True
+        known = self.graph.get(i, j)
+        if known is not None:
+            return Bounds(known, known), True
+        key = canonical_pair(i, j)
+        if self.bound_cache:
+            entry = self._bound_memo.get(key)
+            if entry is not None:
+                if entry[1] == self.graph.node_epoch(key[0]) and entry[2] == self.graph.node_epoch(
+                    key[1]
+                ):
+                    self.stats.bound_cache_hits += 1
+                    return entry[0], True
+                return entry[0], False
+        return self._compute_bounds(key), True
+
+    def _refresh_bounds(self, i: int, j: int) -> Bounds:
+        """Force-recompute bounds for a pair known to be unresolved."""
+        return self._compute_bounds(canonical_pair(i, j))
 
     # -- re-authored predicates ----------------------------------------------
 
@@ -204,25 +404,49 @@ class SmartResolver:
         Decides from bounds when possible (``LB >= t`` or ``UB < t``); falls
         back to one oracle resolution otherwise.
         """
-        b = self.bounds(i, j)
+        b, fresh = self._bounds_for_decision(i, j)
         if b.lower >= threshold:
+            if not fresh:
+                self.stats.bound_cache_hits += 1
             self.stats.decided_by_bounds += 1
             return True
         if b.upper < threshold:
+            if not fresh:
+                self.stats.bound_cache_hits += 1
             self.stats.decided_by_bounds += 1
             return False
+        if not fresh:
+            b = self._refresh_bounds(i, j)
+            if b.lower >= threshold:
+                self.stats.decided_by_bounds += 1
+                return True
+            if b.upper < threshold:
+                self.stats.decided_by_bounds += 1
+                return False
         self.stats.decided_by_oracle += 1
         return self.distance(i, j) >= threshold
 
     def is_greater(self, i: int, j: int, threshold: float) -> bool:
         """Exact answer to ``dist(i, j) > threshold``."""
-        b = self.bounds(i, j)
+        b, fresh = self._bounds_for_decision(i, j)
         if b.lower > threshold:
+            if not fresh:
+                self.stats.bound_cache_hits += 1
             self.stats.decided_by_bounds += 1
             return True
         if b.upper <= threshold:
+            if not fresh:
+                self.stats.bound_cache_hits += 1
             self.stats.decided_by_bounds += 1
             return False
+        if not fresh:
+            b = self._refresh_bounds(i, j)
+            if b.lower > threshold:
+                self.stats.decided_by_bounds += 1
+                return True
+            if b.upper <= threshold:
+                self.stats.decided_by_bounds += 1
+                return False
         self.stats.decided_by_oracle += 1
         return self.distance(i, j) > threshold
 
@@ -239,15 +463,28 @@ class SmartResolver:
         decision for schemes like the Direct Feasibility Test; ``None`` for
         the rest) runs before any oracle call.
         """
-        ba = self.bounds(*a)
-        bb = self.bounds(*b)
+        ba, fresh_a = self._bounds_for_decision(*a)
+        bb, fresh_b = self._bounds_for_decision(*b)
         if ba.upper < bb.lower:
+            self.stats.bound_cache_hits += (not fresh_a) + (not fresh_b)
             self.stats.decided_by_bounds += 1
             return True
         if ba.lower >= bb.upper:
+            self.stats.bound_cache_hits += (not fresh_a) + (not fresh_b)
             self.stats.decided_by_bounds += 1
             return False
-        verdict = self.bounder.decide_less(a, b)
+        if not (fresh_a and fresh_b):
+            if not fresh_a:
+                ba = self._refresh_bounds(*a)
+            if not fresh_b:
+                bb = self._refresh_bounds(*b)
+            if ba.upper < bb.lower:
+                self.stats.decided_by_bounds += 1
+                return True
+            if ba.lower >= bb.upper:
+                self.stats.decided_by_bounds += 1
+                return False
+        verdict = self._bounder.decide_less(a, b)
         if verdict is not None:
             self.stats.decided_by_bounds += 1
             return verdict
@@ -271,22 +508,35 @@ class SmartResolver:
 
     def compare(self, a: Pair, b: Pair) -> int:
         """Exact three-way comparison: sign of ``dist(*a) − dist(*b)``."""
-        ba = self.bounds(*a)
-        bb = self.bounds(*b)
+        ba, fresh_a = self._bounds_for_decision(*a)
+        bb, fresh_b = self._bounds_for_decision(*b)
         if ba.upper < bb.lower:
+            self.stats.bound_cache_hits += (not fresh_a) + (not fresh_b)
             self.stats.decided_by_bounds += 1
             return -1
         if ba.lower > bb.upper:
+            self.stats.bound_cache_hits += (not fresh_a) + (not fresh_b)
             self.stats.decided_by_bounds += 1
             return 1
+        if not (fresh_a and fresh_b):
+            if not fresh_a:
+                ba = self._refresh_bounds(*a)
+            if not fresh_b:
+                bb = self._refresh_bounds(*b)
+            if ba.upper < bb.lower:
+                self.stats.decided_by_bounds += 1
+                return -1
+            if ba.lower > bb.upper:
+                self.stats.decided_by_bounds += 1
+                return 1
         if ba.is_exact and bb.is_exact:
             self.stats.decided_by_bounds += 1
             da, db = ba.lower, bb.lower
         else:
-            if self.bounder.decide_less(a, b):
+            if self._bounder.decide_less(a, b):
                 self.stats.decided_by_bounds += 1
                 return -1
-            if self.bounder.decide_less(b, a):
+            if self._bounder.decide_less(b, a):
                 self.stats.decided_by_bounds += 1
                 return 1
             self.stats.decided_by_oracle += 1
@@ -320,11 +570,11 @@ class SmartResolver:
         best_idx: Optional[int] = None
         best_dist = upper_limit
         # Probe candidates in ascending lower-bound order so tight candidates
-        # shrink the pruning threshold early.
-        order = sorted(
-            range(len(candidates)),
-            key=lambda pos: self.bounds(u, candidates[pos]).lower,
-        )
+        # shrink the pruning threshold early.  One batched bound sweep feeds
+        # the sort; the scan below re-reads bounds pair by pair (they tighten
+        # as resolutions land).
+        initial = self.bounds_many([(u, c) for c in candidates])
+        order = sorted(range(len(candidates)), key=lambda pos: initial[pos].lower)
         for pos in order:
             c = candidates[pos]
             b = self.bounds(u, c)
@@ -359,8 +609,9 @@ class SmartResolver:
         result (value and tie-broken index) matches the serial path.
         """
         frontier: list[int] = []
-        for pos, c in enumerate(candidates):
-            if self.bounds(u, c).lower >= upper_limit:
+        frontier_bounds = self.bounds_many([(u, c) for c in candidates])
+        for pos, b in enumerate(frontier_bounds):
+            if b.lower >= upper_limit:
                 self.stats.decided_by_bounds += 1
                 continue
             frontier.append(pos)
@@ -394,8 +645,11 @@ class SmartResolver:
         if k <= 0:
             return []
         pool = [c for c in candidates if c != u]
-        # Ascending lower bound order maximises early threshold shrinkage.
-        pool.sort(key=lambda c: self.bounds(u, c).lower)
+        # Ascending lower bound order maximises early threshold shrinkage;
+        # the whole frontier is bounded in one batched sweep.
+        initial = self.bounds_many([(u, c) for c in pool])
+        order = sorted(range(len(pool)), key=lambda pos: initial[pos].lower)
+        pool = [pool[pos] for pos in order]
         if self.batched and pool:
             return self._knearest_batched(u, pool, k)
         heap: list[Tuple[float, int]] = []
@@ -428,7 +682,8 @@ class SmartResolver:
         head = pool[:k]
         self.resolve_many([(u, c) for c in head])
         kth = sorted(self.distance(u, c) for c in head)[min(k, len(head)) - 1]
-        frontier = [c for c in pool[k:] if self.bounds(u, c).lower <= kth]
+        tail_bounds = self.bounds_many([(u, c) for c in pool[k:]])
+        frontier = [c for c, b in zip(pool[k:], tail_bounds) if b.lower <= kth]
         if len(pool) > k:
             self.stats.decided_by_bounds += len(pool) - k - len(frontier)
         if frontier:
@@ -437,3 +692,15 @@ class SmartResolver:
         result = [(self.distance(u, c), c) for c in head + frontier]
         result.sort()
         return result[:k]
+
+    # -- accounting -----------------------------------------------------------
+
+    def collect_stats(self) -> ResolverStats:
+        """The live :class:`ResolverStats`, with provider counters synced.
+
+        Pulls ``dijkstra_runs`` from the active provider (SPLUB keeps it;
+        :class:`~repro.core.bounds.IntersectionBounder` sums its members)
+        so harness records and CLI tables see one coherent view.
+        """
+        self.stats.dijkstra_runs = int(getattr(self._bounder, "dijkstra_runs", 0))
+        return self.stats

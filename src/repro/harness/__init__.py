@@ -25,9 +25,11 @@ from repro.harness.stats import (
     Summary,
     compare_schemes,
     merge_executor_stats,
+    merge_resolver_stats,
     repeat_experiment,
     summarize,
     summarize_executor_stats,
+    summarize_resolver_stats,
 )
 from repro.harness.tracing import CallEvent, TracingOracle, load_trace
 from repro.harness.workloads import (
@@ -67,10 +69,12 @@ __all__ = [
     "compare_schemes",
     "focused_queries",
     "merge_executor_stats",
+    "merge_resolver_stats",
     "repeat_experiment",
     "size_sweep",
     "summarize",
     "summarize_executor_stats",
+    "summarize_resolver_stats",
     "uniform_queries",
     "zipf_queries",
     "tri_gap_vs_edges",

@@ -24,7 +24,7 @@ from repro.algorithms.linkage import single_linkage
 from repro.algorithms.prim import prim_mst_comparisons
 from repro.algorithms.tsp import nearest_neighbor_tour
 from repro.bounds.landmarks import bootstrap_with_landmarks, default_num_landmarks
-from repro.core.resolver import SmartResolver
+from repro.core.resolver import ResolverStats, SmartResolver
 from repro.exec import BatchOracle, ExecutorStats, make_executor, open_cache
 from repro.exec.executor import DEFAULT_WORKERS
 from repro.harness.providers import LANDMARK_PROVIDERS, attach_provider
@@ -71,6 +71,29 @@ class ExperimentRecord:
     #: Pairs answered by a persistent --oracle-cache backend (never charged).
     persistent_cache_hits: int = 0
     executor_stats: Optional[ExecutorStats] = field(repr=False, default=None)
+    #: Resolver-side accounting (bound-engine counters included), collected
+    #: after the algorithm phase via :meth:`SmartResolver.collect_stats`.
+    resolver_stats: Optional[ResolverStats] = field(repr=False, default=None)
+
+    @property
+    def bound_time_s(self) -> float:
+        """Wall time spent inside bound-provider kernels."""
+        return self.resolver_stats.bound_time_s if self.resolver_stats else 0.0
+
+    @property
+    def bound_cache_hits(self) -> int:
+        """Bound queries answered from the epoch memo without recomputation."""
+        return self.resolver_stats.bound_cache_hits if self.resolver_stats else 0
+
+    @property
+    def vectorized_batches(self) -> int:
+        """Multi-pair bound dispatches that hit a provider's array kernel."""
+        return self.resolver_stats.vectorized_batches if self.resolver_stats else 0
+
+    @property
+    def dijkstra_runs(self) -> int:
+        """Shortest-path trees computed by SPLUB-style providers."""
+        return self.resolver_stats.dijkstra_runs if self.resolver_stats else 0
 
     @property
     def total_calls(self) -> int:
@@ -197,4 +220,5 @@ def run_experiment(
         simulated_oracle_seconds=oracle.simulated_seconds,
         persistent_cache_hits=batcher.cache_hits if batcher is not None else 0,
         executor_stats=batcher.executor.stats.copy() if batcher is not None else None,
+        resolver_stats=resolver.collect_stats(),
     )

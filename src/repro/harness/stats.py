@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass, fields
 from typing import Callable, Dict, Sequence
 
+from repro.core.resolver import ResolverStats
 from repro.exec import ExecutorStats
 
 
@@ -95,4 +96,30 @@ def summarize_executor_stats(
     return {
         f.name: summarize([getattr(s, f.name) for s in present])
         for f in fields(ExecutorStats)
+    }
+
+
+def merge_resolver_stats(stats_list: Sequence[ResolverStats]) -> ResolverStats:
+    """Fold several runs' resolver counters into one total.
+
+    All :class:`ResolverStats` fields are additive (counts and seconds);
+    None entries are skipped.
+    """
+    merged = ResolverStats()
+    for stats in stats_list:
+        if stats is not None:
+            merged = merged.merge(stats)
+    return merged
+
+
+def summarize_resolver_stats(
+    stats_list: Sequence[ResolverStats],
+) -> Dict[str, Summary]:
+    """Per-counter :class:`Summary` across repeated runs' resolver stats."""
+    present = [s for s in stats_list if s is not None]
+    if not present:
+        raise ValueError("cannot summarise resolver stats without any runs")
+    return {
+        f.name: summarize([getattr(s, f.name) for s in present])
+        for f in fields(ResolverStats)
     }

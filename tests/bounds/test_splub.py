@@ -124,6 +124,37 @@ class TestTightness:
             assert splub.bounds(i, j).lower == pytest.approx(best_residue(i, j))
 
 
+class TestTreeCache:
+    def test_shared_endpoint_pays_one_dijkstra(self, running_example_graph):
+        splub = Splub(running_example_graph, max_distance=2.0)
+        splub.bounds(1, 2)
+        runs_after_first = splub.dijkstra_runs
+        assert runs_after_first == 2  # one tree per endpoint
+        splub.bounds(1, 4)
+        splub.bounds(1, 6)
+        # Node 1's tree is reused; only the new endpoints cost a run.
+        assert splub.dijkstra_runs == runs_after_first + 2
+
+    def test_insert_invalidates_all_trees(self, running_example_graph):
+        splub = Splub(running_example_graph, max_distance=2.0)
+        splub.bounds(1, 2)
+        running_example_graph.add_edge(0, 5, 0.3)
+        splub.bounds(1, 2)
+        assert splub.dijkstra_runs == 4  # both trees recomputed
+
+    def test_cache_off_matches_cache_on(self, partially_resolved):
+        matrix, resolver = partially_resolved
+        cap = float(matrix.max())
+        cached = Splub(resolver.graph, max_distance=cap)
+        uncached = Splub(resolver.graph, max_distance=cap, cache_trees=False)
+        queries = unknown_pairs(resolver.graph)[:25]
+        for i, j in queries:
+            assert cached.bounds(i, j) == uncached.bounds(i, j)
+        # The uncached provider pays two fresh trees per query.
+        assert uncached.dijkstra_runs == 2 * len(queries)
+        assert cached.dijkstra_runs < uncached.dijkstra_runs
+
+
 class TestUpdateIsFree:
     def test_no_stale_state_after_insert(self, running_example_graph):
         splub = Splub(running_example_graph, max_distance=2.0)

@@ -1,0 +1,134 @@
+"""Scalar-vs-vector Tri kernel equivalence and relaxed-bound correctness."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.bounds.tri import TriScheme
+from repro.core.resolver import SmartResolver
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+from repro.spaces.vector import SquaredEuclideanSpace
+
+
+def brute_force_tri_bounds(graph, i, j, c, cap):
+    """Reference reduction straight from the relaxed triangle inequality."""
+    lb, ub = 0.0, cap
+    for w in set(graph.adjacency_list(i)) & set(graph.adjacency_list(j)):
+        diw = graph.weight(i, w)
+        djw = graph.weight(j, w)
+        lb = max(lb, diw / c - djw, djw / c - diw)
+        ub = min(ub, c * (diw + djw))
+    return lb, min(ub, cap)
+
+
+@pytest.fixture
+def warmed(rng):
+    """A Tri provider over a random metric with ~60% of pairs resolved."""
+    matrix = random_metric_matrix(18, rng)
+    space = MatrixSpace(matrix)
+    resolver = SmartResolver(space.oracle())
+    tri = TriScheme(resolver.graph, space.diameter_bound())
+    resolver.bounder = tri
+    for i, j in itertools.combinations(range(18), 2):
+        if rng.random() < 0.6:
+            resolver.distance(i, j)
+    return tri, resolver.graph
+
+
+class TestKernelEquivalence:
+    def test_scalar_equals_vector_everywhere(self, warmed):
+        tri, graph = warmed
+        for i, j in itertools.combinations(range(18), 2):
+            if graph.get(i, j) is not None:
+                continue
+            loop = tri._bounds_loop(i, j)
+            vec = tri._bounds_vector(i, j)
+            assert loop.lower == vec.lower  # bit-identical, not approx
+            assert loop.upper == vec.upper
+
+    def test_dispatch_threshold_does_not_change_results(self, warmed):
+        tri, graph = warmed
+        always_vector = TriScheme(graph, tri.max_distance)
+        always_vector.vector_threshold = 0
+        always_scalar = TriScheme(graph, tri.max_distance)
+        always_scalar.vector_threshold = math.inf
+        for i, j in itertools.combinations(range(18), 2):
+            assert always_vector.bounds(i, j) == always_scalar.bounds(i, j)
+
+    def test_bounds_many_equals_per_pair(self, warmed):
+        tri, _ = warmed
+        pairs = list(itertools.combinations(range(18), 2))
+        batch = tri.bounds_many(pairs)
+        for (i, j), b in zip(pairs, batch):
+            assert b == tri.bounds(i, j)
+
+    def test_triangle_counter_identical_across_kernels(self, warmed):
+        tri, graph = warmed
+        pairs = [
+            (i, j)
+            for i, j in itertools.combinations(range(18), 2)
+            if graph.get(i, j) is None
+        ]
+        loop_counter = TriScheme(graph, tri.max_distance)
+        loop_counter.vector_threshold = math.inf
+        vec_counter = TriScheme(graph, tri.max_distance)
+        vec_counter.vector_threshold = 0
+        for i, j in pairs:
+            loop_counter.bounds(i, j)
+            vec_counter.bounds(i, j)
+        assert loop_counter.triangles_inspected == vec_counter.triangles_inspected
+        assert loop_counter.triangles_inspected > 0
+
+    def test_bounds_scalar_bypasses_dispatch(self, warmed):
+        tri, graph = warmed
+        tri.vector_threshold = 0  # bounds() would take the vector kernel
+        for i, j in itertools.combinations(range(6), 2):
+            assert tri.bounds_scalar(i, j) == tri.bounds(i, j)
+
+
+class TestRelaxedKernels:
+    @pytest.fixture
+    def relaxed(self, rng):
+        pts = rng.uniform(0, 1, size=(16, 2))
+        space = SquaredEuclideanSpace(pts)
+        resolver = SmartResolver(space.oracle())
+        tri = TriScheme(resolver.graph, space.diameter_bound(), relaxation=2.0)
+        resolver.bounder = tri
+        for i, j in itertools.combinations(range(16), 2):
+            if rng.random() < 0.55:
+                resolver.distance(i, j)
+        return space, tri, resolver.graph
+
+    def test_relaxed_matches_brute_force(self, relaxed):
+        space, tri, graph = relaxed
+        for i, j in itertools.combinations(range(16), 2):
+            if graph.get(i, j) is not None:
+                continue
+            lb, ub = brute_force_tri_bounds(graph, i, j, 2.0, tri.max_distance)
+            lb = max(lb, 0.0)
+            if lb > ub:
+                lb = ub
+            b = tri.bounds(i, j)
+            assert b.lower == pytest.approx(lb, abs=1e-12)
+            assert b.upper == pytest.approx(ub, abs=1e-12)
+
+    def test_relaxed_bounds_contain_truth(self, relaxed):
+        space, tri, graph = relaxed
+        for i, j in itertools.combinations(range(16), 2):
+            truth = space.distance(i, j)
+            b = tri.bounds(i, j)
+            assert b.lower - 1e-9 <= truth <= b.upper + 1e-9
+
+    def test_relaxed_scalar_equals_vector(self, relaxed):
+        _, tri, graph = relaxed
+        for i, j in itertools.combinations(range(16), 2):
+            if graph.get(i, j) is not None:
+                continue
+            assert tri._bounds_loop(i, j) == tri._bounds_vector(i, j)
+
+    def test_relaxed_bounds_many_equals_per_pair(self, relaxed):
+        _, tri, _ = relaxed
+        pairs = list(itertools.combinations(range(16), 2))
+        for (i, j), b in zip(pairs, tri.bounds_many(pairs)):
+            assert b == tri.bounds(i, j)

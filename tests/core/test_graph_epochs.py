@@ -1,0 +1,198 @@
+"""Unit tests for the graph's epochs, flat NumPy mirrors, and intersection paths."""
+
+import itertools
+
+import numpy as np
+
+from repro.core.partial_graph import PartialDistanceGraph
+
+
+class TestEpochs:
+    def test_global_epoch_counts_edges(self):
+        g = PartialDistanceGraph(5)
+        assert g.epoch == 0
+        g.add_edge(0, 1, 0.5)
+        g.add_edge(1, 2, 0.3)
+        assert g.epoch == 2
+        assert g.epoch == g.num_edges
+
+    def test_reinsert_does_not_advance_epoch(self):
+        g = PartialDistanceGraph(4)
+        g.add_edge(0, 1, 0.5)
+        g.add_edge(0, 1, 0.5)  # no-op reinsert
+        assert g.epoch == 1
+
+    def test_node_epoch_is_per_endpoint(self):
+        g = PartialDistanceGraph(5)
+        g.add_edge(0, 1, 0.5)
+        assert g.node_epoch(0) == 1
+        assert g.node_epoch(1) == 1
+        assert g.node_epoch(2) == 0
+        g.add_edge(0, 2, 0.4)
+        assert g.node_epoch(0) == 2
+        assert g.node_epoch(1) == 1
+        assert g.node_epoch(2) == 1
+
+    def test_node_epoch_strictly_increases_per_touching_insert(self):
+        g = PartialDistanceGraph(6)
+        history = []
+        for other in (3, 1, 5, 2):
+            g.add_edge(0, other, 0.1)
+            history.append(g.node_epoch(0))
+        assert history == [1, 2, 3, 4]
+
+
+class TestAdjacencyArrays:
+    def test_mirrors_match_adjacency(self):
+        g = PartialDistanceGraph(8)
+        weights = {5: 0.5, 2: 0.2, 7: 0.7, 1: 0.1}
+        for other, w in weights.items():
+            g.add_edge(3, other, w)
+        ids, ws = g.adjacency_arrays(3)
+        assert ids.dtype == np.int64
+        assert ws.dtype == np.float64
+        assert ids.tolist() == [1, 2, 5, 7]
+        assert ws.tolist() == [0.1, 0.2, 0.5, 0.7]
+
+    def test_mirror_is_cached_until_insert(self):
+        g = PartialDistanceGraph(6)
+        g.add_edge(0, 1, 0.5)
+        ids_a, ws_a = g.adjacency_arrays(0)
+        ids_b, ws_b = g.adjacency_arrays(0)
+        assert ids_a is ids_b and ws_a is ws_b  # same epoch -> same arrays
+        g.add_edge(0, 2, 0.4)
+        ids_c, _ = g.adjacency_arrays(0)
+        assert ids_c is not ids_a
+        assert ids_c.tolist() == [1, 2]
+
+    def test_insert_on_other_node_keeps_mirror(self):
+        g = PartialDistanceGraph(6)
+        g.add_edge(0, 1, 0.5)
+        ids_a, _ = g.adjacency_arrays(0)
+        g.add_edge(2, 3, 0.2)  # does not touch node 0
+        ids_b, _ = g.adjacency_arrays(0)
+        assert ids_a is ids_b
+
+    def test_empty_node(self):
+        g = PartialDistanceGraph(3)
+        ids, ws = g.adjacency_arrays(2)
+        assert ids.size == 0 and ws.size == 0
+
+
+class TestEdgeArrays:
+    def test_matches_insertion_order(self):
+        g = PartialDistanceGraph(6)
+        inserted = [(0, 1, 0.5), (3, 2, 0.3), (4, 0, 0.9)]
+        for i, j, w in inserted:
+            g.add_edge(i, j, w)
+        i_ids, j_ids, ws = g.edge_arrays()
+        got = list(zip(i_ids.tolist(), j_ids.tolist(), ws.tolist()))
+        assert got == [(0, 1, 0.5), (2, 3, 0.3), (0, 4, 0.9)]  # canonical pairs
+
+    def test_cached_per_epoch(self):
+        g = PartialDistanceGraph(4)
+        g.add_edge(0, 1, 0.5)
+        a = g.edge_arrays()
+        b = g.edge_arrays()
+        assert a[0] is b[0]
+        g.add_edge(1, 2, 0.2)
+        c = g.edge_arrays()
+        assert c[0] is not a[0]
+        assert c[2].tolist() == [0.5, 0.2]
+
+
+class TestUnknownPairs:
+    def test_matches_bruteforce_complement(self, rng):
+        g = PartialDistanceGraph(12)
+        for i, j in itertools.combinations(range(12), 2):
+            if rng.random() < 0.4:
+                g.add_edge(i, j, float(rng.uniform(0.1, 1.0)))
+        expected = [
+            (i, j)
+            for i, j in itertools.combinations(range(12), 2)
+            if g.get(i, j) is None
+        ]
+        assert list(g.unknown_pairs()) == expected
+
+    def test_full_graph_has_none(self):
+        g = PartialDistanceGraph(5)
+        for i, j in itertools.combinations(range(5), 2):
+            g.add_edge(i, j, 1.0)
+        assert list(g.unknown_pairs()) == []
+
+    def test_empty_graph_has_all(self):
+        g = PartialDistanceGraph(4)
+        assert list(g.unknown_pairs()) == list(itertools.combinations(range(4), 2))
+
+
+class TestCommonNeighborsCrossover:
+    """Direct coverage of the bisect-vs-merge dispatch (ratio > 8)."""
+
+    def _brute(self, g, i, j):
+        return sorted(set(g.adjacency_list(i)) & set(g.adjacency_list(j)))
+
+    def test_merge_path_balanced_lists(self):
+        g = PartialDistanceGraph(30)
+        for other in range(2, 20):
+            g.add_edge(0, other, 0.1)
+        for other in range(10, 28):
+            g.add_edge(1, other, 0.2)
+        # Balanced degrees (18 vs 18): stays on the linear-merge path.
+        assert list(g.common_neighbors(0, 1)) == self._brute(g, 0, 1)
+
+    def test_bisect_path_skewed_lists(self):
+        g = PartialDistanceGraph(200)
+        for other in range(3, 180):
+            g.add_edge(0, other, 0.1)
+        for other in (5, 50, 120, 179):
+            g.add_edge(1, other, 0.2)
+        # Degree ratio 177:4 > 8: takes the bisect-probe path.
+        assert list(g.common_neighbors(0, 1)) == [5, 50, 120, 179]
+        assert list(g.common_neighbors(1, 0)) == [5, 50, 120, 179]
+
+    def test_just_below_and_above_crossover_agree(self):
+        # len(long) crosses 8 * len(short) between the two graphs; both
+        # dispatches must return the same intersection.
+        for long_len in (8, 9, 16, 17):
+            g = PartialDistanceGraph(100)
+            for other in range(2, 2 + long_len):
+                g.add_edge(0, other, 0.1)
+            g.add_edge(1, 3, 0.2)  # short list: exactly one entry
+            expected = self._brute(g, 0, 1)
+            assert list(g.common_neighbors(0, 1)) == expected
+            assert list(g.common_neighbors(1, 0)) == expected
+
+    def test_randomised_agreement_across_skews(self, rng):
+        for short_deg, long_deg in [(1, 7), (1, 9), (3, 23), (3, 25), (5, 60)]:
+            g = PartialDistanceGraph(300)
+            long_nbrs = rng.choice(np.arange(2, 300), size=long_deg, replace=False)
+            for other in long_nbrs.tolist():
+                g.add_edge(0, int(other), 0.1)
+            short_nbrs = rng.choice(long_nbrs, size=short_deg, replace=False)
+            for other in short_nbrs.tolist():
+                g.add_edge(1, int(other), 0.2)
+            expected = self._brute(g, 0, 1)
+            assert list(g.common_neighbors(0, 1)) == expected
+            assert list(g.common_neighbors(1, 0)) == expected
+
+
+class TestNumEdges:
+    def test_counts_weights_not_iterator(self):
+        g = PartialDistanceGraph(10)
+        for k in range(1, 8):
+            g.add_edge(0, k, float(k))
+        assert g.num_edges == 7
+        assert len(g) == 7
+
+    def test_copy_preserves_mirrors_and_epochs(self):
+        g = PartialDistanceGraph(6)
+        g.add_edge(0, 1, 0.5)
+        g.add_edge(0, 2, 0.3)
+        clone = g.copy()
+        assert clone.epoch == g.epoch
+        assert clone.node_epoch(0) == g.node_epoch(0)
+        ids, ws = clone.adjacency_arrays(0)
+        assert ids.tolist() == [1, 2]
+        clone.add_edge(0, 3, 0.1)
+        assert g.node_epoch(0) == 2  # original untouched
+        assert g.adjacency_arrays(0)[0].tolist() == [1, 2]

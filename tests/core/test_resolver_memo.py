@@ -1,0 +1,221 @@
+"""Tests for the resolver's epoch-keyed bound memo and batched bound queries."""
+
+import itertools
+
+import pytest
+
+from repro.bounds.splub import Splub
+from repro.bounds.tri import TriScheme
+from repro.core.bounds import BaseBoundProvider, Bounds
+from repro.core.resolver import ResolverStats, SmartResolver
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+class CountingBounder(BaseBoundProvider):
+    """Trivial-bound provider that counts kernel invocations."""
+
+    def __init__(self, graph, max_distance=10.0):
+        super().__init__(graph, max_distance)
+        self.calls = 0
+
+    def bounds(self, i, j):
+        self.calls += 1
+        known = self.graph.get(i, j)
+        if known is not None:
+            return Bounds(known, known)
+        return self.trivial_bounds(i, j)
+
+
+@pytest.fixture
+def space(rng):
+    return MatrixSpace(random_metric_matrix(12, rng))
+
+
+class TestMemoFreshness:
+    def test_repeat_query_hits_memo(self, space):
+        resolver = SmartResolver(space.oracle())
+        counter = CountingBounder(resolver.graph)
+        resolver.bounder = counter
+        b1 = resolver.bounds(0, 1)
+        b2 = resolver.bounds(0, 1)
+        assert b1 == b2
+        assert counter.calls == 1
+        assert resolver.stats.bound_cache_hits == 1
+
+    def test_symmetric_queries_share_one_entry(self, space):
+        resolver = SmartResolver(space.oracle())
+        counter = CountingBounder(resolver.graph)
+        resolver.bounder = counter
+        resolver.bounds(3, 7)
+        resolver.bounds(7, 3)
+        assert counter.calls == 1
+
+    def test_endpoint_insert_invalidates(self, space):
+        resolver = SmartResolver(space.oracle())
+        counter = CountingBounder(resolver.graph)
+        resolver.bounder = counter
+        resolver.bounds(0, 1)
+        resolver.distance(0, 2)  # moves node 0's epoch
+        resolver.bounds(0, 1)
+        assert counter.calls == 2
+
+    def test_unrelated_insert_keeps_entry(self, space):
+        resolver = SmartResolver(space.oracle())
+        counter = CountingBounder(resolver.graph)
+        resolver.bounder = counter
+        resolver.bounds(0, 1)
+        resolver.distance(4, 5)  # touches neither endpoint
+        resolver.bounds(0, 1)
+        assert counter.calls == 1
+
+    def test_resolved_pair_answers_exactly_without_kernel(self, space):
+        resolver = SmartResolver(space.oracle())
+        counter = CountingBounder(resolver.graph)
+        resolver.bounder = counter
+        d = resolver.distance(0, 1)
+        b = resolver.bounds(0, 1)
+        assert b == Bounds(d, d)
+        assert counter.calls == 0
+
+    def test_bound_cache_false_always_recomputes(self, space):
+        resolver = SmartResolver(space.oracle(), bound_cache=False)
+        counter = CountingBounder(resolver.graph)
+        resolver.bounder = counter
+        resolver.bounds(0, 1)
+        resolver.bounds(0, 1)
+        assert counter.calls == 2
+        assert resolver.stats.bound_cache_hits == 0
+
+    def test_bounder_swap_clears_memo(self, space):
+        resolver = SmartResolver(space.oracle())
+        first = CountingBounder(resolver.graph)
+        resolver.bounder = first
+        resolver.bounds(0, 1)
+        second = CountingBounder(resolver.graph)
+        resolver.bounder = second
+        resolver.bounds(0, 1)
+        assert second.calls == 1  # not served from the first bounder's entry
+
+    def test_invalidate_bound_cache(self, space):
+        resolver = SmartResolver(space.oracle())
+        counter = CountingBounder(resolver.graph)
+        resolver.bounder = counter
+        resolver.bounds(0, 1)
+        resolver.invalidate_bound_cache()
+        resolver.bounds(0, 1)
+        assert counter.calls == 2
+
+
+class TestMemoSoundness:
+    def test_cached_bounds_always_contain_truth(self, rng):
+        matrix = random_metric_matrix(14, rng)
+        space = MatrixSpace(matrix)
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        pairs = list(itertools.combinations(range(14), 2))
+        # Interleave bound queries with resolutions so memo entries go stale
+        # and get refreshed at staggered epochs.
+        for step, (i, j) in enumerate(pairs):
+            b = resolver.bounds(i, j)
+            truth = float(matrix[i, j])
+            assert b.lower - 1e-9 <= truth <= b.upper + 1e-9
+            if step % 3 == 0:
+                resolver.distance(i, j)
+
+    def test_predicates_agree_with_truth_under_staleness(self, rng):
+        matrix = random_metric_matrix(12, rng)
+        space = MatrixSpace(matrix)
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        pairs = list(itertools.combinations(range(12), 2))
+        # Warm the memo on every pair, then resolve a third of the graph so
+        # most entries are stale, then check every predicate against truth.
+        for i, j in pairs:
+            resolver.bounds(i, j)
+        for i, j in pairs[:: 3]:
+            resolver.distance(i, j)
+        median = float(matrix[matrix > 0].mean())
+        for i, j in pairs:
+            truth = float(matrix[i, j])
+            assert resolver.is_at_least(i, j, median) == (truth >= median)
+            assert resolver.is_greater(i, j, median) == (truth > median)
+
+    def test_memo_on_off_identical_decisions_and_calls(self, rng):
+        matrix = random_metric_matrix(12, rng)
+        space = MatrixSpace(matrix)
+        results = {}
+        for flag in (True, False):
+            oracle = space.oracle()
+            resolver = SmartResolver(oracle, bound_cache=flag)
+            resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+            median = float(matrix[matrix > 0].mean())
+            verdicts = []
+            pairs = list(itertools.combinations(range(12), 2))
+            for step, (i, j) in enumerate(pairs):
+                verdicts.append(resolver.is_at_least(i, j, median))
+                if step % 4 == 0:
+                    verdicts.append(resolver.less((i, j), pairs[(step + 5) % len(pairs)]))
+            results[flag] = (verdicts, oracle.calls, sorted(resolver.graph.edges()))
+        assert results[True] == results[False]
+
+
+class TestResolverBoundsMany:
+    def test_matches_per_pair_bounds(self, rng):
+        matrix = random_metric_matrix(12, rng)
+        space = MatrixSpace(matrix)
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        pairs = list(itertools.combinations(range(12), 2))
+        for i, j in pairs[::4]:
+            resolver.distance(i, j)
+        query = pairs + [(1, 0), (3, 3)]  # reversed + diagonal entries
+        batch = resolver.bounds_many(query)
+        for (i, j), b in zip(query, batch):
+            assert b == resolver.bounds(i, j)
+
+    def test_duplicates_computed_once(self, space):
+        resolver = SmartResolver(space.oracle())
+        counter = CountingBounder(resolver.graph)
+        resolver.bounder = counter
+        batch = resolver.bounds_many([(0, 1), (1, 0), (0, 1)])
+        assert counter.calls == 1
+        assert batch[0] == batch[1] == batch[2]
+
+    def test_vectorized_batch_counter(self, rng):
+        matrix = random_metric_matrix(10, rng)
+        space = MatrixSpace(matrix)
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        resolver.bounds_many([(0, 1), (0, 2), (0, 3)])
+        assert resolver.stats.vectorized_batches == 1
+        resolver.bounds_many([(4, 5)])  # single-pair batch: not counted
+        assert resolver.stats.vectorized_batches == 1
+
+    def test_bound_time_accrues(self, space):
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = CountingBounder(resolver.graph)
+        resolver.bounds(0, 1)
+        resolver.bounds_many([(2, 3), (4, 5)])
+        assert resolver.stats.bound_time_s > 0.0
+
+
+class TestStats:
+    def test_collect_stats_syncs_dijkstra_runs(self, space):
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = Splub(resolver.graph, space.diameter_bound())
+        resolver.distance(0, 1)
+        resolver.distance(1, 2)
+        resolver.bounds(0, 2)
+        stats = resolver.collect_stats()
+        assert stats is resolver.stats
+        assert stats.dijkstra_runs == resolver.bounder.dijkstra_runs
+        assert stats.dijkstra_runs > 0
+
+    def test_merge_sums_all_fields(self):
+        a = ResolverStats(decided_by_bounds=2, bound_time_s=0.5, bound_cache_hits=3)
+        b = ResolverStats(decided_by_bounds=1, bound_time_s=0.25, dijkstra_runs=4)
+        merged = a.merge(b)
+        assert merged.decided_by_bounds == 3
+        assert merged.bound_time_s == 0.75
+        assert merged.bound_cache_hits == 3
+        assert merged.dijkstra_runs == 4
