@@ -1,0 +1,122 @@
+"""Service benchmark — cross-query reuse in a warm engine.
+
+The acceptance experiment for the service layer: 20 mixed kNN/range queries
+served by **one** warm :class:`~repro.service.ProximityEngine` must spend at
+least 2x fewer oracle calls than the same 20 queries run cold (a fresh
+resolver per query), with byte-identical answers.  A second scenario pays
+the snapshot/restart/restore cycle and shows that replaying resolved
+queries after a restore costs zero additional calls.
+"""
+
+from repro.algorithms import k_nearest, range_query
+from repro.bounds import TriScheme
+from repro.core.resolver import SmartResolver
+from repro.harness import render_table
+from repro.service import ProximityEngine
+
+from benchmarks.conftest import sf
+
+N = 128
+NUM_QUERIES = 20
+
+
+def _workload(space):
+    """20 mixed queries over clustered query points (realistic skew)."""
+    jobs = []
+    for idx in range(NUM_QUERIES):
+        q = (idx * 5) % space.n
+        if idx % 2 == 0:
+            jobs.append(("knn", {"query": q, "k": 5 + (idx % 3)}))
+        else:
+            jobs.append(("range", {"query": q, "radius": 2000.0 + 500.0 * (idx % 4)}))
+    return jobs
+
+
+def _cold_run(space, kind, params):
+    """One query on a fresh resolver — returns (answer, charged calls)."""
+    oracle = space.oracle()
+    resolver = SmartResolver(oracle)
+    resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+    if kind == "knn":
+        answer = k_nearest(resolver, params["query"], params["k"])
+    else:
+        answer = range_query(resolver, params["query"], params["radius"])
+    return answer, oracle.calls
+
+
+def _warm_run(space, workload):
+    """The whole workload through one engine — (answers, total calls, stats)."""
+    engine = ProximityEngine.for_space(space, provider="tri", job_workers=2)
+    try:
+        handles = [engine.submit_job(kind, **params) for kind, params in workload]
+        answers = [h.result(300).value for h in handles]
+        stats = engine.snapshot_stats()
+        return answers, engine.oracle.calls, stats, engine
+    except BaseException:
+        engine.close(snapshot=False)
+        raise
+
+
+def test_warm_engine_beats_cold_runs_2x(report, benchmark, tmp_path):
+    space = sf(N)
+    workload = _workload(space)
+
+    cold_answers = []
+    cold_total = 0
+    for kind, params in workload:
+        answer, calls = _cold_run(space, kind, params)
+        cold_answers.append(answer)
+        cold_total += calls
+
+    warm_answers, warm_total, stats, engine = _warm_run(space, workload)
+
+    # Identical answers, query for query.
+    assert warm_answers == cold_answers
+
+    # The headline claim: >= 2x fewer oracle calls on the warm engine.
+    assert warm_total * 2 <= cold_total, (
+        f"warm engine spent {warm_total} calls, cold runs {cold_total} — "
+        "less than the required 2x saving"
+    )
+
+    # Snapshot → restart → restore: replaying the workload is free.
+    snap = tmp_path / "warm.npz"
+    engine.snapshot(str(snap))
+    engine.close(snapshot=False)
+
+    engine2 = ProximityEngine.for_space(
+        space, provider="tri", job_workers=2, restore_from=str(snap)
+    )
+    try:
+        handles = [engine2.submit_job(kind, **params) for kind, params in workload]
+        replay_answers = [h.result(300).value for h in handles]
+        assert replay_answers == cold_answers
+        assert engine2.oracle.calls == 0, (
+            f"restored engine paid {engine2.oracle.calls} calls re-serving "
+            "already-resolved queries"
+        )
+        restored = engine2.snapshot_stats().restored_edges
+    finally:
+        engine2.close(snapshot=False)
+
+    report(
+        render_table(
+            ["scenario", "oracle calls", "vs cold"],
+            [
+                ["20 cold runs", cold_total, "1.0x"],
+                ["1 warm engine", warm_total, f"{cold_total / warm_total:.1f}x fewer"],
+                ["restored engine (replay)", 0, "free"],
+            ],
+            title=(
+                f"Service reuse on SF-like n={N}: {NUM_QUERIES} mixed "
+                f"kNN/range queries (restored {restored} edges, "
+                f"{stats.warm_resolutions} warm resolutions)"
+            ),
+        )
+    )
+
+    benchmark.pedantic(
+        lambda: _warm_run(space, workload)[3].close(snapshot=False),
+        rounds=1,
+        iterations=1,
+    )

@@ -20,7 +20,10 @@ Inspect a provider's bound quality::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 from typing import List
 
 from repro.datasets import flickr_space, sf_poi_space, urbangb_space
@@ -48,6 +51,47 @@ ALGORITHM_PARAMS = {
     "kcenter": ("k",),
     "dbscan": ("eps", "min_pts"),
 }
+
+
+def _workers_arg(value: str) -> int:
+    """argparse type for ``--workers``: a positive thread count."""
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be at least 1 (got {workers}); a thread pool needs a thread"
+        )
+    return workers
+
+
+def _cache_path_arg(value: str) -> str:
+    """argparse type for ``--oracle-cache``: ':memory:' or a writable path."""
+    if value == ":memory:":
+        return value
+    parent = os.path.dirname(os.path.abspath(value))
+    if not os.path.isdir(parent):
+        raise argparse.ArgumentTypeError(
+            f"parent directory {parent!r} does not exist — create it first, "
+            "or use ':memory:' for a non-persistent cache"
+        )
+    return value
+
+
+def _param_arg(value: str) -> tuple:
+    """argparse type for ``--param key=value`` job parameters."""
+    key, sep, raw = value.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {value!r} (e.g. --param query=3)"
+        )
+    for cast in (int, float):
+        try:
+            return key, cast(raw)
+        except ValueError:
+            continue
+    return key, raw
 
 
 def _build_space(args):
@@ -206,6 +250,69 @@ def _cmd_indexes(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run a persistent proximity engine behind a local socket."""
+    from repro.service import ProximityEngine, ProximityServer
+
+    space = _build_space(args)
+    engine = ProximityEngine.for_space(
+        space,
+        provider=args.provider,
+        job_workers=args.job_workers,
+        snapshot_path=args.snapshot_path,
+        snapshot_every=args.snapshot_every,
+        restore_from=args.restore_from,
+    )
+    server = ProximityServer(engine, args.socket)
+    print(
+        f"serving {args.dataset} (n={space.n}, provider={args.provider}, "
+        f"job workers={args.job_workers}) on {args.socket}"
+    )
+    try:
+        if args.serve_seconds is not None:
+            server.start()
+            time.sleep(args.serve_seconds)
+        else:  # pragma: no cover - interactive path
+            server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.close()
+        engine.close()
+    stats = engine.snapshot_stats()
+    print(
+        f"served {stats.jobs_submitted} jobs, {stats.oracle_calls} oracle "
+        f"calls, {stats.warm_resolutions} warm resolutions"
+    )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Send one request to a running ``repro serve`` engine."""
+    from repro.service.server import send_request
+
+    if args.stats:
+        request = {"op": "stats"}
+    elif args.kind is None:
+        print("error: either --kind or --stats is required", file=sys.stderr)
+        return 2
+    else:
+        request = {
+            "op": "submit",
+            "spec": {
+                "kind": args.kind,
+                "params": dict(args.param),
+                "priority": args.priority,
+                "oracle_budget": args.budget,
+                "deadline": args.deadline,
+                "label": args.label,
+            },
+        }
+    response = send_request(args.socket, request, timeout=args.timeout)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -240,9 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
                            default=None,
                            help="route resolutions through the batched "
                            "execution pipeline (outputs are identical)")
-            p.add_argument("--workers", type=int, default=8,
+            p.add_argument("--workers", type=_workers_arg, default=8,
                            help="thread-pool size for --executor threaded")
-            p.add_argument("--oracle-cache", dest="oracle_cache", default=None,
+            p.add_argument("--oracle-cache", dest="oracle_cache",
+                           type=_cache_path_arg, default=None,
                            help="persistent distance cache (':memory:' or a "
                            "SQLite file path); repeated runs never re-pay")
 
@@ -276,6 +384,56 @@ def build_parser() -> argparse.ArgumentParser:
     indexes_p.add_argument("--n", type=int, default=150)
     indexes_p.add_argument("--queries", type=int, default=30)
     indexes_p.set_defaults(func=_cmd_indexes)
+
+    serve_p = sub.add_parser(
+        "serve", help="persistent proximity engine behind a local socket"
+    )
+    serve_p.add_argument("--dataset", choices=sorted(DATASETS), default="sf")
+    serve_p.add_argument("--n", type=int, default=100)
+    serve_p.add_argument("--seed", type=int, default=7)
+    serve_p.add_argument("--provider", choices=list(PROVIDER_NAMES), default="tri")
+    serve_p.add_argument("--job-workers", dest="job_workers", type=_workers_arg,
+                         default=2, help="concurrent query-job workers")
+    serve_p.add_argument("--socket", required=True,
+                         help="unix socket path to listen on")
+    serve_p.add_argument("--snapshot-path", dest="snapshot_path",
+                         type=_cache_path_arg, default=None,
+                         help="warm-state snapshot file (written periodically "
+                         "and on shutdown)")
+    serve_p.add_argument("--snapshot-every", dest="snapshot_every", type=int,
+                         default=None,
+                         help="snapshot after this many new resolved edges")
+    serve_p.add_argument("--restore-from", dest="restore_from", default=None,
+                         help="seed the engine from a previous snapshot")
+    serve_p.add_argument("--serve-seconds", dest="serve_seconds", type=float,
+                         default=None,
+                         help="serve for a fixed time then exit "
+                         "(default: until interrupted)")
+    serve_p.set_defaults(func=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit", help="send one query job to a running 'repro serve' engine"
+    )
+    submit_p.add_argument("--socket", required=True,
+                          help="unix socket of the running engine")
+    submit_p.add_argument("--kind", default=None,
+                          choices=["knn", "range", "nearest", "medoid",
+                                   "knng", "mst"])
+    submit_p.add_argument("--param", action="append", type=_param_arg,
+                          default=[], metavar="KEY=VALUE",
+                          help="job parameter (repeatable), e.g. "
+                          "--param query=3 --param k=5")
+    submit_p.add_argument("--priority", type=int, default=0)
+    submit_p.add_argument("--budget", type=int, default=None,
+                          help="max charged oracle calls for this job")
+    submit_p.add_argument("--deadline", type=float, default=None,
+                          help="seconds the job may wait+run before expiring")
+    submit_p.add_argument("--label", default="")
+    submit_p.add_argument("--timeout", type=float, default=60.0,
+                          help="client-side socket timeout")
+    submit_p.add_argument("--stats", action="store_true",
+                          help="fetch engine stats instead of submitting")
+    submit_p.set_defaults(func=_cmd_submit)
     return parser
 
 

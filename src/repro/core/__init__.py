@@ -12,15 +12,26 @@ from repro.core.exceptions import (
     BudgetExceededError,
     ConfigurationError,
     InvalidObjectError,
+    JobBudgetExhaustedError,
+    JobCancelledError,
     MetricViolationError,
     OracleResolutionError,
     ReproError,
+    SnapshotMismatchError,
     SolverError,
     UnknownDistanceError,
 )
+from repro.core.locking import ReadWriteLock
 from repro.core.oracle import DistanceOracle, OracleStats, WallClockOracle, canonical_pair
 from repro.core.partial_graph import PartialDistanceGraph
-from repro.core.persistence import load_graph, resume_resolver, save_graph, seed_oracle_cache
+from repro.core.persistence import (
+    GraphArchive,
+    load_archive,
+    load_graph,
+    resume_resolver,
+    save_graph,
+    seed_oracle_cache,
+)
 from repro.core.validation import ValidatingOracle
 from repro.core.resolver import ResolverStats, SmartResolver
 
@@ -31,20 +42,26 @@ __all__ = [
     "BudgetExceededError",
     "ConfigurationError",
     "DistanceOracle",
+    "GraphArchive",
     "IntersectionBounder",
     "InvalidObjectError",
+    "JobBudgetExhaustedError",
+    "JobCancelledError",
     "MetricViolationError",
     "OracleResolutionError",
     "OracleStats",
     "PartialDistanceGraph",
+    "ReadWriteLock",
     "ReproError",
     "ResolverStats",
     "SmartResolver",
+    "SnapshotMismatchError",
     "SolverError",
     "TrivialBounder",
     "UNBOUNDED",
     "UnknownDistanceError",
     "ValidatingOracle",
+    "load_archive",
     "load_graph",
     "resume_resolver",
     "save_graph",

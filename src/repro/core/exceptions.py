@@ -69,3 +69,47 @@ class OracleResolutionError(ReproError):
 
 class ConfigurationError(ReproError, ValueError):
     """A component was constructed or combined with invalid parameters."""
+
+
+class SnapshotMismatchError(ConfigurationError):
+    """A persisted graph snapshot does not match the engine restoring it.
+
+    Raised by :meth:`repro.service.ProximityEngine.restore` when the
+    archive's dataset fingerprint (or universe size) disagrees with the
+    live engine — silently mixing distances from different datasets would
+    corrupt every future answer.
+    """
+
+    def __init__(self, expected: str, found: str) -> None:
+        super().__init__(
+            f"snapshot fingerprint mismatch: engine is {expected!r} "
+            f"but the archive was written for {found!r}"
+        )
+        self.expected = expected
+        self.found = found
+
+
+class JobCancelledError(ReproError):
+    """A service job was cancelled (or its deadline expired) while running.
+
+    Raised inside the job's resolver at the next oracle-resolution point;
+    the engine converts it into a ``cancelled``/``expired`` job status
+    rather than letting it propagate.
+    """
+
+
+class JobBudgetExhaustedError(ReproError):
+    """A service job hit its per-job oracle-call budget.
+
+    ``unresolved`` carries the pairs whose resolution was refused; the
+    engine returns them in a *partial* :class:`~repro.service.JobResult`
+    instead of crashing the engine.
+    """
+
+    def __init__(self, budget: int, unresolved: tuple[tuple[int, int], ...]) -> None:
+        super().__init__(
+            f"per-job oracle budget of {budget} call(s) exhausted "
+            f"({len(unresolved)} pair(s) left unresolved)"
+        )
+        self.budget = budget
+        self.unresolved = unresolved

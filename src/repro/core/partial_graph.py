@@ -28,7 +28,7 @@ vectorised bound kernels and bound memos key their caches on it.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -58,6 +58,10 @@ class PartialDistanceGraph:
         # Lazily rebuilt NumPy mirrors, invalidated by epoch comparison.
         self._node_mirror: List[Optional[_NodeMirror]] = [None] * n
         self._edge_mirror: Optional[_EdgeMirror] = None
+        # Edge-commit listeners: fired once per *new* edge, after insertion
+        # (so callbacks observe the bumped epochs).  The service engine hooks
+        # periodic snapshots here.
+        self._edge_listeners: List[Callable[[int, int, float], None]] = []
 
     # -- introspection ------------------------------------------------------
 
@@ -149,7 +153,21 @@ class PartialDistanceGraph:
         self._weights[key] = distance
         self._insert_neighbor(key[0], key[1], distance)
         self._insert_neighbor(key[1], key[0], distance)
+        for listener in self._edge_listeners:
+            listener(key[0], key[1], distance)
         return True
+
+    def subscribe_edges(self, listener: Callable[[int, int, float], None]) -> None:
+        """Register ``listener(i, j, distance)`` to run after every new edge.
+
+        Listeners fire post-insertion (epochs already bumped) and only for
+        genuinely new edges; they are not copied by :meth:`copy`.
+        """
+        self._edge_listeners.append(listener)
+
+    def unsubscribe_edges(self, listener: Callable[[int, int, float], None]) -> None:
+        """Remove a previously registered edge listener."""
+        self._edge_listeners.remove(listener)
 
     def _insert_neighbor(self, u: int, v: int, distance: float) -> None:
         pos = bisect_left(self._adjacency[u], v)

@@ -5,12 +5,23 @@ an asset worth keeping across sessions.  These helpers round-trip a
 :class:`PartialDistanceGraph` through a compressed ``.npz`` archive, and can
 pre-seed a :class:`DistanceOracle`'s cache so a resumed run never re-pays
 for a distance it already bought.
+
+Archive format (``_FORMAT_VERSION = 2``): besides the edge arrays, a v2
+archive carries the graph's edge-insert epoch counters (global epoch plus
+per-node epochs — redundant with the edge set, stored as an integrity
+check) and an optional JSON metadata dict.  The service engine puts a
+dataset fingerprint and the oracle name there, so a restarted engine can
+refuse a snapshot written for different data
+(:class:`~repro.core.exceptions.SnapshotMismatchError`).  Version-1
+archives (edges only) still load; they surface an empty metadata dict.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -19,11 +30,40 @@ from repro.core.partial_graph import PartialDistanceGraph
 
 PathLike = Union[str, os.PathLike]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Archive versions this module can read.
+_SUPPORTED_VERSIONS = (1, 2)
 
 
-def save_graph(graph: PartialDistanceGraph, path: PathLike) -> None:
-    """Write a partial graph's resolved edges to a compressed ``.npz``."""
+@dataclass
+class GraphArchive:
+    """A loaded snapshot: the graph plus everything stored alongside it."""
+
+    graph: PartialDistanceGraph
+    version: int
+    #: Global edge-insert epoch recorded at save time (== num_edges).
+    epoch: int
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """The dataset fingerprint stored by the writer, if any."""
+        value = self.metadata.get("fingerprint")
+        return None if value is None else str(value)
+
+
+def save_graph(
+    graph: PartialDistanceGraph,
+    path: PathLike,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a partial graph's resolved edges to a compressed ``.npz``.
+
+    ``metadata`` must be JSON-serialisable; the service engine stores a
+    dataset fingerprint and oracle name there so :func:`load_archive` (and
+    ``Engine.restore``) can detect snapshots from a different dataset.
+    """
     edges = list(graph.edges())
     if edges:
         i_arr = np.array([e[0] for e in edges], dtype=np.int64)
@@ -33,6 +73,9 @@ def save_graph(graph: PartialDistanceGraph, path: PathLike) -> None:
         i_arr = np.empty(0, dtype=np.int64)
         j_arr = np.empty(0, dtype=np.int64)
         w_arr = np.empty(0, dtype=np.float64)
+    node_epochs = np.array(
+        [graph.node_epoch(i) for i in range(graph.n)], dtype=np.int64
+    )
     np.savez_compressed(
         path,
         version=np.int64(_FORMAT_VERSION),
@@ -40,20 +83,50 @@ def save_graph(graph: PartialDistanceGraph, path: PathLike) -> None:
         i=i_arr,
         j=j_arr,
         w=w_arr,
+        epoch=np.int64(graph.epoch),
+        node_epochs=node_epochs,
+        metadata=np.array(json.dumps(metadata or {})),
     )
 
 
-def load_graph(path: PathLike) -> PartialDistanceGraph:
-    """Rebuild a partial graph saved by :func:`save_graph`."""
+def load_archive(path: PathLike) -> GraphArchive:
+    """Load a snapshot written by :func:`save_graph` (any supported version).
+
+    The rebuilt graph's epoch counters are checked against the stored ones
+    — a mismatch means the archive is internally corrupt.
+    """
     with np.load(path) as data:
         version = int(data["version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported graph archive version {version}")
+        if version not in _SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported graph archive version {version}; "
+                f"this build reads versions {_SUPPORTED_VERSIONS}"
+            )
         n = int(data["n"])
         graph = PartialDistanceGraph(n)
         for i, j, w in zip(data["i"], data["j"], data["w"]):
             graph.add_edge(int(i), int(j), float(w))
-    return graph
+        if version == 1:
+            return GraphArchive(graph=graph, version=1, epoch=graph.epoch)
+        epoch = int(data["epoch"])
+        node_epochs = data["node_epochs"]
+        metadata = json.loads(str(data["metadata"]))
+    if epoch != graph.epoch:
+        raise ValueError(
+            f"corrupt archive: stored epoch {epoch} but the edge set "
+            f"rebuilds to epoch {graph.epoch}"
+        )
+    rebuilt = np.array([graph.node_epoch(i) for i in range(n)], dtype=np.int64)
+    if not np.array_equal(rebuilt, node_epochs):
+        raise ValueError(
+            "corrupt archive: stored per-node epochs disagree with the edge set"
+        )
+    return GraphArchive(graph=graph, version=version, epoch=epoch, metadata=metadata)
+
+
+def load_graph(path: PathLike) -> PartialDistanceGraph:
+    """Rebuild just the graph from an archive saved by :func:`save_graph`."""
+    return load_archive(path).graph
 
 
 def seed_oracle_cache(oracle: DistanceOracle, graph: PartialDistanceGraph) -> int:

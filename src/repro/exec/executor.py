@@ -134,6 +134,14 @@ class BaseExecutor:
         """Evaluate ``fn`` on every pair, returning values plus a report."""
         raise NotImplementedError
 
+    def warm(self) -> None:
+        """Pre-create any lazy resources (no-op for serial).
+
+        Long-lived callers (the service engine) warm the executor at
+        construction so the first batch doesn't pay pool start-up, and so
+        lazy initialisation never races concurrent submitters.
+        """
+
     def close(self) -> None:
         """Release executor resources (no-op for serial)."""
 
@@ -227,6 +235,9 @@ class ThreadedExecutor(BaseExecutor):
                 max_workers=self.workers, thread_name_prefix="repro-oracle"
             )
         return self._pool
+
+    def warm(self) -> None:
+        self._ensure_pool()
 
     def close(self) -> None:
         if self._pool is not None:

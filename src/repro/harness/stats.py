@@ -55,6 +55,28 @@ def summarize(values: Sequence[float], z: float = _Z95) -> Summary:
     return Summary(mean=mean, std=std, count=count, ci_low=mean - half, ci_high=mean + half)
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) with linear interpolation.
+
+    Matches NumPy's default (``linear``) interpolation so the service
+    engine's p50/p95 job-latency figures agree with offline analysis;
+    kept dependency-free because it runs inside the engine's stats path.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("percentile rank must be within [0, 100]")
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if len(data) == 1:
+        return data[0]
+    rank = (len(data) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return data[low]
+    return data[low] + (data[high] - data[low]) * (rank - low)
+
+
 def repeat_experiment(
     factory: Callable[[int], float],
     seeds: Sequence[int],

@@ -45,13 +45,39 @@ class TracingOracle(DistanceOracle):
             bootstrap_with_landmarks(resolver)
         with oracle.phase("prim"):
             prim_mst(resolver)
+
+    Phases nest: :meth:`push_phase`/:meth:`pop_phase` maintain a label
+    stack (the service engine pushes one label per job), and :meth:`phase`
+    is the context-manager view of the same stack.  With concurrent
+    pushers the stack is engine-global, so interleaved jobs can mislabel
+    each other's calls — phase labels are attribution hints, not an audit
+    trail, under multi-worker engines.
+
+    The oracle is itself a context manager when constructed with
+    ``csv_path``: the trace flushes to that file on exit, even when the
+    traced run raises::
+
+        with TracingOracle(space.distance, space.n, csv_path="trace.csv") as oracle:
+            run_experiment(oracle)
     """
 
-    def __init__(self, distance_fn, n, cost_per_call: float = 0.0, budget=None) -> None:
+    def __init__(
+        self,
+        distance_fn,
+        n,
+        cost_per_call: float = 0.0,
+        budget=None,
+        csv_path=None,
+    ) -> None:
         super().__init__(distance_fn, n, cost_per_call=cost_per_call, budget=budget)
         self.events: List[CallEvent] = []
-        self._phase = "default"
+        self.csv_path = csv_path
+        self._phases: List[str] = ["default"]
         self._start = time.perf_counter()
+
+    @property
+    def _phase(self) -> str:
+        return self._phases[-1]
 
     def _on_charged(self, key: Pair, value: float) -> None:
         # One hook covers both resolution paths: inline __call__ and the
@@ -73,6 +99,16 @@ class TracingOracle(DistanceOracle):
     def phase(self, label: str) -> "_PhaseContext":
         """Context manager labelling subsequent calls with ``label``."""
         return _PhaseContext(self, label)
+
+    def push_phase(self, label: str) -> None:
+        """Start labelling subsequent calls with ``label`` (stackable)."""
+        self._phases.append(str(label))
+
+    def pop_phase(self) -> str:
+        """End the innermost pushed phase, restoring the previous label."""
+        if len(self._phases) == 1:
+            raise RuntimeError("pop_phase without a matching push_phase")
+        return self._phases.pop()
 
     @property
     def current_phase(self) -> str:
@@ -120,22 +156,36 @@ class TracingOracle(DistanceOracle):
     def reset(self) -> None:
         super().reset()
         self.events = []
+        self._phases = ["default"]
         self._start = time.perf_counter()
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self) -> "TracingOracle":
+        if self.csv_path is None:
+            raise ValueError(
+                "TracingOracle used as a context manager needs csv_path "
+                "(where to flush the trace on exit)"
+            )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Flush even when the traced run raised: a partial trace of a
+        # failed experiment is exactly when you want the evidence.
+        self.write_csv(self.csv_path)
 
 
 class _PhaseContext:
     def __init__(self, oracle: TracingOracle, label: str) -> None:
         self._oracle = oracle
         self._label = label
-        self._previous: Optional[str] = None
 
     def __enter__(self) -> TracingOracle:
-        self._previous = self._oracle._phase
-        self._oracle._phase = self._label
+        self._oracle.push_phase(self._label)
         return self._oracle
 
     def __exit__(self, *exc_info) -> None:
-        self._oracle._phase = self._previous
+        self._oracle.pop_phase()
 
 
 def load_trace(path) -> List[CallEvent]:

@@ -1,0 +1,40 @@
+"""The persistent proximity-query service layer.
+
+Everything below builds on the same invariant the rest of the library
+enforces: resolved distances are exact and never change, so sharing one
+:class:`~repro.core.partial_graph.PartialDistanceGraph` across concurrent
+queries can only *save* oracle calls — it can never alter an answer.
+"""
+
+from repro.service.engine import (
+    DEFAULT_JOB_WORKERS,
+    EngineStats,
+    ProximityEngine,
+    space_fingerprint,
+)
+from repro.service.jobs import (
+    JOB_KINDS,
+    Job,
+    JobResult,
+    JobSpec,
+    JobStatus,
+    TERMINAL_STATUSES,
+)
+from repro.service.queue import JobQueue
+from repro.service.server import ProximityServer, send_request
+
+__all__ = [
+    "DEFAULT_JOB_WORKERS",
+    "EngineStats",
+    "JOB_KINDS",
+    "Job",
+    "JobQueue",
+    "JobResult",
+    "JobSpec",
+    "JobStatus",
+    "ProximityEngine",
+    "ProximityServer",
+    "TERMINAL_STATUSES",
+    "send_request",
+    "space_fingerprint",
+]

@@ -1,0 +1,788 @@
+"""The persistent proximity-query engine.
+
+A :class:`ProximityEngine` owns **one** shared
+:class:`~repro.core.partial_graph.PartialDistanceGraph`, one bound provider,
+and one distance oracle, and serves a stream of concurrently submitted query
+jobs (kNN, range, nearest, medoid, kNN-graph, MST).  The paper's central
+asset — the partial graph of already-paid-for distances — compounds across
+queries: every edge one job resolves tightens bounds for *every* future
+comparison, and because each job runs through an exactness-preserving
+:class:`~repro.core.resolver.SmartResolver`, the reuse never changes a
+single answer.
+
+Concurrency discipline (see :mod:`repro.core.locking`):
+
+* bound queries and graph lookups run under the **shared** side of a
+  :class:`~repro.core.locking.ReadWriteLock`;
+* expensive distance evaluations run **unlocked** (they touch no shared
+  state), so slow oracle calls from different jobs overlap;
+* commits — oracle charge, graph insert (which bumps the edge-insert
+  epochs), provider update, shared bound-memo invalidation — run under the
+  **exclusive** side, so the epoch-keyed caches built in PR 2 stay sound
+  across interleaved queries.
+
+Per-job fault isolation: a job that exhausts its oracle-call budget ends
+``partial`` (with the refused pairs listed), a cancelled or deadline-expired
+job ends ``cancelled``/``expired``, and a job whose oracle keeps failing
+ends ``failed`` — none of them take the engine down.
+
+Warm-state persistence: :meth:`ProximityEngine.snapshot` writes the graph
+(plus a dataset fingerprint) through :mod:`repro.core.persistence`;
+:meth:`ProximityEngine.restore` refuses mismatched snapshots and seeds the
+oracle so a restarted service never re-buys a distance.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.algorithms import (
+    k_nearest,
+    knn_graph,
+    nearest_neighbor,
+    pam,
+    prim_mst,
+    range_query,
+)
+from repro.core.bounds import BoundProvider
+from repro.core.exceptions import (
+    ConfigurationError,
+    JobBudgetExhaustedError,
+    JobCancelledError,
+    SnapshotMismatchError,
+)
+from repro.core.locking import ReadWriteLock
+from repro.core.oracle import DistanceOracle, canonical_pair
+from repro.core.partial_graph import PartialDistanceGraph
+from repro.core.persistence import load_archive, save_graph, seed_oracle_cache
+from repro.core.resolver import ResolverStats, SmartResolver
+from repro.exec.executor import BaseExecutor, DEFAULT_WORKERS, make_executor
+from repro.harness.providers import LANDMARK_PROVIDERS, make_provider
+from repro.harness.stats import percentile
+from repro.service.jobs import Job, JobResult, JobSpec, JobStatus
+from repro.service.queue import JobQueue
+from repro.spaces.base import MetricSpace
+
+Pair = Tuple[int, int]
+
+#: Default number of job-worker threads.
+DEFAULT_JOB_WORKERS = 2
+
+
+class _JobRuntime:
+    """Mutable per-job execution state shared between worker and resolver."""
+
+    __slots__ = (
+        "job_id",
+        "budget",
+        "charged",
+        "warm_hits",
+        "touched",
+        "cancel",
+        "deadline_at",
+        "expired",
+    )
+
+    def __init__(self, job: Job) -> None:
+        self.job_id = job.id
+        self.budget = job.spec.oracle_budget
+        self.charged = 0
+        self.warm_hits = 0
+        #: Canonical pairs this job has already looked at (so a warm pair is
+        #: counted once, and pairs the job paid for itself never count).
+        self.touched: Set[Pair] = set()
+        self.cancel = job._cancel
+        self.deadline_at = job.deadline_at
+        self.expired = False
+
+
+class _JobResolver(SmartResolver):
+    """A per-job resolver enforcing the engine's reader/writer discipline.
+
+    Bound queries take the shared lock; distance-function evaluations run
+    unlocked; commits take the exclusive lock.  The per-pair bound memo is
+    the *engine's* shared dict — epoch keys keep it sound across jobs, and
+    an entry one job computes is served to every other job for free.
+    """
+
+    def __init__(self, engine: "ProximityEngine", runtime: _JobRuntime) -> None:
+        super().__init__(
+            engine.oracle,
+            bounder=engine.bounder,
+            graph=engine.graph,
+        )
+        self._engine = engine
+        self._runtime = runtime
+        # Swap the private per-resolver memo for the engine-wide one.
+        self._bound_memo = engine._shared_memo
+
+    # -- job control ---------------------------------------------------------
+
+    def _check_cancelled(self) -> None:
+        rt = self._runtime
+        if rt.cancel.is_set():
+            raise JobCancelledError(f"job {rt.job_id} cancelled")
+        if time.monotonic() >= rt.deadline_at:
+            rt.expired = True
+            raise JobCancelledError(f"job {rt.job_id} deadline expired")
+
+    def _guard_budget(self, pending: List[Pair]) -> None:
+        rt = self._runtime
+        if rt.budget is not None and rt.charged + len(pending) > rt.budget:
+            raise JobBudgetExhaustedError(rt.budget, tuple(pending))
+
+    def _note_warm(self, key: Pair) -> None:
+        rt = self._runtime
+        if key not in rt.touched:
+            rt.touched.add(key)
+            rt.warm_hits += 1
+
+    # -- locked read paths ---------------------------------------------------
+
+    def known(self, i: int, j: int):
+        with self._engine._rw.read_locked():
+            return super().known(i, j)
+
+    def bounds(self, i: int, j: int):
+        with self._engine._rw.read_locked():
+            return super().bounds(i, j)
+
+    def bounds_many(self, pairs):
+        self._check_cancelled()
+        with self._engine._rw.read_locked():
+            return super().bounds_many(pairs)
+
+    def _bounds_for_decision(self, i: int, j: int):
+        with self._engine._rw.read_locked():
+            return super()._bounds_for_decision(i, j)
+
+    def _compute_bounds(self, key: Pair):
+        with self._engine._rw.read_locked():
+            return super()._compute_bounds(key)
+
+    # -- locked write paths --------------------------------------------------
+
+    def distance(self, i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        engine = self._engine
+        with engine._rw.read_locked():
+            cached = self.graph.get(i, j)
+        key = canonical_pair(i, j)
+        if cached is not None:
+            self._note_warm(key)
+            return cached
+        self._check_cancelled()
+        with engine._oracle_lock:
+            value = self.oracle.peek(*key)
+        if value is None:
+            self._guard_budget([key])
+            # The expensive call: deliberately outside every lock so slow
+            # oracle requests from different jobs overlap.
+            value = float(self.oracle.distance_fn(*key))
+        return self._commit([(key, value)])[key]
+
+    def resolve_many(self, pairs: Iterable[Pair]) -> Dict[Pair, float]:
+        engine = self._engine
+        keys = sorted({canonical_pair(i, j) for i, j in pairs if i != j})
+        with engine._rw.read_locked():
+            unknown = [key for key in keys if self.graph.get(*key) is None]
+        unknown_set = set(unknown)
+        for key in keys:
+            if key not in unknown_set:
+                self._note_warm(key)
+        if unknown:
+            self._check_cancelled()
+            values: Dict[Pair, float] = {}
+            misses: List[Pair] = []
+            with engine._oracle_lock:
+                for key in unknown:
+                    v = self.oracle.peek(*key)
+                    if v is None:
+                        misses.append(key)
+                    else:
+                        values[key] = v
+            if misses:
+                self._guard_budget(misses)
+                values.update(engine._evaluate(misses))
+            self._commit([(key, values[key]) for key in unknown])
+            if self.batched:
+                self.stats.batched_resolutions += len(unknown)
+        with engine._rw.read_locked():
+            return {key: self.graph.get(*key) for key in keys}
+
+    def _commit(self, items: List[Tuple[Pair, float]]) -> Dict[Pair, float]:
+        """Commit evaluated distances under the exclusive lock.
+
+        Items are processed in the given (sorted) order: oracle charge,
+        graph insert, provider update, shared-memo invalidation — exactly
+        the serial resolver's sequence, made atomic against readers.
+        """
+        engine = self._engine
+        rt = self._runtime
+        out: Dict[Pair, float] = {}
+        with engine._rw.write_locked():
+            with engine._oracle_lock:
+                for key, value in items:
+                    before = self.oracle.calls
+                    value = self.oracle.record(*key, value)
+                    self.stats.resolutions += 1
+                    if self.oracle.calls > before:
+                        self.stats.oracle_resolutions += 1
+                        rt.charged += 1
+                        rt.touched.add(key)
+                    else:
+                        self.stats.cached_resolutions += 1
+                        self._note_warm(key)
+                    if self.graph.add_edge(*key, value):
+                        self._bound_memo.pop(key, None)
+                        self._bounder.notify_resolved(*key, value)
+                    out[key] = value
+        return out
+
+    # -- batch-path plumbing -------------------------------------------------
+
+    @property
+    def batched(self) -> bool:
+        """Frontier queries use the batch paths when the engine has an executor."""
+        return self._engine.executor is not None
+
+    def prefetch_thresholds(self, items) -> int:
+        if not self.batched:
+            return 0
+        candidates: List[Tuple[Pair, float]] = []
+        with self._engine._rw.read_locked():
+            for (i, j), threshold in items:
+                if i == j or self.graph.get(i, j) is not None:
+                    continue
+                candidates.append(((i, j), threshold))
+        if not candidates:
+            return 0
+        frontier_bounds = self.bounds_many([pair for pair, _ in candidates])
+        wanted = [
+            pair
+            for (pair, threshold), b in zip(candidates, frontier_bounds)
+            if b.lower < threshold
+        ]
+        if wanted:
+            self.resolve_many(wanted)
+        return len(wanted)
+
+    def collect_stats(self) -> ResolverStats:
+        # Provider-level counters (dijkstra_runs) are engine-wide, not
+        # per-job; the engine syncs them once in snapshot_stats().
+        return self.stats
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """One coherent snapshot of engine-wide accounting."""
+
+    uptime_seconds: float
+    job_workers: int
+    queue_depth: int
+    jobs_submitted: int
+    jobs_completed: int
+    jobs_partial: int
+    jobs_failed: int
+    jobs_cancelled: int
+    jobs_expired: int
+    #: Charged oracle calls since engine construction (bootstrap included).
+    oracle_calls: int
+    bootstrap_calls: int
+    #: Distinct pairs jobs read from the warm shared state without paying —
+    #: the per-job lower bound on calls saved vs running each job cold.
+    warm_resolutions: int
+    restored_edges: int
+    snapshots_written: int
+    graph_edges: int
+    graph_epoch: int
+    bound_queries: int
+    bound_cache_hits: int
+    #: Fraction of bound queries answered from the shared epoch memo.
+    bound_memo_hit_rate: float
+    latency_p50_s: float
+    latency_p95_s: float
+    #: Merged per-job resolver counters (dijkstra_runs synced from the
+    #: shared provider).
+    resolver: ResolverStats = field(repr=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dict (used by the socket server's ``stats`` op)."""
+        out = asdict(self)
+        out["resolver"] = asdict(self.resolver)
+        return out
+
+
+class ProximityEngine:
+    """Long-lived, concurrent proximity-query service over one shared graph.
+
+    Parameters
+    ----------
+    oracle:
+        The accounting oracle.  Its distance function must be thread-safe:
+        the engine evaluates it concurrently from job workers (and from a
+        threaded executor when one is configured).
+    provider:
+        Bound-provider name (see ``repro.harness.providers.PROVIDER_NAMES``).
+        Landmark providers bootstrap at construction; the spent calls are
+        reported as ``bootstrap_calls``.
+    max_distance:
+        Diameter bound passed to the provider.
+    num_landmarks:
+        Landmark budget for landmark providers (default: paper's log2(n)).
+    job_workers:
+        Worker threads executing jobs (>= 1).
+    executor:
+        ``None`` (inline evaluation), an executor name (``"serial"`` /
+        ``"threaded"``), or a ready :class:`~repro.exec.executor.BaseExecutor`.
+        When present, frontier resolutions go out as executor batches with
+        retry/timeout fault tolerance.
+    oracle_workers:
+        Thread-pool size when ``executor="threaded"``.
+    snapshot_path:
+        Where periodic/on-close snapshots go (no snapshots when ``None``).
+    snapshot_every:
+        Write a snapshot whenever this many new edges have landed since the
+        last one (checked between jobs, so the write never stalls a commit).
+    fingerprint:
+        Dataset identity string stored in snapshots and verified by
+        :meth:`restore`.
+    restore_from:
+        Optional snapshot to restore before serving.
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        provider: str = "tri",
+        max_distance: float = math.inf,
+        num_landmarks: Optional[int] = None,
+        job_workers: int = DEFAULT_JOB_WORKERS,
+        executor: Union[BaseExecutor, str, None] = None,
+        oracle_workers: int = DEFAULT_WORKERS,
+        snapshot_path: Optional[str] = None,
+        snapshot_every: Optional[int] = None,
+        fingerprint: Optional[str] = None,
+        restore_from: Optional[str] = None,
+    ) -> None:
+        if job_workers < 1:
+            raise ConfigurationError("job_workers must be at least 1")
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ConfigurationError("snapshot_every must be a positive edge count")
+        self.oracle = oracle
+        self.provider_name = provider
+        self.graph = PartialDistanceGraph(oracle.n)
+        self.bounder: BoundProvider = make_provider(
+            provider, self.graph, max_distance, num_landmarks
+        )
+        if isinstance(executor, str):
+            executor = make_executor(executor, workers=oracle_workers)
+        self.executor = executor
+        if executor is not None:
+            executor.warm()
+        self.fingerprint = fingerprint
+        self.snapshot_path = snapshot_path
+        self.snapshot_every = snapshot_every
+
+        self._rw = ReadWriteLock()
+        self._oracle_lock = threading.RLock()
+        self._exec_lock = threading.Lock()
+        self._shared_memo: Dict[Pair, tuple] = {}
+        self._stats_lock = threading.Lock()
+        self._job_seq = 0
+        self._jobs_submitted = 0
+        self._status_counts: Dict[JobStatus, int] = {s: 0 for s in JobStatus}
+        self._latencies: List[float] = []
+        self._warm_hits_total = 0
+        self._merged_resolver = ResolverStats()
+        self._snapshots_written = 0
+        self._restored_edges = 0
+        self._edges_since_snapshot = 0
+        self._started_at = time.monotonic()
+        self._closed = False
+
+        self.bootstrap_calls = 0
+        if provider.lower() in LANDMARK_PROVIDERS:
+            boot = SmartResolver(oracle, bounder=self.bounder, graph=self.graph)
+            before = oracle.calls
+            self.bounder.bootstrap(boot)
+            self.bootstrap_calls = oracle.calls - before
+
+        if restore_from is not None:
+            self.restore(restore_from)
+
+        self.graph.subscribe_edges(self._on_edge)
+        self._queue = JobQueue()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-engine-{i}", daemon=True
+            )
+            for i in range(job_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def for_space(
+        cls,
+        space: MetricSpace,
+        provider: str = "tri",
+        oracle_cost: float = 0.0,
+        **kwargs: Any,
+    ) -> "ProximityEngine":
+        """Build an engine for a metric space with a derived fingerprint."""
+        oracle = space.oracle(cost_per_call=oracle_cost)
+        kwargs.setdefault("fingerprint", space_fingerprint(space))
+        return cls(
+            oracle,
+            provider=provider,
+            max_distance=space.diameter_bound(),
+            **kwargs,
+        )
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Enqueue a job and return its handle immediately."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        self._validate_params(spec)
+        with self._stats_lock:
+            self._job_seq += 1
+            self._jobs_submitted += 1
+            job = Job(self._job_seq, spec)
+        self._queue.push(job)
+        return job
+
+    def submit_job(
+        self,
+        kind: str,
+        *,
+        priority: int = 0,
+        oracle_budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+        label: str = "",
+        **params: Any,
+    ) -> Job:
+        """Keyword-style :meth:`submit` convenience."""
+        return self.submit(
+            JobSpec(
+                kind=kind,
+                params=params,
+                priority=priority,
+                oracle_budget=oracle_budget,
+                deadline=deadline,
+                label=label,
+            )
+        )
+
+    def run(self, spec: JobSpec, timeout: Optional[float] = None) -> JobResult:
+        """Submit and wait — the synchronous convenience path."""
+        return self.submit(spec).result(timeout)
+
+    def _validate_params(self, spec: JobSpec) -> None:
+        n = self.oracle.n
+        for name in ("query", "root"):
+            value = spec.params.get(name)
+            if value is not None and not 0 <= int(value) < n:
+                raise ValueError(
+                    f"{name}={value} out of range for universe of size {n}"
+                )
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.pop(self._skip_dead)
+            if job is None:
+                return
+            self._execute(job)
+
+    def _skip_dead(self, job: Job) -> bool:
+        """Drop cancelled/expired jobs at dequeue, finishing their handles."""
+        if job.expired():
+            self._finish(job, JobResult(status=JobStatus.EXPIRED))
+            return True
+        if not job._mark_running():
+            self._finish(job, JobResult(status=JobStatus.CANCELLED))
+            return True
+        return False
+
+    def _execute(self, job: Job) -> None:
+        runtime = _JobRuntime(job)
+        resolver = _JobResolver(self, runtime)
+        spec = job.spec
+        status = JobStatus.COMPLETED
+        value: Any = None
+        unresolved: Tuple[Pair, ...] = ()
+        error: Optional[str] = None
+        phase_pushed = False
+        push_phase = getattr(self.oracle, "push_phase", None)
+        if callable(push_phase):
+            push_phase(spec.label or f"job-{job.id}:{spec.kind}")
+            phase_pushed = True
+        start = time.perf_counter()
+        try:
+            value = self._run_kind(resolver, spec)
+        except JobBudgetExhaustedError as exc:
+            status = JobStatus.PARTIAL
+            unresolved = exc.unresolved
+            error = str(exc)
+        except JobCancelledError as exc:
+            status = JobStatus.EXPIRED if runtime.expired else JobStatus.CANCELLED
+            error = str(exc)
+        except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
+            status = JobStatus.FAILED
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if phase_pushed:
+                self.oracle.pop_phase()
+        latency = time.perf_counter() - start
+        # Snapshot before publishing the result: once a caller sees the job
+        # finished, any periodic snapshot its edges triggered is on disk.
+        self._maybe_snapshot()
+        self._finish(
+            job,
+            JobResult(
+                status=status,
+                value=value,
+                unresolved=unresolved,
+                charged_calls=runtime.charged,
+                warm_resolutions=runtime.warm_hits,
+                latency_seconds=latency,
+                resolver_stats=resolver.stats,
+                error=error,
+            ),
+        )
+
+    def _run_kind(self, resolver: SmartResolver, spec: JobSpec) -> Any:
+        p = spec.params
+        kind = spec.kind
+        if kind == "knn":
+            return k_nearest(
+                resolver, int(p["query"]), int(p["k"]), p.get("candidates")
+            )
+        if kind == "range":
+            return range_query(
+                resolver,
+                int(p["query"]),
+                float(p["radius"]),
+                p.get("candidates"),
+                include_query=bool(p.get("include_query", False)),
+            )
+        if kind == "nearest":
+            return nearest_neighbor(resolver, int(p["query"]), p.get("candidates"))
+        if kind == "medoid":
+            return pam(
+                resolver,
+                l=int(p.get("l", 1)),
+                seed=int(p.get("seed", 0)),
+                init=p.get("init", "random"),
+            )
+        if kind == "knng":
+            return knn_graph(resolver, k=int(p.get("k", 5)))
+        if kind == "mst":
+            return prim_mst(resolver, root=int(p.get("root", 0)))
+        raise ValueError(f"unknown job kind {kind!r}")  # pragma: no cover
+
+    def _finish(self, job: Job, result: JobResult) -> None:
+        job._finish(result)
+        with self._stats_lock:
+            self._status_counts[result.status] += 1
+            self._warm_hits_total += result.warm_resolutions
+            if result.resolver_stats is not None:
+                self._merged_resolver = self._merged_resolver.merge(
+                    result.resolver_stats
+                )
+            if result.latency_seconds > 0:
+                self._latencies.append(result.latency_seconds)
+
+    # -- oracle evaluation ---------------------------------------------------
+
+    def _evaluate(self, keys: List[Pair]) -> Dict[Pair, float]:
+        """Evaluate distance-function misses, possibly through the executor.
+
+        Runs outside the reader/writer lock: evaluation touches no shared
+        proximity state.  Executor batches are serialised by a dedicated
+        mutex so the executor's internal accounting stays exact; evaluation
+        concurrency comes from the executor's own thread pool.
+        """
+        fn = self.oracle.distance_fn
+        if self.executor is None:
+            return {key: float(fn(*key)) for key in keys}
+        with self._exec_lock:
+            values, report = self.executor.run(fn, keys)
+        with self._oracle_lock:
+            self.oracle.note_retries(report.retries)
+            self.oracle.note_timeouts(report.timeouts)
+        return values
+
+    # -- persistence ---------------------------------------------------------
+
+    def _metadata(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "oracle": type(self.oracle).__name__,
+            "provider": self.provider_name,
+            "n": self.oracle.n,
+        }
+
+    def snapshot(self, path: Optional[str] = None) -> str:
+        """Write the warm graph to ``path`` (default: ``snapshot_path``).
+
+        Taken under the shared lock: commits pause for the write, queries
+        do not.
+        """
+        target = path or self.snapshot_path
+        if target is None:
+            raise ConfigurationError(
+                "no snapshot path: pass one or configure snapshot_path"
+            )
+        with self._rw.read_locked():
+            save_graph(self.graph, target, metadata=self._metadata())
+        with self._stats_lock:
+            self._snapshots_written += 1
+            self._edges_since_snapshot = 0
+        return str(target)
+
+    def restore(self, path: str) -> int:
+        """Merge a snapshot's edges into the live graph, free of charge.
+
+        Verifies the archive's universe size and dataset fingerprint first
+        (:class:`~repro.core.exceptions.SnapshotMismatchError` on mismatch),
+        then seeds the oracle cache and commits every novel edge under the
+        exclusive lock.  Returns the number of newly added edges.
+        """
+        archive = load_archive(path)
+        if archive.graph.n != self.oracle.n:
+            raise SnapshotMismatchError(
+                f"universe of {self.oracle.n}", f"universe of {archive.graph.n}"
+            )
+        theirs = archive.fingerprint
+        if self.fingerprint is not None and theirs is not None and theirs != self.fingerprint:
+            raise SnapshotMismatchError(self.fingerprint, theirs)
+        added = 0
+        with self._rw.write_locked():
+            # Verify before mutating: an archive whose edges contradict the
+            # live graph is from a different dataset, fingerprint or not.
+            for i, j, w in archive.graph.edges():
+                existing = self.graph.get(i, j)
+                if existing is not None and existing != w:
+                    raise SnapshotMismatchError(
+                        f"edge ({i},{j})={existing}",
+                        f"edge ({i},{j})={w}",
+                    )
+            with self._oracle_lock:
+                seed_oracle_cache(self.oracle, archive.graph)
+                for i, j, w in archive.graph.edges():
+                    if self.graph.get(i, j) is not None:
+                        continue
+                    self.graph.add_edge(i, j, w)
+                    self.bounder.notify_resolved(i, j, w)
+                    added += 1
+        with self._stats_lock:
+            self._restored_edges += added
+        return added
+
+    def _on_edge(self, i: int, j: int, distance: float) -> None:
+        # Runs under the exclusive lock (inside add_edge); keep it O(1).
+        self._edges_since_snapshot += 1
+
+    def _maybe_snapshot(self) -> None:
+        if self.snapshot_path is None or self.snapshot_every is None:
+            return
+        if self._edges_since_snapshot >= self.snapshot_every:
+            self.snapshot()
+
+    # -- observability -------------------------------------------------------
+
+    def snapshot_stats(self) -> EngineStats:
+        """A coherent engine-wide stats snapshot (cheap; safe at any time)."""
+        with self._stats_lock:
+            counts = dict(self._status_counts)
+            latencies = list(self._latencies)
+            resolver = ResolverStats().merge(self._merged_resolver)
+            submitted = self._jobs_submitted
+            snapshots = self._snapshots_written
+            restored = self._restored_edges
+            warm = self._warm_hits_total
+        resolver.dijkstra_runs = int(getattr(self.bounder, "dijkstra_runs", 0))
+        queries = resolver.bound_queries
+        return EngineStats(
+            uptime_seconds=time.monotonic() - self._started_at,
+            job_workers=len(self._workers),
+            queue_depth=len(self._queue),
+            jobs_submitted=submitted,
+            jobs_completed=counts[JobStatus.COMPLETED],
+            jobs_partial=counts[JobStatus.PARTIAL],
+            jobs_failed=counts[JobStatus.FAILED],
+            jobs_cancelled=counts[JobStatus.CANCELLED],
+            jobs_expired=counts[JobStatus.EXPIRED],
+            oracle_calls=self.oracle.calls,
+            bootstrap_calls=self.bootstrap_calls,
+            warm_resolutions=warm,
+            restored_edges=restored,
+            snapshots_written=snapshots,
+            graph_edges=self.graph.num_edges,
+            graph_epoch=self.graph.epoch,
+            bound_queries=queries,
+            bound_cache_hits=resolver.bound_cache_hits,
+            bound_memo_hit_rate=(
+                resolver.bound_cache_hits / queries if queries else 0.0
+            ),
+            latency_p50_s=percentile(latencies, 50) if latencies else 0.0,
+            latency_p95_s=percentile(latencies, 95) if latencies else 0.0,
+            resolver=resolver,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, snapshot: bool = True) -> None:
+        """Drain the queue, stop workers, snapshot (if configured), shut down.
+
+        Idempotent.  Queued jobs that never ran finish ``cancelled``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for job in self._queue.close():
+            self._finish(job, JobResult(status=JobStatus.CANCELLED))
+        for worker in self._workers:
+            worker.join()
+        if snapshot and self.snapshot_path is not None:
+            self.snapshot()
+        if self.executor is not None:
+            self.executor.close()
+
+    def __enter__(self) -> "ProximityEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def space_fingerprint(space: MetricSpace, probes: int = 4) -> str:
+    """A cheap dataset-identity string: type, size, and a few probed distances.
+
+    The probes catch the dangerous mismatch — same type and size but
+    different data — without meaningfully spending oracle budget (they go
+    through the raw space, and an engine built via :meth:`for_space` would
+    pay those same pairs again only if a query needs them).
+    """
+    n = space.n
+    parts = [type(space).__name__, str(n)]
+    if n > 1:
+        step = max(1, n // (probes + 1))
+        for t in range(probes):
+            i = (t * step) % n
+            j = (i + 1 + t) % n
+            if i != j:
+                parts.append(f"{space.distance(i, j):.9g}")
+    return ":".join(parts)

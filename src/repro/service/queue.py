@@ -1,0 +1,76 @@
+"""Priority job queue feeding the engine's worker pool.
+
+A thin, thread-safe wrapper over ``heapq``: jobs pop in descending
+:attr:`~repro.service.jobs.JobSpec.priority` order, submission order within
+a priority level.  Cancelled and deadline-expired jobs are *lazily* skipped
+at pop time — the worker never sees them, and the skip is reported back so
+the engine can finish their handles with the right terminal status.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import List, Optional, Tuple
+
+from repro.service.jobs import Job
+
+
+class JobQueue:
+    """Blocking priority queue of :class:`Job` handles."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._seq = 0
+        self._closed = False
+
+    def push(self, job: Job) -> None:
+        """Enqueue a job (raises when the queue is closed)."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            # Min-heap: negate priority so higher priorities pop first; the
+            # sequence number breaks ties in submission order.
+            heapq.heappush(self._heap, (-job.spec.priority, self._seq, job))
+            self._seq += 1
+            self._cond.notify()
+
+    def pop(self, skip) -> Optional[Job]:
+        """Dequeue the next runnable job, blocking until one exists.
+
+        ``skip(job)`` is consulted for every candidate; a truthy return
+        drops the job silently (the callback owns finishing its handle).
+        Returns ``None`` once the queue is closed and drained.
+        """
+        while True:
+            with self._cond:
+                while not self._heap and not self._closed:
+                    self._cond.wait()
+                if not self._heap:
+                    return None
+                _, _, job = heapq.heappop(self._heap)
+            if skip(job):
+                continue
+            return job
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> List[Job]:
+        """Refuse new work and wake every blocked worker.
+
+        Jobs still queued are returned (not popped by workers after close
+        drains naturally — the engine cancels them).
+        """
+        with self._cond:
+            self._closed = True
+            drained = [job for _, _, job in self._heap]
+            self._heap.clear()
+            self._cond.notify_all()
+        return drained

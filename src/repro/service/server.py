@@ -1,0 +1,183 @@
+"""A minimal local-socket front end for the proximity engine.
+
+One engine process can serve queries from other processes on the same
+machine over a Unix domain socket with a JSON-lines protocol: each request
+is one JSON object on one line, each response one JSON object on one line.
+Operations:
+
+``{"op": "submit", "spec": {...}}``
+    Build a :class:`~repro.service.jobs.JobSpec` from ``spec``, run it to
+    completion, and return the serialised :class:`JobResult`.
+``{"op": "stats"}``
+    Return ``engine.snapshot_stats().to_dict()``.
+``{"op": "snapshot", "path": "..."}``
+    Write a warm-state snapshot (``path`` optional when the engine has a
+    configured ``snapshot_path``).
+``{"op": "ping"}``
+    Liveness check.
+
+The server is deliberately not a scalability play — it exists so the
+``repro serve`` / ``repro submit`` CLI pair can demonstrate a *persistent*
+engine whose partial distance graph keeps compounding across independent
+client invocations, which is the whole point of the service layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Optional
+
+from repro.service.engine import ProximityEngine
+from repro.service.jobs import JobSpec
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of a query result to JSON-encodable data.
+
+    Handles the shapes jobs actually return: dataclass results
+    (``ClusteringResult``/``MstResult``/...), tuples/lists of numbers, and
+    dicts keyed by pairs.  Anything else falls back to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    return repr(value)
+
+
+def result_to_dict(result) -> Dict[str, Any]:
+    """Serialise a :class:`~repro.service.jobs.JobResult` for the wire."""
+    return {
+        "status": result.status.value,
+        "value": jsonable(result.value),
+        "unresolved": [list(pair) for pair in result.unresolved],
+        "charged_calls": result.charged_calls,
+        "warm_resolutions": result.warm_resolutions,
+        "latency_seconds": result.latency_seconds,
+        "error": result.error,
+    }
+
+
+def spec_from_dict(payload: Dict[str, Any]) -> JobSpec:
+    """Build a :class:`JobSpec` from a request's ``spec`` object."""
+    return JobSpec(
+        kind=str(payload["kind"]),
+        params=dict(payload.get("params", {})),
+        priority=int(payload.get("priority", 0)),
+        oracle_budget=payload.get("oracle_budget"),
+        deadline=payload.get("deadline"),
+        label=str(payload.get("label", "")),
+    )
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # one connection, many request lines
+        server: "ProximityServer" = self.server.proximity_server  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                response = server.handle_request(json.loads(line.decode("utf-8")))
+            except Exception as exc:  # noqa: BLE001 - protocol errors answer, not crash
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+
+
+class _ThreadedUnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class ProximityServer:
+    """Serve an engine over a Unix domain socket until :meth:`close`."""
+
+    def __init__(self, engine: ProximityEngine, socket_path: str) -> None:
+        self.engine = engine
+        self.socket_path = str(socket_path)
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self._server = _ThreadedUnixServer(self.socket_path, _Handler)
+        self._server.proximity_server = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- request dispatch ----------------------------------------------------
+
+    def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return {"ok": True, "stats": self.engine.snapshot_stats().to_dict()}
+        if op == "snapshot":
+            path = self.engine.snapshot(request.get("path"))
+            return {"ok": True, "path": path}
+        if op == "submit":
+            spec = spec_from_dict(request.get("spec", {}))
+            job = self.engine.submit(spec)
+            result = job.result(request.get("timeout"))
+            return {"ok": True, "job_id": job.id, "result": result_to_dict(result)}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`close` (for CLI use)."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ProximityServer":
+        """Serve on a background thread (for tests and embedding)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    def __enter__(self) -> "ProximityServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def send_request(
+    socket_path: str,
+    request: Dict[str, Any],
+    timeout: Optional[float] = 30.0,
+) -> Dict[str, Any]:
+    """One round-trip against a running :class:`ProximityServer`."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as client:
+        client.settimeout(timeout)
+        client.connect(str(socket_path))
+        client.sendall((json.dumps(request) + "\n").encode("utf-8"))
+        buffer = b""
+        while not buffer.endswith(b"\n"):
+            chunk = client.recv(65536)
+            if not chunk:
+                break
+            buffer += chunk
+    if not buffer:
+        raise ConnectionError("server closed the connection without answering")
+    return json.loads(buffer.decode("utf-8"))

@@ -1,0 +1,132 @@
+"""Unit tests for the reader/writer lock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.locking import ReadWriteLock
+
+
+class TestBasics:
+    def test_read_then_release(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            assert lock.read_held
+        assert not lock.read_held
+
+    def test_write_then_release(self):
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            assert lock.write_held
+        assert not lock.write_held
+
+    def test_reads_are_reentrant(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            with lock.read_locked():
+                assert lock.read_held
+            assert lock.read_held
+
+    def test_writes_are_reentrant(self):
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            with lock.write_locked():
+                assert lock.write_held
+
+    def test_writer_may_read(self):
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            with lock.read_locked():
+                assert lock.write_held
+
+    def test_upgrade_rejected(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                lock.acquire_write()
+
+
+class TestExclusion:
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        observed = []
+        started = threading.Event()
+
+        def reader():
+            started.set()
+            with lock.read_locked():
+                observed.append("read")
+
+        lock.acquire_write()
+        t = threading.Thread(target=reader)
+        t.start()
+        started.wait(5)
+        time.sleep(0.05)
+        assert observed == []  # reader blocked behind the writer
+        lock.release_write()
+        t.join(timeout=5)
+        assert observed == ["read"]
+
+    def test_readers_exclude_writer(self):
+        lock = ReadWriteLock()
+        observed = []
+
+        def writer():
+            with lock.write_locked():
+                observed.append("write")
+
+        lock.acquire_read()
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)
+        assert observed == []
+        lock.release_read()
+        t.join(timeout=5)
+        assert observed == ["write"]
+
+    def test_concurrent_readers_overlap(self):
+        lock = ReadWriteLock()
+        inside = []
+        barrier = threading.Barrier(3, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                inside.append(1)
+                barrier.wait()  # all three must be inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(inside) == 3
+
+    def test_writer_preference(self):
+        # A waiting writer goes before readers that arrive after it.
+        lock = ReadWriteLock()
+        order = []
+        lock.acquire_read()
+
+        writer_waiting = threading.Event()
+
+        def writer():
+            writer_waiting.set()
+            with lock.write_locked():
+                order.append("write")
+
+        def late_reader():
+            with lock.read_locked():
+                order.append("read")
+
+        tw = threading.Thread(target=writer)
+        tw.start()
+        writer_waiting.wait(5)
+        time.sleep(0.05)  # let the writer reach its wait
+        tr = threading.Thread(target=late_reader)
+        tr.start()
+        time.sleep(0.05)
+        lock.release_read()
+        tw.join(timeout=5)
+        tr.join(timeout=5)
+        assert order[0] == "write"

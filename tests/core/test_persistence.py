@@ -5,7 +5,13 @@ import pytest
 
 from repro.core.oracle import DistanceOracle
 from repro.core.partial_graph import PartialDistanceGraph
-from repro.core.persistence import load_graph, resume_resolver, save_graph, seed_oracle_cache
+from repro.core.persistence import (
+    load_archive,
+    load_graph,
+    resume_resolver,
+    save_graph,
+    seed_oracle_cache,
+)
 from repro.core.resolver import SmartResolver
 from repro.spaces.matrix import MatrixSpace, random_metric_matrix
 
@@ -46,6 +52,101 @@ class TestRoundTrip:
         np.savez_compressed(path, **data)
         with pytest.raises(ValueError):
             load_graph(path)
+
+    def test_single_edge_graph(self, tmp_path):
+        g = PartialDistanceGraph(4)
+        g.add_edge(1, 3, 2.5)
+        path = tmp_path / "one.npz"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert list(loaded.edges()) == [(1, 3, 2.5)]
+        assert loaded.epoch == 1
+
+    def test_large_graph_round_trip(self, tmp_path):
+        # 10k edges — the dense end of what a warm service accumulates.
+        n = 150
+        g = PartialDistanceGraph(n)
+        count = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                g.add_edge(i, j, float(i + j) / n)
+                count += 1
+                if count >= 10_000:
+                    break
+            if count >= 10_000:
+                break
+        path = tmp_path / "big.npz"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.num_edges == 10_000
+        assert loaded.epoch == g.epoch
+        assert set(loaded.edges()) == set(g.edges())
+
+
+class TestArchiveV2:
+    def test_metadata_round_trip(self, populated_graph, tmp_path):
+        path = tmp_path / "meta.npz"
+        meta = {"fingerprint": "MatrixSpace:12:abc", "oracle": "DistanceOracle"}
+        save_graph(populated_graph, path, metadata=meta)
+        archive = load_archive(path)
+        assert archive.version == 2
+        assert archive.metadata == meta
+        assert archive.fingerprint == "MatrixSpace:12:abc"
+        assert archive.epoch == populated_graph.epoch
+
+    def test_no_metadata_default(self, populated_graph, tmp_path):
+        path = tmp_path / "bare.npz"
+        save_graph(populated_graph, path)
+        archive = load_archive(path)
+        assert archive.metadata == {}
+        assert archive.fingerprint is None
+
+    def test_epoch_counters_stored(self, populated_graph, tmp_path):
+        path = tmp_path / "epochs.npz"
+        save_graph(populated_graph, path)
+        with np.load(path) as data:
+            assert int(data["epoch"]) == populated_graph.epoch
+            stored = list(data["node_epochs"])
+        expected = [populated_graph.node_epoch(i) for i in range(populated_graph.n)]
+        assert stored == expected
+
+    def test_v1_archive_still_loads(self, populated_graph, tmp_path):
+        # Simulate a v1 writer: edge arrays only, no epochs, no metadata.
+        path = tmp_path / "v1.npz"
+        edges = list(populated_graph.edges())
+        np.savez_compressed(
+            path,
+            version=np.int64(1),
+            n=np.int64(populated_graph.n),
+            i=np.array([e[0] for e in edges], dtype=np.int64),
+            j=np.array([e[1] for e in edges], dtype=np.int64),
+            w=np.array([e[2] for e in edges], dtype=np.float64),
+        )
+        archive = load_archive(path)
+        assert archive.version == 1
+        assert archive.metadata == {}
+        assert set(archive.graph.edges()) == set(edges)
+
+    def test_corrupt_epoch_detected(self, populated_graph, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        save_graph(populated_graph, path)
+        data = dict(np.load(path))
+        data["epoch"] = np.int64(int(data["epoch"]) + 5)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="corrupt archive"):
+            load_archive(path)
+
+    def test_corrupt_node_epochs_detected(self, populated_graph, tmp_path):
+        path = tmp_path / "corrupt2.npz"
+        save_graph(populated_graph, path)
+        data = dict(np.load(path))
+        node_epochs = data["node_epochs"].copy()
+        node_epochs[0] += 1
+        node_epochs[1] -= 1  # keep the global sum consistent
+        data["node_epochs"] = node_epochs
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="corrupt archive"):
+            load_archive(path)
 
 
 class TestSeeding:

@@ -73,6 +73,28 @@ class TestPhases:
         assert sum(per_phase.values()) == oracle.calls
 
 
+class TestPhaseStack:
+    def test_push_pop(self, oracle):
+        oracle.push_phase("alpha")
+        oracle(0, 1)
+        oracle.push_phase("beta")
+        oracle(0, 2)
+        assert oracle.pop_phase() == "beta"
+        oracle(0, 3)
+        assert oracle.pop_phase() == "alpha"
+        assert oracle.current_phase == "default"
+        assert oracle.calls_per_phase() == {"alpha": 2, "beta": 1}
+
+    def test_pop_without_push_raises(self, oracle):
+        with pytest.raises(RuntimeError, match="without a matching push"):
+            oracle.pop_phase()
+
+    def test_reset_clears_phase_stack(self, oracle):
+        oracle.push_phase("stuck")
+        oracle.reset()
+        assert oracle.current_phase == "default"
+
+
 class TestCsvRoundTrip:
     def test_write_and_load(self, oracle, tmp_path):
         with oracle.phase("x"):
@@ -85,8 +107,44 @@ class TestCsvRoundTrip:
         assert events[0].phase == "x"
         assert events[1].sequence == 1
 
+    def test_round_trip_preserves_batch_ids(self, oracle, space, tmp_path):
+        with oracle.in_batch(7):
+            oracle.record(0, 1, space.distance(0, 1))
+            oracle.record(0, 2, space.distance(0, 2))
+        oracle(0, 3)  # inline — no batch id
+        path = tmp_path / "batched.csv"
+        oracle.write_csv(path)
+        events = load_trace(path)
+        assert [e.batch for e in events] == [7, 7, None]
+        assert events == oracle.events
+
     def test_reset_clears_events(self, oracle):
         oracle(0, 1)
         oracle.reset()
         assert oracle.events == []
         assert oracle.calls == 0
+
+
+class TestContextManager:
+    def test_flushes_csv_on_exit(self, space, tmp_path):
+        path = tmp_path / "auto.csv"
+        with TracingOracle(space.distance, space.n, csv_path=path) as oracle:
+            with oracle.phase("work"):
+                oracle(0, 1)
+                oracle(2, 3)
+        events = load_trace(path)
+        assert len(events) == 2
+        assert events[0].phase == "work"
+
+    def test_flushes_even_on_error(self, space, tmp_path):
+        path = tmp_path / "crash.csv"
+        with pytest.raises(RuntimeError, match="boom"):
+            with TracingOracle(space.distance, space.n, csv_path=path) as oracle:
+                oracle(0, 1)
+                raise RuntimeError("boom")
+        assert len(load_trace(path)) == 1  # the partial trace survived
+
+    def test_context_requires_csv_path(self, oracle):
+        with pytest.raises(ValueError, match="csv_path"):
+            with oracle:
+                pass

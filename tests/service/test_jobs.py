@@ -1,0 +1,93 @@
+"""Unit tests for the job model."""
+
+import pytest
+
+from repro.service.jobs import (
+    JOB_KINDS,
+    Job,
+    JobResult,
+    JobSpec,
+    JobStatus,
+    TERMINAL_STATUSES,
+)
+
+
+class TestJobSpec:
+    def test_valid_specs(self):
+        JobSpec(kind="knn", params={"query": 0, "k": 3})
+        JobSpec(kind="range", params={"query": 1, "radius": 0.5})
+        JobSpec(kind="nearest", params={"query": 2})
+        JobSpec(kind="medoid")
+        JobSpec(kind="knng")
+        JobSpec(kind="mst")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobSpec(kind="teleport")
+
+    @pytest.mark.parametrize("kind", sorted(JOB_KINDS))
+    def test_missing_required_params_rejected(self, kind):
+        required = JOB_KINDS[kind]
+        if not required:
+            pytest.skip("kind has no required params")
+        with pytest.raises(ValueError, match="requires parameter"):
+            JobSpec(kind=kind)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            JobSpec(kind="mst", oracle_budget=-1)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            JobSpec(kind="mst", deadline=0)
+
+    def test_zero_budget_allowed(self):
+        spec = JobSpec(kind="mst", oracle_budget=0)
+        assert spec.oracle_budget == 0
+
+
+class TestJobHandle:
+    def test_lifecycle(self):
+        job = Job(1, JobSpec(kind="mst"))
+        assert job.status is JobStatus.PENDING
+        assert not job.done()
+        assert job._mark_running()
+        assert job.status is JobStatus.RUNNING
+        job._finish(JobResult(status=JobStatus.COMPLETED, value=42))
+        assert job.done()
+        assert job.result(0.1).value == 42
+        assert job.status is JobStatus.COMPLETED
+
+    def test_cancel_before_run(self):
+        job = Job(1, JobSpec(kind="mst"))
+        assert job.cancel()
+        assert job.cancel_requested
+        assert not job._mark_running()
+
+    def test_cancel_after_done_returns_false(self):
+        job = Job(1, JobSpec(kind="mst"))
+        job._finish(JobResult(status=JobStatus.COMPLETED))
+        assert not job.cancel()
+
+    def test_result_timeout(self):
+        job = Job(1, JobSpec(kind="mst"))
+        with pytest.raises(TimeoutError):
+            job.result(timeout=0.01)
+
+    def test_deadline_expiry(self):
+        job = Job(1, JobSpec(kind="mst", deadline=100.0))
+        assert not job.expired()
+        assert job.expired(now=job.deadline_at + 1)
+
+    def test_no_deadline_never_expires(self):
+        job = Job(1, JobSpec(kind="mst"))
+        assert not job.expired(now=1e12)
+
+    def test_terminal_statuses(self):
+        assert JobStatus.PENDING not in TERMINAL_STATUSES
+        assert JobStatus.RUNNING not in TERMINAL_STATUSES
+        assert JobStatus.PARTIAL in TERMINAL_STATUSES
+
+    def test_result_ok_only_when_completed(self):
+        assert JobResult(status=JobStatus.COMPLETED).ok
+        assert not JobResult(status=JobStatus.PARTIAL).ok

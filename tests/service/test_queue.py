@@ -1,0 +1,119 @@
+"""Unit tests for the priority job queue."""
+
+import threading
+
+import pytest
+
+from repro.service.jobs import Job, JobSpec
+from repro.service.queue import JobQueue
+
+
+def _job(job_id, priority=0):
+    return Job(job_id, JobSpec(kind="mst", priority=priority))
+
+
+def _never_skip(job):
+    return False
+
+
+class TestOrdering:
+    def test_priority_order(self):
+        q = JobQueue()
+        q.push(_job(1, priority=0))
+        q.push(_job(2, priority=5))
+        q.push(_job(3, priority=1))
+        assert [q.pop(_never_skip).id for _ in range(3)] == [2, 3, 1]
+
+    def test_fifo_within_priority(self):
+        q = JobQueue()
+        for i in range(1, 5):
+            q.push(_job(i, priority=7))
+        assert [q.pop(_never_skip).id for _ in range(4)] == [1, 2, 3, 4]
+
+
+class TestSkip:
+    def test_skip_drops_and_continues(self):
+        q = JobQueue()
+        q.push(_job(1, priority=2))
+        q.push(_job(2, priority=1))
+        skipped = []
+
+        def skip(job):
+            if job.id == 1:
+                skipped.append(job.id)
+                return True
+            return False
+
+        assert q.pop(skip).id == 2
+        assert skipped == [1]
+        assert len(q) == 0
+
+
+class TestClose:
+    def test_push_after_close_raises(self):
+        q = JobQueue()
+        q.close()
+        with pytest.raises(RuntimeError):
+            q.push(_job(1))
+
+    def test_close_returns_drained_jobs(self):
+        q = JobQueue()
+        q.push(_job(1))
+        q.push(_job(2))
+        drained = q.close()
+        assert sorted(j.id for j in drained) == [1, 2]
+        assert len(q) == 0
+
+    def test_pop_returns_none_after_close(self):
+        q = JobQueue()
+        q.close()
+        assert q.pop(_never_skip) is None
+
+    def test_close_wakes_blocked_popper(self):
+        q = JobQueue()
+        result = []
+
+        def popper():
+            result.append(q.pop(_never_skip))
+
+        t = threading.Thread(target=popper)
+        t.start()
+        q.close()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert result == [None]
+
+
+class TestConcurrency:
+    def test_many_producers_and_consumers(self):
+        q = JobQueue()
+        total = 60
+        seen = []
+        lock = threading.Lock()
+
+        def consumer():
+            while True:
+                job = q.pop(_never_skip)
+                if job is None:
+                    return
+                with lock:
+                    seen.append(job.id)
+
+        consumers = [threading.Thread(target=consumer) for _ in range(4)]
+        for t in consumers:
+            t.start()
+        for i in range(total):
+            q.push(_job(i))
+        # Drain, then close so consumers exit.
+        import time
+
+        deadline = time.monotonic() + 10
+        while len(q) and time.monotonic() < deadline:
+            time.sleep(0.001)
+        q.close()
+        for t in consumers:
+            t.join(timeout=5)
+        # close() may race the last pops; every job is seen exactly once or
+        # was drained by close.
+        assert len(seen) == len(set(seen))
+        assert len(seen) <= total

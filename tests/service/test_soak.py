@@ -1,0 +1,125 @@
+"""Concurrency soak test: interleaved jobs must equal serial cold runs.
+
+The engine's whole claim is that sharing one partial distance graph across
+concurrent queries saves oracle calls *without changing a single answer*.
+This test hammers one engine from several submitting threads with a mixed
+kNN/range workload and checks every result byte-for-byte against a fresh
+serial resolver run per query — the strongest form of the exactness
+invariant under interleaving.
+"""
+
+import threading
+
+import pytest
+
+from repro.algorithms import k_nearest, range_query
+from repro.bounds import TriScheme
+from repro.core.resolver import SmartResolver
+from repro.service import ProximityEngine
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+@pytest.fixture
+def space(rng):
+    return MatrixSpace(random_metric_matrix(40, rng))
+
+
+def _serial_answer(space, kind, params):
+    """Run one query on a fresh, cold resolver — the reference output."""
+    oracle = space.oracle()
+    resolver = SmartResolver(oracle)
+    resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+    if kind == "knn":
+        return k_nearest(resolver, params["query"], params["k"])
+    assert kind == "range"
+    return range_query(resolver, params["query"], params["radius"])
+
+
+def _workload(n, threads, per_thread):
+    """Deterministic mixed workload, distinct per (thread, slot)."""
+    jobs = []
+    for t in range(threads):
+        for s in range(per_thread):
+            q = (t * per_thread + s * 7) % n
+            if (t + s) % 2 == 0:
+                jobs.append(("knn", {"query": q, "k": 3 + (s % 4)}))
+            else:
+                jobs.append(("range", {"query": q, "radius": 0.4 + 0.1 * (s % 3)}))
+    return jobs
+
+
+@pytest.mark.parametrize("job_workers", [1, 4])
+def test_interleaved_results_identical_to_serial(space, job_workers):
+    threads = 4
+    per_thread = 6
+    workload = _workload(space.n, threads, per_thread)
+
+    engine = ProximityEngine.for_space(
+        space, provider="tri", job_workers=job_workers
+    )
+    results = {}
+    errors = []
+    lock = threading.Lock()
+
+    def submitter(thread_idx):
+        try:
+            chunk = workload[
+                thread_idx * per_thread : (thread_idx + 1) * per_thread
+            ]
+            handles = [
+                engine.submit_job(kind, **params) for kind, params in chunk
+            ]
+            for (kind, params), handle in zip(chunk, handles):
+                outcome = handle.result(120)
+                with lock:
+                    results[(thread_idx, kind, tuple(sorted(params.items())))] = (
+                        outcome
+                    )
+        except Exception as exc:  # pragma: no cover - failure reporting
+            with lock:
+                errors.append(exc)
+
+    try:
+        submitters = [
+            threading.Thread(target=submitter, args=(t,)) for t in range(threads)
+        ]
+        for t in submitters:
+            t.start()
+        for t in submitters:
+            t.join(timeout=180)
+        assert not errors, errors
+        assert len(results) == threads * per_thread
+
+        # Every interleaved answer equals a cold serial run of that query.
+        for (thread_idx, kind, param_items), outcome in results.items():
+            assert outcome.ok, (kind, param_items, outcome.error)
+            expected = _serial_answer(space, kind, dict(param_items))
+            assert outcome.value == expected, (kind, param_items)
+
+        # And the sharing actually happened: the engine resolved each pair
+        # at most once, so its total charge is below the sum of cold runs.
+        stats = engine.snapshot_stats()
+        assert stats.oracle_calls == engine.graph.num_edges
+        assert stats.jobs_completed == threads * per_thread
+    finally:
+        engine.close(snapshot=False)
+
+
+def test_soak_with_threaded_oracle_executor(space):
+    """Same invariant with the batched executor path switched on."""
+    workload = _workload(space.n, 2, 4)
+    engine = ProximityEngine.for_space(
+        space,
+        provider="tri",
+        job_workers=2,
+        executor="threaded",
+        oracle_workers=4,
+    )
+    try:
+        handles = [engine.submit_job(kind, **params) for kind, params in workload]
+        for (kind, params), handle in zip(workload, handles):
+            outcome = handle.result(120)
+            assert outcome.ok
+            assert outcome.value == _serial_answer(space, kind, params)
+    finally:
+        engine.close(snapshot=False)

@@ -29,6 +29,116 @@ class TestParser:
             build_parser().parse_args([])
 
 
+class TestValidation:
+    def test_zero_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workers", "0"])
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workers", "-3"])
+
+    def test_non_integer_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workers", "two"])
+        assert "integer" in capsys.readouterr().err
+
+    def test_valid_workers_accepted(self):
+        args = build_parser().parse_args(["run", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_oracle_cache_missing_parent_rejected(self, capsys, tmp_path):
+        bad = tmp_path / "no" / "such" / "dir" / "cache.sqlite"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--oracle-cache", str(bad)])
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert ":memory:" in err  # the friendly message suggests the fix
+
+    def test_oracle_cache_memory_accepted(self):
+        args = build_parser().parse_args(["run", "--oracle-cache", ":memory:"])
+        assert args.oracle_cache == ":memory:"
+
+    def test_oracle_cache_existing_parent_accepted(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        args = build_parser().parse_args(["run", "--oracle-cache", str(path)])
+        assert args.oracle_cache == str(path)
+
+    def test_serve_validates_job_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--socket", "/tmp/s.sock", "--job-workers", "0"]
+            )
+
+
+class TestServeSubmitParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--socket", "/tmp/x.sock"])
+        assert args.provider == "tri"
+        assert args.job_workers == 2
+        assert args.snapshot_path is None
+
+    def test_serve_requires_socket(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_submit_params_parsed_and_typed(self):
+        args = build_parser().parse_args([
+            "submit", "--socket", "/tmp/x.sock", "--kind", "range",
+            "--param", "query=3", "--param", "radius=0.5",
+            "--param", "label=abc",
+        ])
+        assert dict(args.param) == {"query": 3, "radius": 0.5, "label": "abc"}
+
+    def test_submit_bad_param_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "submit", "--socket", "/tmp/x.sock", "--kind", "mst",
+                "--param", "nonsense",
+            ])
+        assert "key=value" in capsys.readouterr().err
+
+    def test_submit_without_kind_or_stats_errors(self, capsys):
+        code = main(["submit", "--socket", "/tmp/definitely-missing.sock"])
+        assert code == 2
+        assert "--kind or --stats" in capsys.readouterr().err
+
+
+class TestServeSubmitEndToEnd:
+    def test_serve_then_submit(self, tmp_path):
+        import threading
+
+        sock = str(tmp_path / "engine.sock")
+        snap = str(tmp_path / "warm.npz")
+        serve = threading.Thread(
+            target=main,
+            args=([
+                "serve", "--dataset", "sf-euclid", "--n", "30",
+                "--socket", sock, "--serve-seconds", "3",
+                "--snapshot-path", snap,
+            ],),
+        )
+        serve.start()
+        try:
+            import os
+            import time
+
+            deadline = time.monotonic() + 5
+            while not os.path.exists(sock) and time.monotonic() < deadline:
+                time.sleep(0.05)
+            code = main([
+                "submit", "--socket", sock, "--kind", "knn",
+                "--param", "query=3", "--param", "k=4",
+            ])
+            assert code == 0
+            code = main(["submit", "--socket", sock, "--stats"])
+            assert code == 0
+        finally:
+            serve.join(timeout=30)
+        assert os.path.exists(snap)  # shutdown snapshot landed
+
+
 class TestRunCommand:
     def test_prim_table_printed(self, capsys):
         code = main([
