@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Dead-link check for the repo's markdown documentation.
+
+Scans ``[text](target)`` links in README.md, EXPERIMENTS.md, and docs/*.md
+and fails when a *relative* target does not exist on disk.  External
+(``http``/``https``/``mailto``) links and pure in-page anchors are skipped —
+the check needs no network and stays deterministic in CI.
+
+Usage: ``python scripts/check_doc_links.py [file-or-dir ...]``
+(defaults to the standard doc set when called with no arguments).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — deliberately simple; nested brackets in link text
+#: are not used anywhere in this repo's docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+DEFAULT_TARGETS = ("README.md", "EXPERIMENTS.md", "ROADMAP.md", "docs")
+
+
+def iter_markdown_files(targets):
+    """Yield every markdown file named by ``targets`` (dirs recurse)."""
+    for target in targets:
+        path = REPO_ROOT / target
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.exists():
+            yield path
+
+
+def check_file(path: Path):
+    """Return a list of ``(line_number, target)`` dead links in ``path``."""
+    dead = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            bare = target.split("#", 1)[0]
+            if not bare:
+                continue
+            resolved = (path.parent / bare).resolve()
+            if not resolved.exists():
+                dead.append((lineno, target))
+    return dead
+
+
+def main(argv):
+    targets = argv or list(DEFAULT_TARGETS)
+    failures = 0
+    checked = 0
+    for path in iter_markdown_files(targets):
+        checked += 1
+        for lineno, target in check_file(path):
+            rel = path.relative_to(REPO_ROOT)
+            print(f"{rel}:{lineno}: dead link -> {target}", file=sys.stderr)
+            failures += 1
+    if checked == 0:
+        print("check_doc_links: no markdown files found", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"check_doc_links: {failures} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"check_doc_links: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -65,6 +65,12 @@ from repro.exec import (
     open_cache,
 )
 from repro.index import BkTree, Gnat, MTree, VpTree
+from repro.obs import (
+    CollectingSink,
+    MetricsRegistry,
+    MetricsSink,
+    SpanTracer,
+)
 from repro.algorithms import (
     clarans,
     dbscan,
@@ -97,8 +103,12 @@ __all__ = [
     "SqliteCacheBackend",
     "ThreadedExecutor",
     "Bounds",
+    "CollectingSink",
     "DirectFeasibilityTest",
     "DistanceOracle",
+    "MetricsRegistry",
+    "MetricsSink",
+    "SpanTracer",
     "EditDistanceSpace",
     "HammingSpace",
     "HausdorffSpace",

@@ -313,6 +313,32 @@ def _cmd_submit(args) -> int:
     return 0 if response.get("ok") else 1
 
 
+def _cmd_stats(args) -> int:
+    """Inspect a running engine: readable stats or a raw metrics snapshot."""
+    from repro.service.server import send_request
+
+    if args.snapshot:
+        response = send_request(args.socket, {"op": "metrics"}, timeout=args.timeout)
+        if not response.get("ok"):
+            print(json.dumps(response, indent=2, sort_keys=True), file=sys.stderr)
+            return 1
+        print(response["metrics"], end="")
+        return 0
+    response = send_request(args.socket, {"op": "stats"}, timeout=args.timeout)
+    if not response.get("ok"):
+        print(json.dumps(response, indent=2, sort_keys=True), file=sys.stderr)
+        return 1
+    stats = response["stats"]
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    resolver = stats.pop("resolver", {})
+    rows = [[key, stats[key]] for key in sorted(stats)]
+    rows += [[f"resolver.{key}", resolver[key]] for key in sorted(resolver)]
+    print_table(["stat", "value"], rows, title=f"engine stats ({args.socket})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -434,6 +460,20 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--stats", action="store_true",
                           help="fetch engine stats instead of submitting")
     submit_p.set_defaults(func=_cmd_submit)
+
+    stats_p = sub.add_parser(
+        "stats", help="inspect a running 'repro serve' engine's counters"
+    )
+    stats_p.add_argument("--socket", required=True,
+                         help="unix socket of the running engine")
+    stats_p.add_argument("--snapshot", action="store_true",
+                         help="print the raw metrics registry in Prometheus "
+                         "text format instead of the readable stats table")
+    stats_p.add_argument("--json", action="store_true",
+                         help="print the stats snapshot as JSON")
+    stats_p.add_argument("--timeout", type=float, default=30.0,
+                         help="client-side socket timeout")
+    stats_p.set_defaults(func=_cmd_stats)
     return parser
 
 

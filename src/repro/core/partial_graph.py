@@ -62,6 +62,10 @@ class PartialDistanceGraph:
         # (so callbacks observe the bumped epochs).  The service engine hooks
         # periodic snapshots here.
         self._edge_listeners: List[Callable[[int, int, float], None]] = []
+        # Cheap always-on tallies for the observability layer; exposed as
+        # registry metrics by instrument().
+        self.node_mirror_rebuilds = 0
+        self.edge_mirror_rebuilds = 0
 
     # -- introspection ------------------------------------------------------
 
@@ -165,6 +169,38 @@ class PartialDistanceGraph:
         """
         self._edge_listeners.append(listener)
 
+    def instrument(self, registry) -> None:
+        """Expose this graph's tallies on a ``repro.obs`` metrics registry.
+
+        All metrics are callback-backed (the graph itself stays the single
+        writer): edge/epoch gauges plus counters for edge inserts and the
+        lazy NumPy mirror rebuilds — the number the vectorized bound
+        kernels amortise away.
+        """
+        registry.gauge(
+            "repro_graph_nodes", "Objects in the universe.", fn=lambda: self._n
+        )
+        registry.gauge(
+            "repro_graph_edges",
+            "Known distances stored in the partial graph.",
+            fn=lambda: len(self._weights),
+        )
+        registry.counter(
+            "repro_graph_epoch",
+            "Global edge-insert epoch (bumps once per new edge).",
+            fn=lambda: len(self._weights),
+        )
+        registry.counter(
+            "repro_graph_node_mirror_rebuilds_total",
+            "Per-node NumPy adjacency mirrors rebuilt after an epoch bump.",
+            fn=lambda: self.node_mirror_rebuilds,
+        )
+        registry.counter(
+            "repro_graph_edge_mirror_rebuilds_total",
+            "Whole-graph NumPy edge mirrors rebuilt after an epoch bump.",
+            fn=lambda: self.edge_mirror_rebuilds,
+        )
+
     def unsubscribe_edges(self, listener: Callable[[int, int, float], None]) -> None:
         """Remove a previously registered edge listener."""
         self._edge_listeners.remove(listener)
@@ -209,6 +245,7 @@ class PartialDistanceGraph:
         epoch = len(self._adjacency[i])
         mirror = self._node_mirror[i]
         if mirror is None or mirror[0] != epoch:
+            self.node_mirror_rebuilds += 1
             ids = np.fromiter(self._adjacency[i], dtype=np.int64, count=epoch)
             weights = np.fromiter(self._adj_weights[i], dtype=np.float64, count=epoch)
             mirror = (epoch, ids, weights)
@@ -224,6 +261,7 @@ class PartialDistanceGraph:
         m = len(self._weights)
         mirror = self._edge_mirror
         if mirror is None or mirror[0] != m:
+            self.edge_mirror_rebuilds += 1
             i_ids = np.empty(m, dtype=np.int64)
             j_ids = np.empty(m, dtype=np.int64)
             weights = np.empty(m, dtype=np.float64)

@@ -41,7 +41,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, fields
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.bounds import BoundProvider, Bounds, TrivialBounder
 from repro.core.oracle import DistanceOracle, canonical_pair
@@ -130,6 +130,12 @@ class SmartResolver:
         Keep the epoch-keyed per-pair bound memo (default).  ``False``
         recomputes every bound query from scratch — decisions, resolutions,
         and outputs are identical either way; only CPU time moves.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  The hot
+        path keeps mutating :attr:`stats` exactly as before (resolved-edge
+        sequences are byte-identical with or without a registry); deltas
+        are folded into the registry at :meth:`collect_stats`, and bound
+        interval widths are observed into a ``repro_bound_gap`` histogram.
     """
 
     def __init__(
@@ -139,6 +145,7 @@ class SmartResolver:
         graph: Optional[PartialDistanceGraph] = None,
         batcher: Optional["BatchOracle"] = None,
         bound_cache: bool = True,
+        registry: Optional[Any] = None,
     ) -> None:
         if graph is None:
             graph = getattr(bounder, "graph", None)
@@ -156,6 +163,25 @@ class SmartResolver:
         self.bound_cache = bound_cache
         self._bound_memo: Dict[Pair, _MemoEntry] = {}
         self.stats = ResolverStats()
+        self.registry = registry
+        self._published_stats: Optional[ResolverStats] = None
+        self._gap_hist = None
+        if registry is not None:
+            # Imported lazily so repro.core stays importable on its own.
+            from repro.obs.bridge import RESOLVER_METRICS
+            from repro.obs.registry import BOUND_GAP_BUCKETS
+
+            self._gap_hist = registry.histogram(
+                "repro_bound_gap",
+                BOUND_GAP_BUCKETS,
+                help_text="Width (ub - lb) of provider bound intervals when computed.",
+            )
+            # Pre-declare every resolver counter family so zero-activity
+            # metrics still appear in snapshots (absent != zero to a scraper).
+            for _field, metric, labels, help_text in RESOLVER_METRICS:
+                family = registry.counter(metric, help_text, labelnames=tuple(labels))
+                if labels:
+                    family.labels(**labels)
 
     @property
     def bounder(self) -> BoundProvider:
@@ -343,6 +369,8 @@ class SmartResolver:
             if len(todo_keys) > 1 and getattr(self._bounder, "vectorized_bounds", False):
                 self.stats.vectorized_batches += 1
             for key, b in zip(todo_keys, computed):
+                if self._gap_hist is not None:
+                    self._gap_hist.observe(b.upper - b.lower)
                 if self.bound_cache:
                     self._bound_memo[key] = (
                         b,
@@ -361,6 +389,8 @@ class SmartResolver:
         start = time.perf_counter()
         b = self._bounder.bounds(*key)
         self.stats.bound_time_s += time.perf_counter() - start
+        if self._gap_hist is not None:
+            self._gap_hist.observe(b.upper - b.lower)
         if self.bound_cache:
             self._bound_memo[key] = (b, epoch_lo, epoch_hi)
         return b
@@ -700,7 +730,15 @@ class SmartResolver:
 
         Pulls ``dijkstra_runs`` from the active provider (SPLUB keeps it;
         :class:`~repro.core.bounds.IntersectionBounder` sums its members)
-        so harness records and CLI tables see one coherent view.
+        so harness records and CLI tables see one coherent view.  When a
+        registry is attached, the delta since the last collection is folded
+        into its counters (publishing is idempotent across repeat calls).
         """
         self.stats.dijkstra_runs = int(getattr(self._bounder, "dijkstra_runs", 0))
+        if self.registry is not None:
+            from repro.obs.bridge import publish_resolver_stats
+
+            self._published_stats = publish_resolver_stats(
+                self.registry, self.stats, self._published_stats
+            )
         return self.stats

@@ -66,6 +66,24 @@ class BatchOracle:
         if cache is not None:
             oracle.subscribe(self._write_through)
 
+    def instrument(self, registry) -> None:
+        """Expose cache accounting on a ``repro.obs`` metrics registry.
+
+        Callback-backed (this oracle stays the single writer), and also
+        instruments the underlying executor.
+        """
+        registry.counter(
+            "repro_exec_cache_hits_total",
+            "Pairs answered from the persistent cache backend.",
+            fn=lambda: self._cache_hits,
+        )
+        registry.counter(
+            "repro_exec_preloaded_total",
+            "Pairs seeded from the persistent cache at preload.",
+            fn=lambda: self._preloaded,
+        )
+        self.executor.instrument(registry)
+
     # -- persistent cache ---------------------------------------------------
 
     @property

@@ -129,6 +129,60 @@ class BaseExecutor:
         self.retry = retry or RetryPolicy()
         self.timeout = timeout
         self.stats = ExecutorStats()
+        self._batch_size_hist = None
+
+    def instrument(self, registry) -> None:
+        """Expose executor accounting on a ``repro.obs`` metrics registry.
+
+        ``ExecutorStats`` remains the single writer; every counter and
+        gauge is callback-backed so the registry and ``self.stats`` can
+        never disagree, whichever moment either is read.  Batch sizes are
+        additionally observed into a histogram at dispatch time.
+        """
+        stats = self.stats
+        registry.counter(
+            "repro_exec_batches_total", "Executor batches dispatched.",
+            fn=lambda: stats.batches,
+        )
+        registry.counter(
+            "repro_exec_submitted_total", "Pair evaluations submitted to executors.",
+            fn=lambda: stats.submitted,
+        )
+        registry.counter(
+            "repro_exec_resolved_total", "Pair evaluations completed by executors.",
+            fn=lambda: stats.resolved,
+        )
+        registry.counter(
+            "repro_exec_retries_total", "Evaluations retried after a failure.",
+            fn=lambda: stats.retries,
+        )
+        registry.counter(
+            "repro_exec_timeouts_total", "Evaluations that hit the per-call timeout.",
+            fn=lambda: stats.timeouts,
+        )
+        registry.counter(
+            "repro_exec_failures_total", "Evaluations that exhausted every retry.",
+            fn=lambda: stats.failures,
+        )
+        registry.counter(
+            "repro_exec_seconds_total", "Wall-clock seconds spent inside batches.",
+            fn=lambda: stats.real_seconds,
+        )
+        registry.gauge(
+            "repro_exec_max_in_flight", "Peak concurrently in-flight evaluations.",
+            fn=lambda: stats.max_in_flight,
+        )
+        registry.gauge(
+            "repro_exec_largest_batch", "Largest batch dispatched so far.",
+            fn=lambda: stats.largest_batch,
+        )
+        from repro.obs.registry import BATCH_SIZE_BUCKETS
+
+        self._batch_size_hist = registry.histogram(
+            "repro_exec_batch_size",
+            BATCH_SIZE_BUCKETS,
+            help_text="Distribution of executor batch sizes.",
+        )
 
     def run(self, fn: DistanceFn, pairs: Iterable[Pair]) -> Tuple[Dict[Pair, float], BatchReport]:
         """Evaluate ``fn`` on every pair, returning values plus a report."""
@@ -157,6 +211,8 @@ class BaseExecutor:
         self.stats.batches += 1
         self.stats.submitted += len(pairs)
         self.stats.largest_batch = max(self.stats.largest_batch, len(pairs))
+        if self._batch_size_hist is not None and pairs:
+            self._batch_size_hist.observe(len(pairs))
         return time.perf_counter()
 
     def _finish_batch(

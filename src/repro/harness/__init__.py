@@ -32,6 +32,7 @@ from repro.harness.stats import (
     summarize_resolver_stats,
 )
 from repro.harness.tracing import CallEvent, TracingOracle, load_trace
+from repro.obs.sinks import CollectingSink, JsonlSink, MetricsSink
 from repro.harness.workloads import (
     batched_queries,
     focused_queries,
@@ -62,6 +63,9 @@ __all__ = [
     "render_table",
     "run_experiment",
     "CallEvent",
+    "CollectingSink",
+    "JsonlSink",
+    "MetricsSink",
     "Summary",
     "TracingOracle",
     "load_trace",

@@ -28,6 +28,7 @@ from repro.core.resolver import ResolverStats, SmartResolver
 from repro.exec import BatchOracle, ExecutorStats, make_executor, open_cache
 from repro.exec.executor import DEFAULT_WORKERS
 from repro.harness.providers import LANDMARK_PROVIDERS, attach_provider
+from repro.obs import MetricsRegistry, MetricsSink, oracle_call_counter
 from repro.spaces.base import MetricSpace
 
 #: Host algorithms runnable by name.
@@ -74,6 +75,9 @@ class ExperimentRecord:
     #: Resolver-side accounting (bound-engine counters included), collected
     #: after the algorithm phase via :meth:`SmartResolver.collect_stats`.
     resolver_stats: Optional[ResolverStats] = field(repr=False, default=None)
+    #: Flat metrics-registry snapshot (``{sample_name: value}``), present
+    #: when the run was observed through a registry or MetricsSink.
+    metrics: Optional[Dict[str, float]] = field(repr=False, default=None)
 
     @property
     def bound_time_s(self) -> float:
@@ -139,6 +143,8 @@ def run_experiment(
     executor: Optional[str] = None,
     workers: int = DEFAULT_WORKERS,
     oracle_cache: Optional[str] = None,
+    registry: Optional[MetricsRegistry] = None,
+    metrics_sink: Optional[MetricsSink] = None,
 ) -> ExperimentRecord:
     """Run one measurement.
 
@@ -170,10 +176,21 @@ def run_experiment(
     oracle_cache:
         Path to a persistent distance cache (``":memory:"`` or a SQLite
         file); implies the pipeline even when ``executor`` is None.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` to observe the
+        run through.  The oracle, resolver, graph, and (when batching) the
+        executor publish into it; its snapshot lands on
+        ``ExperimentRecord.metrics``.  Outputs are identical either way.
+    metrics_sink:
+        Optional :class:`~repro.obs.sinks.MetricsSink`; ``export`` is called
+        once with the final snapshot.  A private registry is created when a
+        sink is given without a registry.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}")
     oracle = space.oracle(cost_per_call=oracle_cost)
+    if registry is None and metrics_sink is not None:
+        registry = MetricsRegistry()
     batcher = None
     if executor is not None or oracle_cache is not None:
         batcher = BatchOracle(
@@ -182,7 +199,12 @@ def run_experiment(
             cache=open_cache(oracle_cache),
         )
         batcher.preload()
-    resolver = SmartResolver(oracle, batcher=batcher)
+    resolver = SmartResolver(oracle, batcher=batcher, registry=registry)
+    if registry is not None:
+        oracle_call_counter(registry, oracle)
+        resolver.graph.instrument(registry)
+        if batcher is not None:
+            batcher.instrument(registry)
     try:
         max_distance = space.diameter_bound()
         _, bootstrap_calls = attach_provider(
@@ -202,6 +224,13 @@ def run_experiment(
         if batcher is not None:
             batcher.close()
 
+    resolver_stats = resolver.collect_stats()
+    metrics_snapshot: Optional[Dict[str, float]] = None
+    if registry is not None:
+        metrics_snapshot = registry.snapshot()
+        if metrics_sink is not None:
+            metrics_sink.export(metrics_snapshot)
+
     n = oracle.n
     return ExperimentRecord(
         algorithm=algorithm,
@@ -220,5 +249,6 @@ def run_experiment(
         simulated_oracle_seconds=oracle.simulated_seconds,
         persistent_cache_hits=batcher.cache_hits if batcher is not None else 0,
         executor_stats=batcher.executor.stats.copy() if batcher is not None else None,
-        resolver_stats=resolver.collect_stats(),
+        resolver_stats=resolver_stats,
+        metrics=metrics_snapshot,
     )

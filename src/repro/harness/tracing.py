@@ -8,16 +8,24 @@ aggregate counters cannot: how calls cluster over an algorithm's lifetime,
 how the bootstrap/algorithm phases split, and how quickly the call rate
 decays as the shared graph warms up — the paper's compounding effect, per
 run.
+
+Phase labelling is delegated to a thread-local
+:class:`~repro.obs.spans.SpanTracer`, so concurrent engine workers nest
+spans independently instead of interleaving on one shared stack.  The old
+``push_phase``/``pop_phase`` stack survives as a deprecated shim.
 """
 
 from __future__ import annotations
 
 import csv
+import os
 import time
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.oracle import DistanceOracle, Pair
+from repro.obs.spans import SpanTracer
 
 
 @dataclass(frozen=True)
@@ -46,16 +54,17 @@ class TracingOracle(DistanceOracle):
         with oracle.phase("prim"):
             prim_mst(resolver)
 
-    Phases nest: :meth:`push_phase`/:meth:`pop_phase` maintain a label
-    stack (the service engine pushes one label per job), and :meth:`phase`
-    is the context-manager view of the same stack.  With concurrent
-    pushers the stack is engine-global, so interleaved jobs can mislabel
-    each other's calls — phase labels are attribution hints, not an audit
-    trail, under multi-worker engines.
+    Phases nest, and the stack behind them is **thread-local** (a
+    :class:`~repro.obs.spans.SpanTracer`): each engine worker's spans nest
+    independently, so calls committed by concurrent jobs are attributed to
+    the committing thread's own phase instead of whatever another worker
+    pushed last.  :meth:`push_phase`/:meth:`pop_phase` remain as deprecated
+    shims over the tracer.
 
     The oracle is itself a context manager when constructed with
     ``csv_path``: the trace flushes to that file on exit, even when the
-    traced run raises::
+    traced run raises; nested re-entry flushes once, at the outermost
+    exit::
 
         with TracingOracle(space.distance, space.n, csv_path="trace.csv") as oracle:
             run_experiment(oracle)
@@ -68,16 +77,18 @@ class TracingOracle(DistanceOracle):
         cost_per_call: float = 0.0,
         budget=None,
         csv_path=None,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         super().__init__(distance_fn, n, cost_per_call=cost_per_call, budget=budget)
         self.events: List[CallEvent] = []
         self.csv_path = csv_path
-        self._phases: List[str] = ["default"]
+        self.tracer = tracer if tracer is not None else SpanTracer(root="default")
+        self._cm_depth = 0
         self._start = time.perf_counter()
 
     @property
     def _phase(self) -> str:
-        return self._phases[-1]
+        return self.tracer.current
 
     def _on_charged(self, key: Pair, value: float) -> None:
         # One hook covers both resolution paths: inline __call__ and the
@@ -101,17 +112,31 @@ class TracingOracle(DistanceOracle):
         return _PhaseContext(self, label)
 
     def push_phase(self, label: str) -> None:
-        """Start labelling subsequent calls with ``label`` (stackable)."""
-        self._phases.append(str(label))
+        """Deprecated: use ``phase(label)`` / ``tracer.span(label)`` instead."""
+        warnings.warn(
+            "TracingOracle.push_phase is deprecated; use oracle.phase(label) "
+            "or oracle.tracer.span(label)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.tracer.push(label)
 
     def pop_phase(self) -> str:
-        """End the innermost pushed phase, restoring the previous label."""
-        if len(self._phases) == 1:
-            raise RuntimeError("pop_phase without a matching push_phase")
-        return self._phases.pop()
+        """Deprecated: use ``phase(label)`` / ``tracer.span(label)`` instead."""
+        warnings.warn(
+            "TracingOracle.pop_phase is deprecated; use oracle.phase(label) "
+            "or oracle.tracer.span(label)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        try:
+            return self.tracer.pop()
+        except RuntimeError:
+            raise RuntimeError("pop_phase without a matching push_phase") from None
 
     @property
     def current_phase(self) -> str:
+        """The calling thread's innermost active phase label."""
         return self._phase
 
     # -- analysis -------------------------------------------------------------
@@ -134,8 +159,16 @@ class TracingOracle(DistanceOracle):
         return (midpoint, len(self.events) - midpoint)
 
     def write_csv(self, path) -> None:
-        """Dump the trace as CSV (sequence, i, j, distance, t, phase, batch)."""
-        with open(path, "w", newline="") as handle:
+        """Dump the trace as CSV (sequence, i, j, distance, t, phase, batch).
+
+        The file is replaced atomically (temp file + rename), so repeated
+        flushes are idempotent: exactly one header, never a torn or
+        double-written file — even when flushed from ``__exit__`` more
+        than once over the oracle's lifetime.
+        """
+        path = os.fspath(path)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(
                 ["sequence", "i", "j", "distance", "elapsed_seconds", "phase", "batch"]
@@ -152,11 +185,19 @@ class TracingOracle(DistanceOracle):
                         "" if e.batch is None else e.batch,
                     ]
                 )
+        os.replace(tmp_path, path)
+
+    def flush(self) -> None:
+        """Write the trace to ``csv_path`` now (idempotent)."""
+        if self.csv_path is None:
+            raise ValueError("TracingOracle.flush needs csv_path")
+        self.write_csv(self.csv_path)
 
     def reset(self) -> None:
+        """Clear events and phase state in addition to the oracle cache."""
         super().reset()
         self.events = []
-        self._phases = ["default"]
+        self.tracer.reset()
         self._start = time.perf_counter()
 
     # -- context manager ------------------------------------------------------
@@ -167,25 +208,29 @@ class TracingOracle(DistanceOracle):
                 "TracingOracle used as a context manager needs csv_path "
                 "(where to flush the trace on exit)"
             )
+        self._cm_depth += 1
         return self
 
     def __exit__(self, *exc_info) -> None:
         # Flush even when the traced run raised: a partial trace of a
-        # failed experiment is exactly when you want the evidence.
-        self.write_csv(self.csv_path)
+        # failed experiment is exactly when you want the evidence.  Nested
+        # re-entry flushes once, when the outermost context exits.
+        self._cm_depth = max(0, self._cm_depth - 1)
+        if self._cm_depth == 0:
+            self.flush()
 
 
 class _PhaseContext:
     def __init__(self, oracle: TracingOracle, label: str) -> None:
         self._oracle = oracle
-        self._label = label
+        self._span = oracle.tracer.span(label)
 
     def __enter__(self) -> TracingOracle:
-        self._oracle.push_phase(self._label)
+        self._span.__enter__()
         return self._oracle
 
     def __exit__(self, *exc_info) -> None:
-        self._oracle.pop_phase()
+        self._span.__exit__(*exc_info)
 
 
 def load_trace(path) -> List[CallEvent]:

@@ -1,0 +1,63 @@
+"""Metric sinks: where per-experiment registry snapshots get delivered.
+
+The harness calls ``sink.export(snapshot)`` once per experiment with the
+flat ``{sample_name: value}`` dict from
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot`; the same snapshot is
+stored on ``ExperimentRecord.metrics``.  Anything with an ``export``
+method works (:class:`MetricsSink` is a structural protocol); two concrete
+sinks cover the common cases without external dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Union
+
+try:  # Protocol is 3.8+; fall back gracefully for exotic interpreters.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        """No-op fallback when ``typing.Protocol`` is unavailable."""
+        return cls
+
+
+__all__ = ["MetricsSink", "CollectingSink", "JsonlSink"]
+
+
+@runtime_checkable
+class MetricsSink(Protocol):
+    """Structural protocol for anything that accepts registry snapshots."""
+
+    def export(self, snapshot: Mapping[str, float]) -> None:
+        """Deliver one flat ``{sample_name: value}`` snapshot."""
+
+
+class CollectingSink:
+    """In-memory sink: keeps every exported snapshot in ``snapshots``."""
+
+    def __init__(self) -> None:
+        self.snapshots: List[Dict[str, float]] = []
+
+    def export(self, snapshot: Mapping[str, float]) -> None:
+        """Append a defensive copy of ``snapshot``."""
+        self.snapshots.append(dict(snapshot))
+
+    @property
+    def last(self) -> Dict[str, float]:
+        """The most recent snapshot (raises IndexError when empty)."""
+        return self.snapshots[-1]
+
+
+class JsonlSink:
+    """Append each snapshot as one JSON line to a file."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def export(self, snapshot: Mapping[str, float]) -> None:
+        """Append ``snapshot`` as a sorted-key JSON object line."""
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(dict(snapshot), sort_keys=True) + "\n")

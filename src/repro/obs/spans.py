@@ -1,0 +1,127 @@
+"""Span-based tracing: nested ``span("phase")`` context managers.
+
+This replaces the ad-hoc ``push_phase``/``pop_phase`` stack that
+:class:`~repro.harness.tracing.TracingOracle` used to keep.  The crucial
+difference is that the span stack is **thread-local**: when several engine
+workers execute jobs concurrently, each worker's spans nest independently
+instead of interleaving on one shared stack (which mislabeled oracle calls
+under concurrency — the exact failure mode the old stack had).
+
+A :class:`SpanTracer` optionally records every span's wall-clock duration
+into a labeled histogram on a :class:`~repro.obs.registry.MetricsRegistry`,
+which is how per-job phase attribution reaches the ``/metrics`` surface.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional, Sequence
+
+from repro.obs.registry import LATENCY_BUCKETS_S, MetricsRegistry
+
+__all__ = ["Span", "SpanTracer"]
+
+
+class Span:
+    """One active span; a re-usable context manager handle.
+
+    Created by :meth:`SpanTracer.span`; entering pushes the label onto the
+    tracer's thread-local stack, exiting pops it and (when the tracer has
+    a registry) observes the elapsed wall-clock seconds into the tracer's
+    duration histogram labeled ``{span="<label>"}``.
+    """
+
+    __slots__ = ("_tracer", "label", "_started")
+
+    def __init__(self, tracer: "SpanTracer", label: str):
+        self._tracer = tracer
+        self.label = label
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        self._tracer.push(self.label)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = 0.0
+        if self._started is not None:
+            elapsed = time.perf_counter() - self._started
+            self._started = None
+        self._tracer._exit_span(self.label, elapsed)
+
+
+class SpanTracer:
+    """Thread-local stack of nested phase labels with optional timing.
+
+    ``tracer.current`` names the innermost active span on the *calling*
+    thread (``root`` when none is active), so an oracle can attribute each
+    charged call to whichever phase the committing thread is inside.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        histogram: str = "repro_span_seconds",
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+        root: str = "default",
+    ):
+        self.root = root
+        self._local = threading.local()
+        self._hist = None
+        if registry is not None:
+            self._hist = registry.histogram(
+                histogram,
+                buckets,
+                help_text="Wall-clock duration of traced spans by label.",
+                labelnames=("span",),
+            )
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = [self.root]
+            self._local.stack = stack
+        return stack
+
+    @property
+    def current(self) -> str:
+        """Innermost active span label on the calling thread."""
+        return self._stack()[-1]
+
+    @property
+    def depth(self) -> int:
+        """Number of explicitly-entered spans on the calling thread."""
+        return len(self._stack()) - 1
+
+    def path(self, separator: str = "/") -> str:
+        """The full nesting path on the calling thread, e.g. ``job-3/bounds``."""
+        stack = self._stack()
+        if len(stack) == 1:
+            return self.root
+        return separator.join(stack[1:])
+
+    def span(self, label: str) -> Span:
+        """A context manager that nests ``label`` for the enclosed block."""
+        return Span(self, str(label))
+
+    def push(self, label: str) -> None:
+        """Push ``label``; prefer :meth:`span`, which cannot be left unbalanced."""
+        self._stack().append(str(label))
+
+    def pop(self) -> str:
+        """Pop and return the innermost label; raises when only root remains."""
+        stack = self._stack()
+        if len(stack) <= 1:
+            raise RuntimeError("span pop without a matching push")
+        return stack.pop()
+
+    def _exit_span(self, label: str, elapsed: float) -> None:
+        self.pop()
+        if self._hist is not None:
+            self._hist.labels(span=label).observe(elapsed)
+
+    def reset(self) -> None:
+        """Clear the calling thread's stack back to the root label."""
+        self._local.stack = [self.root]

@@ -4,6 +4,10 @@ Everything below builds on the same invariant the rest of the library
 enforces: resolved distances are exact and never change, so sharing one
 :class:`~repro.core.partial_graph.PartialDistanceGraph` across concurrent
 queries can only *save* oracle calls — it can never alter an answer.
+
+Every engine carries a :class:`~repro.obs.registry.MetricsRegistry`
+(``engine.registry``); the server exposes it as ``{"op": "metrics"}`` and
+as a scrapeable HTTP ``GET /metrics``.
 """
 
 from repro.service.engine import (

@@ -34,6 +34,7 @@ oracle so a restarted service never re-buys a distance.
 
 from __future__ import annotations
 
+import contextlib
 import math
 import threading
 import time
@@ -63,7 +64,16 @@ from repro.core.resolver import ResolverStats, SmartResolver
 from repro.exec.executor import BaseExecutor, DEFAULT_WORKERS, make_executor
 from repro.harness.providers import LANDMARK_PROVIDERS, make_provider
 from repro.harness.stats import percentile
-from repro.service.jobs import Job, JobResult, JobSpec, JobStatus
+from repro.obs import (
+    LATENCY_BUCKETS_S,
+    RESOLVER_METRICS,
+    MetricsRegistry,
+    SpanTracer,
+    oracle_call_counter,
+    publish_resolver_stats,
+    resolver_stats_view,
+)
+from repro.service.jobs import TERMINAL_STATUSES, Job, JobResult, JobSpec, JobStatus
 from repro.service.queue import JobQueue
 from repro.spaces.base import MetricSpace
 
@@ -354,6 +364,10 @@ class ProximityEngine:
         :meth:`restore`.
     restore_from:
         Optional snapshot to restore before serving.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` to publish
+        into.  A private registry is created when omitted, so every engine
+        always has a ``/metrics``-ready surface at ``engine.registry``.
     """
 
     def __init__(
@@ -369,6 +383,7 @@ class ProximityEngine:
         snapshot_every: Optional[int] = None,
         fingerprint: Optional[str] = None,
         restore_from: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if job_workers < 1:
             raise ConfigurationError("job_workers must be at least 1")
@@ -395,16 +410,22 @@ class ProximityEngine:
         self._shared_memo: Dict[Pair, tuple] = {}
         self._stats_lock = threading.Lock()
         self._job_seq = 0
-        self._jobs_submitted = 0
-        self._status_counts: Dict[JobStatus, int] = {s: 0 for s in JobStatus}
         self._latencies: List[float] = []
-        self._warm_hits_total = 0
-        self._merged_resolver = ResolverStats()
-        self._snapshots_written = 0
-        self._restored_edges = 0
         self._edges_since_snapshot = 0
         self._started_at = time.monotonic()
         self._closed = False
+        self._queue = JobQueue()
+        self._workers: List[threading.Thread] = []
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._register_metrics()
+        #: Engine-side span tracer: one span per executed job, labeled by
+        #: job kind, timed into ``repro_job_phase_seconds{span=<kind>}``.
+        self.tracer = SpanTracer(
+            registry=self.registry,
+            histogram="repro_job_phase_seconds",
+            root="engine",
+        )
 
         self.bootstrap_calls = 0
         if provider.lower() in LANDMARK_PROVIDERS:
@@ -417,7 +438,6 @@ class ProximityEngine:
             self.restore(restore_from)
 
         self.graph.subscribe_edges(self._on_edge)
-        self._queue = JobQueue()
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-engine-{i}", daemon=True
@@ -426,6 +446,75 @@ class ProximityEngine:
         ]
         for worker in self._workers:
             worker.start()
+
+    def _register_metrics(self) -> None:
+        """Declare every engine-owned metric family on ``self.registry``.
+
+        Counters the engine increments itself (jobs, warm hits, snapshots)
+        are plain; numbers that already have one authoritative owner
+        (oracle calls, queue depth, graph size, provider Dijkstra runs)
+        are callback-backed so the registry can never drift from them.
+        """
+        r = self.registry
+        self._m_submitted = r.counter(
+            "repro_jobs_submitted_total", "Jobs accepted by submit()."
+        )
+        jobs = r.counter(
+            "repro_jobs_total",
+            "Finished jobs by terminal status.",
+            labelnames=("status",),
+        )
+        self._m_job_status = {
+            status: jobs.labels(status=status.value) for status in TERMINAL_STATUSES
+        }
+        self._m_warm = r.counter(
+            "repro_warm_resolutions_total",
+            "Distinct pairs jobs read from warm shared state without paying.",
+        )
+        self._m_snapshots = r.counter(
+            "repro_snapshots_written_total", "Warm-state snapshots written to disk."
+        )
+        self._m_restored = r.counter(
+            "repro_restored_edges_total", "Edges merged from restored snapshots."
+        )
+        self._m_latency = r.histogram(
+            "repro_job_latency_seconds",
+            LATENCY_BUCKETS_S,
+            help_text="End-to-end job execution latency in seconds.",
+        )
+        oracle_call_counter(r, self.oracle)
+        r.counter(
+            "repro_bootstrap_calls_total",
+            "Oracle calls spent bootstrapping landmark providers.",
+            fn=lambda: self.bootstrap_calls,
+        )
+        r.counter(
+            "repro_resolver_dijkstra_runs_total",
+            "Dijkstra traversals run by the SPLUB bound provider.",
+            fn=lambda: int(getattr(self.bounder, "dijkstra_runs", 0)),
+        )
+        # Pre-declare the remaining resolver counter families so a fresh
+        # engine's /metrics surface already lists every documented name
+        # (absent != zero to a scraper).
+        for _field, metric, labels, help_text in RESOLVER_METRICS:
+            family = r.counter(metric, help_text, labelnames=tuple(labels))
+            if labels:
+                family.labels(**labels)
+        r.gauge(
+            "repro_queue_depth", "Jobs waiting in the priority queue.",
+            fn=lambda: len(self._queue),
+        )
+        r.gauge(
+            "repro_job_workers", "Engine worker threads.",
+            fn=lambda: len(self._workers),
+        )
+        r.gauge(
+            "repro_engine_uptime_seconds", "Seconds since engine construction.",
+            fn=lambda: time.monotonic() - self._started_at,
+        )
+        self.graph.instrument(r)
+        if self.executor is not None:
+            self.executor.instrument(r)
 
     # -- construction helpers ------------------------------------------------
 
@@ -456,8 +545,8 @@ class ProximityEngine:
         self._validate_params(spec)
         with self._stats_lock:
             self._job_seq += 1
-            self._jobs_submitted += 1
             job = Job(self._job_seq, spec)
+        self._m_submitted.inc()
         self._queue.push(job)
         return job
 
@@ -523,14 +612,24 @@ class ProximityEngine:
         value: Any = None
         unresolved: Tuple[Pair, ...] = ()
         error: Optional[str] = None
-        phase_pushed = False
-        push_phase = getattr(self.oracle, "push_phase", None)
-        if callable(push_phase):
-            push_phase(spec.label or f"job-{job.id}:{spec.kind}")
-            phase_pushed = True
+        label = spec.label or f"job-{job.id}:{spec.kind}"
+        oracle_tracer = getattr(self.oracle, "tracer", None)
         start = time.perf_counter()
         try:
-            value = self._run_kind(resolver, spec)
+            with contextlib.ExitStack() as stack:
+                # The engine's own span times the job by kind; the oracle's
+                # tracer (thread-local) attributes charged calls to this
+                # job's label without cross-worker interleaving.
+                stack.enter_context(self.tracer.span(spec.kind))
+                if isinstance(oracle_tracer, SpanTracer):
+                    stack.enter_context(oracle_tracer.span(label))
+                else:
+                    # Legacy oracles that expose only the push/pop stack.
+                    push_phase = getattr(self.oracle, "push_phase", None)
+                    if callable(push_phase):
+                        push_phase(label)
+                        stack.callback(self.oracle.pop_phase)
+                value = self._run_kind(resolver, spec)
         except JobBudgetExhaustedError as exc:
             status = JobStatus.PARTIAL
             unresolved = exc.unresolved
@@ -541,9 +640,6 @@ class ProximityEngine:
         except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
             status = JobStatus.FAILED
             error = f"{type(exc).__name__}: {exc}"
-        finally:
-            if phase_pushed:
-                self.oracle.pop_phase()
         latency = time.perf_counter() - start
         # Snapshot before publishing the result: once a caller sees the job
         # finished, any periodic snapshot its edges triggered is on disk.
@@ -594,15 +690,19 @@ class ProximityEngine:
 
     def _finish(self, job: Job, result: JobResult) -> None:
         job._finish(result)
-        with self._stats_lock:
-            self._status_counts[result.status] += 1
-            self._warm_hits_total += result.warm_resolutions
-            if result.resolver_stats is not None:
-                self._merged_resolver = self._merged_resolver.merge(
-                    result.resolver_stats
-                )
-            if result.latency_seconds > 0:
+        self._m_job_status[result.status].inc()
+        if result.warm_resolutions:
+            self._m_warm.inc(result.warm_resolutions)
+        if result.resolver_stats is not None:
+            # Per-job resolver stats start from zero, so publishing the
+            # absolute values folds exactly one job's delta into the
+            # registry — the registry totals stay equal to the old
+            # merged-ResolverStats accounting at every quiescent point.
+            publish_resolver_stats(self.registry, result.resolver_stats)
+        if result.latency_seconds > 0:
+            with self._stats_lock:
                 self._latencies.append(result.latency_seconds)
+            self._m_latency.observe(result.latency_seconds)
 
     # -- oracle evaluation ---------------------------------------------------
 
@@ -648,8 +748,8 @@ class ProximityEngine:
         with self._rw.read_locked():
             save_graph(self.graph, target, metadata=self._metadata())
         with self._stats_lock:
-            self._snapshots_written += 1
             self._edges_since_snapshot = 0
+        self._m_snapshots.inc()
         return str(target)
 
     def restore(self, path: str) -> int:
@@ -687,8 +787,8 @@ class ProximityEngine:
                     self.graph.add_edge(i, j, w)
                     self.bounder.notify_resolved(i, j, w)
                     added += 1
-        with self._stats_lock:
-            self._restored_edges += added
+        if added:
+            self._m_restored.inc(added)
         return added
 
     def _on_edge(self, i: int, j: int, distance: float) -> None:
@@ -704,32 +804,38 @@ class ProximityEngine:
     # -- observability -------------------------------------------------------
 
     def snapshot_stats(self) -> EngineStats:
-        """A coherent engine-wide stats snapshot (cheap; safe at any time)."""
+        """An engine-wide stats snapshot, read straight off the registry.
+
+        ``EngineStats`` is a *view*: every number here is either a registry
+        sample (job counts, warm hits, resolver counters) or read from its
+        single authoritative owner (oracle, queue, graph) — the same
+        sources ``render_prometheus`` exposes, so ``/metrics`` and the
+        ``stats`` op can never disagree.
+        """
         with self._stats_lock:
-            counts = dict(self._status_counts)
             latencies = list(self._latencies)
-            resolver = ResolverStats().merge(self._merged_resolver)
-            submitted = self._jobs_submitted
-            snapshots = self._snapshots_written
-            restored = self._restored_edges
-            warm = self._warm_hits_total
+        resolver = resolver_stats_view(self.registry)
         resolver.dijkstra_runs = int(getattr(self.bounder, "dijkstra_runs", 0))
         queries = resolver.bound_queries
+
+        def status_count(status: JobStatus) -> int:
+            return int(self._m_job_status[status].value)
+
         return EngineStats(
             uptime_seconds=time.monotonic() - self._started_at,
             job_workers=len(self._workers),
             queue_depth=len(self._queue),
-            jobs_submitted=submitted,
-            jobs_completed=counts[JobStatus.COMPLETED],
-            jobs_partial=counts[JobStatus.PARTIAL],
-            jobs_failed=counts[JobStatus.FAILED],
-            jobs_cancelled=counts[JobStatus.CANCELLED],
-            jobs_expired=counts[JobStatus.EXPIRED],
+            jobs_submitted=int(self._m_submitted.value),
+            jobs_completed=status_count(JobStatus.COMPLETED),
+            jobs_partial=status_count(JobStatus.PARTIAL),
+            jobs_failed=status_count(JobStatus.FAILED),
+            jobs_cancelled=status_count(JobStatus.CANCELLED),
+            jobs_expired=status_count(JobStatus.EXPIRED),
             oracle_calls=self.oracle.calls,
             bootstrap_calls=self.bootstrap_calls,
-            warm_resolutions=warm,
-            restored_edges=restored,
-            snapshots_written=snapshots,
+            warm_resolutions=int(self._m_warm.value),
+            restored_edges=int(self._m_restored.value),
+            snapshots_written=int(self._m_snapshots.value),
             graph_edges=self.graph.num_edges,
             graph_epoch=self.graph.epoch,
             bound_queries=queries,
@@ -741,6 +847,10 @@ class ProximityEngine:
             latency_p95_s=percentile(latencies, 95) if latencies else 0.0,
             resolver=resolver,
         )
+
+    def render_metrics(self) -> str:
+        """The registry in Prometheus text format (the ``/metrics`` body)."""
+        return self.registry.render_prometheus()
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -10,11 +10,21 @@ Operations:
     completion, and return the serialised :class:`JobResult`.
 ``{"op": "stats"}``
     Return ``engine.snapshot_stats().to_dict()``.
+``{"op": "metrics"}``
+    Return the engine's metrics registry rendered in Prometheus text
+    exposition format (the ``metrics`` field of the response).
 ``{"op": "snapshot", "path": "..."}``
     Write a warm-state snapshot (``path`` optional when the engine has a
     configured ``snapshot_path``).
 ``{"op": "ping"}``
     Liveness check.
+
+The handler additionally speaks just enough HTTP that
+``curl --unix-socket <sock> http://localhost/metrics`` works: a request
+line starting with ``GET`` (or ``HEAD``) is answered with an HTTP/1.0
+response — ``/metrics`` serves the Prometheus text, anything else a 404 —
+and the connection closes.  That makes the registry scrapeable with stock
+tooling without pulling an HTTP framework into the repo.
 
 The server is deliberately not a scalability play — it exists so the
 ``repro serve`` / ``repro submit`` CLI pair can demonstrate a *persistent*
@@ -83,18 +93,55 @@ def spec_from_dict(payload: Dict[str, Any]) -> JobSpec:
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    def handle(self) -> None:  # one connection, many request lines
+    """One connection: many JSON request lines, or one HTTP GET."""
+
+    def handle(self) -> None:
         server: "ProximityServer" = self.server.proximity_server  # type: ignore[attr-defined]
-        for raw in self.rfile:
+        while True:
+            raw = self.rfile.readline()
+            if not raw:
+                return
             line = raw.strip()
             if not line:
                 continue
+            if line.startswith(b"GET ") or line.startswith(b"HEAD "):
+                self._serve_http(server, line)
+                return  # HTTP/1.0 semantics: one request, then close
             try:
                 response = server.handle_request(json.loads(line.decode("utf-8")))
             except Exception as exc:  # noqa: BLE001 - protocol errors answer, not crash
                 response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
             self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
             self.wfile.flush()
+
+    def _serve_http(self, server: "ProximityServer", request_line: bytes) -> None:
+        """Answer a raw HTTP request (``curl --unix-socket ... /metrics``)."""
+        parts = request_line.split()
+        target = parts[1].decode("utf-8", "replace") if len(parts) > 1 else ""
+        head_only = request_line.startswith(b"HEAD ")
+        # Drain the request headers so the client never sees a reset.
+        while True:
+            header = self.rfile.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        path = target.split("?", 1)[0]
+        if path == "/metrics":
+            status = "200 OK"
+            body = server.engine.render_metrics().encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            status = "404 Not Found"
+            body = b"not found\n"
+            content_type = "text/plain; charset=utf-8"
+        head = (
+            "HTTP/1.0 %s\r\n"
+            "Content-Type: %s\r\n"
+            "Content-Length: %d\r\n"
+            "Connection: close\r\n"
+            "\r\n" % (status, content_type, len(body))
+        ).encode("ascii")
+        self.wfile.write(head if head_only else head + body)
+        self.wfile.flush()
 
 
 class _ThreadedUnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
@@ -122,6 +169,8 @@ class ProximityServer:
             return {"ok": True, "op": "ping"}
         if op == "stats":
             return {"ok": True, "stats": self.engine.snapshot_stats().to_dict()}
+        if op == "metrics":
+            return {"ok": True, "metrics": self.engine.render_metrics()}
         if op == "snapshot":
             path = self.engine.snapshot(request.get("path"))
             return {"ok": True, "path": path}

@@ -74,25 +74,66 @@ class TestPhases:
 
 
 class TestPhaseStack:
+    """The push/pop stack is deprecated in favour of ``tracer.span(...)``
+    but must keep working (and warning) until callers migrate."""
+
     def test_push_pop(self, oracle):
-        oracle.push_phase("alpha")
+        with pytest.warns(DeprecationWarning):
+            oracle.push_phase("alpha")
         oracle(0, 1)
-        oracle.push_phase("beta")
+        with pytest.warns(DeprecationWarning):
+            oracle.push_phase("beta")
         oracle(0, 2)
-        assert oracle.pop_phase() == "beta"
+        with pytest.warns(DeprecationWarning):
+            assert oracle.pop_phase() == "beta"
         oracle(0, 3)
-        assert oracle.pop_phase() == "alpha"
+        with pytest.warns(DeprecationWarning):
+            assert oracle.pop_phase() == "alpha"
         assert oracle.current_phase == "default"
         assert oracle.calls_per_phase() == {"alpha": 2, "beta": 1}
 
     def test_pop_without_push_raises(self, oracle):
-        with pytest.raises(RuntimeError, match="without a matching push"):
-            oracle.pop_phase()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(RuntimeError, match="without a matching push"):
+                oracle.pop_phase()
 
     def test_reset_clears_phase_stack(self, oracle):
-        oracle.push_phase("stuck")
+        with pytest.warns(DeprecationWarning):
+            oracle.push_phase("stuck")
         oracle.reset()
         assert oracle.current_phase == "default"
+
+    def test_span_api_replaces_push_pop_without_warning(self, oracle, recwarn):
+        with oracle.tracer.span("alpha"):
+            oracle(0, 1)
+        assert oracle.calls_per_phase() == {"alpha": 1}
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_phases_are_thread_local(self, oracle):
+        """Concurrent workers must not see each other's phases — the old
+        shared stack mislabeled calls under concurrency."""
+        import threading
+
+        barrier = threading.Barrier(2)
+        phases = {}
+
+        def work(label, i, j):
+            with oracle.tracer.span(label):
+                barrier.wait(timeout=10)
+                phases[label] = oracle.current_phase
+                oracle(i, j)
+                barrier.wait(timeout=10)
+
+        threads = [
+            threading.Thread(target=work, args=("left", 0, 1)),
+            threading.Thread(target=work, args=("right", 2, 3)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert phases == {"left": "left", "right": "right"}
+        assert oracle.calls_per_phase() == {"left": 1, "right": 1}
 
 
 class TestCsvRoundTrip:
@@ -148,3 +189,30 @@ class TestContextManager:
         with pytest.raises(ValueError, match="csv_path"):
             with oracle:
                 pass
+
+    def test_nested_reentry_flushes_once(self, space, tmp_path):
+        """Re-entering the context must not write the CSV (and its header)
+        twice — the flush happens only when the outermost exit unwinds."""
+        path = tmp_path / "nested.csv"
+        with TracingOracle(space.distance, space.n, csv_path=path) as oracle:
+            with oracle:
+                oracle(0, 1)
+            # inner exit: no flush yet, outer context still open
+            assert not path.exists()
+            oracle(2, 3)
+        text = path.read_text()
+        assert text.count("sequence") == 1  # exactly one header row
+        assert len(load_trace(path)) == 2
+
+    def test_flush_is_idempotent(self, space, tmp_path):
+        path = tmp_path / "twice.csv"
+        oracle = TracingOracle(space.distance, space.n, csv_path=path)
+        oracle(0, 1)
+        oracle.flush()
+        oracle.flush()
+        assert path.read_text().count("sequence") == 1
+        assert len(load_trace(path)) == 1
+
+    def test_flush_without_csv_path_raises(self, oracle):
+        with pytest.raises(ValueError, match="csv_path"):
+            oracle.flush()

@@ -1,0 +1,144 @@
+"""Tests for the ResolverStats <-> registry bridge."""
+
+import pytest
+
+from repro.core import ResolverStats
+from repro.obs import (
+    RESOLVER_METRICS,
+    MetricsRegistry,
+    oracle_call_counter,
+    publish_resolver_stats,
+    resolver_stats_view,
+)
+
+
+def make_stats(**overrides):
+    stats = ResolverStats(
+        decided_by_bounds=7,
+        decided_by_oracle=3,
+        bound_queries=10,
+        resolutions=5,
+        oracle_resolutions=3,
+        cached_resolutions=2,
+        batched_resolutions=1,
+        bound_time_s=0.125,
+        bound_cache_hits=4,
+        vectorized_batches=2,
+        dijkstra_runs=6,
+    )
+    for name, value in overrides.items():
+        setattr(stats, name, value)
+    return stats
+
+
+class TestPublish:
+    def test_first_publish_lands_absolute_values(self):
+        registry = MetricsRegistry()
+        publish_resolver_stats(registry, make_stats())
+        view = resolver_stats_view(registry)
+        assert view == make_stats()
+
+    def test_delta_publish_never_double_counts(self):
+        registry = MetricsRegistry()
+        stats = make_stats()
+        baseline = publish_resolver_stats(registry, stats)
+        # publishing the unchanged stats again with the baseline is a no-op
+        baseline = publish_resolver_stats(registry, stats, baseline)
+        assert resolver_stats_view(registry) == make_stats()
+        # new activity adds only the delta
+        stats.decided_by_bounds += 5
+        stats.bound_time_s += 0.5
+        publish_resolver_stats(registry, stats, baseline)
+        view = resolver_stats_view(registry)
+        assert view.decided_by_bounds == 12
+        assert view.bound_time_s == pytest.approx(0.625)
+        assert view.decided_by_oracle == 3
+
+    def test_baseline_is_an_independent_copy(self):
+        registry = MetricsRegistry()
+        stats = make_stats()
+        baseline = publish_resolver_stats(registry, stats)
+        stats.resolutions += 9
+        assert baseline.resolutions == 5
+
+    def test_publish_accumulates_across_disjoint_jobs(self):
+        """Per-job absolute stats ARE the delta — the engine publish path."""
+        registry = MetricsRegistry()
+        publish_resolver_stats(registry, make_stats())
+        publish_resolver_stats(registry, make_stats())
+        view = resolver_stats_view(registry)
+        assert view.decided_by_bounds == 14
+        assert view.resolutions == 10
+
+    def test_callback_backed_families_are_skipped(self):
+        """A live source already owns dijkstra_runs; publishing must not
+        double-write it."""
+        registry = MetricsRegistry()
+        runs = {"n": 100}
+        registry.counter(
+            "repro_resolver_dijkstra_runs_total", fn=lambda: runs["n"]
+        )
+        publish_resolver_stats(registry, make_stats(dijkstra_runs=6))
+        view = resolver_stats_view(registry)
+        assert view.dijkstra_runs == 100
+        # everything else still published normally
+        assert view.decided_by_bounds == 7
+
+    def test_comparisons_split_by_label(self):
+        registry = MetricsRegistry()
+        publish_resolver_stats(registry, make_stats())
+        snap = registry.snapshot()
+        assert snap['repro_resolver_comparisons_total{decided_by="bounds"}'] == 7
+        assert snap['repro_resolver_comparisons_total{decided_by="oracle"}'] == 3
+
+    def test_mapping_covers_every_counted_field(self):
+        """Every numeric ResolverStats field must be in RESOLVER_METRICS so
+        the view round-trips; a new field without a mapping breaks the
+        EngineStats thin-view contract silently."""
+        mapped = {field for field, _, _, _ in RESOLVER_METRICS}
+        numeric = {
+            name
+            for name, value in vars(ResolverStats()).items()
+            if isinstance(value, (int, float))
+        }
+        assert numeric == mapped
+
+
+class TestView:
+    def test_empty_registry_views_as_zero_stats(self):
+        assert resolver_stats_view(MetricsRegistry()) == ResolverStats()
+
+    def test_int_fields_come_back_as_ints(self):
+        registry = MetricsRegistry()
+        publish_resolver_stats(registry, make_stats())
+        view = resolver_stats_view(registry)
+        assert isinstance(view.resolutions, int)
+        assert isinstance(view.bound_time_s, float)
+
+
+class TestOracleCounter:
+    def test_tracks_live_oracle_calls(self, small_metric):
+        registry = MetricsRegistry()
+        _, space = small_metric
+        oracle = space.oracle()
+        oracle_call_counter(registry, oracle)
+        assert registry.get("repro_oracle_calls_total").value == 0
+        oracle(0, 1)
+        oracle(2, 3)
+        assert registry.get("repro_oracle_calls_total").value == 2
+        assert registry.snapshot()["repro_oracle_calls_total"] == 2
+
+    def test_counts_charges_made_before_attachment(self, small_metric):
+        _, space = small_metric
+        oracle = space.oracle()
+        oracle(0, 1)
+        registry = MetricsRegistry()
+        oracle_call_counter(registry, oracle)
+        assert registry.get("repro_oracle_calls_total").value == 1
+
+    def test_callback_counter_rejects_inc(self, small_metric):
+        registry = MetricsRegistry()
+        _, space = small_metric
+        oracle_call_counter(registry, space.oracle())
+        with pytest.raises(RuntimeError, match="callback"):
+            registry.get("repro_oracle_calls_total").inc()

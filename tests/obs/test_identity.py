@@ -1,0 +1,131 @@
+"""Observability must not change behaviour: byte-identity guarantees.
+
+The whole design rests on one promise — attaching a registry observes the
+run, it never steers it.  These tests pin that promise: the same workload
+with and without a registry resolves the same edges in the same order,
+makes the same oracle calls, and ends with equal ``ResolverStats``.
+"""
+
+import itertools
+
+from repro.bounds import TriScheme
+from repro.core.resolver import SmartResolver
+from repro.harness import run_experiment
+from repro.obs import CollectingSink, MetricsRegistry, registry_totals
+
+
+def counted_fields(stats):
+    """All ResolverStats fields except the wall-clock ``bound_time_s``."""
+    fields = dict(vars(stats))
+    fields.pop("bound_time_s")
+    return fields
+
+
+def run_workload(space, registry=None):
+    """A deterministic comparison + resolution workload; returns artefacts."""
+    oracle = space.oracle()
+    resolver = SmartResolver(oracle, registry=registry)
+    resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+    n = len(space)
+    pairs = list(itertools.combinations(range(n), 2))
+    decisions = [
+        resolver.compare(pairs[k], pairs[(k + 7) % len(pairs)])
+        for k in range(0, len(pairs), 3)
+    ]
+    resolved = [resolver.distance(i, j) for i, j in pairs[: n * 2]]
+    stats = resolver.collect_stats()
+    edges = sorted(resolver.graph.edges())
+    return {
+        "decisions": decisions,
+        "resolved": resolved,
+        "edges": edges,
+        "calls": oracle.calls,
+        "stats": stats,
+    }
+
+
+class TestResolverIdentity:
+    def test_registry_attached_run_is_byte_identical(self, euclid_space):
+        plain = run_workload(euclid_space)
+        registry = MetricsRegistry()
+        observed = run_workload(euclid_space, registry=registry)
+        assert observed["decisions"] == plain["decisions"]
+        assert observed["resolved"] == plain["resolved"]
+        assert observed["edges"] == plain["edges"]
+        assert observed["calls"] == plain["calls"]
+        # bound_time_s is wall-clock and never reproducible; every counted
+        # field must match exactly
+        assert counted_fields(observed["stats"]) == counted_fields(plain["stats"])
+
+    def test_published_counters_match_collected_stats(self, euclid_space):
+        registry = MetricsRegistry()
+        result = run_workload(euclid_space, registry=registry)
+        stats = result["stats"]
+        snap = registry.snapshot()
+        assert (
+            registry_totals(snap, "repro_resolver_comparisons_total")
+            == stats.decided_by_bounds + stats.decided_by_oracle
+        )
+        assert snap["repro_resolver_memo_hits_total"] == stats.bound_cache_hits
+        assert snap["repro_resolver_resolutions_total"] == stats.resolutions
+        assert (
+            snap["repro_resolver_oracle_resolutions_total"]
+            == stats.oracle_resolutions
+        )
+
+    def test_repeat_collect_stats_is_idempotent(self, euclid_space):
+        """collect_stats publishes a delta; calling it again adds nothing."""
+        registry = MetricsRegistry()
+        oracle = space_oracle = euclid_space.oracle()
+        resolver = SmartResolver(space_oracle, registry=registry)
+        resolver.bounder = TriScheme(resolver.graph, euclid_space.diameter_bound())
+        resolver.compare((0, 1), (2, 3))
+        resolver.collect_stats()
+        first = registry.snapshot()
+        resolver.collect_stats()
+        assert registry.snapshot() == first
+        assert oracle is space_oracle
+
+    def test_bound_gap_histogram_fills_under_registry(self, euclid_space):
+        registry = MetricsRegistry()
+        run_workload(euclid_space, registry=registry)
+        gap = registry.get("repro_bound_gap")
+        assert gap is not None
+        assert gap.count > 0
+
+
+class TestHarnessIntegration:
+    def test_run_experiment_without_sink_has_no_metrics(self, euclid_space):
+        record = run_experiment(euclid_space, "prim", provider="tri")
+        assert record.metrics is None
+
+    def test_run_experiment_with_sink_exports_snapshot(self, euclid_space):
+        sink = CollectingSink()
+        record = run_experiment(
+            euclid_space, "prim", provider="tri", metrics_sink=sink
+        )
+        assert record.metrics is not None
+        assert sink.last == record.metrics
+        assert record.metrics["repro_oracle_calls_total"] == record.total_calls
+
+    def test_run_experiment_metrics_reconcile_with_stats(self, euclid_space):
+        registry = MetricsRegistry()
+        record = run_experiment(euclid_space, "prim", provider="tri", registry=registry)
+        snap = registry.snapshot()
+        stats = record.resolver_stats
+        assert snap["repro_resolver_memo_hits_total"] == stats.bound_cache_hits
+        assert (
+            registry_totals(snap, "repro_resolver_comparisons_total")
+            == stats.decided_by_bounds + stats.decided_by_oracle
+        )
+
+    def test_registry_does_not_change_experiment_outcome(self, euclid_space):
+        plain = run_experiment(euclid_space, "prim", provider="tri")
+        observed = run_experiment(
+            euclid_space, "prim", provider="tri", registry=MetricsRegistry()
+        )
+        assert observed.total_calls == plain.total_calls
+        assert observed.result == plain.result
+        assert counted_fields(observed.resolver_stats) == counted_fields(
+            plain.resolver_stats
+        )

@@ -1,0 +1,265 @@
+"""Unit tests for the thread-safe metrics registry."""
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    BOUND_GAP_BUCKETS,
+    LATENCY_BUCKETS_S,
+    CollectingSink,
+    JsonlSink,
+    MetricsRegistry,
+    MetricsSink,
+    registry_totals,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("calls_total", "help")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_float_increments(self, registry):
+        c = registry.counter("seconds_total")
+        c.inc(0.25)
+        c.inc(0.5)
+        assert c.value == pytest.approx(0.75)
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("calls_total")
+        with pytest.raises(ValueError, match="only increase"):
+            c.inc(-1)
+
+    def test_idempotent_accessor_returns_same_family(self, registry):
+        a = registry.counter("calls_total")
+        b = registry.counter("calls_total")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_callback_counter_reads_live(self, registry):
+        box = {"calls": 3}
+        c = registry.counter("calls_total", fn=lambda: box["calls"])
+        assert c.value == 3
+        box["calls"] = 9
+        assert c.value == 9
+        with pytest.raises(RuntimeError, match="callback"):
+            c.inc()
+
+    def test_second_callback_rejected(self, registry):
+        registry.counter("calls_total", fn=lambda: 1)
+        with pytest.raises(ValueError, match="callback"):
+            registry.counter("calls_total", fn=lambda: 2)
+
+    def test_invalid_metric_name(self, registry):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad name")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+    def test_callback_gauge(self, registry):
+        items = [1, 2, 3]
+        g = registry.gauge("depth", fn=lambda: len(items))
+        assert g.value == 3
+        items.pop()
+        assert g.value == 2
+
+
+class TestLabels:
+    def test_labeled_children_are_independent(self, registry):
+        fam = registry.counter("jobs_total", labelnames=("status",))
+        fam.labels(status="done").inc(3)
+        fam.labels(status="failed").inc()
+        assert fam.labels(status="done").value == 3
+        assert fam.labels(status="failed").value == 1
+
+    def test_wrong_labelnames_raise(self, registry):
+        fam = registry.counter("jobs_total", labelnames=("status",))
+        with pytest.raises(ValueError, match="takes labels"):
+            fam.labels(state="done")
+
+    def test_unlabeled_proxy_on_labeled_family_raises(self, registry):
+        fam = registry.counter("jobs_total", labelnames=("status",))
+        with pytest.raises(ValueError, match="labeled"):
+            fam.inc()
+
+    def test_le_label_reserved(self, registry):
+        with pytest.raises(ValueError, match="invalid label"):
+            registry.histogram("h", labelnames=("le",))
+
+    def test_label_value_escaping(self, registry):
+        fam = registry.counter("jobs_total", labelnames=("label",))
+        fam.labels(label='say "hi"\nnow').inc()
+        text = registry.render_prometheus()
+        assert 'label="say \\"hi\\"\\nnow"' in text
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.cumulative_counts() == [
+            (0.1, 1),
+            (1.0, 3),
+            (10.0, 4),
+            (math.inf, 5),
+        ]
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+
+    def test_upper_bound_inclusive(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.cumulative_counts()[0] == (1.0, 1)
+
+    def test_nonfinite_counted_but_not_summed(self, registry):
+        h = registry.histogram("gap", buckets=BOUND_GAP_BUCKETS)
+        h.observe(math.inf)
+        h.observe(0.5)
+        assert h.count == 2
+        assert h.sum == pytest.approx(0.5)
+        assert h.cumulative_counts()[-1] == (math.inf, 2)
+
+    def test_duplicate_buckets_rejected(self, registry):
+        with pytest.raises(ValueError, match="distinct"):
+            registry.histogram("h", buckets=(1.0, 1.0))
+
+    def test_conflicting_buckets_rejected(self, registry):
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=100.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            max_size=80,
+        )
+    )
+    def test_bucket_monotonicity_under_hypothesis(self, values):
+        """Cumulative counts never decrease, end at count, sum is exact."""
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=LATENCY_BUCKETS_S)
+        for v in values:
+            h.observe(v)
+        rows = h.cumulative_counts()
+        counts = [c for _, c in rows]
+        assert counts == sorted(counts)
+        assert all(0 <= c <= len(values) for c in counts)
+        assert rows[-1] == (math.inf, len(values))
+        assert h.sum == pytest.approx(math.fsum(values))
+        # every bucket count equals a direct recount at that threshold
+        for bound, cumulative in rows[:-1]:
+            assert cumulative == sum(1 for v in values if v <= bound)
+
+
+class TestExposition:
+    def test_render_prometheus_shape(self, registry):
+        c = registry.counter("calls_total", "Total calls.")
+        c.inc(2)
+        registry.gauge("depth", "Queue depth.").set(1.5)
+        h = registry.histogram("lat", buckets=(0.5,), help_text="Latency.")
+        h.observe(0.25)
+        text = registry.render_prometheus()
+        assert "# HELP calls_total Total calls." in text
+        assert "# TYPE calls_total counter" in text
+        assert "calls_total 2" in text
+        assert "depth 1.5" in text
+        assert 'lat_bucket{le="0.5"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 0.25" in text
+        assert "lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_snapshot_flattens_samples(self, registry):
+        fam = registry.counter("jobs_total", labelnames=("status",))
+        fam.labels(status="done").inc(4)
+        registry.counter("calls_total").inc()
+        snap = registry.snapshot()
+        assert snap['jobs_total{status="done"}'] == 4
+        assert snap["calls_total"] == 1
+
+    def test_registry_totals_sums_label_sets(self, registry):
+        fam = registry.counter("jobs_total", labelnames=("status",))
+        fam.labels(status="done").inc(4)
+        fam.labels(status="failed").inc(2)
+        assert registry_totals(registry.snapshot(), "jobs_total") == 6
+
+
+class TestConcurrency:
+    def test_threaded_increments_are_exact(self, registry):
+        """N threads × M increments land exactly — no lost updates."""
+        c = registry.counter("calls_total")
+        fam = registry.counter("jobs_total", labelnames=("status",))
+        h = registry.histogram("lat", buckets=(0.5, 1.0))
+        threads, per_thread = 8, 500
+
+        def work(tid):
+            child = fam.labels(status=f"s{tid % 2}")
+            for k in range(per_thread):
+                c.inc()
+                child.inc()
+                h.observe((k % 3) * 0.4)
+
+        pool = [threading.Thread(target=work, args=(t,)) for t in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        total = threads * per_thread
+        assert c.value == total
+        assert registry_totals(registry.snapshot(), "jobs_total") == total
+        assert h.count == total
+        rows = h.cumulative_counts()
+        assert rows[-1][1] == total
+        counts = [n for _, n in rows]
+        assert counts == sorted(counts)
+
+
+class TestSinks:
+    def test_collecting_sink_is_a_metrics_sink(self):
+        sink = CollectingSink()
+        assert isinstance(sink, MetricsSink)
+        sink.export({"a": 1.0})
+        sink.export({"a": 2.0})
+        assert sink.last == {"a": 2.0}
+        assert len(sink.snapshots) == 2
+
+    def test_jsonl_sink_appends_lines(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.jsonl"
+        sink = JsonlSink(path)
+        sink.export({"a": 1.0})
+        sink.export({"b": 2.0})
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line) for line in lines] == [{"a": 1.0}, {"b": 2.0}]

@@ -1,0 +1,130 @@
+"""Tests for span-based tracing: nesting, thread-locality, timing."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, SpanTracer
+
+
+class TestNesting:
+    def test_default_root(self):
+        tracer = SpanTracer()
+        assert tracer.current == "default"
+        assert tracer.depth == 0
+
+    def test_custom_root(self):
+        tracer = SpanTracer(root="engine")
+        assert tracer.current == "engine"
+        assert tracer.path() == "engine"
+
+    def test_spans_nest_and_unwind(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            assert tracer.current == "outer"
+            assert tracer.depth == 1
+            with tracer.span("inner"):
+                assert tracer.current == "inner"
+                assert tracer.depth == 2
+                assert tracer.path() == "outer/inner"
+            assert tracer.current == "outer"
+        assert tracer.current == "default"
+        assert tracer.depth == 0
+
+    def test_span_unwinds_on_exception(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("outer"):
+                raise RuntimeError("boom")
+        assert tracer.current == "default"
+
+    def test_pop_at_root_raises(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError, match="without a matching push"):
+            tracer.pop()
+
+    def test_push_pop_round_trip(self):
+        tracer = SpanTracer()
+        tracer.push("phase")
+        assert tracer.current == "phase"
+        assert tracer.pop() == "phase"
+        assert tracer.current == "default"
+
+    def test_reset_clears_stack(self):
+        tracer = SpanTracer()
+        tracer.push("a")
+        tracer.push("b")
+        tracer.reset()
+        assert tracer.current == "default"
+        assert tracer.depth == 0
+
+
+class TestThreadLocality:
+    def test_stacks_do_not_interleave_across_threads(self):
+        """Each thread sees only its own spans — the fix over the old
+        engine-global phase stack, which mislabeled concurrent workers."""
+        tracer = SpanTracer(root="engine")
+        barrier = threading.Barrier(2)
+        seen = {}
+
+        def work(label):
+            with tracer.span(label):
+                barrier.wait(timeout=10)  # both threads inside their span
+                seen[label] = (tracer.current, tracer.depth)
+                barrier.wait(timeout=10)
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == {"t0": ("t0", 1), "t1": ("t1", 1)}
+        # the spawning thread was never inside any span
+        assert tracer.current == "engine"
+
+    def test_fresh_thread_starts_at_root(self):
+        tracer = SpanTracer()
+        tracer.push("main-only")
+        result = {}
+
+        def probe():
+            result["current"] = tracer.current
+            result["depth"] = tracer.depth
+
+        t = threading.Thread(target=probe)
+        t.start()
+        t.join()
+        assert result == {"current": "default", "depth": 0}
+        tracer.pop()
+
+
+class TestTiming:
+    def test_durations_land_in_labeled_histogram(self):
+        registry = MetricsRegistry()
+        tracer = SpanTracer(registry=registry)
+        with tracer.span("bounds"):
+            pass
+        with tracer.span("bounds"):
+            pass
+        with tracer.span("oracle"):
+            pass
+        hist = registry.get("repro_span_seconds")
+        assert hist.labels(span="bounds").count == 2
+        assert hist.labels(span="oracle").count == 1
+        assert hist.labels(span="bounds").sum >= 0.0
+
+    def test_no_registry_means_no_histogram(self):
+        tracer = SpanTracer()
+        with tracer.span("bounds"):
+            pass
+        assert tracer._hist is None
+
+    def test_nested_spans_each_record_once(self):
+        registry = MetricsRegistry()
+        tracer = SpanTracer(registry=registry)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        hist = registry.get("repro_span_seconds")
+        assert hist.labels(span="outer").count == 1
+        assert hist.labels(span="inner").count == 1
