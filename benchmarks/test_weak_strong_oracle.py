@@ -1,0 +1,93 @@
+"""Weak/strong tiering — strong-call reduction on kNN-graph, PAM, and Prim.
+
+The two-tier configuration (arXiv 2310.15863 applied to the paper's
+re-authoring framework): a cheap *weak* oracle answers with a declared
+multiplicative error band, the banded interval tightens the resolver's
+bounds, and the expensive *strong* oracle is consulted only on pairs the
+bounds leave inconclusive.  On the SF-POI road metric the weak tier is the
+crow-flies distance with band ``(detour_lo, ∞)``.
+
+Assertions: outputs byte-identical to the single-oracle baseline on every
+algorithm, and ≥30% fewer strong calls on at least two of the three.
+"""
+
+from repro.harness import render_table, run_experiment
+
+from benchmarks.conftest import sf
+
+N = 96
+ALGORITHMS = [
+    ("knng", {"k": 5}),
+    ("pam", {"l": 3, "seed": 0}),
+    ("prim", {}),
+]
+TARGET_SAVE = 30.0
+MIN_ALGOS_OVER_TARGET = 2
+
+
+def _compare(algorithm, kwargs, provider):
+    space = sf(N)
+    base = run_experiment(space, algorithm, provider, algorithm_kwargs=kwargs)
+    weak = run_experiment(
+        space, algorithm, provider, algorithm_kwargs=kwargs, weak_oracle=True
+    )
+    return base, weak
+
+
+def test_weak_strong_oracle(benchmark, report):
+    rows = []
+    saves = {}
+    for algorithm, kwargs in ALGORITHMS:
+        base, weak = _compare(algorithm, kwargs, "none")
+        assert weak.result == base.result, f"{algorithm}: tiered output diverged"
+        save = weak.save_vs(base)
+        saves[algorithm] = save
+        rows.append(
+            [
+                algorithm,
+                base.total_calls,
+                weak.total_calls,
+                round(save, 1),
+                weak.weak_calls,
+                weak.weak_band,
+            ]
+        )
+    report(
+        render_table(
+            ["algorithm", "strong-only", "tiered strong", "save(%)",
+             "weak calls", "band tightenings"],
+            rows,
+            title=f"Weak/strong tiering: SF-POI road metric, n={N}",
+        )
+    )
+    hits = sum(1 for save in saves.values() if save >= TARGET_SAVE)
+    assert hits >= MIN_ALGOS_OVER_TARGET, saves
+
+    benchmark.pedantic(
+        lambda: run_experiment(sf(64), "knng", "none",
+                               algorithm_kwargs={"k": 5}, weak_oracle=True),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_weak_tier_composes_with_tri(report):
+    """The weak band intersects (never replaces) a Tri-scheme provider."""
+    rows = []
+    for algorithm, kwargs in ALGORITHMS:
+        base, weak = _compare(algorithm, kwargs, "tri")
+        assert weak.result == base.result, f"{algorithm}: tiered output diverged"
+        # Tighter bounds change *which* pairs an adaptive algorithm resolves,
+        # so per-run call counts are not strictly monotone — allow ±1%.
+        assert weak.total_calls <= base.total_calls * 1.01 + 1
+        rows.append(
+            [algorithm, base.total_calls, weak.total_calls,
+             round(weak.save_vs(base), 1)]
+        )
+    report(
+        render_table(
+            ["algorithm", "tri strong-only", "tri+weak strong", "save(%)"],
+            rows,
+            title=f"Weak tier ∩ Tri scheme: SF-POI road metric, n={N}",
+        )
+    )

@@ -24,10 +24,15 @@ from repro.core import (
     resume_resolver,
     save_graph,
     DistanceOracle,
+    Oracle,
     PartialDistanceGraph,
     ResolverStats,
     SmartResolver,
+    TieredOracle,
     TrivialBounder,
+    WeakBand,
+    WeakBoundProvider,
+    WeakOracle,
 )
 from repro.bounds import (
     Adm,
@@ -118,11 +123,16 @@ __all__ = [
     "ManhattanSpace",
     "MatrixSpace",
     "MinkowskiSpace",
+    "Oracle",
     "PartialDistanceGraph",
     "ResolverStats",
     "RoadNetworkSpace",
     "SmartResolver",
     "Splub",
+    "TieredOracle",
+    "WeakBand",
+    "WeakBoundProvider",
+    "WeakOracle",
     "SquaredEuclideanSpace",
     "Tlaesa",
     "TriScheme",

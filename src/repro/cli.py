@@ -123,6 +123,7 @@ def _cmd_run(args) -> int:
             executor=args.executor,
             workers=args.workers,
             oracle_cache=args.oracle_cache,
+            weak_oracle=args.weak_oracle,
         )
         if baseline_calls is None:
             baseline_calls = record.total_calls
@@ -139,12 +140,13 @@ def _cmd_run(args) -> int:
                 record.bound_cache_hits,
                 record.vectorized_batches,
                 record.dijkstra_runs,
+                record.weak_calls,
             ]
         )
     print_table(
         ["provider", "bootstrap", "algorithm", "total", "save% vs first",
          "cpu (s)", "completion (s)", "bound (ms)", "bound hits",
-         "vec batches", "dijkstras"],
+         "vec batches", "dijkstras", "weak calls"],
         rows,
         title=f"{args.algorithm} on {args.dataset} (n={args.n}, "
         f"oracle={args.oracle_cost}s/call, "
@@ -169,6 +171,7 @@ def _cmd_sweep(args) -> int:
                 executor=args.executor,
                 workers=args.workers,
                 oracle_cache=args.oracle_cache,
+                weak_oracle=args.weak_oracle,
             )
             row.append(record.total_calls)
         rows.append(row)
@@ -262,6 +265,7 @@ def _cmd_serve(args) -> int:
         snapshot_path=args.snapshot_path,
         snapshot_every=args.snapshot_every,
         restore_from=args.restore_from,
+        weak_oracle=args.weak_oracle,
     )
     server = ProximityServer(engine, args.socket)
     print(
@@ -379,6 +383,11 @@ def build_parser() -> argparse.ArgumentParser:
                            type=_cache_path_arg, default=None,
                            help="persistent distance cache (':memory:' or a "
                            "SQLite file path); repeated runs never re-pay")
+            p.add_argument("--weak-oracle", dest="weak_oracle",
+                           action="store_true",
+                           help="use the space's native weak (banded "
+                           "estimate) oracle to tighten bounds; outputs "
+                           "are identical, strong calls drop")
 
     run_p = sub.add_parser("run", help="one dataset size, many providers")
     common(run_p)
@@ -418,6 +427,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--n", type=int, default=100)
     serve_p.add_argument("--seed", type=int, default=7)
     serve_p.add_argument("--provider", choices=list(PROVIDER_NAMES), default="tri")
+    serve_p.add_argument("--weak-oracle", dest="weak_oracle", action="store_true",
+                         help="compose the space's native weak oracle into "
+                         "the engine's bound provider (answers unchanged)")
     serve_p.add_argument("--job-workers", dest="job_workers", type=_workers_arg,
                          default=2, help="concurrent query-job workers")
     serve_p.add_argument("--socket", required=True,

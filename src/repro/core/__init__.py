@@ -22,8 +22,15 @@ from repro.core.exceptions import (
     UnknownDistanceError,
 )
 from repro.core.locking import ReadWriteLock
-from repro.core.oracle import DistanceOracle, OracleStats, WallClockOracle, canonical_pair
+from repro.core.oracle import (
+    DistanceOracle,
+    Oracle,
+    OracleStats,
+    WallClockOracle,
+    canonical_pair,
+)
 from repro.core.partial_graph import PartialDistanceGraph
+from repro.core.tiering import TieredOracle, WeakBand, WeakBoundProvider, WeakOracle
 from repro.core.persistence import (
     GraphArchive,
     load_archive,
@@ -48,6 +55,7 @@ __all__ = [
     "JobBudgetExhaustedError",
     "JobCancelledError",
     "MetricViolationError",
+    "Oracle",
     "OracleResolutionError",
     "OracleStats",
     "PartialDistanceGraph",
@@ -57,10 +65,14 @@ __all__ = [
     "SmartResolver",
     "SnapshotMismatchError",
     "SolverError",
+    "TieredOracle",
     "TrivialBounder",
     "UNBOUNDED",
     "UnknownDistanceError",
     "ValidatingOracle",
+    "WeakBand",
+    "WeakBoundProvider",
+    "WeakOracle",
     "load_archive",
     "load_graph",
     "resume_resolver",

@@ -189,6 +189,16 @@ class IntersectionBounder(BaseBoundProvider):
         """Dijkstra computations across members (SPLUB-style schemes)."""
         return sum(getattr(p, "dijkstra_runs", 0) for p in self.providers)
 
+    @property
+    def weak_calls(self) -> int:
+        """Charged weak-oracle estimates across members (tiered schemes)."""
+        return sum(getattr(p, "weak_calls", 0) for p in self.providers)
+
+    @property
+    def weak_band(self) -> int:
+        """Bound queries tightened by a weak error band, across members."""
+        return sum(getattr(p, "weak_band", 0) for p in self.providers)
+
     def notify_resolved(self, i: int, j: int, distance: float) -> None:
         for provider in self.providers:
             provider.notify_resolved(i, j, distance)

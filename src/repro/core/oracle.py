@@ -21,6 +21,13 @@ paths funnel through one charging routine, so subclasses observing charges
 (:class:`~repro.harness.tracing.TracingOracle`,
 :class:`~repro.core.validation.ValidatingOracle`) override the single
 :meth:`_on_charged` hook instead of ``__call__``.
+
+The surface every consumer actually relies on — call, record,
+resolve_batch, stats, plus the ``n``/``calls`` accounting properties — is
+codified by the :class:`Oracle` protocol, so alternative implementations
+(the tiered weak/strong composition in :mod:`repro.core.tiering`, test
+doubles) can stand in for :class:`DistanceOracle` anywhere the library
+accepts one.
 """
 
 from __future__ import annotations
@@ -28,9 +35,8 @@ from __future__ import annotations
 import contextlib
 import math
 import time
-import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Protocol, Tuple, runtime_checkable
 
 from repro.core.exceptions import BudgetExceededError, InvalidObjectError
 
@@ -72,6 +78,52 @@ class OracleStats:
         )
 
 
+@runtime_checkable
+class Oracle(Protocol):
+    """Protocol for anything that answers (and accounts for) distance calls.
+
+    :class:`DistanceOracle` and its subclasses satisfy it structurally, as
+    does :class:`~repro.core.tiering.TieredOracle`.  Consumers that accept
+    "an oracle" (resolvers, batchers, engines) need exactly this surface:
+
+    * ``oracle(i, j)`` — resolve one pair, charging on the first request;
+    * ``record(i, j, value)`` — commit an externally computed distance with
+      identical accounting (the batched pipeline's commit half);
+    * ``resolve_batch(pairs)`` — many pairs, serial reference semantics;
+    * ``stats()`` — an :class:`OracleStats` snapshot;
+    * ``n`` / ``calls`` — universe size and charged-call count.
+
+    ``isinstance(obj, Oracle)`` checks member presence only (the usual
+    runtime-checkable protocol semantics), not signatures.
+    """
+
+    @property
+    def n(self) -> int:
+        """Size of the object universe."""
+        ...
+
+    @property
+    def calls(self) -> int:
+        """Number of charged oracle invocations so far."""
+        ...
+
+    def __call__(self, i: int, j: int) -> float:
+        """Return ``dist(i, j)``, charging on the first request for the pair."""
+        ...
+
+    def record(self, i: int, j: int, value: float) -> float:
+        """Commit an externally computed distance with full accounting."""
+        ...
+
+    def resolve_batch(self, pairs: Iterable[Pair]) -> list[float]:
+        """Resolve many pairs, returning distances in input order."""
+        ...
+
+    def stats(self) -> OracleStats:
+        """Snapshot the accounting counters."""
+        ...
+
+
 class DistanceOracle:
     """Expensive-distance-call accountant over ``n`` objects.
 
@@ -84,40 +136,20 @@ class DistanceOracle:
         Number of objects in the universe.
     cost_per_call:
         Simulated latency, in seconds, charged to the virtual clock per
-        uncached call.  Defaults to 0 (count-only accounting).
-        Keyword-only; the historical positional form is accepted with a
-        :class:`DeprecationWarning`.
+        uncached call.  Defaults to 0 (count-only accounting).  Keyword-only.
     budget:
         Optional hard cap on uncached calls; exceeding it raises
-        :class:`~repro.core.exceptions.BudgetExceededError`.  Keyword-only,
-        with the same positional deprecation shim.
+        :class:`~repro.core.exceptions.BudgetExceededError`.  Keyword-only.
     """
 
     def __init__(
         self,
         distance_fn: DistanceFn,
         n: int,
-        *args,
+        *,
         cost_per_call: float = 0.0,
         budget: int | None = None,
     ) -> None:
-        if args:
-            # Deprecation shim: the pre-1.1 signature took cost_per_call and
-            # budget positionally.
-            if len(args) > 2:
-                raise TypeError(
-                    f"DistanceOracle takes at most 4 positional arguments "
-                    f"({2 + len(args)} given)"
-                )
-            warnings.warn(
-                "passing cost_per_call/budget positionally is deprecated; "
-                "use keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            cost_per_call = args[0]
-            if len(args) == 2:
-                budget = args[1]
         if n <= 0:
             raise InvalidObjectError(0, n)
         if cost_per_call < 0:

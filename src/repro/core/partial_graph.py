@@ -44,9 +44,13 @@ _EdgeMirror = Tuple[int, np.ndarray, np.ndarray, np.ndarray]
 
 
 class PartialDistanceGraph:
-    """Known-distance store over ``n`` objects with sorted adjacency lists."""
+    """Known-distance store over ``n`` objects with sorted adjacency lists.
 
-    def __init__(self, n: int) -> None:
+    ``registry=`` (keyword-only) runs :meth:`instrument` at construction —
+    the unified convention shared by every instrumentable object.
+    """
+
+    def __init__(self, n: int, *, registry=None) -> None:
         if n <= 0:
             raise InvalidObjectError(0, n)
         self._n = n
@@ -66,6 +70,8 @@ class PartialDistanceGraph:
         # registry metrics by instrument().
         self.node_mirror_rebuilds = 0
         self.edge_mirror_rebuilds = 0
+        if registry is not None:
+            self.instrument(registry)
 
     # -- introspection ------------------------------------------------------
 

@@ -75,6 +75,13 @@ class ResolverStats:
     ``vectorized_batches`` the multi-pair dispatches that hit a provider's
     array kernel, and ``dijkstra_runs`` the shortest-path trees SPLUB-style
     providers actually computed (synced by :meth:`SmartResolver.collect_stats`).
+
+    The tier counters split resolution cost by oracle tier:
+    ``strong_calls`` mirrors ``oracle_resolutions`` (every charged exact
+    call is a strong call — in a single-oracle run the two are equal by
+    construction), while ``weak_calls`` and ``weak_band`` are synced from a
+    :class:`~repro.core.tiering.WeakBoundProvider` when one is active —
+    charged estimate calls and bound queries the error band tightened.
     """
 
     decided_by_bounds: int = 0
@@ -88,6 +95,9 @@ class ResolverStats:
     bound_cache_hits: int = 0
     vectorized_batches: int = 0
     dijkstra_runs: int = 0
+    weak_calls: int = 0
+    strong_calls: int = 0
+    weak_band: int = 0
 
     @property
     def total_comparisons(self) -> int:
@@ -163,25 +173,35 @@ class SmartResolver:
         self.bound_cache = bound_cache
         self._bound_memo: Dict[Pair, _MemoEntry] = {}
         self.stats = ResolverStats()
-        self.registry = registry
+        self.registry = None
         self._published_stats: Optional[ResolverStats] = None
         self._gap_hist = None
         if registry is not None:
-            # Imported lazily so repro.core stays importable on its own.
-            from repro.obs.bridge import RESOLVER_METRICS
-            from repro.obs.registry import BOUND_GAP_BUCKETS
+            self.instrument(registry)
 
-            self._gap_hist = registry.histogram(
-                "repro_bound_gap",
-                BOUND_GAP_BUCKETS,
-                help_text="Width (ub - lb) of provider bound intervals when computed.",
-            )
-            # Pre-declare every resolver counter family so zero-activity
-            # metrics still appear in snapshots (absent != zero to a scraper).
-            for _field, metric, labels, help_text in RESOLVER_METRICS:
-                family = registry.counter(metric, help_text, labelnames=tuple(labels))
-                if labels:
-                    family.labels(**labels)
+    def instrument(self, registry: Any) -> None:
+        """Attach a metrics registry (the unified ``instrument`` convention).
+
+        Equivalent to passing ``registry=`` at construction: declares the
+        ``repro_bound_gap`` histogram and pre-declares every resolver
+        counter family so zero-activity metrics still appear in snapshots
+        (absent != zero to a scraper).  Stats deltas flow into the registry
+        at each :meth:`collect_stats`.
+        """
+        # Imported lazily so repro.core stays importable on its own.
+        from repro.obs.bridge import RESOLVER_METRICS
+        from repro.obs.registry import BOUND_GAP_BUCKETS
+
+        self.registry = registry
+        self._gap_hist = registry.histogram(
+            "repro_bound_gap",
+            BOUND_GAP_BUCKETS,
+            help_text="Width (ub - lb) of provider bound intervals when computed.",
+        )
+        for _field, metric, labels, help_text in RESOLVER_METRICS:
+            family = registry.counter(metric, help_text, labelnames=tuple(labels))
+            if labels:
+                family.labels(**labels)
 
     @property
     def bounder(self) -> BoundProvider:
@@ -227,6 +247,7 @@ class SmartResolver:
         self.stats.resolutions += 1
         if self.oracle.calls > before:
             self.stats.oracle_resolutions += 1
+            self.stats.strong_calls += 1
         else:
             self.stats.cached_resolutions += 1
         if self.graph.add_edge(i, j, value):
@@ -257,6 +278,7 @@ class SmartResolver:
                 self.stats.resolutions += len(unknown)
                 self.stats.batched_resolutions += len(unknown)
                 self.stats.oracle_resolutions += fresh
+                self.stats.strong_calls += fresh
                 self.stats.cached_resolutions += len(unknown) - fresh
                 for key in unknown:  # sorted — deterministic commit order
                     if self.graph.add_edge(*key, resolved[key]):
@@ -728,13 +750,16 @@ class SmartResolver:
     def collect_stats(self) -> ResolverStats:
         """The live :class:`ResolverStats`, with provider counters synced.
 
-        Pulls ``dijkstra_runs`` from the active provider (SPLUB keeps it;
+        Pulls ``dijkstra_runs``, ``weak_calls``, and ``weak_band`` from the
+        active provider (SPLUB and the weak provider keep them;
         :class:`~repro.core.bounds.IntersectionBounder` sums its members)
         so harness records and CLI tables see one coherent view.  When a
         registry is attached, the delta since the last collection is folded
         into its counters (publishing is idempotent across repeat calls).
         """
         self.stats.dijkstra_runs = int(getattr(self._bounder, "dijkstra_runs", 0))
+        self.stats.weak_calls = int(getattr(self._bounder, "weak_calls", 0))
+        self.stats.weak_band = int(getattr(self._bounder, "weak_band", 0))
         if self.registry is not None:
             from repro.obs.bridge import publish_resolver_stats
 

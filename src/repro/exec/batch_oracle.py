@@ -49,6 +49,9 @@ class BatchOracle:
         before dispatching a batch; every charged call on ``oracle`` is
         written through (including inline resolutions made outside this
         wrapper, via a charge listener).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when given,
+        :meth:`instrument` runs at construction (the unified convention).
     """
 
     def __init__(
@@ -56,6 +59,8 @@ class BatchOracle:
         oracle: DistanceOracle,
         executor: BaseExecutor | None = None,
         cache: CacheBackend | None = None,
+        *,
+        registry=None,
     ) -> None:
         self.oracle = oracle
         self.executor = executor or SerialExecutor()
@@ -65,6 +70,8 @@ class BatchOracle:
         self._preloaded = 0
         if cache is not None:
             oracle.subscribe(self._write_through)
+        if registry is not None:
+            self.instrument(registry)
 
     def instrument(self, registry) -> None:
         """Expose cache accounting on a ``repro.obs`` metrics registry.

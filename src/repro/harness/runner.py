@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Union
 
 from repro.algorithms import clarans, knn_graph, knn_graph_brute, kruskal_mst, pam, prim_mst
 from repro.algorithms.dbscan import dbscan
@@ -25,6 +25,7 @@ from repro.algorithms.prim import prim_mst_comparisons
 from repro.algorithms.tsp import nearest_neighbor_tour
 from repro.bounds.landmarks import bootstrap_with_landmarks, default_num_landmarks
 from repro.core.resolver import ResolverStats, SmartResolver
+from repro.core.tiering import TieredOracle, WeakOracle
 from repro.exec import BatchOracle, ExecutorStats, make_executor, open_cache
 from repro.exec.executor import DEFAULT_WORKERS
 from repro.harness.providers import LANDMARK_PROVIDERS, attach_provider
@@ -100,6 +101,21 @@ class ExperimentRecord:
         return self.resolver_stats.dijkstra_runs if self.resolver_stats else 0
 
     @property
+    def weak_calls(self) -> int:
+        """Charged weak-tier (banded estimate) calls; 0 in strong-only runs."""
+        return self.resolver_stats.weak_calls if self.resolver_stats else 0
+
+    @property
+    def strong_calls(self) -> int:
+        """Charged strong-tier (exact) calls classified by the resolver."""
+        return self.resolver_stats.strong_calls if self.resolver_stats else 0
+
+    @property
+    def weak_band(self) -> int:
+        """Bound queries the weak error band strictly tightened."""
+        return self.resolver_stats.weak_band if self.resolver_stats else 0
+
+    @property
     def total_calls(self) -> int:
         """Bootstrap plus algorithm oracle calls."""
         return self.bootstrap_calls + self.algorithm_calls
@@ -145,6 +161,7 @@ def run_experiment(
     oracle_cache: Optional[str] = None,
     registry: Optional[MetricsRegistry] = None,
     metrics_sink: Optional[MetricsSink] = None,
+    weak_oracle: Union[bool, "WeakOracle", None] = None,
 ) -> ExperimentRecord:
     """Run one measurement.
 
@@ -185,6 +202,13 @@ def run_experiment(
         Optional :class:`~repro.obs.sinks.MetricsSink`; ``export`` is called
         once with the final snapshot.  A private registry is created when a
         sink is given without a registry.
+    weak_oracle:
+        ``True`` asks the space for its native weak tier
+        (:meth:`~repro.spaces.base.BaseSpace.weak_oracle`; error when it
+        has none), a :class:`~repro.core.tiering.WeakOracle` instance is
+        used as given.  The weak tier wraps the configured provider in a
+        base ∩ weak intersection — results stay byte-identical; only the
+        strong-call count drops.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}")
@@ -199,17 +223,34 @@ def run_experiment(
             cache=open_cache(oracle_cache),
         )
         batcher.preload()
+    tiered: Optional[TieredOracle] = None
+    if weak_oracle is True:
+        weak = getattr(space, "weak_oracle", lambda: None)()
+        if weak is None:
+            raise ValueError(
+                f"{type(space).__name__} declares no native weak oracle; "
+                "pass a WeakOracle instance instead"
+            )
+        tiered = TieredOracle(oracle, weak)
+    elif weak_oracle:
+        tiered = TieredOracle(oracle, weak_oracle)
     resolver = SmartResolver(oracle, batcher=batcher, registry=registry)
     if registry is not None:
         oracle_call_counter(registry, oracle)
         resolver.graph.instrument(registry)
         if batcher is not None:
             batcher.instrument(registry)
+        if tiered is not None:
+            tiered.instrument(registry)
     try:
         max_distance = space.diameter_bound()
         _, bootstrap_calls = attach_provider(
             resolver, provider, max_distance, num_landmarks, bootstrap=True
         )
+        if tiered is not None:
+            # Weak intervals intersect the configured provider's bounds —
+            # the weak tier composes with any scheme, including "none".
+            tiered.attach(resolver, max_distance)
         if landmark_bootstrap and provider.lower() not in LANDMARK_PROVIDERS:
             count = num_landmarks or default_num_landmarks(oracle.n)
             before = oracle.calls
@@ -223,6 +264,8 @@ def run_experiment(
     finally:
         if batcher is not None:
             batcher.close()
+        if tiered is not None:
+            tiered.close()
 
     resolver_stats = resolver.collect_stats()
     metrics_snapshot: Optional[Dict[str, float]] = None

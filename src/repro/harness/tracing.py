@@ -11,8 +11,7 @@ run.
 
 Phase labelling is delegated to a thread-local
 :class:`~repro.obs.spans.SpanTracer`, so concurrent engine workers nest
-spans independently instead of interleaving on one shared stack.  The old
-``push_phase``/``pop_phase`` stack survives as a deprecated shim.
+spans independently instead of interleaving on one shared stack.
 """
 
 from __future__ import annotations
@@ -20,7 +19,6 @@ from __future__ import annotations
 import csv
 import os
 import time
-import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -58,8 +56,7 @@ class TracingOracle(DistanceOracle):
     :class:`~repro.obs.spans.SpanTracer`): each engine worker's spans nest
     independently, so calls committed by concurrent jobs are attributed to
     the committing thread's own phase instead of whatever another worker
-    pushed last.  :meth:`push_phase`/:meth:`pop_phase` remain as deprecated
-    shims over the tracer.
+    pushed last.
 
     The oracle is itself a context manager when constructed with
     ``csv_path``: the trace flushes to that file on exit, even when the
@@ -110,29 +107,6 @@ class TracingOracle(DistanceOracle):
     def phase(self, label: str) -> "_PhaseContext":
         """Context manager labelling subsequent calls with ``label``."""
         return _PhaseContext(self, label)
-
-    def push_phase(self, label: str) -> None:
-        """Deprecated: use ``phase(label)`` / ``tracer.span(label)`` instead."""
-        warnings.warn(
-            "TracingOracle.push_phase is deprecated; use oracle.phase(label) "
-            "or oracle.tracer.span(label)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.tracer.push(label)
-
-    def pop_phase(self) -> str:
-        """Deprecated: use ``phase(label)`` / ``tracer.span(label)`` instead."""
-        warnings.warn(
-            "TracingOracle.pop_phase is deprecated; use oracle.phase(label) "
-            "or oracle.tracer.span(label)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        try:
-            return self.tracer.pop()
-        except RuntimeError:
-            raise RuntimeError("pop_phase without a matching push_phase") from None
 
     @property
     def current_phase(self) -> str:

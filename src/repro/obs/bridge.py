@@ -96,6 +96,24 @@ RESOLVER_METRICS: Tuple[Tuple[str, str, Dict[str, str], str], ...] = (
         {},
         "Dijkstra traversals run by the SPLUB bound provider.",
     ),
+    (
+        "weak_calls",
+        "repro_resolver_weak_calls_total",
+        {},
+        "Charged weak-tier (banded estimate) oracle calls.",
+    ),
+    (
+        "strong_calls",
+        "repro_resolver_strong_calls_total",
+        {},
+        "Charged strong-tier (exact) oracle calls.",
+    ),
+    (
+        "weak_band",
+        "repro_resolver_weak_band_total",
+        {},
+        "Bound queries strictly tightened by a weak oracle's error band.",
+    ),
 )
 
 

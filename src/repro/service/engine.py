@@ -61,6 +61,7 @@ from repro.core.oracle import DistanceOracle, canonical_pair
 from repro.core.partial_graph import PartialDistanceGraph
 from repro.core.persistence import load_archive, save_graph, seed_oracle_cache
 from repro.core.resolver import ResolverStats, SmartResolver
+from repro.core.tiering import TieredOracle, WeakOracle
 from repro.exec.executor import BaseExecutor, DEFAULT_WORKERS, make_executor
 from repro.harness.providers import LANDMARK_PROVIDERS, make_provider
 from repro.harness.stats import percentile
@@ -95,11 +96,13 @@ class _JobRuntime:
         "cancel",
         "deadline_at",
         "expired",
+        "use_weak",
     )
 
     def __init__(self, job: Job) -> None:
         self.job_id = job.id
         self.budget = job.spec.oracle_budget
+        self.use_weak = job.spec.use_weak
         self.charged = 0
         self.warm_hits = 0
         #: Canonical pairs this job has already looked at (so a warm pair is
@@ -120,15 +123,18 @@ class _JobResolver(SmartResolver):
     """
 
     def __init__(self, engine: "ProximityEngine", runtime: _JobRuntime) -> None:
+        use_weak = engine._weak_bounder is not None and runtime.use_weak
         super().__init__(
             engine.oracle,
-            bounder=engine.bounder,
+            bounder=engine._weak_bounder if use_weak else engine.bounder,
             graph=engine.graph,
         )
         self._engine = engine
         self._runtime = runtime
-        # Swap the private per-resolver memo for the engine-wide one.
-        self._bound_memo = engine._shared_memo
+        # Swap the private per-resolver memo for the engine-wide one.  Weak
+        # and base providers compute different intervals, so each provider
+        # path keeps its own shared memo — entries stay provider-consistent.
+        self._bound_memo = engine._shared_memo_weak if use_weak else engine._shared_memo
 
     # -- job control ---------------------------------------------------------
 
@@ -243,6 +249,7 @@ class _JobResolver(SmartResolver):
                     self.stats.resolutions += 1
                     if self.oracle.calls > before:
                         self.stats.oracle_resolutions += 1
+                        self.stats.strong_calls += 1
                         rt.charged += 1
                         rt.touched.add(key)
                     else:
@@ -317,9 +324,13 @@ class EngineStats:
     bound_memo_hit_rate: float
     latency_p50_s: float
     latency_p95_s: float
-    #: Merged per-job resolver counters (dijkstra_runs synced from the
-    #: shared provider).
+    #: Merged per-job resolver counters (dijkstra_runs and the weak-tier
+    #: counters synced from the shared providers).
     resolver: ResolverStats = field(repr=False)
+    #: Charged weak-tier (banded estimate) calls; 0 without a weak oracle.
+    weak_calls: int = 0
+    #: Bound queries the weak error band strictly tightened.
+    weak_band: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-friendly dict (used by the socket server's ``stats`` op)."""
@@ -368,6 +379,13 @@ class ProximityEngine:
         Optional :class:`~repro.obs.registry.MetricsRegistry` to publish
         into.  A private registry is created when omitted, so every engine
         always has a ``/metrics``-ready surface at ``engine.registry``.
+    weak_oracle:
+        Optional :class:`~repro.core.tiering.WeakOracle` over the same
+        universe.  When configured, jobs submitted with ``use_weak=True``
+        (the :class:`~repro.service.jobs.JobSpec` default) run against a
+        base ∩ weak bound provider: cheap banded estimates tighten bounds
+        so the strong oracle fires only on inconclusive pairs — answers
+        stay byte-identical either way.
     """
 
     def __init__(
@@ -384,6 +402,7 @@ class ProximityEngine:
         fingerprint: Optional[str] = None,
         restore_from: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
+        weak_oracle: Optional["WeakOracle"] = None,
     ) -> None:
         if job_workers < 1:
             raise ConfigurationError("job_workers must be at least 1")
@@ -408,7 +427,21 @@ class ProximityEngine:
         self._oracle_lock = threading.RLock()
         self._exec_lock = threading.Lock()
         self._shared_memo: Dict[Pair, tuple] = {}
+        self._shared_memo_weak: Dict[Pair, tuple] = {}
         self._stats_lock = threading.Lock()
+        # Weak-tier mutation (estimate cache fills) happens under the
+        # engine's *read* lock, so it gets its own mutex.
+        self._weak_lock = threading.Lock()
+        self.tiered: Optional[TieredOracle] = None
+        self._weak_bounder: Optional[BoundProvider] = None
+        if weak_oracle is not None:
+            self.tiered = TieredOracle(oracle, weak_oracle)
+            self._weak_bounder = self.tiered.bounder(
+                self.graph,
+                base=self.bounder,
+                max_distance=max_distance,
+                lock=self._weak_lock,
+            )
         self._job_seq = 0
         self._latencies: List[float] = []
         self._edges_since_snapshot = 0
@@ -417,15 +450,7 @@ class ProximityEngine:
         self._queue = JobQueue()
         self._workers: List[threading.Thread] = []
 
-        self.registry = registry if registry is not None else MetricsRegistry()
-        self._register_metrics()
-        #: Engine-side span tracer: one span per executed job, labeled by
-        #: job kind, timed into ``repro_job_phase_seconds{span=<kind>}``.
-        self.tracer = SpanTracer(
-            registry=self.registry,
-            histogram="repro_job_phase_seconds",
-            root="engine",
-        )
+        self.instrument(registry if registry is not None else MetricsRegistry())
 
         self.bootstrap_calls = 0
         if provider.lower() in LANDMARK_PROVIDERS:
@@ -447,14 +472,27 @@ class ProximityEngine:
         for worker in self._workers:
             worker.start()
 
-    def _register_metrics(self) -> None:
-        """Declare every engine-owned metric family on ``self.registry``.
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Attach ``registry`` (the unified ``instrument`` convention).
 
-        Counters the engine increments itself (jobs, warm hits, snapshots)
-        are plain; numbers that already have one authoritative owner
-        (oracle calls, queue depth, graph size, provider Dijkstra runs)
-        are callback-backed so the registry can never drift from them.
+        Declares every engine-owned metric family and rebinds the job span
+        tracer.  Counters the engine increments itself (jobs, warm hits,
+        snapshots) are plain; numbers that already have one authoritative
+        owner (oracle calls, queue depth, graph size, provider Dijkstra
+        runs, weak-tier calls) are callback-backed so the registry can
+        never drift from them.
         """
+        self.registry = registry
+        self._register_metrics()
+        #: Engine-side span tracer: one span per executed job, labeled by
+        #: job kind, timed into ``repro_job_phase_seconds{span=<kind>}``.
+        self.tracer = SpanTracer(
+            registry=registry,
+            histogram="repro_job_phase_seconds",
+            root="engine",
+        )
+
+    def _register_metrics(self) -> None:
         r = self.registry
         self._m_submitted = r.counter(
             "repro_jobs_submitted_total", "Jobs accepted by submit()."
@@ -493,6 +531,21 @@ class ProximityEngine:
             "Dijkstra traversals run by the SPLUB bound provider.",
             fn=lambda: int(getattr(self.bounder, "dijkstra_runs", 0)),
         )
+        if self.tiered is not None:
+            # Weak-tier counters live on the shared provider (engine-wide,
+            # not per-job), so they are callback-backed like dijkstra_runs;
+            # registered before the pre-declare loop below so the loop
+            # returns these families instead of plain counters.
+            r.counter(
+                "repro_resolver_weak_calls_total",
+                "Charged weak-tier (banded estimate) oracle calls.",
+                fn=lambda: int(getattr(self._weak_bounder, "weak_calls", 0)),
+            )
+            r.counter(
+                "repro_resolver_weak_band_total",
+                "Bound queries strictly tightened by a weak oracle's error band.",
+                fn=lambda: int(getattr(self._weak_bounder, "weak_band", 0)),
+            )
         # Pre-declare the remaining resolver counter families so a fresh
         # engine's /metrics surface already lists every documented name
         # (absent != zero to a scraper).
@@ -524,15 +577,34 @@ class ProximityEngine:
         space: MetricSpace,
         provider: str = "tri",
         oracle_cost: float = 0.0,
+        weak_oracle: Union[bool, "WeakOracle", None] = None,
         **kwargs: Any,
     ) -> "ProximityEngine":
-        """Build an engine for a metric space with a derived fingerprint."""
+        """Build an engine for a metric space with a derived fingerprint.
+
+        ``weak_oracle=True`` asks the space for its native weak tier
+        (:meth:`~repro.spaces.base.BaseSpace.weak_oracle`), raising
+        :class:`~repro.core.exceptions.ConfigurationError` when the space
+        has none; a ready :class:`~repro.core.tiering.WeakOracle` instance
+        is used as given; ``None``/``False`` runs strong-only.
+        """
         oracle = space.oracle(cost_per_call=oracle_cost)
+        weak: Optional[WeakOracle] = None
+        if weak_oracle is True:
+            weak = getattr(space, "weak_oracle", lambda: None)()
+            if weak is None:
+                raise ConfigurationError(
+                    f"{type(space).__name__} declares no native weak oracle; "
+                    "pass a WeakOracle instance instead"
+                )
+        elif weak_oracle:
+            weak = weak_oracle
         kwargs.setdefault("fingerprint", space_fingerprint(space))
         return cls(
             oracle,
             provider=provider,
             max_distance=space.diameter_bound(),
+            weak_oracle=weak,
             **kwargs,
         )
 
@@ -558,6 +630,7 @@ class ProximityEngine:
         oracle_budget: Optional[int] = None,
         deadline: Optional[float] = None,
         label: str = "",
+        use_weak: bool = True,
         **params: Any,
     ) -> Job:
         """Keyword-style :meth:`submit` convenience."""
@@ -569,6 +642,7 @@ class ProximityEngine:
                 oracle_budget=oracle_budget,
                 deadline=deadline,
                 label=label,
+                use_weak=use_weak,
             )
         )
 
@@ -623,12 +697,6 @@ class ProximityEngine:
                 stack.enter_context(self.tracer.span(spec.kind))
                 if isinstance(oracle_tracer, SpanTracer):
                     stack.enter_context(oracle_tracer.span(label))
-                else:
-                    # Legacy oracles that expose only the push/pop stack.
-                    push_phase = getattr(self.oracle, "push_phase", None)
-                    if callable(push_phase):
-                        push_phase(label)
-                        stack.callback(self.oracle.pop_phase)
                 value = self._run_kind(resolver, spec)
         except JobBudgetExhaustedError as exc:
             status = JobStatus.PARTIAL
@@ -816,6 +884,10 @@ class ProximityEngine:
             latencies = list(self._latencies)
         resolver = resolver_stats_view(self.registry)
         resolver.dijkstra_runs = int(getattr(self.bounder, "dijkstra_runs", 0))
+        weak_calls = int(getattr(self._weak_bounder, "weak_calls", 0))
+        weak_band = int(getattr(self._weak_bounder, "weak_band", 0))
+        resolver.weak_calls = weak_calls
+        resolver.weak_band = weak_band
         queries = resolver.bound_queries
 
         def status_count(status: JobStatus) -> int:
@@ -846,6 +918,8 @@ class ProximityEngine:
             latency_p50_s=percentile(latencies, 50) if latencies else 0.0,
             latency_p95_s=percentile(latencies, 95) if latencies else 0.0,
             resolver=resolver,
+            weak_calls=weak_calls,
+            weak_band=weak_band,
         )
 
     def render_metrics(self) -> str:
@@ -870,6 +944,8 @@ class ProximityEngine:
             self.snapshot()
         if self.executor is not None:
             self.executor.close()
+        if self.tiered is not None:
+            self.tiered.close()
 
     def __enter__(self) -> "ProximityEngine":
         return self

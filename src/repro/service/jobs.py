@@ -82,6 +82,11 @@ class JobSpec:
         with :attr:`JobStatus.EXPIRED`.
     label:
         Free-form tag surfaced in stats and oracle-trace phase labels.
+    use_weak:
+        Run against the engine's weak-tier bound provider when one is
+        configured (default).  ``False`` forces strong-only bounds for this
+        job — answers are identical either way, only the strong-call count
+        differs.  Ignored on engines without a weak oracle.
     """
 
     kind: str
@@ -90,6 +95,7 @@ class JobSpec:
     oracle_budget: Optional[int] = None
     deadline: Optional[float] = None
     label: str = ""
+    use_weak: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:

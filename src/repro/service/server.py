@@ -89,6 +89,7 @@ def spec_from_dict(payload: Dict[str, Any]) -> JobSpec:
         oracle_budget=payload.get("oracle_budget"),
         deadline=payload.get("deadline"),
         label=str(payload.get("label", "")),
+        use_weak=bool(payload.get("use_weak", True)),
     )
 
 

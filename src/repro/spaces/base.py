@@ -60,6 +60,18 @@ class BaseSpace:
         """Wrap this space in a counting :class:`DistanceOracle`."""
         return DistanceOracle(self.distance, self._n, cost_per_call=cost_per_call, budget=budget)
 
+    def weak_oracle(self):
+        """A cheap banded estimator for this space, or ``None``.
+
+        Spaces with a natural weak tier (crow-flies distance under a road
+        metric, character-histogram bounds under edit distance, coordinate
+        projections under Minkowski metrics) override this to return a
+        :class:`~repro.core.tiering.WeakOracle` whose declared error band
+        provably holds for every pair.  The base implementation returns
+        ``None`` — no sound cheap estimator is known for the space.
+        """
+        return None
+
 
 def check_metric_axioms(
     space: MetricSpace,

@@ -55,6 +55,7 @@ class RoadNetworkSpace(BaseSpace):
             raise ValueError("detour factors must satisfy 1 <= lo <= hi")
         super().__init__(points.shape[0])
         self.points = points
+        self._detour_lo = lo
         rng = rng or np.random.default_rng(0)
         self._adjacency = self._build_road_graph(points, k, (lo, hi), rng)
         self._row_cache: Dict[int, np.ndarray] = {}
@@ -129,3 +130,27 @@ class RoadNetworkSpace(BaseSpace):
     def num_roads(self) -> int:
         """Number of undirected road segments in the network."""
         return int(self._adjacency.nnz // 2)
+
+    def weak_oracle(self):
+        """Crow-flies estimator: the maps-API-free weak tier.
+
+        Every road segment weighs ``euclid * detour`` with
+        ``detour >= lo``, so any path is at least ``lo`` times the summed
+        straight-line hops, which the triangle inequality collapses to
+        ``lo * euclid(i, j)``.  The band is therefore ``(lo, inf)``: a pure
+        lower-bound estimator (a road trip is never shorter than ``lo``
+        times the crow-flies distance, but may wind arbitrarily).
+        """
+        from repro.core.tiering import WeakBand, WeakOracle
+
+        points = self.points
+
+        def euclid(i: int, j: int) -> float:
+            return float(np.linalg.norm(points[i] - points[j]))
+
+        return WeakOracle(
+            euclid,
+            self.n,
+            WeakBand(self._detour_lo, np.inf),
+            name="crowflies",
+        )

@@ -65,6 +65,37 @@ class EditDistanceSpace(BaseSpace):
     def diameter_bound(self) -> float:
         return 1.0 if self._normalise else float(self._max_len)
 
+    def weak_oracle(self):
+        """Character-histogram estimator: ``O(|a| + |b|)`` vs the DP's product.
+
+        ``max(|len(a) - len(b)|, L1(hist(a), hist(b)) / 2)`` is a classic
+        Levenshtein lower bound: every unit of length difference forces an
+        insert/delete, and each edit operation changes the character
+        histogram by at most two units of L1 mass.  Band ``(1, inf)`` — the
+        true distance is never below the estimate, with no upper guarantee.
+        Normalised spaces scale the estimate by the same ``1 / max_len``
+        as the metric, which preserves the band.
+        """
+        import math
+        from collections import Counter
+
+        from repro.core.tiering import WeakBand, WeakOracle
+
+        histograms = [Counter(s) for s in self.strings]
+        strings, scale = self.strings, (1.0 / self._max_len if self._normalise else 1.0)
+
+        def histogram_bound(i: int, j: int) -> float:
+            ha, hb = histograms[i], histograms[j]
+            l1 = sum(abs(ha[c] - hb[c]) for c in ha.keys() | hb.keys())
+            return scale * max(abs(len(strings[i]) - len(strings[j])), l1 // 2)
+
+        return WeakOracle(
+            histogram_bound,
+            self.n,
+            WeakBand(1.0, math.inf),
+            name="histogram",
+        )
+
 
 def random_strings(
     n: int,

@@ -57,6 +57,31 @@ class MinkowskiSpace(BaseSpace):
             return float(span.max())
         return float((span**self.p).sum() ** (1.0 / self.p))
 
+    def weak_oracle(self, dims: int | None = None):
+        """Coordinate-projection estimator: ``L_p`` over a dimension prefix.
+
+        Dropping coordinates can only shrink an ``L_p`` norm, so the
+        projected distance is a true lower bound — band ``(1, inf)``.  The
+        default keeps at most 16 of the first ``d - 1`` dimensions (the
+        estimator must be strictly cheaper than the metric to be worth a
+        tier); single-dimension spaces project onto their one axis, where
+        the estimate happens to be exact.
+        """
+        from repro.core.tiering import WeakBand, WeakOracle
+
+        d = self.points.shape[1]
+        if dims is None:
+            dims = max(1, min(16, d - 1))
+        if not 1 <= dims <= d:
+            raise ValueError(f"dims must be in [1, {d}]; got {dims}")
+        projected = MinkowskiSpace(self.points[:, :dims], p=self.p)
+        return WeakOracle(
+            projected.distance,
+            self.n,
+            WeakBand(1.0, math.inf),
+            name=f"proj{dims}",
+        )
+
 
 class EuclideanSpace(MinkowskiSpace):
     """Points under the Euclidean (``L_2``) metric."""

@@ -126,33 +126,27 @@ class TestDistanceOracle:
             DistanceOracle(manhattan_1d, 5, budget=-1)
 
 
-class TestDeprecatedPositionalConstructor:
-    def test_positional_cost_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="positionally"):
-            oracle = DistanceOracle(manhattan_1d, 10, 0.5)
-        assert oracle.cost_per_call == 0.5
-        oracle(0, 1)
-        assert oracle.simulated_seconds == pytest.approx(0.5)
+class TestKeywordOnlyConstructor:
+    """The positional cost/budget shim (deprecated in PR 1) is gone:
+    ``cost_per_call`` and ``budget`` are keyword-only."""
 
-    def test_positional_budget_warns_but_works(self):
-        with pytest.warns(DeprecationWarning):
-            oracle = DistanceOracle(manhattan_1d, 10, 0.0, 1)
-        oracle(0, 1)
-        from repro.core.exceptions import BudgetExceededError as BEE
-
-        with pytest.raises(BEE):
-            oracle(0, 2)
-
-    def test_too_many_positionals_rejected(self):
+    def test_positional_cost_rejected(self):
         with pytest.raises(TypeError):
-            DistanceOracle(manhattan_1d, 10, 0.0, 1, "extra")
+            DistanceOracle(manhattan_1d, 10, 0.5)
+
+    def test_positional_budget_rejected(self):
+        with pytest.raises(TypeError):
+            DistanceOracle(manhattan_1d, 10, 0.0, 1)
 
     def test_keyword_form_does_not_warn(self):
         import warnings as _warnings
 
         with _warnings.catch_warnings():
             _warnings.simplefilter("error")
-            DistanceOracle(manhattan_1d, 10, cost_per_call=0.5, budget=3)
+            oracle = DistanceOracle(manhattan_1d, 10, cost_per_call=0.5, budget=3)
+        assert oracle.cost_per_call == 0.5
+        oracle(0, 1)
+        assert oracle.simulated_seconds == pytest.approx(0.5)
 
 
 class TestBatchedExecutionSurface:

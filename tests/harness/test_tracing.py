@@ -73,37 +73,15 @@ class TestPhases:
         assert sum(per_phase.values()) == oracle.calls
 
 
-class TestPhaseStack:
-    """The push/pop stack is deprecated in favour of ``tracer.span(...)``
-    but must keep working (and warning) until callers migrate."""
+class TestSpanTracerPhases:
+    """The push/pop shim (deprecated in PR 5) is gone; ``tracer.span(...)``
+    is the only stack-shaped phase API."""
 
-    def test_push_pop(self, oracle):
-        with pytest.warns(DeprecationWarning):
-            oracle.push_phase("alpha")
-        oracle(0, 1)
-        with pytest.warns(DeprecationWarning):
-            oracle.push_phase("beta")
-        oracle(0, 2)
-        with pytest.warns(DeprecationWarning):
-            assert oracle.pop_phase() == "beta"
-        oracle(0, 3)
-        with pytest.warns(DeprecationWarning):
-            assert oracle.pop_phase() == "alpha"
-        assert oracle.current_phase == "default"
-        assert oracle.calls_per_phase() == {"alpha": 2, "beta": 1}
+    def test_push_pop_shims_removed(self, oracle):
+        assert not hasattr(oracle, "push_phase")
+        assert not hasattr(oracle, "pop_phase")
 
-    def test_pop_without_push_raises(self, oracle):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(RuntimeError, match="without a matching push"):
-                oracle.pop_phase()
-
-    def test_reset_clears_phase_stack(self, oracle):
-        with pytest.warns(DeprecationWarning):
-            oracle.push_phase("stuck")
-        oracle.reset()
-        assert oracle.current_phase == "default"
-
-    def test_span_api_replaces_push_pop_without_warning(self, oracle, recwarn):
+    def test_span_api_does_not_warn(self, oracle, recwarn):
         with oracle.tracer.span("alpha"):
             oracle(0, 1)
         assert oracle.calls_per_phase() == {"alpha": 1}
