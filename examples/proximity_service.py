@@ -12,17 +12,56 @@ service-layer guarantees in action:
 3. **Warm restarts** — a snapshot taken at shutdown restores into a new
    engine that replays the workload without paying a single call.
 
-Run with:  python examples/proximity_service.py
+It finishes by putting the warm engine behind the asyncio front-end and
+round-tripping the JSON-lines protocol over either transport:
+
+Run with:  python examples/proximity_service.py                  # Unix socket
+           python examples/proximity_service.py --transport tcp  # TCP
+           python examples/proximity_service.py --transport tcp --port 9200
 """
 
+import argparse
 import tempfile
 from pathlib import Path
 
 from repro.datasets import sf_poi_space
-from repro.service import JobStatus, ProximityEngine
+from repro.service import (
+    AsyncProximityServer,
+    JobStatus,
+    ProximityEngine,
+    send_request,
+)
+
+
+def serve_and_query(engine, transport: str, port: int) -> None:
+    """Stand the engine behind the asyncio front-end and talk to it."""
+    if transport == "tcp":
+        server = AsyncProximityServer(engine, host="127.0.0.1", port=port)
+    else:
+        sock = Path(tempfile.gettempdir()) / "repro_example.sock"
+        server = AsyncProximityServer(engine, socket_path=str(sock))
+    with server:
+        target = (
+            f"127.0.0.1:{server.port}" if transport == "tcp" else str(server.socket_path)
+        )
+        print(f"serving over {transport} at {target}")
+        pong = send_request(target, {"op": "ping"})
+        answer = send_request(
+            target,
+            {"op": "submit", "spec": {"kind": "knn", "params": {"query": 3, "k": 5}}},
+        )
+        print(f"ping → {pong['ok']}; served knn over {transport}: "
+              f"{answer['result']['status']}, "
+              f"charged {answer['result']['charged_calls']} calls")
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--transport", choices=("unix", "tcp"), default="unix")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral; ignored for unix)")
+    args = parser.parse_args()
+
     space = sf_poi_space(n=120, seed=5, road=False)
     snapshot = Path(tempfile.gettempdir()) / "repro_engine_warm.npz"
 
@@ -65,6 +104,9 @@ def main() -> None:
               f"({warm.snapshot_stats().restored_edges:,} edges restored)")
         assert warm.oracle.calls == 0
         assert replay.value == repeat.value
+
+        # --- 4. the same engine behind a socket ----------------------------
+        serve_and_query(warm, args.transport, args.port)
 
     print("same answers, zero re-paid distances — the warm state is an asset")
 

@@ -35,13 +35,30 @@ from repro.harness import (
     run_experiment,
 )
 
-DATASETS = {
-    "sf": lambda n, seed: sf_poi_space(n, seed=seed),
-    "sf-euclid": lambda n, seed: sf_poi_space(n, seed=seed, road=False),
-    "urbangb": lambda n, seed: urbangb_space(n, seed=seed),
-    "urbangb-euclid": lambda n, seed: urbangb_space(n, seed=seed, road=False),
-    "flickr": lambda n, seed: flickr_space(n, seed=seed),
+# (factory, fixed kwargs) per dataset name.  The factories are module-level
+# functions, so the resulting SpaceHandle pickles by reference — which is
+# what lets shard subprocesses and oracle worker processes rebuild the same
+# space without shipping distance matrices around.
+DATASET_BUILDERS = {
+    "sf": (sf_poi_space, {}),
+    "sf-euclid": (sf_poi_space, {"road": False}),
+    "urbangb": (urbangb_space, {}),
+    "urbangb-euclid": (urbangb_space, {"road": False}),
+    "flickr": (flickr_space, {}),
 }
+
+DATASETS = {
+    name: (lambda n, seed, _f=factory, _kw=extra: _f(n, seed=seed, **_kw))
+    for name, (factory, extra) in DATASET_BUILDERS.items()
+}
+
+
+def dataset_handle(name: str, n: int, seed: int):
+    """A picklable :class:`~repro.spaces.handles.SpaceHandle` for a dataset."""
+    from repro.spaces.handles import handle_for
+
+    factory, extra = DATASET_BUILDERS[name]
+    return handle_for(factory, n, seed=seed, **extra)
 
 ALGORITHM_PARAMS = {
     "knng": ("k",),
@@ -254,27 +271,78 @@ def _cmd_indexes(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Run a persistent proximity engine behind a local socket."""
+    """Run a persistent proximity engine behind a local or TCP socket."""
     from repro.service import ProximityEngine, ProximityServer
 
-    space = _build_space(args)
-    engine = ProximityEngine.for_space(
-        space,
-        provider=args.provider,
-        job_workers=args.job_workers,
-        snapshot_path=args.snapshot_path,
-        snapshot_every=args.snapshot_every,
-        restore_from=args.restore_from,
-        weak_oracle=args.weak_oracle,
-    )
-    server = ProximityServer(engine, args.socket)
+    if args.transport == "unix" and not args.socket:
+        print("error: --transport unix requires --socket", file=sys.stderr)
+        return 2
+    if args.transport == "tcp" and args.port is None:
+        print("error: --transport tcp requires --port", file=sys.stderr)
+        return 2
+
+    sharded = args.shards > 1
+    if sharded:
+        from repro.service import ShardedEngine
+
+        if args.snapshot_path or args.snapshot_every:
+            print(
+                "error: --snapshot-path/--snapshot-every are not supported "
+                "with --shards > 1 (use the snapshot op against the running "
+                "coordinator instead)",
+                file=sys.stderr,
+            )
+            return 2
+        engine = ShardedEngine(
+            dataset_handle(args.dataset, args.n, args.seed),
+            num_shards=args.shards,
+            provider=args.provider,
+        )
+        if args.restore_from:
+            engine.restore(args.restore_from)
+        backend = engine
+        n = engine.n
+    else:
+        space = _build_space(args)
+        engine = ProximityEngine.for_space(
+            space,
+            provider=args.provider,
+            job_workers=args.job_workers,
+            snapshot_path=args.snapshot_path,
+            snapshot_every=args.snapshot_every,
+            restore_from=args.restore_from,
+            weak_oracle=args.weak_oracle,
+        )
+        backend = engine
+        n = space.n
+
+    if args.transport == "tcp" or sharded:
+        from repro.service import AsyncProximityServer
+
+        server = AsyncProximityServer(
+            backend,
+            socket_path=args.socket if args.transport == "unix" else None,
+            host=args.host,
+            port=args.port if args.transport == "tcp" else None,
+        )
+        server.start()
+        where = (
+            f"{args.host or '127.0.0.1'}:{server.port}"
+            if args.transport == "tcp"
+            else args.socket
+        )
+    else:
+        server = ProximityServer(engine, args.socket)
+        where = args.socket
+    shard_note = f", shards={args.shards}" if sharded else ""
     print(
-        f"serving {args.dataset} (n={space.n}, provider={args.provider}, "
-        f"job workers={args.job_workers}) on {args.socket}"
+        f"serving {args.dataset} (n={n}, provider={args.provider}"
+        f"{shard_note}) on {args.transport} {where}"
     )
     try:
         if args.serve_seconds is not None:
-            server.start()
+            if isinstance(server, ProximityServer):
+                server.start()
             time.sleep(args.serve_seconds)
         else:  # pragma: no cover - interactive path
             server.serve_forever()
@@ -283,11 +351,20 @@ def _cmd_serve(args) -> int:
     finally:
         server.close()
         engine.close()
-    stats = engine.snapshot_stats()
-    print(
-        f"served {stats.jobs_submitted} jobs, {stats.oracle_calls} oracle "
-        f"calls, {stats.warm_resolutions} warm resolutions"
-    )
+    if sharded:
+        agg = engine.last_stats or {}
+        print(
+            f"served {agg.get('jobs_submitted', 0)} jobs, "
+            f"{agg.get('oracle_calls', 0)} oracle calls, "
+            f"{agg.get('warm_resolutions', 0)} warm resolutions "
+            f"across {args.shards} shards"
+        )
+    else:
+        stats = engine.snapshot_stats()
+        print(
+            f"served {stats.jobs_submitted} jobs, {stats.oracle_calls} oracle "
+            f"calls, {stats.warm_resolutions} warm resolutions"
+        )
     return 0
 
 
@@ -432,8 +509,19 @@ def build_parser() -> argparse.ArgumentParser:
                          "the engine's bound provider (answers unchanged)")
     serve_p.add_argument("--job-workers", dest="job_workers", type=_workers_arg,
                          default=2, help="concurrent query-job workers")
-    serve_p.add_argument("--socket", required=True,
-                         help="unix socket path to listen on")
+    serve_p.add_argument("--transport", choices=["unix", "tcp"], default="unix",
+                         help="listen on a unix socket (default) or TCP")
+    serve_p.add_argument("--socket", default=None,
+                         help="unix socket path to listen on "
+                         "(required for --transport unix)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address for --transport tcp")
+    serve_p.add_argument("--port", type=int, default=None,
+                         help="TCP port for --transport tcp (0 = ephemeral, "
+                         "printed at startup)")
+    serve_p.add_argument("--shards", type=_workers_arg, default=1,
+                         help="partition the dataset across this many "
+                         "shard processes sharing one resolved-edge store")
     serve_p.add_argument("--snapshot-path", dest="snapshot_path",
                          type=_cache_path_arg, default=None,
                          help="warm-state snapshot file (written periodically "
@@ -452,8 +540,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p = sub.add_parser(
         "submit", help="send one query job to a running 'repro serve' engine"
     )
-    submit_p.add_argument("--socket", required=True,
-                          help="unix socket of the running engine")
+    submit_p.add_argument("--socket", "--target", dest="socket", required=True,
+                          metavar="TARGET",
+                          help="unix socket path or host:port of the "
+                          "running engine")
     submit_p.add_argument("--kind", default=None,
                           choices=["knn", "range", "nearest", "medoid",
                                    "knng", "mst"])
@@ -476,8 +566,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p = sub.add_parser(
         "stats", help="inspect a running 'repro serve' engine's counters"
     )
-    stats_p.add_argument("--socket", required=True,
-                         help="unix socket of the running engine")
+    stats_p.add_argument("--socket", "--target", dest="socket", required=True,
+                         metavar="TARGET",
+                         help="unix socket path or host:port of the "
+                         "running engine")
     stats_p.add_argument("--snapshot", action="store_true",
                          help="print the raw metrics registry in Prometheus "
                          "text format instead of the readable stats table")

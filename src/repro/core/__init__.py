@@ -21,6 +21,7 @@ from repro.core.exceptions import (
     SolverError,
     UnknownDistanceError,
 )
+from repro.core.csr_store import CSRStore
 from repro.core.locking import ReadWriteLock
 from repro.core.oracle import (
     DistanceOracle,
@@ -32,10 +33,13 @@ from repro.core.oracle import (
 from repro.core.partial_graph import PartialDistanceGraph
 from repro.core.tiering import TieredOracle, WeakBand, WeakBoundProvider, WeakOracle
 from repro.core.persistence import (
+    ColumnSet,
     GraphArchive,
     load_archive,
+    load_columns,
     load_graph,
     resume_resolver,
+    save_columns,
     save_graph,
     seed_oracle_cache,
 )
@@ -47,6 +51,8 @@ __all__ = [
     "BoundProvider",
     "Bounds",
     "BudgetExceededError",
+    "CSRStore",
+    "ColumnSet",
     "ConfigurationError",
     "DistanceOracle",
     "GraphArchive",
@@ -74,8 +80,10 @@ __all__ = [
     "WeakBoundProvider",
     "WeakOracle",
     "load_archive",
+    "load_columns",
     "load_graph",
     "resume_resolver",
+    "save_columns",
     "save_graph",
     "seed_oracle_cache",
     "WallClockOracle",

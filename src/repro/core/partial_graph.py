@@ -28,6 +28,7 @@ vectorised bound kernels and bound memos key their caches on it.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from itertools import islice
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -70,6 +71,9 @@ class PartialDistanceGraph:
         # registry metrics by instrument().
         self.node_mirror_rebuilds = 0
         self.edge_mirror_rebuilds = 0
+        # Optional bound CSRStore (attach_store): rows [0, num_edges) of the
+        # store correspond 1:1, in order, to this graph's edges.
+        self._store = None
         if registry is not None:
             self.instrument(registry)
 
@@ -163,9 +167,77 @@ class PartialDistanceGraph:
         self._weights[key] = distance
         self._insert_neighbor(key[0], key[1], distance)
         self._insert_neighbor(key[1], key[0], distance)
+        store = self._store
+        if store is not None and store.writable:
+            store.append(key[0], key[1], distance)
         for listener in self._edge_listeners:
             listener(key[0], key[1], distance)
         return True
+
+    # -- shared-memory store binding ----------------------------------------
+
+    @property
+    def store(self):
+        """The bound :class:`~repro.core.csr_store.CSRStore`, or ``None``."""
+        return self._store
+
+    def attach_store(self, store) -> None:
+        """Bind a :class:`~repro.core.csr_store.CSRStore` to this graph.
+
+        After binding, store rows ``[0, num_edges)`` mirror this graph's
+        edges in insertion order: a *writable* store receives every future
+        :meth:`add_edge` as an append (and is backfilled with the graph's
+        current edges if it is empty), while a *read-only* store is the
+        source the graph replays from — new rows published by the writing
+        process land here via :meth:`sync_from_store`.  Store edges absent
+        from the graph are merged in first; a weight conflict raises
+        ``ValueError`` and leaves no binding.
+        """
+        if self._store is not None:
+            raise ValueError("graph already has a bound store")
+        if store.n != self._n:
+            raise ValueError(
+                f"store covers {store.n} objects but the graph has {self._n}"
+            )
+        backfill = store.writable and store.num_edges == 0 and self._weights
+        for i, j, w in store.iter_edges():
+            existing = self._weights.get(canonical_pair(i, j))
+            if existing is not None and existing != w:
+                raise ValueError(
+                    f"store edge ({i}, {j}) has weight {w} but the graph "
+                    f"knows {existing}"
+                )
+        for i, j, w in store.iter_edges():
+            self.add_edge(i, j, w)
+        if backfill:
+            for (i, j), w in self._weights.items():
+                store.append(i, j, w)
+        if store.num_edges != len(self._weights):
+            raise ValueError(
+                f"cannot bind: store holds {store.num_edges} edges but the "
+                f"graph has {len(self._weights)} (read-only stores must "
+                "cover every graph edge)"
+            )
+        self._store = store
+
+    def sync_from_store(self) -> int:
+        """Replay rows a writer published since the last sync; return the count.
+
+        Only meaningful on a graph bound to a *read-only* store (shard
+        processes attached to another process's store); a writable store is
+        fed by this graph and is already current.
+        """
+        store = self._store
+        if store is None:
+            raise ValueError("no store bound to this graph")
+        if store.writable:
+            return 0
+        store.refresh()
+        added = 0
+        for i, j, w in islice(store.iter_edges(), len(self._weights), None):
+            if self.add_edge(i, j, w):
+                added += 1
+        return added
 
     def subscribe_edges(self, listener: Callable[[int, int, float], None]) -> None:
         """Register ``listener(i, j, distance)`` to run after every new edge.
@@ -263,8 +335,15 @@ class PartialDistanceGraph:
 
         Rows appear in resolution (insertion) order with ``i < j``; rebuilt
         lazily when :attr:`epoch` has moved.  Do not mutate the arrays.
+
+        When a store is bound and current (row count equals the graph's
+        edge count) the store's columns are returned directly — zero-copy
+        for a single-segment store.
         """
         m = len(self._weights)
+        store = self._store
+        if store is not None and store.num_edges == m:
+            return store.edge_columns()
         mirror = self._edge_mirror
         if mirror is None or mirror[0] != m:
             self.edge_mirror_rebuilds += 1

@@ -53,6 +53,56 @@ class GraphArchive:
         return None if value is None else str(value)
 
 
+@dataclass
+class ColumnSet:
+    """Raw edge columns of an archive, before any graph is rebuilt.
+
+    The columnar twin of :class:`GraphArchive`:
+    :class:`~repro.core.csr_store.CSRStore` loads archives through this
+    (no per-edge Python objects), while :func:`load_archive` layers the
+    full replay-into-a-graph validation on top.
+    """
+
+    n: int
+    i: np.ndarray
+    j: np.ndarray
+    w: np.ndarray
+    version: int
+    epoch: int
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+def save_columns(
+    path: PathLike,
+    n: int,
+    i: np.ndarray,
+    j: np.ndarray,
+    w: np.ndarray,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write raw edge columns as a v2 archive.
+
+    The per-node epoch counters are derived from the columns (node epoch ==
+    known degree), so a store and a graph holding the same edge set emit
+    identical archives.  ``metadata`` must be JSON-serialisable.
+    """
+    i_arr = np.asarray(i, dtype=np.int64)
+    j_arr = np.asarray(j, dtype=np.int64)
+    w_arr = np.asarray(w, dtype=np.float64)
+    node_epochs = np.bincount(i_arr, minlength=n) + np.bincount(j_arr, minlength=n)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        n=np.int64(n),
+        i=i_arr,
+        j=j_arr,
+        w=w_arr,
+        epoch=np.int64(len(i_arr)),
+        node_epochs=node_epochs.astype(np.int64),
+        metadata=np.array(json.dumps(metadata or {})),
+    )
+
+
 def save_graph(
     graph: PartialDistanceGraph,
     path: PathLike,
@@ -64,36 +114,17 @@ def save_graph(
     dataset fingerprint and oracle name there so :func:`load_archive` (and
     ``Engine.restore``) can detect snapshots from a different dataset.
     """
-    edges = list(graph.edges())
-    if edges:
-        i_arr = np.array([e[0] for e in edges], dtype=np.int64)
-        j_arr = np.array([e[1] for e in edges], dtype=np.int64)
-        w_arr = np.array([e[2] for e in edges], dtype=np.float64)
-    else:
-        i_arr = np.empty(0, dtype=np.int64)
-        j_arr = np.empty(0, dtype=np.int64)
-        w_arr = np.empty(0, dtype=np.float64)
-    node_epochs = np.array(
-        [graph.node_epoch(i) for i in range(graph.n)], dtype=np.int64
-    )
-    np.savez_compressed(
-        path,
-        version=np.int64(_FORMAT_VERSION),
-        n=np.int64(graph.n),
-        i=i_arr,
-        j=j_arr,
-        w=w_arr,
-        epoch=np.int64(graph.epoch),
-        node_epochs=node_epochs,
-        metadata=np.array(json.dumps(metadata or {})),
-    )
+    i_arr, j_arr, w_arr = graph.edge_arrays()
+    save_columns(path, graph.n, i_arr, j_arr, w_arr, metadata=metadata)
 
 
-def load_archive(path: PathLike) -> GraphArchive:
-    """Load a snapshot written by :func:`save_graph` (any supported version).
+def load_columns(path: PathLike) -> ColumnSet:
+    """Load an archive's raw edge columns with columnar integrity checks.
 
-    The rebuilt graph's epoch counters are checked against the stored ones
-    — a mismatch means the archive is internally corrupt.
+    Validates without rebuilding a Python graph: ids in range and off the
+    diagonal, non-negative weights, no duplicate pairs, and (v2) the stored
+    epoch counters consistent with the columns.  :func:`load_archive` runs
+    the stricter replay path on top of this.
     """
     with np.load(path) as data:
         version = int(data["version"])
@@ -103,25 +134,60 @@ def load_archive(path: PathLike) -> GraphArchive:
                 f"this build reads versions {_SUPPORTED_VERSIONS}"
             )
         n = int(data["n"])
-        graph = PartialDistanceGraph(n)
-        for i, j, w in zip(data["i"], data["j"], data["w"]):
-            graph.add_edge(int(i), int(j), float(w))
+        i_arr = np.asarray(data["i"], dtype=np.int64)
+        j_arr = np.asarray(data["j"], dtype=np.int64)
+        w_arr = np.asarray(data["w"], dtype=np.float64)
         if version == 1:
-            return GraphArchive(graph=graph, version=1, epoch=graph.epoch)
-        epoch = int(data["epoch"])
-        node_epochs = data["node_epochs"]
-        metadata = json.loads(str(data["metadata"]))
-    if epoch != graph.epoch:
+            epoch = len(i_arr)
+            node_epochs = None
+            metadata: Dict[str, Any] = {}
+        else:
+            epoch = int(data["epoch"])
+            node_epochs = np.asarray(data["node_epochs"], dtype=np.int64)
+            metadata = json.loads(str(data["metadata"]))
+    if len(i_arr) != len(j_arr) or len(i_arr) != len(w_arr):
+        raise ValueError("corrupt archive: edge columns disagree in length")
+    if len(i_arr):
+        if i_arr.min() < 0 or j_arr.min() < 0 or max(i_arr.max(), j_arr.max()) >= n:
+            raise ValueError("corrupt archive: edge ids out of range")
+        if np.any(i_arr == j_arr):
+            raise ValueError("corrupt archive: self-edge in the columns")
+        if w_arr.min() < 0:
+            raise ValueError("corrupt archive: negative distance in the columns")
+        keys = np.minimum(i_arr, j_arr) * n + np.maximum(i_arr, j_arr)
+        if len(np.unique(keys)) != len(keys):
+            raise ValueError("corrupt archive: duplicate edges in the columns")
+    if epoch != len(i_arr):
         raise ValueError(
             f"corrupt archive: stored epoch {epoch} but the edge set "
-            f"rebuilds to epoch {graph.epoch}"
+            f"rebuilds to epoch {len(i_arr)}"
         )
-    rebuilt = np.array([graph.node_epoch(i) for i in range(n)], dtype=np.int64)
-    if not np.array_equal(rebuilt, node_epochs):
-        raise ValueError(
-            "corrupt archive: stored per-node epochs disagree with the edge set"
-        )
-    return GraphArchive(graph=graph, version=version, epoch=epoch, metadata=metadata)
+    if node_epochs is not None:
+        rebuilt = np.bincount(i_arr, minlength=n) + np.bincount(j_arr, minlength=n)
+        if not np.array_equal(rebuilt.astype(np.int64), node_epochs):
+            raise ValueError(
+                "corrupt archive: stored per-node epochs disagree with the edge set"
+            )
+    return ColumnSet(
+        n=n, i=i_arr, j=j_arr, w=w_arr, version=version, epoch=epoch, metadata=metadata
+    )
+
+
+def load_archive(path: PathLike) -> GraphArchive:
+    """Load a snapshot written by :func:`save_graph` (any supported version).
+
+    The rebuilt graph's epoch counters are checked against the stored ones
+    — a mismatch means the archive is internally corrupt.
+    """
+    cols = load_columns(path)
+    graph = PartialDistanceGraph(cols.n)
+    for i, j, w in zip(cols.i, cols.j, cols.w):
+        graph.add_edge(int(i), int(j), float(w))
+    if cols.version == 1:
+        return GraphArchive(graph=graph, version=1, epoch=graph.epoch)
+    return GraphArchive(
+        graph=graph, version=cols.version, epoch=cols.epoch, metadata=cols.metadata
+    )
 
 
 def load_graph(path: PathLike) -> PartialDistanceGraph:

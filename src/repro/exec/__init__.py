@@ -34,6 +34,7 @@ from repro.exec.cache import (
 from repro.exec.executor import (
     BatchReport,
     ExecutorStats,
+    ProcessExecutor,
     RetryPolicy,
     SerialExecutor,
     ThreadedExecutor,
@@ -46,6 +47,7 @@ __all__ = [
     "CacheBackend",
     "ExecutorStats",
     "MemoryCacheBackend",
+    "ProcessExecutor",
     "RetryPolicy",
     "SerialExecutor",
     "SqliteCacheBackend",

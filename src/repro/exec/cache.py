@@ -97,26 +97,64 @@ class SqliteCacheBackend(CacheBackend):
     The schema is one table ``distances(i, j, d)`` keyed on the canonical
     pair.  Writes are committed per :meth:`put`/:meth:`put_many` call; a
     batch of fresh resolutions lands in one transaction.
+
+    Safe to share across processes: the ``sqlite3`` connection is opened
+    lazily *per process* (a connection carried through ``fork`` or a
+    pickle is unsafe to use from the child), and every connection sets a
+    busy timeout so concurrent write-through from several shards waits on
+    the file lock instead of raising ``database is locked``.
     """
 
-    def __init__(self, path: PathLike) -> None:
+    #: Seconds a connection waits on a locked database before raising.
+    BUSY_TIMEOUT = 30.0
+
+    def __init__(self, path: PathLike, *, busy_timeout: float | None = None) -> None:
         self._path = os.fspath(path)
-        self._conn = sqlite3.connect(self._path)
-        self._conn.execute(
-            "CREATE TABLE IF NOT EXISTS distances ("
-            "i INTEGER NOT NULL, j INTEGER NOT NULL, d REAL NOT NULL, "
-            "PRIMARY KEY (i, j))"
-        )
-        self._conn.commit()
+        self._busy_timeout = self.BUSY_TIMEOUT if busy_timeout is None else busy_timeout
+        self._conn: sqlite3.Connection | None = None
+        self._conn_pid: int | None = None
+        # Fail fast on an unusable path/file: open (and create the schema)
+        # eagerly in the constructing process too.
+        self._connection()
 
     @property
     def path(self) -> str:
         """Filesystem location of the cache database."""
         return self._path
 
+    def _connection(self) -> sqlite3.Connection:
+        """The calling process's connection, opened on first use.
+
+        A connection inherited from another process (via ``fork`` or a
+        pickled backend) is dropped without closing it — closing would
+        tear down the parent's file locks from the child.
+        """
+        pid = os.getpid()
+        if self._conn is None or self._conn_pid != pid:
+            conn = sqlite3.connect(
+                self._path, timeout=self._busy_timeout, check_same_thread=False
+            )
+            conn.execute(f"PRAGMA busy_timeout = {int(self._busy_timeout * 1000)}")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS distances ("
+                "i INTEGER NOT NULL, j INTEGER NOT NULL, d REAL NOT NULL, "
+                "PRIMARY KEY (i, j))"
+            )
+            conn.commit()
+            self._conn = conn
+            self._conn_pid = pid
+        return self._conn
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Connections never cross process boundaries; the worker reopens.
+        state["_conn"] = None
+        state["_conn_pid"] = None
+        return state
+
     def get(self, i: int, j: int) -> float | None:
         key = canonical_pair(i, j)
-        row = self._conn.execute(
+        row = self._connection().execute(
             "SELECT d FROM distances WHERE i = ? AND j = ?", key
         ).fetchone()
         return None if row is None else float(row[0])
@@ -131,11 +169,12 @@ class SqliteCacheBackend(CacheBackend):
 
     def put(self, i: int, j: int, value: float) -> None:
         key = canonical_pair(i, j)
-        self._conn.execute(
+        conn = self._connection()
+        conn.execute(
             "INSERT OR REPLACE INTO distances (i, j, d) VALUES (?, ?, ?)",
             (key[0], key[1], float(value)),
         )
-        self._conn.commit()
+        conn.commit()
 
     def put_many(self, items: Mapping[Pair, float]) -> None:
         rows = [
@@ -143,21 +182,25 @@ class SqliteCacheBackend(CacheBackend):
         ]
         if not rows:
             return
-        self._conn.executemany(
+        conn = self._connection()
+        conn.executemany(
             "INSERT OR REPLACE INTO distances (i, j, d) VALUES (?, ?, ?)", rows
         )
-        self._conn.commit()
+        conn.commit()
 
     def __len__(self) -> int:
-        row = self._conn.execute("SELECT COUNT(*) FROM distances").fetchone()
+        row = self._connection().execute("SELECT COUNT(*) FROM distances").fetchone()
         return int(row[0])
 
     def items(self) -> Iterable[Tuple[Pair, float]]:
-        for i, j, d in self._conn.execute("SELECT i, j, d FROM distances"):
+        for i, j, d in self._connection().execute("SELECT i, j, d FROM distances"):
             yield (int(i), int(j)), float(d)
 
     def close(self) -> None:
-        self._conn.close()
+        if self._conn is not None and self._conn_pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._conn_pid = None
 
 
 def open_cache(path: PathLike | None) -> CacheBackend | None:

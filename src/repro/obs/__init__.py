@@ -27,7 +27,9 @@ from repro.obs.registry import (
     Histogram,
     MetricFamily,
     MetricsRegistry,
+    merge_metrics,
     registry_totals,
+    relabel_metrics,
 )
 from repro.obs.sinks import CollectingSink, JsonlSink, MetricsSink
 from repro.obs.spans import Span, SpanTracer
@@ -47,8 +49,10 @@ __all__ = [
     "RESOLVER_METRICS",
     "Span",
     "SpanTracer",
+    "merge_metrics",
     "oracle_call_counter",
     "publish_resolver_stats",
     "registry_totals",
+    "relabel_metrics",
     "resolver_stats_view",
 ]

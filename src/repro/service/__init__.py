@@ -10,6 +10,7 @@ Every engine carries a :class:`~repro.obs.registry.MetricsRegistry`
 as a scrapeable HTTP ``GET /metrics``.
 """
 
+from repro.service.aserver import AsyncProximityServer, engine_backend
 from repro.service.engine import (
     DEFAULT_JOB_WORKERS,
     EngineStats,
@@ -25,9 +26,16 @@ from repro.service.jobs import (
     TERMINAL_STATUSES,
 )
 from repro.service.queue import JobQueue
-from repro.service.server import ProximityServer, send_request
+from repro.service.server import (
+    ProximityServer,
+    handle_engine_request,
+    parse_target,
+    send_request,
+)
+from repro.service.sharding import ShardedEngine, ShardPlan, plan_shards
 
 __all__ = [
+    "AsyncProximityServer",
     "DEFAULT_JOB_WORKERS",
     "EngineStats",
     "JOB_KINDS",
@@ -38,7 +46,13 @@ __all__ = [
     "JobStatus",
     "ProximityEngine",
     "ProximityServer",
+    "ShardPlan",
+    "ShardedEngine",
     "TERMINAL_STATUSES",
+    "engine_backend",
+    "handle_engine_request",
+    "parse_target",
+    "plan_shards",
     "send_request",
     "space_fingerprint",
 ]

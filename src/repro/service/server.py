@@ -40,7 +40,7 @@ import os
 import socket
 import socketserver
 import threading
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.service.engine import ProximityEngine
 from repro.service.jobs import JobSpec
@@ -91,6 +91,47 @@ def spec_from_dict(payload: Dict[str, Any]) -> JobSpec:
         label=str(payload.get("label", "")),
         use_weak=bool(payload.get("use_weak", True)),
     )
+
+
+def handle_engine_request(engine: ProximityEngine, request: Dict[str, Any]) -> Dict[str, Any]:
+    """Dispatch one protocol request against an engine.
+
+    The transport-independent core of the op surface: the threaded Unix
+    server, the asyncio front-end (:mod:`repro.service.aserver`), and tests
+    all route through here.  Backends with their own dispatch (the sharded
+    coordinator) expose the same contract via their ``handle_request``.
+    """
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "op": "ping"}
+    if op == "stats":
+        return {"ok": True, "stats": engine.snapshot_stats().to_dict()}
+    if op == "metrics":
+        return {"ok": True, "metrics": engine.render_metrics()}
+    if op == "snapshot":
+        path = engine.snapshot(request.get("path"))
+        return {"ok": True, "path": path}
+    if op == "submit":
+        spec = spec_from_dict(request.get("spec", {}))
+        job = engine.submit(spec)
+        result = job.result(request.get("timeout"))
+        return {"ok": True, "job_id": job.id, "result": result_to_dict(result)}
+    return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+def parse_target(target: str) -> Tuple[str, Any]:
+    """Classify a CLI-style server address.
+
+    ``host:port`` (port all digits) → ``("tcp", (host, port))``; anything
+    else → ``("unix", path)``.  A bare ``:port`` means localhost.  Paths
+    containing ``/`` are never mistaken for TCP targets.
+    """
+    text = str(target)
+    if "/" not in text and ":" in text:
+        host, _, port = text.rpartition(":")
+        if port.isdigit():
+            return "tcp", (host or "127.0.0.1", int(port))
+    return "unix", text
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -165,22 +206,7 @@ class ProximityServer:
     # -- request dispatch ----------------------------------------------------
 
     def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        op = request.get("op")
-        if op == "ping":
-            return {"ok": True, "op": "ping"}
-        if op == "stats":
-            return {"ok": True, "stats": self.engine.snapshot_stats().to_dict()}
-        if op == "metrics":
-            return {"ok": True, "metrics": self.engine.render_metrics()}
-        if op == "snapshot":
-            path = self.engine.snapshot(request.get("path"))
-            return {"ok": True, "path": path}
-        if op == "submit":
-            spec = spec_from_dict(request.get("spec", {}))
-            job = self.engine.submit(spec)
-            result = job.result(request.get("timeout"))
-            return {"ok": True, "job_id": job.id, "result": result_to_dict(result)}
-        return {"ok": False, "error": f"unknown op {op!r}"}
+        return handle_engine_request(self.engine, request)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -213,14 +239,24 @@ class ProximityServer:
 
 
 def send_request(
-    socket_path: str,
+    target: str,
     request: Dict[str, Any],
     timeout: Optional[float] = 30.0,
 ) -> Dict[str, Any]:
-    """One round-trip against a running :class:`ProximityServer`."""
-    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as client:
+    """One round-trip against a running proximity server.
+
+    ``target`` is either a Unix-socket path or a ``host:port`` TCP address
+    (see :func:`parse_target`) — the JSON-lines protocol is identical on
+    both transports.
+    """
+    kind, address = parse_target(target)
+    if kind == "tcp":
+        client = socket.create_connection(address, timeout=timeout)
+    else:
+        client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         client.settimeout(timeout)
-        client.connect(str(socket_path))
+        client.connect(str(address))
+    with client:
         client.sendall((json.dumps(request) + "\n").encode("utf-8"))
         buffer = b""
         while not buffer.endswith(b"\n"):

@@ -1,0 +1,722 @@
+"""Sharded multi-process serving: N engine processes behind one coordinator.
+
+One :class:`~repro.service.engine.ProximityEngine` is a single GIL-bound
+process.  This module runs **N** of them — each its own process, each over
+the *same* universe — partitioned by landmark region (objects assigned to
+their nearest of N landmarks, the natural sharding key since bound state
+decomposes along it), and scatter-gathers point queries across them:
+
+* ``knn`` / ``range`` / ``nearest`` jobs are split into per-shard candidate
+  substreams (the shard's region ∩ the requested candidates) and merged
+  exactly — the query functions' ``(distance, id)`` tie-break rules make
+  partition-merge equivalent to a single scan over the full pool.
+* Global jobs (``medoid``, ``knng``, ``mst``) cannot be partitioned without
+  changing their call sequence, so each is routed whole to one owner shard,
+  round-robin.
+
+Shared warm state travels through a
+:class:`~repro.core.csr_store.CSRStore`: the coordinator owns the writable
+store (optionally loaded from a v2 snapshot archive), every shard process
+attaches it read-only at start — zero-copy — and adopts its edges for
+free, and after each job the coordinator drains the participating shards'
+novel edges back into the store, so the store always holds the union of
+everything any shard has paid for.
+
+Exactness contract: each shard's resolved-edge *sequence* is byte-identical
+to a single-process engine fed the same substream — shards run one job
+worker, receive no foreign edges mid-run, and share nothing but the
+immutable adopted prefix.
+
+Observability: :meth:`ShardedEngine.render_metrics` renders every shard's
+registry in the shard process, stamps ``{shard="k"}`` onto the samples
+(:func:`repro.obs.relabel_metrics`), and merges the pages with the
+coordinator's own router metrics — one scrape shows the whole topology.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.csr_store import DEFAULT_SEGMENT_CAPACITY, CSRStore
+from repro.core.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry, merge_metrics, relabel_metrics
+from repro.service.jobs import JobResult, JobSpec, JobStatus
+from repro.spaces.handles import SpaceHandle
+
+Pair = Tuple[int, int]
+
+#: Job kinds split across shards by candidate region.
+SCATTER_KINDS = frozenset({"knn", "range", "nearest"})
+
+#: Job kinds routed whole to a single owner shard.
+GLOBAL_KINDS = frozenset({"medoid", "knng", "mst"})
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of the universe into shard regions.
+
+    ``regions[k]`` is the ascending id list owned by shard ``k``; every id
+    appears in exactly one region.  The :attr:`digest` pins the assignment,
+    and is embedded in per-shard snapshot fingerprints so a restore under a
+    *different* plan is refused per shard.
+    """
+
+    n: int
+    regions: Tuple[Tuple[int, ...], ...]
+    landmarks: Tuple[int, ...] = ()
+
+    @property
+    def num_shards(self) -> int:
+        """Number of regions."""
+        return len(self.regions)
+
+    @property
+    def digest(self) -> str:
+        """Short stable hash of the full object→shard assignment."""
+        owner = [0] * self.n
+        for k, region in enumerate(self.regions):
+            for obj in region:
+                owner[obj] = k
+        blob = ",".join(map(str, owner)).encode("ascii")
+        return hashlib.sha256(blob).hexdigest()[:12]
+
+    def shard_fingerprint(self, base: Optional[str], shard: int) -> str:
+        """The per-shard dataset fingerprint stored in shard snapshots."""
+        return f"{base}|plan={self.digest}|shard={shard}/{self.num_shards}"
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly summary for stats surfaces."""
+        return {
+            "n": self.n,
+            "num_shards": self.num_shards,
+            "digest": self.digest,
+            "landmarks": list(self.landmarks),
+            "region_sizes": [len(region) for region in self.regions],
+        }
+
+
+def plan_shards(
+    n: int,
+    num_shards: int,
+    space: Any = None,
+    num_landmarks: Optional[int] = None,
+) -> ShardPlan:
+    """Partition ``n`` objects into ``num_shards`` regions.
+
+    With a ``space``, regions are *landmark regions*: ``num_shards``
+    evenly-spread landmark objects are fixed deterministically and every
+    object joins the region of its nearest landmark (ties to the lower
+    landmark index) **with remaining capacity** — regions are capped at
+    ``ceil(n / num_shards)`` objects, because a scatter query's latency is
+    bounded by its largest region: locality without balance trades away
+    exactly the parallelism sharding exists to buy.  The assignment
+    distances go through the raw space — like
+    :func:`~repro.service.engine.space_fingerprint`, they are paid locally,
+    never charged to an oracle.  Without a space the fallback is contiguous
+    blocks, which is still a valid (if geometry-blind) plan.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if num_shards > n:
+        raise ValueError(f"cannot split {n} objects into {num_shards} shards")
+    if num_shards == 1:
+        return ShardPlan(n=n, regions=(tuple(range(n)),))
+    landmarks = tuple((k * n) // num_shards for k in range(num_shards))
+    if space is None:
+        bounds = [(k * n) // num_shards for k in range(num_shards + 1)]
+        regions = tuple(
+            tuple(range(bounds[k], bounds[k + 1])) for k in range(num_shards)
+        )
+        return ShardPlan(n=n, regions=regions)
+    capacity = -(-n // num_shards)  # ceil: total capacity always covers n
+    regions_mut: List[List[int]] = [[] for _ in range(num_shards)]
+    for obj in range(n):
+        ranked = sorted(
+            range(num_shards), key=lambda k: (space.distance(obj, landmarks[k]), k)
+        )
+        best = next(k for k in ranked if len(regions_mut[k]) < capacity)
+        regions_mut[best].append(obj)
+    # Capacity bounds make empty regions nearly impossible (a region only
+    # ends empty if every object fit elsewhere first, which needs
+    # coinciding landmarks at tiny n); rebalance that corner by block
+    # fallback rather than serve a shard with nothing to own.
+    if any(not region for region in regions_mut):
+        return plan_shards(n, num_shards, space=None)
+    regions = tuple(tuple(region) for region in regions_mut)
+    return ShardPlan(n=n, regions=regions, landmarks=landmarks)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a spawn-started shard process needs (all picklable)."""
+
+    shard: int
+    num_shards: int
+    handle: SpaceHandle
+    provider: str
+    num_landmarks: Optional[int]
+    executor: Optional[str]
+    oracle_workers: int
+    store_name: Optional[str]
+    base_fingerprint: Optional[str]
+    shard_fingerprint: str
+    weak_oracle: bool = False
+
+
+def _shard_main(conn, config: ShardConfig) -> None:
+    """Shard process body: build the engine, answer pipe ops until close.
+
+    Module-level so it pickles by reference under the spawn start method.
+    The engine runs exactly one job worker — the shard's resolved-edge
+    sequence must replay the substream deterministically.
+    """
+    from repro.service.engine import ProximityEngine
+
+    engine = None
+    store: Optional[CSRStore] = None
+    try:
+        space = config.handle.space()
+        engine = ProximityEngine.for_space(
+            space,
+            provider=config.provider,
+            num_landmarks=config.num_landmarks,
+            job_workers=1,
+            executor=config.executor,
+            oracle_workers=config.oracle_workers,
+            fingerprint=config.shard_fingerprint,
+            weak_oracle=config.weak_oracle or None,
+        )
+        if config.store_name:
+            store = CSRStore.attach(config.store_name)
+            engine.adopt_store(store, expected_fingerprint=config.base_fingerprint)
+        conn.send({"ok": True, "ready": True, "adopted": engine.graph.num_edges})
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return
+            op = msg.get("op")
+            try:
+                if op == "ping":
+                    conn.send({"ok": True, "op": "ping", "shard": config.shard})
+                elif op == "submit":
+                    result = engine.run(msg["spec"], timeout=msg.get("timeout"))
+                    conn.send({"ok": True, "result": result})
+                elif op == "stats":
+                    conn.send(
+                        {"ok": True, "stats": engine.snapshot_stats().to_dict()}
+                    )
+                elif op == "metrics":
+                    conn.send({"ok": True, "metrics": engine.render_metrics()})
+                elif op == "edges":
+                    start = int(msg.get("start", 0))
+                    with engine._rw.read_locked():
+                        i, j, w = engine.graph.edge_arrays()
+                        rows = list(
+                            zip(
+                                i[start:].tolist(),
+                                j[start:].tolist(),
+                                w[start:].tolist(),
+                            )
+                        )
+                        total = len(i)
+                    conn.send({"ok": True, "edges": rows, "total": total})
+                elif op == "snapshot":
+                    conn.send({"ok": True, "path": engine.snapshot(msg["path"])})
+                elif op == "restore":
+                    conn.send({"ok": True, "added": engine.restore(msg["path"])})
+                elif op == "close":
+                    conn.send({"ok": True, "op": "close"})
+                    return
+                else:
+                    conn.send({"ok": False, "error": f"unknown op {op!r}"})
+            except Exception as exc:  # noqa: BLE001 - shard must answer, not die
+                conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+    except Exception as exc:  # noqa: BLE001 - startup failure: tell the parent
+        try:
+            conn.send({"ok": False, "ready": False, "error": f"{type(exc).__name__}: {exc}"})
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        if engine is not None:
+            engine.close(snapshot=False)
+        if store is not None:
+            store.close()
+        conn.close()
+
+
+@dataclass
+class _Shard:
+    """Parent-side handle on one shard process."""
+
+    index: int
+    process: multiprocessing.process.BaseProcess
+    conn: Any
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Graph-edge index up to which the coordinator has drained this shard.
+    cursor: int = 0
+
+
+class ShardedEngine:
+    """Coordinator over N shard processes sharing one CSR bound store.
+
+    Speaks the same request surface as a single
+    :class:`~repro.service.engine.ProximityEngine` behind a
+    :class:`~repro.service.server.ProximityServer` — ``submit``/``run``,
+    ``stats``, ``render_metrics``, ``snapshot``, ``close`` — so servers and
+    the CLI treat either interchangeably.
+
+    Parameters mirror ``ProximityEngine.for_space`` where they apply; the
+    space arrives as a picklable :class:`~repro.spaces.handles.SpaceHandle`
+    because every shard process must rebuild it identically.
+    """
+
+    def __init__(
+        self,
+        handle: SpaceHandle,
+        num_shards: int = 2,
+        provider: str = "tri",
+        *,
+        executor: Optional[str] = None,
+        oracle_workers: int = 4,
+        num_landmarks: Optional[int] = None,
+        warm_from: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+        segment_capacity: int = DEFAULT_SEGMENT_CAPACITY,
+        start_timeout: float = 120.0,
+    ) -> None:
+        from repro.service.engine import space_fingerprint
+
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        space = handle.space()
+        self.handle = handle
+        self.n = space.n
+        self.fingerprint = fingerprint or space_fingerprint(space)
+        self.plan = plan_shards(self.n, num_shards, space=space)
+        if warm_from is not None:
+            self.store = CSRStore.from_archive(
+                warm_from,
+                segment_capacity=segment_capacity,
+                expected_fingerprint=self.fingerprint,
+            )
+        else:
+            self.store = CSRStore.create(self.n, segment_capacity=segment_capacity)
+            self.store.metadata = {"fingerprint": self.fingerprint}
+        #: Canonical pairs already in the store (dedup for edge draining).
+        self._known: Dict[Pair, float] = {
+            (i, j): w for i, j, w in self.store.iter_edges()
+        }
+        self._store_lock = threading.Lock()
+        self._owner_seq = 0
+        self._owner_lock = threading.Lock()
+        self._closed = False
+        self._started_at = time.monotonic()
+        #: Final aggregate stats, captured by :meth:`close` for post-mortems.
+        self.last_stats: Optional[Dict[str, Any]] = None
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._register_metrics()
+
+        ctx = multiprocessing.get_context("spawn")
+        self._shards: List[_Shard] = []
+        adopted = self.store.num_edges
+        for k in range(self.plan.num_shards):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            config = ShardConfig(
+                shard=k,
+                num_shards=self.plan.num_shards,
+                handle=handle,
+                provider=provider,
+                num_landmarks=num_landmarks,
+                executor=executor,
+                oracle_workers=oracle_workers,
+                store_name=self.store.name,
+                base_fingerprint=self.fingerprint,
+                shard_fingerprint=self.plan.shard_fingerprint(self.fingerprint, k),
+            )
+            process = ctx.Process(
+                target=_shard_main,
+                args=(child_conn, config),
+                name=f"repro-shard-{k}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._shards.append(
+                _Shard(index=k, process=process, conn=parent_conn, cursor=adopted)
+            )
+        for shard in self._shards:
+            if not shard.conn.poll(start_timeout):
+                self.close()
+                raise ConfigurationError(
+                    f"shard {shard.index} did not come up within {start_timeout}s"
+                )
+            try:
+                hello = shard.conn.recv()
+            except (EOFError, OSError):
+                hello = {"ok": False, "error": "shard process exited during startup"}
+            if not hello.get("ok"):
+                error = hello.get("error", "unknown startup failure")
+                self.close()
+                raise ConfigurationError(f"shard {shard.index} failed to start: {error}")
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.plan.num_shards, thread_name_prefix="repro-router"
+        )
+
+    # -- metrics -------------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        r = self.registry
+        self._m_jobs = r.counter(
+            "repro_router_jobs_total",
+            "Jobs routed by the shard coordinator, by dispatch mode.",
+            labelnames=("mode",),
+        )
+        self._m_shard_jobs = r.counter(
+            "repro_router_shard_dispatches_total",
+            "Per-shard job dispatches from the coordinator.",
+            labelnames=("shard",),
+        )
+        self._m_drained = r.counter(
+            "repro_router_edges_drained_total",
+            "Novel shard edges appended to the shared CSR store.",
+        )
+        r.gauge(
+            "repro_router_shards", "Live shard processes.",
+            fn=lambda: sum(1 for s in self._shards if s.process.is_alive()),
+        )
+        r.gauge(
+            "repro_store_edges", "Edges in the shared CSR bound store.",
+            fn=lambda: self.store.num_edges,
+        )
+        r.gauge(
+            "repro_store_segments", "Shared-memory segments backing the store.",
+            fn=lambda: self.store.num_segments,
+        )
+
+    # -- shard RPC -----------------------------------------------------------
+
+    def _call(self, shard: _Shard, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round-trip on a shard's pipe (serialised)."""
+        with shard.lock:
+            if not shard.process.is_alive():
+                raise ConnectionError(f"shard {shard.index} process is dead")
+            shard.conn.send(message)
+            reply = shard.conn.recv()
+        if not reply.get("ok", False):
+            raise RuntimeError(
+                f"shard {shard.index}: {reply.get('error', 'unknown error')}"
+            )
+        return reply
+
+    def _broadcast(self, message: Dict[str, Any]) -> List[Dict[str, Any]]:
+        futures = [
+            self._pool.submit(self._call, shard, dict(message))
+            for shard in self._shards
+        ]
+        return [future.result() for future in futures]
+
+    # -- submission ----------------------------------------------------------
+
+    def run(self, spec: JobSpec, timeout: Optional[float] = None) -> JobResult:
+        """Route one job and return its (merged) result synchronously."""
+        if self._closed:
+            raise RuntimeError("sharded engine is closed")
+        if spec.kind in SCATTER_KINDS:
+            result = self._run_scatter(spec, timeout)
+        else:
+            result = self._run_global(spec, timeout)
+        return result
+
+    def _next_owner(self) -> _Shard:
+        with self._owner_lock:
+            shard = self._shards[self._owner_seq % len(self._shards)]
+            self._owner_seq += 1
+        return shard
+
+    def _run_global(self, spec: JobSpec, timeout: Optional[float]) -> JobResult:
+        shard = self._next_owner()
+        self._m_jobs.labels(mode="global").inc()
+        self._m_shard_jobs.labels(shard=str(shard.index)).inc()
+        reply = self._call(
+            shard, {"op": "submit", "spec": spec, "timeout": timeout}
+        )
+        self._drain_edges([shard])
+        return reply["result"]
+
+    def _scatter_parts(self, spec: JobSpec) -> List[Tuple[_Shard, JobSpec]]:
+        explicit = spec.params.get("candidates")
+        allowed = None if explicit is None else set(int(c) for c in explicit)
+        query = spec.params.get("query")
+        parts: List[Tuple[_Shard, JobSpec]] = []
+        for shard, region in zip(self._shards, self.plan.regions):
+            if allowed is None:
+                cands: Sequence[int] = region
+            else:
+                cands = [c for c in region if c in allowed]
+            pool = [c for c in cands if c != query]
+            keeps_query = (
+                spec.kind == "range"
+                and bool(spec.params.get("include_query"))
+                and query in cands
+            )
+            if not pool and not keeps_query:
+                continue
+            params = dict(spec.params)
+            params["candidates"] = list(cands)
+            parts.append((shard, JobSpec(
+                kind=spec.kind,
+                params=params,
+                priority=spec.priority,
+                oracle_budget=spec.oracle_budget,
+                deadline=spec.deadline,
+                label=spec.label,
+                use_weak=spec.use_weak,
+            )))
+        return parts
+
+    def _run_scatter(self, spec: JobSpec, timeout: Optional[float]) -> JobResult:
+        parts = self._scatter_parts(spec)
+        if not parts:
+            raise ValueError("no candidates for query after partitioning")
+        self._m_jobs.labels(mode="scatter").inc()
+        started = time.perf_counter()
+        futures = []
+        for shard, shard_spec in parts:
+            self._m_shard_jobs.labels(shard=str(shard.index)).inc()
+            futures.append(
+                self._pool.submit(
+                    self._call,
+                    shard,
+                    {"op": "submit", "spec": shard_spec, "timeout": timeout},
+                )
+            )
+        results: List[JobResult] = [future.result()["result"] for future in futures]
+        self._drain_edges([shard for shard, _ in parts])
+        return self._merge_results(spec, results, time.perf_counter() - started)
+
+    def _merge_results(
+        self, spec: JobSpec, results: List[JobResult], latency: float
+    ) -> JobResult:
+        status = JobStatus.COMPLETED
+        for candidate in (
+            JobStatus.FAILED,
+            JobStatus.CANCELLED,
+            JobStatus.EXPIRED,
+            JobStatus.PARTIAL,
+        ):
+            if any(r.status is candidate for r in results):
+                status = candidate
+                break
+        value: Any = None
+        if status in (JobStatus.COMPLETED, JobStatus.PARTIAL):
+            values = [r.value for r in results if r.value is not None]
+            if spec.kind == "knn":
+                merged = sorted(itertools.chain.from_iterable(values))
+                value = merged[: int(spec.params["k"])]
+            elif spec.kind == "range":
+                value = sorted(set(itertools.chain.from_iterable(values)))
+            elif spec.kind == "nearest":
+                # Shard answers are (object, distance); the single-engine
+                # scan breaks distance ties by the earlier (lower) id.
+                best = min(values, key=lambda pair: (pair[1], pair[0]))
+                value = tuple(best)
+        errors = [r.error for r in results if r.error]
+        return JobResult(
+            status=status,
+            value=value,
+            unresolved=tuple(
+                itertools.chain.from_iterable(r.unresolved for r in results)
+            ),
+            charged_calls=sum(r.charged_calls for r in results),
+            warm_resolutions=sum(r.warm_resolutions for r in results),
+            latency_seconds=latency,
+            resolver_stats=None,
+            error="; ".join(errors) if errors else None,
+        )
+
+    # -- shared-store maintenance --------------------------------------------
+
+    def _drain_edges(self, shards: List[_Shard]) -> int:
+        """Pull each shard's new edges into the writable store (deduped)."""
+        appended = 0
+        for shard in shards:
+            reply = self._call(shard, {"op": "edges", "start": shard.cursor})
+            shard.cursor = int(reply["total"])
+            rows = reply["edges"]
+            if not rows:
+                continue
+            with self._store_lock:
+                for i, j, w in rows:
+                    pair = (int(i), int(j))
+                    if pair in self._known:
+                        continue
+                    self._known[pair] = float(w)
+                    self.store.append(pair[0], pair[1], float(w))
+                    appended += 1
+        if appended:
+            self._m_drained.inc(appended)
+        return appended
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Coordinator + per-shard stats (the ``stats`` op's payload)."""
+        shard_stats = [reply["stats"] for reply in self._broadcast({"op": "stats"})]
+        aggregate = {
+            "jobs_submitted": sum(s["jobs_submitted"] for s in shard_stats),
+            "jobs_completed": sum(s["jobs_completed"] for s in shard_stats),
+            "oracle_calls": sum(s["oracle_calls"] for s in shard_stats),
+            "warm_resolutions": sum(s["warm_resolutions"] for s in shard_stats),
+            "graph_edges": sum(s["graph_edges"] for s in shard_stats),
+        }
+        return {
+            "sharded": True,
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "plan": self.plan.describe(),
+            "store": self.store.describe(),
+            "aggregate": aggregate,
+            "shards": shard_stats,
+        }
+
+    def snapshot_stats(self) -> "ShardedStats":
+        """Protocol-compatible wrapper (servers call ``.to_dict()`` on it)."""
+        return ShardedStats(self.stats())
+
+    def render_metrics(self) -> str:
+        """All shard registries (labeled ``{shard="k"}``) plus the router's."""
+        pages = []
+        for shard, reply in zip(self._shards, self._broadcast({"op": "metrics"})):
+            pages.append(
+                relabel_metrics(reply["metrics"], {"shard": str(shard.index)})
+            )
+        pages.append(self.registry.render_prometheus())
+        return merge_metrics(pages)
+
+    # -- persistence ---------------------------------------------------------
+
+    def shard_snapshot_paths(self, base: str) -> List[str]:
+        """The per-shard archive paths :meth:`snapshot` writes for ``base``."""
+        return [
+            f"{base}.shard{k}-of-{self.plan.num_shards}.npz"
+            for k in range(self.plan.num_shards)
+        ]
+
+    def snapshot(self, base: Optional[str] = None) -> Dict[str, Any]:
+        """Write the store archive plus one fingerprinted archive per shard.
+
+        ``{base}.store.npz`` holds the union store (base fingerprint);
+        ``{base}.shard{k}-of-{N}.npz`` holds shard ``k``'s graph under its
+        per-shard fingerprint, so :meth:`restore` verifies each archive
+        belongs to this dataset *and* this plan position.
+        """
+        if base is None:
+            raise ConfigurationError("sharded snapshot needs a base path")
+        store_path = f"{base}.store.npz"
+        with self._store_lock:
+            self.store.save(
+                store_path,
+                metadata={"fingerprint": self.fingerprint, "plan": self.plan.digest},
+            )
+        paths = self.shard_snapshot_paths(base)
+        replies = [
+            self._pool.submit(
+                self._call, shard, {"op": "snapshot", "path": path}
+            )
+            for shard, path in zip(self._shards, paths)
+        ]
+        shard_paths = [future.result()["path"] for future in replies]
+        return {"store": store_path, "shards": shard_paths}
+
+    def restore(self, base: str) -> int:
+        """Restore every shard from a :meth:`snapshot` base; returns edges added.
+
+        Each shard verifies its own archive's per-shard fingerprint
+        (dataset, plan digest, and shard position must all match) before
+        merging; drained novel edges land back in the shared store.
+        """
+        futures = [
+            self._pool.submit(self._call, shard, {"op": "restore", "path": path})
+            for shard, path in zip(self._shards, self.shard_snapshot_paths(base))
+        ]
+        added = sum(int(future.result()["added"]) for future in futures)
+        self._drain_edges(self._shards)
+        return added
+
+    # -- server protocol -----------------------------------------------------
+
+    def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The JSON-lines op surface (same shape as ``ProximityServer``'s)."""
+        from repro.service.server import result_to_dict, spec_from_dict
+
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "ping", "shards": self.plan.num_shards}
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}
+        if op == "metrics":
+            return {"ok": True, "metrics": self.render_metrics()}
+        if op == "snapshot":
+            return {"ok": True, **self.snapshot(request.get("path"))}
+        if op == "submit":
+            spec = spec_from_dict(request.get("spec", {}))
+            result = self.run(spec, request.get("timeout"))
+            return {"ok": True, "result": result_to_dict(result)}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every shard process and destroy the shared store."""
+        if self._closed:
+            return
+        if hasattr(self, "_pool"):  # fully started — safe to query shards
+            try:
+                self.last_stats = self.stats()["aggregate"]
+            except Exception:  # noqa: BLE001 - shards may already be gone
+                pass
+        self._closed = True
+        for shard in self._shards:
+            try:
+                with shard.lock:
+                    shard.conn.send({"op": "close"})
+                    if shard.conn.poll(10.0):
+                        shard.conn.recv()
+            except (BrokenPipeError, OSError):
+                pass
+        for shard in self._shards:
+            shard.process.join(timeout=10.0)
+            if shard.process.is_alive():  # pragma: no cover - stuck shard
+                shard.process.terminate()
+                shard.process.join(timeout=5.0)
+            shard.conn.close()
+        if hasattr(self, "_pool"):
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self.store.unlink()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class ShardedStats:
+    """Tiny adapter so sharded stats quack like ``EngineStats``."""
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        self._payload = payload
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The stats payload (already JSON-friendly)."""
+        return self._payload

@@ -1,6 +1,7 @@
 """Metric spaces: the expensive-oracle substrates."""
 
 from repro.spaces.base import BaseSpace, MetricSpace, check_metric_axioms
+from repro.spaces.handles import SpaceHandle, handle_for
 from repro.spaces.graphs import GraphShortestPathSpace, UltrametricSpace, random_ultrametric
 from repro.spaces.matrix import MatrixSpace, metric_closure, random_metric_matrix
 from repro.spaces.roadnet import RoadNetworkSpace
@@ -30,9 +31,11 @@ __all__ = [
     "MetricSpace",
     "MinkowskiSpace",
     "RoadNetworkSpace",
+    "SpaceHandle",
     "UltrametricSpace",
     "SquaredEuclideanSpace",
     "check_metric_axioms",
+    "handle_for",
     "levenshtein",
     "metric_closure",
     "random_metric_matrix",

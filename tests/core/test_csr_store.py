@@ -1,0 +1,207 @@
+"""Tests for the shared-memory columnar resolved-edge store."""
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.csr_store import CSRStore
+from repro.core.exceptions import SnapshotMismatchError
+from repro.core.partial_graph import PartialDistanceGraph
+from repro.core.persistence import load_columns
+
+
+EDGES = [(0, 1, 0.5), (1, 2, 0.3), (0, 2, 0.6), (3, 4, 1.25), (2, 5, 0.9)]
+
+
+@pytest.fixture
+def store():
+    s = CSRStore.create(6, segment_capacity=4)
+    yield s
+    s.unlink()
+
+
+def _filled(store):
+    for i, j, w in EDGES:
+        store.append(i, j, w)
+    return store
+
+
+class TestCreateAppend:
+    def test_empty_store(self, store):
+        assert store.n == 6
+        assert store.num_edges == 0
+        assert store.writable
+        assert list(store.iter_edges()) == []
+
+    def test_append_and_read_back(self, store):
+        _filled(store)
+        assert store.num_edges == len(EDGES)
+        assert list(store.iter_edges()) == [(i, j, w) for i, j, w in EDGES]
+
+    def test_appends_spill_into_new_segments(self, store):
+        _filled(store)  # 5 edges, capacity 4 → 2 segments
+        assert store.num_segments == 2
+        i, j, w = store.edge_columns()
+        assert list(i) == [e[0] for e in EDGES]
+        assert list(w) == [e[2] for e in EDGES]
+
+    def test_append_canonicalises_pairs(self, store):
+        store.append(4, 1, 2.0)
+        assert list(store.iter_edges()) == [(1, 4, 2.0)]
+
+    def test_degrees_and_csr(self, store):
+        _filled(store)
+        degrees = store.degrees()
+        assert list(degrees) == [2, 2, 3, 1, 1, 1]
+        indptr, indices, weights = store.csr()
+        assert indptr[-1] == 2 * len(EDGES)  # both directions materialised
+        # neighbours of 2: {0, 1, 5}
+        row = indices[indptr[2]:indptr[3]]
+        assert sorted(row.tolist()) == [0, 1, 5]
+
+    def test_not_picklable(self, store):
+        with pytest.raises(TypeError, match="do not pickle"):
+            pickle.dumps(store)
+
+
+class TestAttach:
+    def test_attach_sees_existing_edges(self, store):
+        _filled(store)
+        reader = CSRStore.attach(store.name)
+        try:
+            assert not reader.writable
+            assert reader.num_edges == len(EDGES)
+            assert list(reader.iter_edges()) == list(store.iter_edges())
+        finally:
+            reader.close()
+
+    def test_refresh_observes_later_appends(self, store):
+        reader = CSRStore.attach(store.name)
+        try:
+            assert reader.num_edges == 0
+            _filled(store)  # spills past the reader's attached segments
+            assert reader.num_edges == 0  # snapshot view until refresh
+            assert reader.refresh() == len(EDGES)
+            assert list(reader.iter_edges()) == list(store.iter_edges())
+        finally:
+            reader.close()
+
+    def test_attached_handle_rejects_writes(self, store):
+        reader = CSRStore.attach(store.name)
+        try:
+            with pytest.raises(PermissionError):
+                reader.append(0, 1, 1.0)
+        finally:
+            reader.close()
+
+    def test_reader_close_does_not_destroy(self, store):
+        _filled(store)
+        reader = CSRStore.attach(store.name)
+        reader.close()
+        again = CSRStore.attach(store.name)  # segments must still exist
+        try:
+            assert again.num_edges == len(EDGES)
+        finally:
+            again.close()
+
+
+class TestGraphInterop:
+    def test_from_graph_round_trip(self):
+        graph = PartialDistanceGraph(6)
+        for i, j, w in EDGES:
+            graph.add_edge(i, j, w)
+        store = CSRStore.from_graph(graph)
+        try:
+            assert list(store.iter_edges()) == list(
+                zip(*(c.tolist() for c in graph.edge_arrays()))
+            )
+        finally:
+            store.unlink()
+
+    def test_writable_store_mirrors_graph_appends(self, store):
+        graph = PartialDistanceGraph(6)
+        graph.attach_store(store)
+        graph.add_edge(0, 3, 0.75)
+        assert list(store.iter_edges()) == [(0, 3, 0.75)]
+
+    def test_to_graph_replays_edges(self, store):
+        _filled(store)
+        graph = store.to_graph()
+        assert graph.num_edges == len(EDGES)
+        assert graph.weight(1, 0) == 0.5
+
+    def test_edge_arrays_served_zero_copy_when_synced(self, store):
+        _filled(store)
+        graph = store.to_graph()
+        i1, _, _ = graph.edge_arrays()
+        i2, _, _ = store.edge_columns()
+        assert np.shares_memory(i1, i2)
+
+    def test_read_only_graph_syncs_from_store(self, store):
+        reader = CSRStore.attach(store.name)
+        try:
+            graph = reader.to_graph()
+            _filled(store)
+            assert graph.sync_from_store() == len(EDGES)
+            assert graph.num_edges == len(EDGES)
+        finally:
+            reader.close()
+
+
+class TestArchives:
+    def test_save_and_from_archive(self, store, tmp_path):
+        _filled(store)
+        path = tmp_path / "snap.npz"
+        store.save(path, metadata={"fingerprint": "fp-1"})
+        loaded = CSRStore.from_archive(path, expected_fingerprint="fp-1")
+        try:
+            assert loaded.n == store.n
+            assert list(loaded.iter_edges()) == list(store.iter_edges())
+            assert loaded.metadata["fingerprint"] == "fp-1"
+            assert loaded.num_segments == 1  # right-sized single segment
+        finally:
+            loaded.unlink()
+
+    def test_from_archive_rejects_wrong_fingerprint(self, store, tmp_path):
+        _filled(store)
+        path = tmp_path / "snap.npz"
+        store.save(path, metadata={"fingerprint": "fp-1"})
+        with pytest.raises(SnapshotMismatchError):
+            CSRStore.from_archive(path, expected_fingerprint="fp-other")
+
+    def test_archive_is_v2_columnar(self, store, tmp_path):
+        _filled(store)
+        path = tmp_path / "snap.npz"
+        store.save(path)
+        cols = load_columns(path)
+        assert cols.version == 2
+        assert cols.epoch == len(EDGES)
+        assert list(cols.w) == [e[2] for e in EDGES]
+
+
+def _reader_main(name, expected, queue):
+    """Spawn-target: attach the store by name and report what it sees."""
+    store = CSRStore.attach(name)
+    try:
+        store.refresh()
+        queue.put(list(store.iter_edges()))
+    finally:
+        store.close()
+
+
+class TestCrossProcess:
+    def test_child_process_sees_writer_edges(self, store):
+        _filled(store)
+        ctx = multiprocessing.get_context("spawn")
+        queue = ctx.Queue()
+        p = ctx.Process(target=_reader_main, args=(store.name, len(EDGES), queue))
+        p.start()
+        seen = queue.get(timeout=60)
+        p.join(timeout=60)
+        assert p.exitcode == 0
+        assert seen == [(i, j, w) for i, j, w in EDGES]
+        # The child's exit must not have destroyed the segments (the
+        # resource-tracker unregister path): the writer still reads fine.
+        assert list(store.iter_edges()) == [(i, j, w) for i, j, w in EDGES]

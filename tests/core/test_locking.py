@@ -102,6 +102,34 @@ class TestExclusion:
             t.join(timeout=5)
         assert len(inside) == 3
 
+    def test_writer_not_starved_by_reader_stream(self):
+        # With readers continuously overlapping (the lock is never free of
+        # readers for long), writer preference must still let a writer in
+        # promptly: once it queues, new read acquisitions wait behind it.
+        lock = ReadWriteLock()
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                with lock.read_locked():
+                    time.sleep(0.002)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            time.sleep(0.05)  # let the reader stream saturate the lock
+            start = time.monotonic()
+            with lock.write_locked():
+                waited = time.monotonic() - start
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=5)
+        # Without preference the writer could wait unboundedly; with it the
+        # wait is roughly one reader critical section.  2s is very generous.
+        assert waited < 2.0
+
     def test_writer_preference(self):
         # A waiting writer goes before readers that arrive after it.
         lock = ReadWriteLock()

@@ -1,8 +1,24 @@
 """Tests for the persistent distance-cache backends."""
 
+import multiprocessing
+import pickle
+
 import pytest
 
 from repro.exec import CacheBackend, MemoryCacheBackend, SqliteCacheBackend, open_cache
+
+
+def _child_put(path, i, j, value):
+    """Spawn-target: open the shared cache and write one entry."""
+    cache = SqliteCacheBackend(path)
+    cache.put(i, j, value)
+    cache.close()
+
+
+def _child_put_pickled(cache, i, j, value):
+    """Spawn-target: use a *pickled* backend (connection must reopen)."""
+    cache.put(i, j, value)
+    cache.close()
 
 
 @pytest.fixture(params=["memory", "sqlite"])
@@ -62,6 +78,63 @@ class TestSqlitePersistence:
         path = tmp_path / "d.db"
         with SqliteCacheBackend(path) as cache:
             assert cache.path == str(path)
+
+
+class TestSqliteMultiProcess:
+    def test_pickle_drops_connection_and_reconnects(self, tmp_path):
+        with SqliteCacheBackend(tmp_path / "d.db") as cache:
+            cache.put(0, 1, 1.5)
+            clone = pickle.loads(pickle.dumps(cache))
+            assert clone._conn is None  # the connection never travels
+            assert clone.get(0, 1) == 1.5  # ...and reopens lazily on use
+            clone.put(2, 3, 2.5)
+            assert cache.get(2, 3) == 2.5  # both handles see one file
+            clone.close()
+
+    def test_busy_timeout_configured(self, tmp_path):
+        with SqliteCacheBackend(tmp_path / "d.db", busy_timeout=7.0) as cache:
+            row = cache._connection().execute("PRAGMA busy_timeout").fetchone()
+            assert row[0] == 7000
+
+    def test_concurrent_writers_from_other_processes(self, tmp_path):
+        path = str(tmp_path / "shared.db")
+        parent = SqliteCacheBackend(path)
+        parent.put(0, 1, 0.5)
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(target=_child_put, args=(path, 10 + k, 20 + k, float(k)))
+            for k in range(3)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert len(parent) == 4
+        for k in range(3):
+            assert parent.get(10 + k, 20 + k) == float(k)
+        parent.close()
+
+    def test_pickled_backend_usable_in_child(self, tmp_path):
+        parent = SqliteCacheBackend(tmp_path / "shared.db")
+        ctx = multiprocessing.get_context("spawn")
+        p = ctx.Process(target=_child_put_pickled, args=(parent, 5, 6, 9.25))
+        p.start()
+        p.join(timeout=60)
+        assert p.exitcode == 0
+        assert parent.get(5, 6) == 9.25
+        parent.close()
+
+    def test_close_in_child_keeps_parent_connection(self, tmp_path):
+        # close() must only close the *own-process* connection: a pickled
+        # copy closing in another pid leaves the parent's handle working.
+        with SqliteCacheBackend(tmp_path / "d.db") as cache:
+            cache.put(0, 1, 1.0)
+            clone = pickle.loads(pickle.dumps(cache))
+            clone._conn_pid = -1  # simulate "opened by another process"
+            clone._conn = object()  # sentinel: close() must not touch it
+            clone.close()
+            assert cache.get(0, 1) == 1.0
 
 
 class TestOpenCache:

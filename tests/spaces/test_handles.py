@@ -1,0 +1,37 @@
+"""Tests for picklable space handles."""
+
+import pickle
+
+from repro.datasets.facades import flickr_space
+from repro.spaces.handles import SpaceHandle, handle_for
+
+
+class TestSpaceHandle:
+    def test_builds_the_described_space(self):
+        handle = handle_for(flickr_space, n=12, dim=4, seed=3)
+        space = handle.space()
+        assert space.n == 12
+        assert space.distance(0, 1) == flickr_space(n=12, dim=4, seed=3).distance(0, 1)
+
+    def test_space_is_memoised_per_process(self):
+        a = handle_for(flickr_space, n=12, dim=4, seed=3)
+        b = handle_for(flickr_space, n=12, dim=4, seed=3)
+        assert a.space() is b.space()
+        assert a.key() == b.key()
+
+    def test_different_args_different_key(self):
+        a = handle_for(flickr_space, n=12, dim=4, seed=3)
+        b = handle_for(flickr_space, n=12, dim=4, seed=4)
+        assert a.key() != b.key()
+
+    def test_pickle_round_trip_rebuilds_identically(self):
+        handle = handle_for(flickr_space, n=12, dim=4, seed=3)
+        clone = pickle.loads(pickle.dumps(handle))
+        assert isinstance(clone, SpaceHandle)
+        assert clone.key() == handle.key()
+        assert clone.distance(2, 7) == handle.space().distance(2, 7)
+
+    def test_distance_is_the_picklable_oracle_fn(self):
+        handle = handle_for(flickr_space, n=12, dim=4, seed=3)
+        fn = pickle.loads(pickle.dumps(handle)).distance
+        assert fn(0, 5) == handle.space().distance(0, 5)

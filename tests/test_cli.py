@@ -79,9 +79,17 @@ class TestServeSubmitParsers:
         assert args.job_workers == 2
         assert args.snapshot_path is None
 
-    def test_serve_requires_socket(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve"])
+    def test_serve_requires_socket(self, capsys):
+        # Unix transport (the default) validates at runtime, not parse time:
+        # tcp serving is legal with no socket path at all.
+        code = main(["serve"])
+        assert code == 2
+        assert "--socket" in capsys.readouterr().err
+
+    def test_serve_tcp_requires_port(self, capsys):
+        code = main(["serve", "--transport", "tcp"])
+        assert code == 2
+        assert "--port" in capsys.readouterr().err
 
     def test_submit_params_parsed_and_typed(self):
         args = build_parser().parse_args([
