@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Gate benchmark artifacts against committed baselines.
+
+Compares a fresh ``BENCH_*.json`` artifact (the envelope written by
+``scripts/bench_to_json.py``) with the baseline committed under
+``benchmarks/baselines/`` and exits non-zero when any metric regressed by
+more than the tolerance::
+
+    python scripts/bench_trend.py BENCH_kernels.json \
+        --baseline benchmarks/baselines/BENCH_kernels.json
+
+Direction awareness
+-------------------
+Only metrics with a known "better" direction are gated; descriptive
+numbers (sizes, counts, configuration echoes) are reported but never fail:
+
+* ``*_seconds`` / ``*_ms`` — lower is better;
+* ``*speedup*`` / ``*savings*`` / ``*throughput*`` — higher is better.
+
+The default tolerance is 25% relative change in the bad direction.  A new
+metric absent from the baseline, or vice versa, is reported as informative
+but does not fail the gate (trajectories start empty and grow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+
+#: (suffix-or-substring, match kind, direction).  First match wins.
+_DIRECTION_RULES = (
+    ("_seconds", "suffix", "lower"),
+    ("_ms", "suffix", "lower"),
+    ("speedup", "substr", "higher"),
+    ("savings", "substr", "higher"),
+    ("throughput", "substr", "higher"),
+)
+
+
+def metric_direction(name: str) -> str | None:
+    """``"lower"``/``"higher"`` = which direction is better, None = ungated."""
+    lowered = name.lower()
+    for token, kind, direction in _DIRECTION_RULES:
+        if kind == "suffix" and lowered.endswith(token):
+            return direction
+        if kind == "substr" and token in lowered:
+            return direction
+    return None
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list[dict]:
+    """Per-metric comparison rows; ``regressed`` marks gate failures."""
+    cur = current.get("metrics", {})
+    base = baseline.get("metrics", {})
+    rows: list[dict] = []
+    for name in sorted(set(cur) | set(base)):
+        row = {
+            "metric": name,
+            "baseline": base.get(name),
+            "current": cur.get(name),
+            "direction": metric_direction(name),
+            "change_pct": None,
+            "regressed": False,
+        }
+        c, b = cur.get(name), base.get(name)
+        gateable = (
+            row["direction"] is not None
+            and isinstance(c, (int, float))
+            and not isinstance(c, bool)
+            and isinstance(b, (int, float))
+            and not isinstance(b, bool)
+        )
+        if gateable and b != 0:
+            change = (c - b) / abs(b)
+            row["change_pct"] = 100.0 * change
+            bad = change > tolerance if row["direction"] == "lower" else change < -tolerance
+            row["regressed"] = bad
+        rows.append(row)
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    """Human-readable comparison table."""
+    header = ["metric", "baseline", "current", "change", "verdict"]
+    table = [header]
+    for row in rows:
+        change = (
+            f"{row['change_pct']:+.1f}%" if row["change_pct"] is not None else "-"
+        )
+        if row["regressed"]:
+            verdict = "REGRESSED"
+        elif row["direction"] is None:
+            verdict = "info"
+        else:
+            verdict = "ok"
+        table.append(
+            [
+                row["metric"],
+                "-" if row["baseline"] is None else str(row["baseline"]),
+                "-" if row["current"] is None else str(row["current"]),
+                change,
+                verdict,
+            ]
+        )
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    lines = []
+    for idx, r in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh BENCH_*.json artifact")
+    parser.add_argument("--baseline", required=True, help="committed baseline artifact")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="max relative regression before failing (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.current, encoding="utf-8") as fh:
+        current = json.load(fh)
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    rows = compare(current, baseline, args.tolerance)
+    print(render(rows))
+    regressions = [r for r in rows if r["regressed"]]
+    if regressions:
+        names = ", ".join(r["metric"] for r in regressions)
+        print(
+            f"\nFAIL: {len(regressions)} metric(s) regressed beyond "
+            f"{args.tolerance:.0%}: {names}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no metric regressed beyond {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 """Bound providers: the paper's schemes and the adapted baselines."""
 
+from repro.bounds import kernels
 from repro.bounds.adm import Adm, AdmIncremental
 from repro.bounds.aesa import Aesa
 from repro.bounds.dft import DirectFeasibilityTest
@@ -14,6 +15,7 @@ from repro.bounds.landmarks import (
     select_landmarks_random,
 )
 from repro.bounds.laesa import Laesa
+from repro.bounds.sketch import SketchBoundProvider
 from repro.bounds.splub import Splub, dijkstra_distances
 from repro.bounds.tlaesa import Tlaesa
 from repro.bounds.tri import TriScheme
@@ -24,9 +26,11 @@ __all__ = [
     "Aesa",
     "DirectFeasibilityTest",
     "Laesa",
+    "SketchBoundProvider",
     "Splub",
     "Tlaesa",
     "TriScheme",
+    "kernels",
     "bootstrap_with_landmarks",
     "default_num_landmarks",
     "dijkstra_distances",

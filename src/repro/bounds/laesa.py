@@ -19,6 +19,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.bounds import kernels
 from repro.core.bounds import BaseBoundProvider, Bounds
 from repro.core.partial_graph import PartialDistanceGraph
 from repro.core.resolver import SmartResolver
@@ -120,10 +121,11 @@ class Laesa(BaseBoundProvider):
             ii.append(i)
             jj.append(j)
         if todo:
-            cols_i = self._matrix[:, ii]
-            cols_j = self._matrix[:, jj]
-            lowers = np.max(np.abs(cols_i - cols_j), axis=0)
-            uppers = np.min(cols_i + cols_j, axis=0)
+            lowers, uppers = kernels.laesa_sweep(
+                self._matrix,
+                np.asarray(ii, dtype=np.int64),
+                np.asarray(jj, dtype=np.int64),
+            )
             cap = self.max_distance
             for pos, idx in enumerate(todo):
                 lb = float(lowers[pos])

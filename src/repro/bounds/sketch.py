@@ -1,0 +1,204 @@
+"""Landmark-tree distance sketches — sublinear-memory bounds with stretch.
+
+Grounded in *Approximating Approximate Distance Oracles* (arXiv 1612.05623)
+and Ramsey-partition sketches (arXiv cs/0511084): instead of O(n²) bound
+state, keep ``L`` landmark *trees* — one distance row per landmark over all
+``n`` objects, ``O(n·L)`` memory total — and bound any pair through them:
+
+    LB(i, j) = max_l |D[l, i] − D[l, j]|        (exact rows only)
+    UB(i, j) = min_l  D[l, i] + D[l, j]
+
+Rows come in two flavours:
+
+* **exact** — resolved through the oracle at :meth:`SketchBoundProvider.
+  bootstrap` (LAESA-style, maxmin landmark selection).  Both bounds are
+  valid and the sketch is a drop-in exact provider.
+* **tree** — :meth:`SketchBoundProvider.from_graph` runs Dijkstra over the
+  *known* edges from each landmark (:func:`repro.bounds.kernels.sssp`), at
+  zero oracle cost.  Tree rows are upper bounds on the true landmark
+  distances, so only the ``UB`` side is sound; ``LB`` stays trivial.
+
+Either way the sweep itself runs through the compiled
+:func:`repro.bounds.kernels.laesa_sweep` kernel.  The provider is the
+natural companion of the resolver's ``stretch`` budget: tight sketch
+intervals let :class:`~repro.core.resolver.SmartResolver` answer
+``ub <= stretch · lb`` pairs without any oracle call.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bounds import kernels
+from repro.bounds.landmarks import (
+    default_num_landmarks,
+    resolve_landmark_matrix,
+    select_landmarks_maxmin,
+)
+from repro.core.bounds import BaseBoundProvider, Bounds
+from repro.core.partial_graph import PartialDistanceGraph
+
+
+class SketchBoundProvider(BaseBoundProvider):
+    """Bound provider over ``L`` landmark distance rows (``O(n·L)`` memory).
+
+    Construct, then either :meth:`bootstrap` exact rows through a resolver
+    (both bounds valid) or :meth:`refresh_from_graph` tree rows from the
+    known edges (upper bounds only, zero oracle calls).
+    """
+
+    name = "Sketch"
+    vectorized_bounds = True
+
+    def __init__(
+        self,
+        graph: PartialDistanceGraph,
+        max_distance: float = math.inf,
+        num_landmarks: int | None = None,
+    ) -> None:
+        super().__init__(graph, max_distance)
+        self._requested_landmarks = num_landmarks
+        self.landmarks: List[int] = []
+        self._landmark_row: dict[int, int] = {}
+        self._matrix: np.ndarray | None = None
+        #: True when every matrix entry is an oracle-exact distance — the
+        #: precondition for serving lower bounds from the sketch.
+        self.exact_rows = True
+
+    # -- construction -----------------------------------------------------
+
+    def bootstrap(self, resolver, multiplier: float = 1.0) -> int:
+        """Select landmarks and resolve exact sketch rows through the oracle.
+
+        Returns the number of oracle calls charged for the bootstrap.
+        """
+        before = resolver.oracle.calls
+        n = resolver.oracle.n
+        count = self._requested_landmarks or default_num_landmarks(n, multiplier)
+        count = min(count, n)
+        self.landmarks = select_landmarks_maxmin(resolver, count)
+        self._matrix = resolve_landmark_matrix(resolver, self.landmarks)
+        self._landmark_row = {lm: row for row, lm in enumerate(self.landmarks)}
+        self.exact_rows = True
+        return resolver.oracle.calls - before
+
+    def adopt(self, landmarks: Sequence[int], matrix: np.ndarray) -> None:
+        """Install externally resolved exact rows (shared bootstraps)."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape[0] != len(landmarks):
+            raise ValueError("matrix row count must equal the number of landmarks")
+        self.landmarks = list(landmarks)
+        self._matrix = matrix
+        self._landmark_row = {lm: row for row, lm in enumerate(self.landmarks)}
+        self.exact_rows = True
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: PartialDistanceGraph,
+        landmarks: Sequence[int],
+        max_distance: float = math.inf,
+    ) -> "SketchBoundProvider":
+        """Build a tree sketch from the already-resolved edges, oracle-free.
+
+        Each row is the Dijkstra tree from one landmark over the known
+        edges — an upper bound on the true landmark distance, so the sketch
+        serves only upper bounds (``exact_rows`` is False).
+        """
+        provider = cls(graph, max_distance, num_landmarks=len(landmarks))
+        provider.refresh_from_graph(landmarks)
+        return provider
+
+    def refresh_from_graph(self, landmarks: Sequence[int] | None = None) -> None:
+        """(Re)compute tree rows from the current known-edge graph."""
+        if landmarks is not None:
+            self.landmarks = list(landmarks)
+        if not self.landmarks:
+            raise ValueError("a tree sketch needs at least one landmark")
+        graph = self.graph
+        indptr, indices, weights = graph.csr_arrays()
+        rows = [
+            kernels.sssp(indptr, indices, weights, graph.n, lm)
+            for lm in self.landmarks
+        ]
+        self._matrix = np.vstack(rows)
+        self._landmark_row = {lm: row for row, lm in enumerate(self.landmarks)}
+        self.exact_rows = False
+
+    @property
+    def memory_entries(self) -> int:
+        """Sketch state size in matrix entries — ``L × n``, never O(n²)."""
+        return 0 if self._matrix is None else int(self._matrix.size)
+
+    # -- protocol ----------------------------------------------------------
+
+    def bounds(self, i: int, j: int) -> Bounds:
+        if i == j:
+            return Bounds(0.0, 0.0)
+        known = self.graph.get(i, j)
+        if known is not None:
+            return Bounds(known, known)
+        if self._matrix is None or not self.landmarks:
+            return self.trivial_bounds(i, j)
+        col_i = self._matrix[:, i]
+        col_j = self._matrix[:, j]
+        ub = min(float(np.min(col_i + col_j)), self.max_distance)
+        lb = float(np.max(np.abs(col_i - col_j))) if self.exact_rows else 0.0
+        if lb > ub:
+            lb = ub
+        return Bounds(lb, ub)
+
+    def bounds_many(self, pairs: Iterable[Tuple[int, int]]) -> List[Bounds]:
+        """Batch query through the compiled landmark-sweep kernel."""
+        pairs = list(pairs)
+        if self._matrix is None or not self.landmarks:
+            return [self.bounds(i, j) for i, j in pairs]
+        out: List[Bounds | None] = [None] * len(pairs)
+        todo: List[int] = []
+        ii: List[int] = []
+        jj: List[int] = []
+        for idx, (i, j) in enumerate(pairs):
+            if i == j:
+                out[idx] = Bounds(0.0, 0.0)
+                continue
+            known = self.graph.get(i, j)
+            if known is not None:
+                out[idx] = Bounds(known, known)
+                continue
+            todo.append(idx)
+            ii.append(i)
+            jj.append(j)
+        if todo:
+            lowers, uppers = kernels.laesa_sweep(
+                self._matrix,
+                np.asarray(ii, dtype=np.int64),
+                np.asarray(jj, dtype=np.int64),
+            )
+            cap = self.max_distance
+            exact = self.exact_rows
+            for pos, idx in enumerate(todo):
+                lb = float(lowers[pos]) if exact else 0.0
+                ub = min(float(uppers[pos]), cap)
+                if lb > ub:
+                    lb = ub
+                out[idx] = Bounds(lb, ub)
+        return out
+
+    def notify_resolved(self, i: int, j: int, distance: float) -> None:
+        """Tighten sketch rows when a landmark's distance was resolved.
+
+        Exact sketches overwrite the cell (the resolved value *is* the
+        row's entry); tree sketches only improve — a resolved distance can
+        only shorten the landmark's shortest path, never lengthen it.
+        """
+        if self._matrix is None:
+            return
+        row = self._landmark_row.get(i)
+        if row is not None and (self.exact_rows or distance < self._matrix[row, j]):
+            self._matrix[row, j] = distance
+        row = self._landmark_row.get(j)
+        if row is not None and (self.exact_rows or distance < self._matrix[row, i]):
+            self._matrix[row, i] = distance

@@ -29,6 +29,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.bounds import kernels
 from repro.core.bounds import BaseBoundProvider, Bounds
 from repro.core.partial_graph import PartialDistanceGraph
 
@@ -79,15 +80,23 @@ class Splub(BaseBoundProvider):
         self._tree_cache: Dict[int, Tuple[int, np.ndarray]] = {}
 
     def shortest_paths(self, source: int) -> np.ndarray:
-        """The Dijkstra tree from ``source``, memoised on the graph epoch."""
+        """The Dijkstra tree from ``source``, memoised on the graph epoch.
+
+        Trees are computed by :func:`repro.bounds.kernels.sssp` over the
+        graph's CSR view — compiled when numba is active, a NumPy heap loop
+        otherwise; both produce arrays byte-identical to
+        :func:`dijkstra_distances` over the per-node mirrors.
+        """
+        graph = self.graph
         if self.cache_trees:
             cached = self._tree_cache.get(source)
-            if cached is not None and cached[0] == self.graph.epoch:
+            if cached is not None and cached[0] == graph.epoch:
                 return cached[1]
-        dist = dijkstra_distances(self.graph, source)
+        indptr, indices, weights = graph.csr_arrays()
+        dist = kernels.sssp(indptr, indices, weights, graph.n, source)
         self.dijkstra_runs += 1
         if self.cache_trees:
-            self._tree_cache[source] = (self.graph.epoch, dist)
+            self._tree_cache[source] = (graph.epoch, dist)
         return dist
 
     def bounds(self, i: int, j: int) -> Bounds:
@@ -102,11 +111,8 @@ class Splub(BaseBoundProvider):
         lb = 0.0
         k_ids, l_ids, weights = self.graph.edge_arrays()
         if weights.size:
-            detour = np.minimum(
-                sp_i[k_ids] + sp_j[l_ids], sp_i[l_ids] + sp_j[k_ids]
-            )
             # weights − inf = −inf, so unreachable detours never win the max.
-            candidate = float((weights - detour).max())
+            candidate = kernels.splub_sweep(sp_i, sp_j, k_ids, l_ids, weights)
             if candidate > lb:
                 lb = candidate
         if lb > ub:

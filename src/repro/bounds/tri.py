@@ -38,6 +38,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.bounds import kernels
 from repro.core.bounds import BaseBoundProvider, Bounds
 from repro.core.partial_graph import PartialDistanceGraph
 
@@ -64,6 +65,13 @@ class TriScheme(BaseBoundProvider):
     #: bounds; this only moves CPU time.  Set to ``math.inf`` to force the
     #: scalar loop everywhere (the loop-vs-vectorised benchmarks do).
     vector_threshold: float = 32
+
+    #: Minimum frontier size before the shared-endpoint sweep runs over the
+    #: graph's CSR view through :mod:`repro.bounds.kernels` instead of the
+    #: per-node mirror kernel.  Identical bounds either way; the CSR kernel
+    #: amortises one epoch-keyed CSR (re)build across the whole batch.  Set
+    #: to ``math.inf`` to pin the mirror kernel (benchmark baselines do).
+    frontier_csr_threshold: float = 8
 
     def __init__(
         self,
@@ -229,7 +237,36 @@ class TriScheme(BaseBoundProvider):
         return Bounds(lb, ub)
 
     def _bounds_frontier(self, u: int, others: Sequence[int]) -> List[Bounds]:
-        """Bounds for every unknown pair ``(u, c)`` in one segmented pass.
+        """Bounds for every unknown pair ``(u, c)``, through the best kernel.
+
+        Large frontiers run over the graph's CSR view via
+        :func:`repro.bounds.kernels.tri_frontier` (compiled when numba is
+        active, vectorised NumPy otherwise); small ones keep the per-node
+        mirror kernel, which avoids touching the whole-graph CSR mirror.
+        Both produce byte-identical bounds and triangle counts.
+        """
+        if len(others) >= self.frontier_csr_threshold:
+            graph = self.graph
+            indptr, indices, weights = graph.csr_arrays()
+            lbs, ubs, triangles = kernels.tri_frontier(
+                indptr,
+                indices,
+                weights,
+                graph.n,
+                u,
+                np.asarray(others, dtype=np.int64),
+                self.max_distance,
+                self.relaxation,
+            )
+            self.triangles_inspected += int(triangles)
+            # The kernel clamps to 0 <= lb <= ub <= cap, so validation can
+            # be skipped — constructing ~|others| frozen dataclasses through
+            # __init__ would otherwise dominate the sweep.
+            return Bounds.list_from_arrays(lbs, ubs)
+        return self._bounds_frontier_mirrors(u, others)
+
+    def _bounds_frontier_mirrors(self, u: int, others: Sequence[int]) -> List[Bounds]:
+        """The PR-2 frontier kernel over per-node mirrors (reference/baseline).
 
         Scatters ``u``'s adjacency into a dense row (``inf`` elsewhere),
         gathers it at every candidate neighbour in one shot, and reduces

@@ -141,6 +141,7 @@ def _cmd_run(args) -> int:
             workers=args.workers,
             oracle_cache=args.oracle_cache,
             weak_oracle=args.weak_oracle,
+            stretch=args.stretch,
         )
         if baseline_calls is None:
             baseline_calls = record.total_calls
@@ -387,6 +388,7 @@ def _cmd_submit(args) -> int:
                 "oracle_budget": args.budget,
                 "deadline": args.deadline,
                 "label": args.label,
+                "stretch": args.stretch,
             },
         }
     response = send_request(args.socket, request, timeout=args.timeout)
@@ -431,6 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p, algorithms=True):
         p.add_argument("--dataset", choices=sorted(DATASETS), default="sf")
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--no-jit", dest="no_jit", action="store_true",
+                       help="force the pure-NumPy kernel backend even when "
+                       "numba is installed (same as REPRO_NO_JIT=1)")
         p.add_argument(
             "--providers", nargs="+", default=["none", "tri", "laesa", "tlaesa"],
             choices=list(PROVIDER_NAMES),
@@ -465,6 +470,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="use the space's native weak (banded "
                            "estimate) oracle to tighten bounds; outputs "
                            "are identical, strong calls drop")
+            p.add_argument("--stretch", type=float, default=1.0,
+                           help="approximation budget >= 1.0; answers may "
+                           "be bounded-stretch estimates (1.0 = exact, "
+                           "the default)")
 
     run_p = sub.add_parser("run", help="one dataset size, many providers")
     common(run_p)
@@ -557,6 +566,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--deadline", type=float, default=None,
                           help="seconds the job may wait+run before expiring")
     submit_p.add_argument("--label", default="")
+    submit_p.add_argument("--stretch", type=float, default=1.0,
+                          help="approximation budget >= 1.0 for this job "
+                          "(1.0 = exact)")
     submit_p.add_argument("--timeout", type=float, default=60.0,
                           help="client-side socket timeout")
     submit_p.add_argument("--stats", action="store_true",
@@ -584,6 +596,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: List[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "no_jit", False):
+        from repro.bounds import kernels
+
+        kernels.disable_jit()
     return args.func(args)
 
 

@@ -27,6 +27,25 @@ class Bounds:
         if self.upper < self.lower - 1e-12:
             raise ValueError(f"inverted bounds: lower={self.lower} > upper={self.upper}")
 
+    @classmethod
+    def list_from_arrays(cls, lowers, uppers) -> List["Bounds"]:
+        """Build a list of intervals from parallel arrays, skipping validation.
+
+        Callers must guarantee ``0 <= lower <= upper`` element-wise (the
+        kernel sweeps clamp exactly that way); frozen-dataclass ``__init__``
+        dominates large frontier sweeps otherwise.  Instances are
+        indistinguishable from normally constructed ones.
+        """
+        new = cls.__new__
+        out: List[Bounds] = []
+        append = out.append
+        for lo, up in zip(lowers.tolist(), uppers.tolist()):
+            b = new(cls)
+            b.__dict__["lower"] = lo
+            b.__dict__["upper"] = up
+            append(b)
+        return out
+
     @property
     def gap(self) -> float:
         """Width of the interval (``inf`` when the upper bound is unknown)."""

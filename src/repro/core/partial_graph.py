@@ -40,8 +40,8 @@ Edge = Tuple[int, int]
 
 #: Per-node mirror: (node epoch at build time, neighbour ids, weights).
 _NodeMirror = Tuple[int, np.ndarray, np.ndarray]
-#: Whole-graph mirror: (global epoch at build time, i ids, j ids, weights).
-_EdgeMirror = Tuple[int, np.ndarray, np.ndarray, np.ndarray]
+#: Whole-graph CSR mirror: (epoch at build time, indptr, indices, weights).
+_CsrMirror = Tuple[int, np.ndarray, np.ndarray, np.ndarray]
 
 
 class PartialDistanceGraph:
@@ -62,7 +62,16 @@ class PartialDistanceGraph:
         self._adj_weights: List[List[float]] = [[] for _ in range(n)]
         # Lazily rebuilt NumPy mirrors, invalidated by epoch comparison.
         self._node_mirror: List[Optional[_NodeMirror]] = [None] * n
-        self._edge_mirror: Optional[_EdgeMirror] = None
+        # Whole-graph edge mirror: capacity-doubling (i, j, w) column buffers
+        # kept current *at insert time* once first materialised — readers
+        # never rebuild, they only slice the committed prefix.
+        self._edge_buf: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._edge_buf_len = 0
+        # Cached column views over the committed prefix, keyed on the edge
+        # count, so repeat calls at one epoch return identical objects.
+        self._edge_view: Optional[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = None
+        # Symmetric CSR mirror of the whole adjacency, keyed on the epoch.
+        self._csr_mirror: Optional[_CsrMirror] = None
         # Edge-commit listeners: fired once per *new* edge, after insertion
         # (so callbacks observe the bumped epochs).  The service engine hooks
         # periodic snapshots here.
@@ -71,6 +80,8 @@ class PartialDistanceGraph:
         # registry metrics by instrument().
         self.node_mirror_rebuilds = 0
         self.edge_mirror_rebuilds = 0
+        self.edge_mirror_appends = 0
+        self.csr_mirror_rebuilds = 0
         # Optional bound CSRStore (attach_store): rows [0, num_edges) of the
         # store correspond 1:1, in order, to this graph's edges.
         self._store = None
@@ -167,6 +178,8 @@ class PartialDistanceGraph:
         self._weights[key] = distance
         self._insert_neighbor(key[0], key[1], distance)
         self._insert_neighbor(key[1], key[0], distance)
+        if self._edge_buf is not None:
+            self._append_edge_row(key[0], key[1], distance)
         store = self._store
         if store is not None and store.writable:
             store.append(key[0], key[1], distance)
@@ -275,8 +288,18 @@ class PartialDistanceGraph:
         )
         registry.counter(
             "repro_graph_edge_mirror_rebuilds_total",
-            "Whole-graph NumPy edge mirrors rebuilt after an epoch bump.",
+            "Whole-graph NumPy edge mirrors built from scratch (first use only).",
             fn=lambda: self.edge_mirror_rebuilds,
+        )
+        registry.counter(
+            "repro_graph_edge_mirror_appends_total",
+            "Rows appended in place to the materialised edge mirror.",
+            fn=lambda: self.edge_mirror_appends,
+        )
+        registry.counter(
+            "repro_graph_csr_rebuilds_total",
+            "Symmetric CSR mirrors rebuilt after an epoch bump.",
+            fn=lambda: self.csr_mirror_rebuilds,
         )
 
     def unsubscribe_edges(self, listener: Callable[[int, int, float], None]) -> None:
@@ -330,11 +353,43 @@ class PartialDistanceGraph:
             self._node_mirror[i] = mirror
         return mirror[1], mirror[2]
 
+    def _append_edge_row(self, i: int, j: int, weight: float) -> None:
+        """Keep the materialised edge mirror current at insert time.
+
+        Runs under the caller's exclusive (write) discipline — the same one
+        that guards ``add_edge`` itself — so readers only ever slice the
+        committed prefix and never mutate shared state.  Capacity doubles
+        on demand; old views stay valid because the committed prefix of a
+        retired buffer is never written again.
+        """
+        buf = self._edge_buf
+        idx = self._edge_buf_len
+        if idx >= buf[0].shape[0]:
+            new_cap = max(2 * buf[0].shape[0], idx + 1)
+            grown = (
+                np.empty(new_cap, dtype=np.int64),
+                np.empty(new_cap, dtype=np.int64),
+                np.empty(new_cap, dtype=np.float64),
+            )
+            for new, old in zip(grown, buf):
+                new[:idx] = old[:idx]
+            buf = grown
+            self._edge_buf = buf
+        buf[0][idx] = i
+        buf[1][idx] = j
+        buf[2][idx] = weight
+        self._edge_buf_len = idx + 1
+        self.edge_mirror_appends += 1
+
     def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Flat NumPy mirror of the whole edge set: ``(i_ids, j_ids, weights)``.
 
-        Rows appear in resolution (insertion) order with ``i < j``; rebuilt
-        lazily when :attr:`epoch` has moved.  Do not mutate the arrays.
+        Rows appear in resolution (insertion) order with ``i < j``.  Do not
+        mutate the arrays.  The mirror is materialised on first use (one
+        full rebuild, counted in :attr:`edge_mirror_rebuilds`) and then
+        *extended in place by each insert* (:attr:`edge_mirror_appends`) —
+        an epoch bump never triggers a redundant whole-mirror rebuild, and
+        read-only workloads leave both counters untouched.
 
         When a store is bound and current (row count equals the graph's
         edge count) the store's columns are returned directly — zero-copy
@@ -344,8 +399,8 @@ class PartialDistanceGraph:
         store = self._store
         if store is not None and store.num_edges == m:
             return store.edge_columns()
-        mirror = self._edge_mirror
-        if mirror is None or mirror[0] != m:
+        buf = self._edge_buf
+        if buf is None:
             self.edge_mirror_rebuilds += 1
             i_ids = np.empty(m, dtype=np.int64)
             j_ids = np.empty(m, dtype=np.int64)
@@ -354,8 +409,45 @@ class PartialDistanceGraph:
                 i_ids[idx] = i
                 j_ids[idx] = j
                 weights[idx] = w
-            mirror = (m, i_ids, j_ids, weights)
-            self._edge_mirror = mirror
+            buf = (i_ids, j_ids, weights)
+            self._edge_buf = buf
+            self._edge_buf_len = m
+        view = self._edge_view
+        if view is None or view[0] != m:
+            view = (m, buf[0][:m], buf[1][:m], buf[2][:m])
+            self._edge_view = view
+        return view[1], view[2], view[3]
+
+    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Symmetric CSR view of the known adjacency: ``(indptr, indices, weights)``.
+
+        ``indices[indptr[u]:indptr[u + 1]]`` are the sorted known
+        neighbours of ``u`` with matching ``weights`` — the layout the
+        compiled kernels in :mod:`repro.bounds.kernels` consume.  Served
+        straight from a bound-and-current :class:`~repro.core.csr_store.
+        CSRStore` (:meth:`~repro.core.csr_store.CSRStore.csr`); otherwise a
+        local mirror keyed on :attr:`epoch` is rebuilt vectorised from the
+        flat edge columns.  Do not mutate the arrays.
+        """
+        m = len(self._weights)
+        store = self._store
+        if store is not None and store.num_edges == m:
+            return store.csr()
+        mirror = self._csr_mirror
+        if mirror is None or mirror[0] != m:
+            self.csr_mirror_rebuilds += 1
+            i_ids, j_ids, w = self.edge_arrays()
+            rows = np.concatenate([i_ids, j_ids])
+            cols = np.concatenate([j_ids, i_ids])
+            data = np.concatenate([w, w])
+            order = np.lexsort((cols, rows))
+            indices = cols[order]
+            weights = data[order]
+            counts = np.bincount(rows, minlength=self._n)
+            indptr = np.zeros(self._n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            mirror = (m, indptr, indices, weights)
+            self._csr_mirror = mirror
         return mirror[1], mirror[2], mirror[3]
 
     def common_neighbors(self, i: int, j: int) -> Iterator[int]:

@@ -98,6 +98,9 @@ class ResolverStats:
     weak_calls: int = 0
     strong_calls: int = 0
     weak_band: int = 0
+    #: Distances answered as bounded-stretch estimates (``stretch > 1``)
+    #: without resolving through the oracle.  Always 0 in exact mode.
+    approx_answers: int = 0
 
     @property
     def total_comparisons(self) -> int:
@@ -146,6 +149,17 @@ class SmartResolver:
         sequences are byte-identical with or without a registry); deltas
         are folded into the registry at :meth:`collect_stats`, and bound
         interval widths are observed into a ``repro_bound_gap`` histogram.
+    stretch:
+        Approximation budget (default ``1.0`` — exact).  With ``stretch >
+        1``, a distance request whose current bound interval satisfies
+        ``ub <= stretch · lb`` is answered with ``ub`` — guaranteed within
+        a factor ``stretch`` of the true distance — *without* an oracle
+        call or a graph commit.  At the default every code path is
+        byte-identical to the pre-stretch resolver (the gate never runs).
+        Each accepted estimate is tallied in ``stats.approx_answers`` and
+        its realised ratio observed into the ``repro_answer_stretch``
+        histogram (when instrumented); by construction the ratio never
+        exceeds the budget.
     """
 
     def __init__(
@@ -156,6 +170,7 @@ class SmartResolver:
         batcher: Optional["BatchOracle"] = None,
         bound_cache: bool = True,
         registry: Optional[Any] = None,
+        stretch: float = 1.0,
     ) -> None:
         if graph is None:
             graph = getattr(bounder, "graph", None)
@@ -166,6 +181,8 @@ class SmartResolver:
             raise ValueError("bounder and resolver must share the same PartialDistanceGraph")
         if batcher is not None and batcher.oracle is not oracle:
             raise ValueError("batcher must wrap the same DistanceOracle as the resolver")
+        if stretch < 1.0:
+            raise ValueError("stretch budget must be >= 1.0 (1.0 = exact)")
         self.oracle = oracle
         self.graph = graph
         self._bounder: BoundProvider = bounder or TrivialBounder(graph)
@@ -176,6 +193,13 @@ class SmartResolver:
         self.registry = None
         self._published_stats: Optional[ResolverStats] = None
         self._gap_hist = None
+        self.stretch = float(stretch)
+        #: Accepted bounded-stretch estimates, keyed on the canonical pair —
+        #: repeat reads of one pair see one consistent value.
+        self._approx_cache: Dict[Pair, float] = {}
+        #: Largest realised ratio (estimate / lower bound) accepted so far.
+        self.max_realized_stretch = 0.0
+        self._stretch_hist = None
         if registry is not None:
             self.instrument(registry)
 
@@ -190,13 +214,21 @@ class SmartResolver:
         """
         # Imported lazily so repro.core stays importable on its own.
         from repro.obs.bridge import RESOLVER_METRICS
-        from repro.obs.registry import BOUND_GAP_BUCKETS
+        from repro.obs.registry import ANSWER_STRETCH_BUCKETS, BOUND_GAP_BUCKETS
 
         self.registry = registry
         self._gap_hist = registry.histogram(
             "repro_bound_gap",
             BOUND_GAP_BUCKETS,
             help_text="Width (ub - lb) of provider bound intervals when computed.",
+        )
+        self._stretch_hist = registry.histogram(
+            "repro_answer_stretch",
+            ANSWER_STRETCH_BUCKETS,
+            help_text=(
+                "Realised stretch (estimate / lower bound) of approximate "
+                "answers; bounded by the job's stretch budget."
+            ),
         )
         for _field, metric, labels, help_text in RESOLVER_METRICS:
             family = registry.counter(metric, help_text, labelnames=tuple(labels))
@@ -235,13 +267,58 @@ class SmartResolver:
         """The resolved distance for ``(i, j)``, or None (never calls the oracle)."""
         return self.graph.get(i, j)
 
+    def _approx_estimate(self, i: int, j: int) -> Optional[float]:
+        """Bounded-stretch answer for an unknown pair, or None to go exact.
+
+        Accepts the pair's current upper bound as the answer when the
+        interval certifies ``ub <= stretch · lb`` — the acceptance test is
+        on the *ratio*, so the realised stretch observed into the histogram
+        can never exceed the budget.  Accepted estimates are cached on the
+        canonical pair (one histogram observation, one stable value per
+        pair) and **never** committed to the graph: the partial distance
+        graph stays a store of exact distances only.
+        """
+        key = canonical_pair(i, j)
+        hit = self._approx_cache.get(key)
+        if hit is not None:
+            return hit
+        b = self.bounds(i, j)
+        lb, ub = b.lower, b.upper
+        if not math.isfinite(ub):
+            return None
+        if ub == lb:
+            ratio = 1.0
+        elif lb > 0.0:
+            ratio = ub / lb
+        else:
+            return None
+        if ratio > self.stretch:
+            return None
+        self._approx_cache[key] = ub
+        self.stats.approx_answers += 1
+        if ratio > self.max_realized_stretch:
+            self.max_realized_stretch = ratio
+        if self._stretch_hist is not None:
+            self._stretch_hist.observe(ratio)
+        return ub
+
     def distance(self, i: int, j: int) -> float:
-        """The exact distance, resolving through the oracle when unknown."""
+        """The exact distance, resolving through the oracle when unknown.
+
+        With a ``stretch`` budget above 1, an unknown pair whose bound
+        interval already certifies the budget is answered with its upper
+        bound instead (see :meth:`_approx_estimate`); at the default budget
+        this path never runs.
+        """
         if i == j:
             return 0.0
         cached = self.graph.get(i, j)
         if cached is not None:
             return cached
+        if self.stretch > 1.0:
+            estimate = self._approx_estimate(i, j)
+            if estimate is not None:
+                return estimate
         before = self.oracle.calls
         value = self.oracle(i, j)
         self.stats.resolutions += 1
@@ -267,6 +344,10 @@ class SmartResolver:
         """
         keys = sorted({canonical_pair(i, j) for i, j in pairs if i != j})
         unknown = [key for key in keys if self.graph.get(*key) is None]
+        if unknown and self.stretch > 1.0:
+            # Same gate as ``distance``: pairs whose interval certifies the
+            # budget are answered approximately and drop out of the batch.
+            unknown = [key for key in unknown if self._approx_estimate(*key) is None]
         if unknown:
             if self.batcher is None:
                 for key in unknown:
@@ -284,6 +365,15 @@ class SmartResolver:
                     if self.graph.add_edge(*key, resolved[key]):
                         self._bound_memo.pop(key, None)
                         self._bounder.notify_resolved(*key, resolved[key])
+        if self._approx_cache:
+            # Exact values win over cached estimates — a pair may have been
+            # resolved exactly after its estimate was accepted.
+            approx = self._approx_cache
+            out: Dict[Pair, float] = {}
+            for key in keys:
+                exact = self.graph.get(*key)
+                out[key] = exact if exact is not None else approx[key]
+            return out
         return {key: self.graph.get(*key) for key in keys}
 
     def prefetch_thresholds(self, items: Iterable[Tuple[Pair, float]]) -> int:

@@ -11,6 +11,7 @@ from repro.bounds import (
     Aesa,
     DirectFeasibilityTest,
     Laesa,
+    SketchBoundProvider,
     Splub,
     Tlaesa,
     TriScheme,
@@ -30,10 +31,11 @@ PROVIDER_NAMES = (
     "tlaesa",
     "aesa",
     "dft",
+    "sketch",
 )
 
 #: Providers whose bootstrap step spends oracle calls up front.
-LANDMARK_PROVIDERS = ("laesa", "tlaesa", "aesa")
+LANDMARK_PROVIDERS = ("laesa", "tlaesa", "aesa", "sketch")
 
 
 def make_provider(
@@ -67,6 +69,8 @@ def make_provider(
         return Aesa(graph, max_distance)
     if name == "dft":
         return DirectFeasibilityTest(graph, max_distance=min(max_distance, 1e9))
+    if name == "sketch":
+        return SketchBoundProvider(graph, max_distance, num_landmarks)
     raise ValueError(f"unknown provider {name!r}; choose from {PROVIDER_NAMES}")
 
 

@@ -162,6 +162,7 @@ def run_experiment(
     registry: Optional[MetricsRegistry] = None,
     metrics_sink: Optional[MetricsSink] = None,
     weak_oracle: Union[bool, "WeakOracle", None] = None,
+    stretch: float = 1.0,
 ) -> ExperimentRecord:
     """Run one measurement.
 
@@ -209,6 +210,11 @@ def run_experiment(
         used as given.  The weak tier wraps the configured provider in a
         base ∩ weak intersection — results stay byte-identical; only the
         strong-call count drops.
+    stretch:
+        Approximation budget for the resolver (default ``1.0`` — exact).
+        Above 1, distances whose bound interval certifies ``ub <= stretch ·
+        lb`` are answered with the upper bound without charging the oracle;
+        see :class:`~repro.core.resolver.SmartResolver`.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}")
@@ -234,7 +240,7 @@ def run_experiment(
         tiered = TieredOracle(oracle, weak)
     elif weak_oracle:
         tiered = TieredOracle(oracle, weak_oracle)
-    resolver = SmartResolver(oracle, batcher=batcher, registry=registry)
+    resolver = SmartResolver(oracle, batcher=batcher, registry=registry, stretch=stretch)
     if registry is not None:
         oracle_call_counter(registry, oracle)
         resolver.graph.instrument(registry)

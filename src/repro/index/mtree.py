@@ -25,6 +25,16 @@ import numpy as np
 
 from repro.core.oracle import DistanceOracle
 
+#: Relative slack applied to every pruning comparison.  The triangle
+#: inequality holds in real arithmetic but stored distances are rounded —
+#: shortest-path closures in particular satisfy it with *equality*, where
+#: ``|d(q,p) − d(p,e)|`` computed in floats can exceed the true
+#: ``d(q,e)`` by a few ulps and a strict comparison would prune a subtree
+#: whose member sits exactly on the boundary.  Pruning less is always
+#: sound, so the slack keeps results exact at the cost of (vanishingly
+#: few) extra oracle calls.
+_PRUNE_SLACK = 1e-9
+
 
 class _Entry:
     """One slot of a node: an object (leaf) or a child router (internal)."""
@@ -182,17 +192,19 @@ class MTree:
 
         def visit(node: _Node, d_parent: Optional[float]) -> None:
             for entry in node.entries:
+                reach = radius + entry.radius
+                slack = _PRUNE_SLACK * (1.0 + reach)
                 # Parent-distance pruning: no oracle call needed.
                 if d_parent is not None:
                     margin = abs(d_parent - entry.parent_distance)
-                    if margin > radius + entry.radius:
+                    if margin > reach + slack:
                         continue
                 d = self.oracle(query, entry.obj)
                 if node.is_leaf:
                     if d <= radius:
                         hits.append(entry.obj)
                 else:
-                    if d <= radius + entry.radius:
+                    if d <= reach + slack:
                         visit(entry.child, d)
 
         visit(self._root, None)
@@ -209,7 +221,8 @@ class MTree:
             for entry in node.entries:
                 if d_parent is not None:
                     margin = abs(d_parent - entry.parent_distance)
-                    if margin - entry.radius > best[1]:
+                    slack = _PRUNE_SLACK * (1.0 + entry.radius)
+                    if margin - entry.radius > best[1] + slack:
                         continue
                 d = self.oracle(query, entry.obj)
                 if node.is_leaf:
@@ -219,7 +232,7 @@ class MTree:
                     scored.append((max(0.0, d - entry.radius), d, entry))
             scored.sort(key=lambda item: item[0])
             for optimistic, d, entry in scored:
-                if optimistic <= best[1]:
+                if optimistic <= best[1] + _PRUNE_SLACK * (1.0 + best[1]):
                     visit(entry.child, d)
 
         visit(self._root, None)

@@ -19,6 +19,7 @@ from repro.obs.bridge import (
     resolver_stats_view,
 )
 from repro.obs.registry import (
+    ANSWER_STRETCH_BUCKETS,
     BATCH_SIZE_BUCKETS,
     BOUND_GAP_BUCKETS,
     LATENCY_BUCKETS_S,
@@ -35,6 +36,7 @@ from repro.obs.sinks import CollectingSink, JsonlSink, MetricsSink
 from repro.obs.spans import Span, SpanTracer
 
 __all__ = [
+    "ANSWER_STRETCH_BUCKETS",
     "BATCH_SIZE_BUCKETS",
     "BOUND_GAP_BUCKETS",
     "LATENCY_BUCKETS_S",

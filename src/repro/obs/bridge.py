@@ -114,6 +114,12 @@ RESOLVER_METRICS: Tuple[Tuple[str, str, Dict[str, str], str], ...] = (
         {},
         "Bound queries strictly tightened by a weak oracle's error band.",
     ),
+    (
+        "approx_answers",
+        "repro_resolver_approx_answers_total",
+        {},
+        "Distances answered as bounded-stretch estimates without the oracle.",
+    ),
 )
 
 

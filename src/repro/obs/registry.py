@@ -44,7 +44,26 @@ __all__ = [
     "LATENCY_BUCKETS_S",
     "BOUND_GAP_BUCKETS",
     "BATCH_SIZE_BUCKETS",
+    "ANSWER_STRETCH_BUCKETS",
 ]
+
+#: Buckets for realised-stretch histograms (``estimate / lower bound`` of a
+#: bounded-stretch answer, dimensionless, >= 1).  Dense near 1 because most
+#: accepted estimates come from already-tight intervals; the tail covers the
+#: largest budgets anyone sensibly runs.
+ANSWER_STRETCH_BUCKETS: Tuple[float, ...] = (
+    1.0,
+    1.01,
+    1.05,
+    1.1,
+    1.2,
+    1.35,
+    1.5,
+    1.75,
+    2.0,
+    3.0,
+    5.0,
+)
 
 #: Default buckets (seconds) for latency-style histograms: job latency,
 #: span durations, bound-computation time.  Upper bounds are inclusive

@@ -66,6 +66,7 @@ from repro.exec.executor import BaseExecutor, DEFAULT_WORKERS, make_executor
 from repro.harness.providers import LANDMARK_PROVIDERS, make_provider
 from repro.harness.stats import percentile
 from repro.obs import (
+    ANSWER_STRETCH_BUCKETS,
     LATENCY_BUCKETS_S,
     RESOLVER_METRICS,
     MetricsRegistry,
@@ -97,12 +98,14 @@ class _JobRuntime:
         "deadline_at",
         "expired",
         "use_weak",
+        "stretch",
     )
 
     def __init__(self, job: Job) -> None:
         self.job_id = job.id
         self.budget = job.spec.oracle_budget
         self.use_weak = job.spec.use_weak
+        self.stretch = job.spec.stretch
         self.charged = 0
         self.warm_hits = 0
         #: Canonical pairs this job has already looked at (so a warm pair is
@@ -128,6 +131,7 @@ class _JobResolver(SmartResolver):
             engine.oracle,
             bounder=engine._weak_bounder if use_weak else engine.bounder,
             graph=engine.graph,
+            stretch=runtime.stretch,
         )
         self._engine = engine
         self._runtime = runtime
@@ -135,6 +139,8 @@ class _JobResolver(SmartResolver):
         # and base providers compute different intervals, so each provider
         # path keeps its own shared memo — entries stay provider-consistent.
         self._bound_memo = engine._shared_memo_weak if use_weak else engine._shared_memo
+        # Realised-stretch observations land in the engine-wide histogram.
+        self._stretch_hist = engine._m_answer_stretch
 
     # -- job control ---------------------------------------------------------
 
@@ -193,6 +199,12 @@ class _JobResolver(SmartResolver):
             self._note_warm(key)
             return cached
         self._check_cancelled()
+        if self.stretch > 1.0:
+            # Bound reads inside the gate take the read lock themselves; an
+            # accepted estimate never commits, so no write lock is needed.
+            estimate = self._approx_estimate(i, j)
+            if estimate is not None:
+                return estimate
         with engine._oracle_lock:
             value = self.oracle.peek(*key)
         if value is None:
@@ -211,6 +223,8 @@ class _JobResolver(SmartResolver):
         for key in keys:
             if key not in unknown_set:
                 self._note_warm(key)
+        if unknown and self.stretch > 1.0:
+            unknown = [key for key in unknown if self._approx_estimate(*key) is None]
         if unknown:
             self._check_cancelled()
             values: Dict[Pair, float] = {}
@@ -229,6 +243,13 @@ class _JobResolver(SmartResolver):
             if self.batched:
                 self.stats.batched_resolutions += len(unknown)
         with engine._rw.read_locked():
+            if self._approx_cache:
+                approx = self._approx_cache
+                out: Dict[Pair, float] = {}
+                for key in keys:
+                    exact = self.graph.get(*key)
+                    out[key] = exact if exact is not None else approx[key]
+                return out
             return {key: self.graph.get(*key) for key in keys}
 
     def _commit(self, items: List[Tuple[Pair, float]]) -> Dict[Pair, float]:
@@ -520,6 +541,14 @@ class ProximityEngine:
             LATENCY_BUCKETS_S,
             help_text="End-to-end job execution latency in seconds.",
         )
+        self._m_answer_stretch = r.histogram(
+            "repro_answer_stretch",
+            ANSWER_STRETCH_BUCKETS,
+            help_text=(
+                "Realised stretch (estimate / lower bound) of approximate "
+                "answers; bounded by the job's stretch budget."
+            ),
+        )
         oracle_call_counter(r, self.oracle)
         r.counter(
             "repro_bootstrap_calls_total",
@@ -631,6 +660,7 @@ class ProximityEngine:
         deadline: Optional[float] = None,
         label: str = "",
         use_weak: bool = True,
+        stretch: float = 1.0,
         **params: Any,
     ) -> Job:
         """Keyword-style :meth:`submit` convenience."""
@@ -643,6 +673,7 @@ class ProximityEngine:
                 deadline=deadline,
                 label=label,
                 use_weak=use_weak,
+                stretch=stretch,
             )
         )
 

@@ -87,6 +87,14 @@ class JobSpec:
         configured (default).  ``False`` forces strong-only bounds for this
         job — answers are identical either way, only the strong-call count
         differs.  Ignored on engines without a weak oracle.
+    stretch:
+        Approximation budget (default ``1.0`` — exact).  With ``stretch >
+        1``, this job may answer a distance with its current upper bound
+        whenever the bound interval certifies ``ub <= stretch · lb`` —
+        guaranteed within the budget of the true distance — without
+        charging the oracle.  Realised stretch per accepted answer is
+        observed into the engine's ``repro_answer_stretch`` histogram.
+        At the default the job is byte-identical to the pre-stretch engine.
     """
 
     kind: str
@@ -96,6 +104,7 @@ class JobSpec:
     deadline: Optional[float] = None
     label: str = ""
     use_weak: bool = True
+    stretch: float = 1.0
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -111,6 +120,8 @@ class JobSpec:
             raise ValueError("oracle_budget must be non-negative")
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError("deadline must be positive (seconds from submission)")
+        if self.stretch < 1.0:
+            raise ValueError("stretch budget must be >= 1.0 (1.0 = exact)")
 
 
 @dataclass(frozen=True)

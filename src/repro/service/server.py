@@ -90,6 +90,7 @@ def spec_from_dict(payload: Dict[str, Any]) -> JobSpec:
         deadline=payload.get("deadline"),
         label=str(payload.get("label", "")),
         use_weak=bool(payload.get("use_weak", True)),
+        stretch=float(payload.get("stretch", 1.0)),
     )
 
 

@@ -482,6 +482,7 @@ class ShardedEngine:
                 deadline=spec.deadline,
                 label=spec.label,
                 use_weak=spec.use_weak,
+                stretch=spec.stretch,
             )))
         return parts
 

@@ -101,6 +101,56 @@ class TestEdgeArrays:
         assert c[2].tolist() == [0.5, 0.2]
 
 
+class TestMirrorCounters:
+    """Regression: read-only workloads must not re-materialise the mirrors."""
+
+    def test_read_only_workload_keeps_counters_stable(self):
+        g = PartialDistanceGraph(8)
+        for i, j, w in [(0, 1, 0.5), (1, 2, 0.3), (2, 3, 0.4), (0, 4, 0.9)]:
+            g.add_edge(i, j, w)
+        g.edge_arrays()
+        g.csr_arrays()
+        assert g.edge_mirror_rebuilds == 1
+        assert g.csr_mirror_rebuilds == 1
+        # Any number of read-only calls after materialisation is free: no
+        # rebuild, no append, regardless of interleaving or epoch reads.
+        for _ in range(25):
+            g.edge_arrays()
+            g.csr_arrays()
+            g.adjacency_arrays(1)
+            g.get(0, 1)
+            _ = g.epoch
+        assert g.edge_mirror_rebuilds == 1
+        assert g.csr_mirror_rebuilds == 1
+        assert g.edge_mirror_appends == 0
+
+    def test_insert_appends_to_edge_mirror_without_rebuild(self):
+        g = PartialDistanceGraph(8)
+        g.add_edge(0, 1, 0.5)
+        g.edge_arrays()
+        assert (g.edge_mirror_rebuilds, g.edge_mirror_appends) == (1, 0)
+        g.add_edge(1, 2, 0.3)
+        g.add_edge(2, 3, 0.4)
+        i_ids, _, ws = g.edge_arrays()
+        # Inserts extend the existing buffer in place; the one-time full
+        # rebuild never repeats.
+        assert g.edge_mirror_rebuilds == 1
+        assert g.edge_mirror_appends == 2
+        assert i_ids.tolist() == [0, 1, 2]
+        assert ws.tolist() == [0.5, 0.3, 0.4]
+
+    def test_csr_rebuild_is_once_per_epoch_not_per_call(self):
+        g = PartialDistanceGraph(8)
+        g.add_edge(0, 1, 0.5)
+        for _ in range(5):
+            g.csr_arrays()
+        assert g.csr_mirror_rebuilds == 1
+        g.add_edge(1, 2, 0.3)
+        for _ in range(5):
+            g.csr_arrays()
+        assert g.csr_mirror_rebuilds == 2
+
+
 class TestUnknownPairs:
     def test_matches_bruteforce_complement(self, rng):
         g = PartialDistanceGraph(12)
