@@ -26,7 +26,9 @@ from repro.core.resolver import SmartResolver
 from repro.bounds.landmarks import (
     default_num_landmarks,
     resolve_landmark_matrix,
+    resolve_landmark_matrix_subset,
     select_landmarks_maxmin,
+    select_landmarks_maxmin_subset,
 )
 
 
@@ -51,6 +53,15 @@ class Laesa(BaseBoundProvider):
         self.landmarks: List[int] = []
         self._landmark_row: dict[int, int] = {}
         self._matrix: np.ndarray | None = None
+        #: Fraction of the live set that may churn before landmarks are
+        #: re-selected from scratch (drift threshold).
+        self.drift_threshold = 0.5
+        self._drift = 0
+        self._bootstrap_count = 0
+        #: Mutation-maintenance tallies.
+        self.landmark_rows_dropped = 0
+        self.landmark_cols_refilled = 0
+        self.landmark_reselections = 0
 
     # -- construction -----------------------------------------------------
 
@@ -66,6 +77,8 @@ class Laesa(BaseBoundProvider):
         self.landmarks = select_landmarks_maxmin(resolver, count)
         self._matrix = resolve_landmark_matrix(resolver, self.landmarks)
         self._landmark_row = {lm: row for row, lm in enumerate(self.landmarks)}
+        self._bootstrap_count = len(self.landmarks)
+        self._drift = 0
         return resolver.oracle.calls - before
 
     def adopt(self, landmarks: Sequence[int], matrix: np.ndarray) -> None:
@@ -76,6 +89,84 @@ class Laesa(BaseBoundProvider):
         self.landmarks = list(landmarks)
         self._matrix = matrix
         self._landmark_row = {lm: row for row, lm in enumerate(self.landmarks)}
+
+    # -- mutation maintenance ----------------------------------------------
+
+    def apply_mutations(self, inserted, removed, resolver=None) -> dict:
+        """Incrementally maintain the landmark matrix across a mutation batch.
+
+        Rows of removed landmarks are dropped; every inserted (possibly
+        recycled) id gets its column resolved immediately through
+        ``resolver`` — the incremental landmark assignment, ``L`` strong
+        calls per insert — so a stale column is never served.  Columns of
+        removed non-landmark ids are left in place: dead ids never appear
+        in a candidate set, so those cells are never read.  When cumulative
+        churn exceeds :attr:`drift_threshold` of the live set (or more than
+        half the landmarks died) the whole landmark set is re-selected.
+        """
+        counters = {
+            "landmark_rows_dropped": 0,
+            "landmark_cols_refilled": 0,
+            "landmark_reselections": 0,
+        }
+        if self._matrix is None:
+            return counters
+        inserted = list(inserted)
+        removed = set(removed)
+        if inserted and resolver is None:
+            raise ValueError(
+                "LAESA maintenance needs a resolver to refill landmark "
+                "columns for inserted ids (an exact matrix must never serve "
+                "a stale or empty column)"
+            )
+        dead_landmarks = [lm for lm in self.landmarks if lm in removed]
+        if dead_landmarks:
+            keep = [r for r, lm in enumerate(self.landmarks) if lm not in removed]
+            self.landmarks = [self.landmarks[r] for r in keep]
+            self._matrix = self._matrix[keep].copy() if keep else None
+            self._landmark_row = {lm: row for row, lm in enumerate(self.landmarks)}
+            counters["landmark_rows_dropped"] = len(dead_landmarks)
+            self.landmark_rows_dropped += len(dead_landmarks)
+        self._drift += len(inserted) + len(removed)
+        if self._matrix is not None:
+            n = self.graph.n
+            if self._matrix.shape[1] < n:
+                pad = np.zeros((self._matrix.shape[0], n - self._matrix.shape[1]))
+                self._matrix = np.hstack([self._matrix, pad])
+            if resolver is not None and inserted:
+                for obj in inserted:
+                    for row, lm in enumerate(self.landmarks):
+                        self._matrix[row, obj] = resolver.distance(lm, obj)
+                    counters["landmark_cols_refilled"] += 1
+                self.landmark_cols_refilled += len(inserted)
+        if resolver is not None and self._needs_reselection():
+            self._reselect(resolver)
+            counters["landmark_reselections"] = 1
+            self.landmark_reselections += 1
+        return counters
+
+    def _needs_reselection(self) -> bool:
+        alive = self.graph.num_alive
+        if alive < 2:
+            return False
+        if self._matrix is None or not self.landmarks:
+            return True
+        if self._bootstrap_count and len(self.landmarks) < max(1, self._bootstrap_count // 2):
+            return True
+        return self._drift > self.drift_threshold * alive
+
+    def _reselect(self, resolver: SmartResolver) -> None:
+        """Re-pick landmarks maxmin over the *live* ids and refill their rows."""
+        alive = self.graph.alive_ids()
+        count = min(self._bootstrap_count or default_num_landmarks(len(alive)), len(alive))
+        landmarks = select_landmarks_maxmin_subset(resolver, alive, max(1, count))
+        self._matrix = resolve_landmark_matrix_subset(
+            resolver, landmarks, alive, self.graph.n
+        )
+        self.landmarks = landmarks
+        self._landmark_row = {lm: row for row, lm in enumerate(landmarks)}
+        self._bootstrap_count = len(landmarks)
+        self._drift = 0
 
     # -- protocol -------------------------------------------------------------
 

@@ -53,6 +53,55 @@ def select_landmarks_maxmin(
     return landmarks
 
 
+def select_landmarks_maxmin_subset(
+    resolver: SmartResolver,
+    candidates: Sequence[int],
+    num_landmarks: int,
+) -> List[int]:
+    """Max-min landmark selection restricted to ``candidates``.
+
+    The dynamic-set variant of :func:`select_landmarks_maxmin`: under
+    tombstoning only the *live* ids may be probed, so the farthest-first
+    sweep runs over an explicit candidate list instead of ``range(n)``.
+    """
+    candidates = list(candidates)
+    if not 1 <= num_landmarks <= len(candidates):
+        raise ValueError(
+            f"num_landmarks must be in [1, {len(candidates)}]; got {num_landmarks}"
+        )
+    landmarks = [candidates[0]]
+    nearest = {obj: math.inf for obj in candidates}
+    while len(landmarks) < num_landmarks:
+        newest = landmarks[-1]
+        for obj in candidates:
+            d = resolver.distance(newest, obj)
+            if d < nearest[obj]:
+                nearest[obj] = d
+        for lm in landmarks:
+            nearest[lm] = -math.inf
+        landmarks.append(max(candidates, key=lambda o: nearest[o]))
+    return landmarks
+
+
+def resolve_landmark_matrix_subset(
+    resolver: SmartResolver,
+    landmarks: Sequence[int],
+    objects: Sequence[int],
+    n: int,
+) -> np.ndarray:
+    """Resolve an ``L × n`` matrix over only the listed live ``objects``.
+
+    Cells of ids absent from ``objects`` (tombstoned slots) are left at
+    zero; they are never read, because dead ids never enter a candidate
+    set.
+    """
+    matrix = np.zeros((len(landmarks), n))
+    for row, landmark in enumerate(landmarks):
+        for obj in objects:
+            matrix[row, obj] = resolver.distance(landmark, obj)
+    return matrix
+
+
 def resolve_landmark_matrix(
     resolver: SmartResolver,
     landmarks: Sequence[int],

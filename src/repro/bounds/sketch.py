@@ -36,7 +36,9 @@ from repro.bounds import kernels
 from repro.bounds.landmarks import (
     default_num_landmarks,
     resolve_landmark_matrix,
+    resolve_landmark_matrix_subset,
     select_landmarks_maxmin,
+    select_landmarks_maxmin_subset,
 )
 from repro.core.bounds import BaseBoundProvider, Bounds
 from repro.core.partial_graph import PartialDistanceGraph
@@ -67,6 +69,22 @@ class SketchBoundProvider(BaseBoundProvider):
         #: True when every matrix entry is an oracle-exact distance — the
         #: precondition for serving lower bounds from the sketch.
         self.exact_rows = True
+        #: Opt-in (dynamic mode): tree sketches apply a one-step relaxation
+        #: per resolved edge and mark only genuinely improved rows dirty, so
+        #: :meth:`refresh_from_graph` can recompute a delta instead of the
+        #: whole O(n·L) sketch.
+        self.track_dirty = False
+        self._dirty_rows: set[int] = set()
+        #: Tree rows actually recomputed by :meth:`refresh_from_graph`.
+        self.rows_recomputed = 0
+        #: Fraction of the live set that may churn before landmark
+        #: re-selection, and the running churn tally.
+        self.drift_threshold = 0.5
+        self._drift = 0
+        self._bootstrap_count = 0
+        self.landmark_rows_dropped = 0
+        self.landmark_cols_refilled = 0
+        self.landmark_reselections = 0
 
     # -- construction -----------------------------------------------------
 
@@ -83,6 +101,8 @@ class SketchBoundProvider(BaseBoundProvider):
         self._matrix = resolve_landmark_matrix(resolver, self.landmarks)
         self._landmark_row = {lm: row for row, lm in enumerate(self.landmarks)}
         self.exact_rows = True
+        self._bootstrap_count = len(self.landmarks)
+        self._drift = 0
         return resolver.oracle.calls - before
 
     def adopt(self, landmarks: Sequence[int], matrix: np.ndarray) -> None:
@@ -112,13 +132,46 @@ class SketchBoundProvider(BaseBoundProvider):
         provider.refresh_from_graph(landmarks)
         return provider
 
-    def refresh_from_graph(self, landmarks: Sequence[int] | None = None) -> None:
-        """(Re)compute tree rows from the current known-edge graph."""
+    def refresh_from_graph(
+        self,
+        landmarks: Sequence[int] | None = None,
+        dirty_only: bool = False,
+    ) -> int:
+        """(Re)compute tree rows from the current known-edge graph.
+
+        With ``dirty_only=True`` (and :attr:`track_dirty` enabled) only the
+        rows whose one-step relaxation improved since the last refresh are
+        recomputed — the delta-aware fast path.  Untouched rows are served
+        as they stand, which is sound: a tree row is an upper bound on the
+        landmark's distances, and skipping a recompute can only leave it
+        where it was, never loosen it below a true distance.  Returns the
+        number of rows recomputed.
+        """
         if landmarks is not None:
             self.landmarks = list(landmarks)
+            dirty_only = False  # a new landmark set has no incremental state
         if not self.landmarks:
             raise ValueError("a tree sketch needs at least one landmark")
         graph = self.graph
+        if dirty_only and self._matrix is not None and not self.exact_rows:
+            targets = sorted(
+                row for row in self._dirty_rows if row < len(self.landmarks)
+            )
+            if not targets:
+                return 0
+            indptr, indices, weights = graph.csr_arrays()
+            if self._matrix.shape[1] < graph.n:
+                pad = np.full(
+                    (self._matrix.shape[0], graph.n - self._matrix.shape[1]), math.inf
+                )
+                self._matrix = np.hstack([self._matrix, pad])
+            for row in targets:
+                self._matrix[row] = kernels.sssp(
+                    indptr, indices, weights, graph.n, self.landmarks[row]
+                )
+            self._dirty_rows.clear()
+            self.rows_recomputed += len(targets)
+            return len(targets)
         indptr, indices, weights = graph.csr_arrays()
         rows = [
             kernels.sssp(indptr, indices, weights, graph.n, lm)
@@ -127,6 +180,89 @@ class SketchBoundProvider(BaseBoundProvider):
         self._matrix = np.vstack(rows)
         self._landmark_row = {lm: row for row, lm in enumerate(self.landmarks)}
         self.exact_rows = False
+        self._dirty_rows.clear()
+        self.rows_recomputed += len(rows)
+        return len(rows)
+
+    def apply_mutations(self, inserted, removed, resolver=None) -> dict:
+        """Incrementally maintain the sketch across a mutation batch.
+
+        Exact sketches behave like LAESA: dead landmark rows are dropped,
+        inserted ids get their columns resolved immediately through
+        ``resolver``, and heavy drift triggers landmark re-selection over
+        the live set.  Tree sketches are cheaper: mutated columns are
+        masked to ``inf`` (a trivially sound upper bound) and new columns
+        are padded with ``inf`` — resolved edges repopulate them through
+        :meth:`notify_resolved`, and :meth:`refresh_from_graph` tightens
+        dirty rows on demand.
+        """
+        counters = {
+            "sketch_rows_dropped": 0,
+            "sketch_cols_refilled": 0,
+            "sketch_reselections": 0,
+        }
+        if self._matrix is None:
+            return counters
+        inserted = list(inserted)
+        removed = set(removed)
+        if self.exact_rows and inserted and resolver is None:
+            raise ValueError(
+                "exact-sketch maintenance needs a resolver to refill landmark "
+                "columns for inserted ids"
+            )
+        dead_landmarks = [lm for lm in self.landmarks if lm in removed]
+        if dead_landmarks:
+            keep = [r for r, lm in enumerate(self.landmarks) if lm not in removed]
+            self.landmarks = [self.landmarks[r] for r in keep]
+            self._matrix = self._matrix[keep].copy() if keep else None
+            self._landmark_row = {lm: row for row, lm in enumerate(self.landmarks)}
+            self._dirty_rows.clear()
+            counters["sketch_rows_dropped"] = len(dead_landmarks)
+            self.landmark_rows_dropped += len(dead_landmarks)
+        self._drift += len(inserted) + len(removed)
+        if self._matrix is not None:
+            n = self.graph.n
+            if self._matrix.shape[1] < n:
+                fill = 0.0 if self.exact_rows else math.inf
+                pad = np.full((self._matrix.shape[0], n - self._matrix.shape[1]), fill)
+                self._matrix = np.hstack([self._matrix, pad])
+            if self.exact_rows:
+                for obj in inserted:
+                    for row, lm in enumerate(self.landmarks):
+                        self._matrix[row, obj] = resolver.distance(lm, obj)
+                    counters["sketch_cols_refilled"] += 1
+                self.landmark_cols_refilled += len(inserted)
+            else:
+                # Recycled ids must not inherit the dead incarnation's paths.
+                for obj in set(inserted) | removed:
+                    if obj < self._matrix.shape[1]:
+                        self._matrix[:, obj] = math.inf
+        if self.exact_rows and resolver is not None and self._needs_reselection():
+            alive = self.graph.alive_ids()
+            count = min(
+                self._bootstrap_count or default_num_landmarks(len(alive)), len(alive)
+            )
+            landmarks = select_landmarks_maxmin_subset(resolver, alive, max(1, count))
+            self._matrix = resolve_landmark_matrix_subset(
+                resolver, landmarks, alive, self.graph.n
+            )
+            self.landmarks = landmarks
+            self._landmark_row = {lm: row for row, lm in enumerate(landmarks)}
+            self._bootstrap_count = len(landmarks)
+            self._drift = 0
+            counters["sketch_reselections"] = 1
+            self.landmark_reselections += 1
+        return counters
+
+    def _needs_reselection(self) -> bool:
+        alive = self.graph.num_alive
+        if alive < 2:
+            return False
+        if self._matrix is None or not self.landmarks:
+            return True
+        if self._bootstrap_count and len(self.landmarks) < max(1, self._bootstrap_count // 2):
+            return True
+        return self._drift > self.drift_threshold * alive
 
     @property
     def memory_entries(self) -> int:
@@ -202,3 +338,18 @@ class SketchBoundProvider(BaseBoundProvider):
         row = self._landmark_row.get(j)
         if row is not None and (self.exact_rows or distance < self._matrix[row, i]):
             self._matrix[row, i] = distance
+        if self.track_dirty and not self.exact_rows:
+            # One-step relaxation across *all* tree rows: the new edge may
+            # shorten any landmark's path through either endpoint.  Rows it
+            # genuinely improved are marked dirty — they (and only they) may
+            # be tightened further by a full Dijkstra at the next refresh.
+            col_i = self._matrix[:, i].copy()
+            col_j = self._matrix[:, j].copy()
+            better_j = col_i + distance < col_j
+            better_i = col_j + distance < col_i
+            if better_j.any():
+                self._matrix[better_j, j] = col_i[better_j] + distance
+            if better_i.any():
+                self._matrix[better_i, i] = col_j[better_i] + distance
+            for row in np.nonzero(better_i | better_j)[0].tolist():
+                self._dirty_rows.add(int(row))

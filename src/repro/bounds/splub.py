@@ -77,6 +77,9 @@ class Splub(BaseBoundProvider):
         self.cache_trees = cache_trees
         #: Dijkstra computations actually performed (cache misses).
         self.dijkstra_runs = 0
+        #: Cached trees dropped / patched in place by mutation maintenance.
+        self.trees_dropped = 0
+        self.trees_patched = 0
         self._tree_cache: Dict[int, Tuple[int, np.ndarray]] = {}
 
     def shortest_paths(self, source: int) -> np.ndarray:
@@ -98,6 +101,41 @@ class Splub(BaseBoundProvider):
         if self.cache_trees:
             self._tree_cache[source] = (graph.epoch, dist)
         return dist
+
+    def apply_mutations(self, inserted, removed, resolver=None) -> Dict[str, int]:
+        """Incrementally maintain the tree cache across a mutation batch.
+
+        Only trees *sourced at* a mutated id are dropped.  Every surviving
+        tree is patched in place — padded to the grown universe and with the
+        mutated ids' entries masked to ``inf`` — then re-stamped to the
+        current epoch.  The patch is sound: a stale shortest-path value is
+        still a path through *true* distances, hence a valid upper bound on
+        the surviving pair's distance (removal can only lengthen shortest
+        paths, never invalidate old ones); only a *recycled* id's column
+        refers to a dead incarnation, and those are exactly the masked ones.
+        """
+        mutated = set(inserted) | set(removed)
+        n = self.graph.n
+        epoch = self.graph.epoch
+        dropped = patched = 0
+        for source in list(self._tree_cache):
+            _, dist = self._tree_cache[source]
+            if source in mutated:
+                del self._tree_cache[source]
+                dropped += 1
+                continue
+            if dist.shape[0] < n:
+                dist = np.concatenate([dist, np.full(n - dist.shape[0], math.inf)])
+            else:
+                dist = dist.copy()
+            for node in mutated:
+                if node < dist.shape[0]:
+                    dist[node] = math.inf
+            self._tree_cache[source] = (epoch, dist)
+            patched += 1
+        self.trees_dropped += dropped
+        self.trees_patched += patched
+        return {"splub_trees_dropped": dropped, "splub_trees_patched": patched}
 
     def bounds(self, i: int, j: int) -> Bounds:
         if i == j:

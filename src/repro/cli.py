@@ -298,6 +298,7 @@ def _cmd_serve(args) -> int:
             dataset_handle(args.dataset, args.n, args.seed),
             num_shards=args.shards,
             provider=args.provider,
+            dynamic=args.mutations,
         )
         if args.restore_from:
             engine.restore(args.restore_from)
@@ -305,6 +306,10 @@ def _cmd_serve(args) -> int:
         n = engine.n
     else:
         space = _build_space(args)
+        if args.mutations:
+            from repro.dynamic import DynamicObjectSet
+
+            space = DynamicObjectSet.wrap(space)
         engine = ProximityEngine.for_space(
             space,
             provider=args.provider,
@@ -375,8 +380,21 @@ def _cmd_submit(args) -> int:
 
     if args.stats:
         request = {"op": "stats"}
+    elif args.insert is not None:
+        request = {"op": "insert", "payload": json.loads(args.insert)}
+    elif args.remove is not None:
+        request = {"op": "remove", "id": args.remove}
+    elif args.subscribe is not None:
+        request = {"op": "subscribe", "kind": args.subscribe}
+        request.update(dict(args.param))
+    elif args.deltas is not None:
+        request = {"op": "deltas", "sub_id": args.deltas, "since": args.since}
     elif args.kind is None:
-        print("error: either --kind or --stats is required", file=sys.stderr)
+        print(
+            "error: one of --kind/--stats/--insert/--remove/--subscribe/"
+            "--deltas is required",
+            file=sys.stderr,
+        )
         return 2
     else:
         request = {
@@ -415,10 +433,119 @@ def _cmd_stats(args) -> int:
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
+    if stats.get("sharded"):
+        rows = [
+            [key, stats[key]]
+            for key in sorted(stats)
+            if key not in ("shards", "aggregate", "plan", "store", "sharded")
+        ]
+        aggregate = stats.get("aggregate", {})
+        rows += [[f"aggregate.{key}", aggregate[key]] for key in sorted(aggregate)]
+        for shard_row in stats.get("shards", []):
+            prefix = f"shard{shard_row.get('shard', '?')}"
+            for key in ("jobs_submitted", "oracle_calls", "warm_resolutions",
+                        "graph_edges", "mutations_applied",
+                        "subscriptions_active"):
+                if key in shard_row:
+                    rows.append([f"{prefix}.{key}", shard_row[key]])
+        print_table(
+            ["stat", "value"], rows, title=f"sharded stats ({args.socket})"
+        )
+        return 0
     resolver = stats.pop("resolver", {})
     rows = [[key, stats[key]] for key in sorted(stats)]
     rows += [[f"resolver.{key}", resolver[key]] for key in sorted(resolver)]
     print_table(["stat", "value"], rows, title=f"engine stats ({args.socket})")
+    return 0
+
+
+def _cmd_churn(args) -> int:
+    """Churn harness: a warm engine absorbs mutation batches in place."""
+    from repro.dynamic import DynamicObjectSet, churn_batch
+    from repro.service import ProximityEngine
+
+    base = _build_space(args)
+    # Hold back a reserve of ids so inserts bring genuinely new objects
+    # (exhausted reserve falls back to recycling removed payloads).
+    per_batch = max(1, int(round(args.fraction * args.n / 2)))
+    reserve = min(args.batches * per_batch, base.n // 2)
+    objects = DynamicObjectSet.wrap(base, initial=base.n - reserve)
+    reserve_payloads = list(range(base.n - reserve, base.n))
+    engine = ProximityEngine.for_space(
+        objects, provider=args.provider, job_workers=1
+    )
+    sub = engine.subscribe_knng(args.k)
+    build_calls = engine.oracle.calls
+    maintain_calls = 0
+    seen_seq = sub.seq
+    rows = []
+    for batch_no in range(args.batches):
+        count = min(
+            max(1, int(round(args.fraction * objects.num_alive / 2))),
+            objects.num_alive - 1,
+        )
+        fresh_ids = reserve_payloads[:count]
+        del reserve_payloads[:count]
+        batch = churn_batch(
+            objects,
+            fraction=args.fraction,
+            seed=args.seed + batch_no,
+            insert_payloads=fresh_ids if len(fresh_ids) == count else None,
+        )
+        result = engine.apply_mutations(batch)
+        deltas = engine.subscription_deltas(sub.sub_id, since=seen_seq)
+        if deltas:
+            seen_seq = deltas[-1].seq
+        maintain_calls += result.strong_calls
+        rows.append([
+            batch_no,
+            len(result.removed_ids),
+            len(result.inserted_ids),
+            result.strong_calls,
+            result.edges_dropped,
+            sum(len(d.entered) for d in deltas),
+            sum(len(d.left) for d in deltas),
+        ])
+    standing = engine.subscriptions.get(sub.sub_id).result
+    alive = objects.alive_ids()
+
+    # Price the same standing result built cold on the final object set.
+    fresh_objects = DynamicObjectSet(
+        [objects.payload(i) for i in alive],
+        lambda a, b: base.distance(a, b),
+        diameter=base.diameter_bound(),
+    )
+    fresh = ProximityEngine.for_space(
+        fresh_objects, provider=args.provider, job_workers=1
+    )
+    fresh_sub = fresh.subscribe_knng(args.k)
+    rebuild_calls = fresh.oracle.calls
+    fresh_rows = fresh.subscriptions.get(fresh_sub.sub_id).result
+    pos = {slot: p for p, slot in enumerate(alive)}
+    matches = all(
+        sorted((d, pos[v]) for d, v in standing[u])
+        == sorted(fresh_rows[pos[u]])
+        for u in alive
+    )
+    fresh.close(snapshot=False)
+    engine.close(snapshot=False)
+
+    print_table(
+        ["batch", "removed", "inserted", "strong", "edges dropped",
+         "entered", "left"],
+        rows,
+        title=(
+            f"churn: {args.dataset} n={args.n} provider={args.provider} "
+            f"k={args.k} fraction={args.fraction}"
+        ),
+    )
+    savings = rebuild_calls / maintain_calls if maintain_calls else float("inf")
+    print(
+        f"initial build: {build_calls} strong calls; maintenance across "
+        f"{args.batches} batches: {maintain_calls}; cold rebuild of the "
+        f"final standing result: {rebuild_calls} ({savings:.1f}x savings)"
+    )
+    print(f"standing kNN-graph matches a from-scratch rebuild: {matches}")
     return 0
 
 
@@ -544,6 +671,9 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None,
                          help="serve for a fixed time then exit "
                          "(default: until interrupted)")
+    serve_p.add_argument("--mutations", action="store_true",
+                         help="serve a mutable object set: enables the "
+                         "insert/remove/subscribe/deltas verbs")
     serve_p.set_defaults(func=_cmd_serve)
 
     submit_p = sub.add_parser(
@@ -573,6 +703,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="client-side socket timeout")
     submit_p.add_argument("--stats", action="store_true",
                           help="fetch engine stats instead of submitting")
+    submit_p.add_argument("--insert", default=None, metavar="JSON",
+                          help="insert one object (JSON payload) into a "
+                          "--mutations engine")
+    submit_p.add_argument("--remove", type=int, default=None, metavar="ID",
+                          help="remove one object from a --mutations engine")
+    submit_p.add_argument("--subscribe", choices=["knn", "knng"], default=None,
+                          help="register a standing query; pass --param "
+                          "query=3 --param k=5 for knn, --param k=5 for knng")
+    submit_p.add_argument("--deltas", type=int, default=None, metavar="SUB_ID",
+                          help="poll deltas for a standing query")
+    submit_p.add_argument("--since", type=int, default=0,
+                          help="with --deltas: only deltas with seq > SINCE")
     submit_p.set_defaults(func=_cmd_submit)
 
     stats_p = sub.add_parser(
@@ -590,6 +732,22 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("--timeout", type=float, default=30.0,
                          help="client-side socket timeout")
     stats_p.set_defaults(func=_cmd_stats)
+
+    churn_p = sub.add_parser(
+        "churn", help="warm-engine mutation churn harness (offline)"
+    )
+    churn_p.add_argument("--dataset", choices=sorted(DATASETS), default="sf")
+    churn_p.add_argument("--n", type=int, default=100)
+    churn_p.add_argument("--seed", type=int, default=7)
+    churn_p.add_argument("--provider", choices=list(PROVIDER_NAMES),
+                         default="tri")
+    churn_p.add_argument("--k", type=int, default=5,
+                         help="k of the standing kNN-graph subscription")
+    churn_p.add_argument("--fraction", type=float, default=0.1,
+                         help="fraction of the live set churned per batch")
+    churn_p.add_argument("--batches", type=int, default=3,
+                         help="number of mutation batches to absorb")
+    churn_p.set_defaults(func=_cmd_churn)
     return parser
 
 

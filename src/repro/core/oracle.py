@@ -339,6 +339,28 @@ class DistanceOracle:
         self._cache[key] = value
         return True
 
+    def forget(self, i: int) -> int:
+        """Drop every cached pair touching object ``i``; return the count.
+
+        Required when an object id is removed or recycled: the cache must
+        never answer for a new object with the old incarnation's distances.
+        Counters are untouched — the history of charged calls stands.
+        """
+        self._check_index(i)
+        stale = [key for key in self._cache if key[0] == i or key[1] == i]
+        for key in stale:
+            del self._cache[key]
+        return len(stale)
+
+    def grow(self, new_n: int) -> None:
+        """Extend the object universe to ``new_n`` ids (growth only)."""
+        if new_n < self._n:
+            raise ValueError(
+                f"cannot shrink the universe from {self._n} to {new_n}; "
+                "removed ids are tombstoned, not dropped"
+            )
+        self._n = new_n
+
     def resolve_batch(self, pairs: Iterable[Pair]) -> list[float]:
         """Resolve many pairs, returning their distances in input order.
 

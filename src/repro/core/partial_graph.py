@@ -18,11 +18,22 @@ Two access patterns dominate:
 
 On top of the sorted lists the graph maintains *flat NumPy mirrors* of each
 node's adjacency (:meth:`adjacency_arrays`) and of the full edge set
-(:meth:`edge_arrays`), rebuilt lazily and invalidated by **edge-insert
-epochs**: :meth:`node_epoch` advances whenever a node gains a neighbour and
-:attr:`epoch` whenever any edge lands.  Because edges are never removed and
-weights never change, an epoch comparison is a complete staleness test —
-vectorised bound kernels and bound memos key their caches on it.
+(:meth:`edge_arrays`), rebuilt lazily and invalidated by **mutation
+epochs**: :meth:`node_epoch` advances whenever a node's adjacency changes
+and :attr:`epoch` whenever the graph changes at all.  The epochs are stored
+monotone counters (never derived from sizes, which can repeat once removal
+exists): two equal epochs imply *identical* graphs, so an epoch comparison
+is a complete staleness test — vectorised bound kernels and bound memos key
+their caches on it.  For a graph that has only ever gained edges the global
+epoch equals :attr:`num_edges` and each node epoch equals the node's
+degree, preserving the original append-only contract.
+
+Mutation support (:meth:`remove_node`, :meth:`grow`, :meth:`revive`)
+tombstones objects without discarding resolved distances among survivors:
+removal drops only the edges incident to the removed id, patches the flat
+edge mirror by compacting survivors into a fresh buffer (old views stay
+valid), and bumps the epochs of every touched node — never a silent full
+recompute of surviving state.
 """
 
 from __future__ import annotations
@@ -60,6 +71,14 @@ class PartialDistanceGraph:
         # _adj_weights[u] holds the matching weights at the same positions.
         self._adjacency: List[List[int]] = [[] for _ in range(n)]
         self._adj_weights: List[List[float]] = [[] for _ in range(n)]
+        # Stored monotone epochs.  For an append-only history these equal
+        # num_edges / degree; removals keep bumping them so equal epochs
+        # always mean identical graphs even after tombstoning.
+        self._epoch = 0
+        self._node_epochs: List[int] = [0] * n
+        # Tombstone mask: _alive[i] is False once object i was removed.
+        self._alive: List[bool] = [True] * n
+        self._dead_count = 0
         # Lazily rebuilt NumPy mirrors, invalidated by epoch comparison.
         self._node_mirror: List[Optional[_NodeMirror]] = [None] * n
         # Whole-graph edge mirror: capacity-doubling (i, j, w) column buffers
@@ -81,6 +100,7 @@ class PartialDistanceGraph:
         self.node_mirror_rebuilds = 0
         self.edge_mirror_rebuilds = 0
         self.edge_mirror_appends = 0
+        self.edge_mirror_compactions = 0
         self.csr_mirror_rebuilds = 0
         # Optional bound CSRStore (attach_store): rows [0, num_edges) of the
         # store correspond 1:1, in order, to this graph's edges.
@@ -102,22 +122,47 @@ class PartialDistanceGraph:
 
     @property
     def epoch(self) -> int:
-        """Global edge-insert epoch: advances by one per new edge.
+        """Global mutation epoch: advances by one per edge insert or mutation.
 
-        Edges are never removed and weights never change, so two equal
-        epochs imply *identical* graphs — caches keyed on it never go wrong.
+        The counter is stored (never derived from sizes, which can repeat
+        once removal exists), so two equal epochs imply *identical* graphs —
+        caches keyed on it never go wrong.  On a graph that has only ever
+        gained edges it equals :attr:`num_edges`.
         """
-        return len(self._weights)
+        return self._epoch
 
     def node_epoch(self, i: int) -> int:
-        """Edge-insert epoch of node ``i``: advances when ``i`` gains a neighbour.
+        """Mutation epoch of node ``i``: advances when its adjacency changes.
 
         Anything derived only from the adjacency of ``i`` (and of a second
-        node ``j``) stays exact while both epochs stand still, and merely
-        *loosens* — never breaks — once they move, because added edges only
-        add constraints.
+        node ``j``) stays exact while both epochs stand still.  On an
+        append-only history the value equals the node's degree.
         """
-        return len(self._adjacency[i])
+        return self._node_epochs[i]
+
+    def is_alive(self, i: int) -> bool:
+        """True while object ``i`` has not been tombstoned."""
+        self._check_index(i)
+        return self._alive[i]
+
+    @property
+    def num_alive(self) -> int:
+        """Number of live (non-tombstoned) objects."""
+        return self._n - self._dead_count
+
+    @property
+    def num_tombstones(self) -> int:
+        """Number of removed (tombstoned) object slots."""
+        return self._dead_count
+
+    def alive_ids(self) -> List[int]:
+        """Sorted ids of all live objects."""
+        return [i for i in range(self._n) if self._alive[i]]
+
+    @property
+    def mutated(self) -> bool:
+        """True once the graph's history includes anything beyond edge inserts."""
+        return self._dead_count > 0 or self._epoch != len(self._weights)
 
     def __len__(self) -> int:
         return len(self._weights)
@@ -163,6 +208,10 @@ class PartialDistanceGraph:
         self._check_index(j)
         if i == j:
             raise ValueError("self-distances are implicit and always 0")
+        if not self._alive[i]:
+            raise InvalidObjectError(i, self._n)
+        if not self._alive[j]:
+            raise InvalidObjectError(j, self._n)
         if distance < 0:
             raise ValueError(f"negative distance {distance} for edge ({i}, {j})")
         key = canonical_pair(i, j)
@@ -178,6 +227,9 @@ class PartialDistanceGraph:
         self._weights[key] = distance
         self._insert_neighbor(key[0], key[1], distance)
         self._insert_neighbor(key[1], key[0], distance)
+        self._epoch += 1
+        self._node_epochs[key[0]] += 1
+        self._node_epochs[key[1]] += 1
         if self._edge_buf is not None:
             self._append_edge_row(key[0], key[1], distance)
         store = self._store
@@ -278,8 +330,18 @@ class PartialDistanceGraph:
         )
         registry.counter(
             "repro_graph_epoch",
-            "Global edge-insert epoch (bumps once per new edge).",
-            fn=lambda: len(self._weights),
+            "Global mutation epoch (bumps once per edge insert or mutation).",
+            fn=lambda: self._epoch,
+        )
+        registry.gauge(
+            "repro_graph_tombstones",
+            "Removed (tombstoned) object slots awaiting recycling.",
+            fn=lambda: self._dead_count,
+        )
+        registry.counter(
+            "repro_graph_edge_mirror_compactions_total",
+            "Edge mirrors compacted after a node removal.",
+            fn=lambda: self.edge_mirror_compactions,
         )
         registry.counter(
             "repro_graph_node_mirror_rebuilds_total",
@@ -310,6 +372,144 @@ class PartialDistanceGraph:
         pos = bisect_left(self._adjacency[u], v)
         self._adjacency[u].insert(pos, v)
         self._adj_weights[u].insert(pos, distance)
+
+    # -- mutation (tombstoning and growth) -----------------------------------
+
+    def _check_mutable(self) -> None:
+        if self._store is not None:
+            raise ValueError(
+                "cannot mutate a graph bound to a CSRStore (the store is "
+                "append-only shared memory); call detach_store() first"
+            )
+
+    def remove_node(self, i: int) -> int:
+        """Tombstone object ``i``, dropping only its incident edges.
+
+        Every resolved distance among the survivors is preserved.  The flat
+        edge mirror is compacted into a fresh buffer (previously returned
+        views stay valid on the retired one); the epochs of ``i`` and of
+        each former neighbour bump so every derived cache notices.  Returns
+        the number of edges dropped.
+        """
+        self._check_index(i)
+        self._check_mutable()
+        if not self._alive[i]:
+            raise InvalidObjectError(i, self._n)
+        neighbours = list(self._adjacency[i])
+        for v in neighbours:
+            del self._weights[canonical_pair(i, v)]
+            pos = bisect_left(self._adjacency[v], i)
+            del self._adjacency[v][pos]
+            del self._adj_weights[v][pos]
+            self._node_epochs[v] += 1
+        self._adjacency[i] = []
+        self._adj_weights[i] = []
+        self._node_epochs[i] += 1
+        self._alive[i] = False
+        self._dead_count += 1
+        self._epoch += 1
+        if neighbours and self._edge_buf is not None:
+            # Compact survivors into fresh arrays in insertion order; the
+            # committed prefix of the retired buffer is never written again.
+            self._materialise_edge_buf()
+            self.edge_mirror_compactions += 1
+        self._edge_view = None
+        return len(neighbours)
+
+    def grow(self, count: int = 1) -> int:
+        """Append ``count`` fresh live object slots; return the new ``n``."""
+        if count <= 0:
+            raise ValueError("grow count must be positive")
+        self._check_mutable()
+        self._adjacency.extend([] for _ in range(count))
+        self._adj_weights.extend([] for _ in range(count))
+        self._node_mirror.extend([None] * count)
+        self._node_epochs.extend([0] * count)
+        self._alive.extend([True] * count)
+        self._n += count
+        self._epoch += 1
+        self._csr_mirror = None  # indptr length depends on n
+        return self._n
+
+    def revive(self, i: int) -> None:
+        """Bring a tombstoned slot back to life (id recycling on insert).
+
+        The slot comes back with an empty adjacency and a bumped epoch, so
+        any cache that ever mentioned the dead incarnation notices.
+        """
+        self._check_index(i)
+        self._check_mutable()
+        if self._alive[i]:
+            raise ValueError(f"object {i} is already alive")
+        self._alive[i] = True
+        self._dead_count -= 1
+        self._node_epochs[i] += 1
+        self._epoch += 1
+
+    def detach_store(self) -> object:
+        """Unbind and return the CSRStore so the graph becomes mutable.
+
+        The store keeps whatever rows it holds (append-only history); the
+        graph falls back to its local mirrors, rebuilding the flat edge
+        buffer from the weights dict on next use if it was never
+        materialised locally.
+        """
+        store = self._store
+        if store is None:
+            raise ValueError("no store bound to this graph")
+        self._store = None
+        self._edge_view = None
+        self._csr_mirror = None
+        return store
+
+    def restore_mutation_state(
+        self,
+        alive: Iterable[bool],
+        epoch: int,
+        node_epochs: Iterable[int],
+    ) -> None:
+        """Re-apply persisted tombstone/epoch state after an edge replay.
+
+        Used by v3 archive restore: the caller replays the surviving edges
+        into a fresh graph, then installs the persisted alive mask and the
+        (strictly larger-than-derived) stored epochs so fingerprint and
+        staleness semantics match the mutated original exactly.
+        """
+        alive = list(alive)
+        node_epochs = [int(e) for e in node_epochs]
+        if len(alive) != self._n or len(node_epochs) != self._n:
+            raise ValueError("mutation state length does not match graph size")
+        if epoch < self._epoch:
+            raise ValueError(
+                f"stored epoch {epoch} below the replayed edge epoch {self._epoch}"
+            )
+        for i in range(self._n):
+            if node_epochs[i] < self._node_epochs[i]:
+                raise ValueError(
+                    f"stored node epoch {node_epochs[i]} for object {i} below "
+                    f"its replayed degree {self._node_epochs[i]}"
+                )
+            if not alive[i] and self._adjacency[i]:
+                raise ValueError(f"tombstoned object {i} still has edges")
+        self._alive = [bool(a) for a in alive]
+        self._dead_count = sum(1 for a in self._alive if not a)
+        self._epoch = int(epoch)
+        self._node_epochs = node_epochs
+        self._edge_view = None
+        self._csr_mirror = None
+
+    def _materialise_edge_buf(self) -> None:
+        """(Re)build the flat edge buffer from the weights dict."""
+        m = len(self._weights)
+        i_ids = np.empty(m, dtype=np.int64)
+        j_ids = np.empty(m, dtype=np.int64)
+        weights = np.empty(m, dtype=np.float64)
+        for idx, ((i, j), w) in enumerate(self._weights.items()):
+            i_ids[idx] = i
+            j_ids[idx] = j
+            weights[idx] = w
+        self._edge_buf = (i_ids, j_ids, weights)
+        self._edge_buf_len = m
 
     # -- iteration --------------------------------------------------------------
 
@@ -343,12 +543,13 @@ class PartialDistanceGraph:
         has moved since the previous call and must not be mutated.
         """
         self._check_index(i)
-        epoch = len(self._adjacency[i])
+        epoch = self._node_epochs[i]
         mirror = self._node_mirror[i]
         if mirror is None or mirror[0] != epoch:
             self.node_mirror_rebuilds += 1
-            ids = np.fromiter(self._adjacency[i], dtype=np.int64, count=epoch)
-            weights = np.fromiter(self._adj_weights[i], dtype=np.float64, count=epoch)
+            degree = len(self._adjacency[i])
+            ids = np.fromiter(self._adjacency[i], dtype=np.int64, count=degree)
+            weights = np.fromiter(self._adj_weights[i], dtype=np.float64, count=degree)
             mirror = (epoch, ids, weights)
             self._node_mirror[i] = mirror
         return mirror[1], mirror[2]
@@ -399,22 +600,13 @@ class PartialDistanceGraph:
         store = self._store
         if store is not None and store.num_edges == m:
             return store.edge_columns()
-        buf = self._edge_buf
-        if buf is None:
+        if self._edge_buf is None:
             self.edge_mirror_rebuilds += 1
-            i_ids = np.empty(m, dtype=np.int64)
-            j_ids = np.empty(m, dtype=np.int64)
-            weights = np.empty(m, dtype=np.float64)
-            for idx, ((i, j), w) in enumerate(self._weights.items()):
-                i_ids[idx] = i
-                j_ids[idx] = j
-                weights[idx] = w
-            buf = (i_ids, j_ids, weights)
-            self._edge_buf = buf
-            self._edge_buf_len = m
+            self._materialise_edge_buf()
+        buf = self._edge_buf
         view = self._edge_view
-        if view is None or view[0] != m:
-            view = (m, buf[0][:m], buf[1][:m], buf[2][:m])
+        if view is None or view[0] != self._epoch:
+            view = (self._epoch, buf[0][:m], buf[1][:m], buf[2][:m])
             self._edge_view = view
         return view[1], view[2], view[3]
 
@@ -434,7 +626,7 @@ class PartialDistanceGraph:
         if store is not None and store.num_edges == m:
             return store.csr()
         mirror = self._csr_mirror
-        if mirror is None or mirror[0] != m:
+        if mirror is None or mirror[0] != self._epoch:
             self.csr_mirror_rebuilds += 1
             i_ids, j_ids, w = self.edge_arrays()
             rows = np.concatenate([i_ids, j_ids])
@@ -446,7 +638,7 @@ class PartialDistanceGraph:
             counts = np.bincount(rows, minlength=self._n)
             indptr = np.zeros(self._n + 1, dtype=np.int64)
             np.cumsum(counts, out=indptr[1:])
-            mirror = (m, indptr, indices, weights)
+            mirror = (self._epoch, indptr, indices, weights)
             self._csr_mirror = mirror
         return mirror[1], mirror[2], mirror[3]
 
@@ -489,6 +681,8 @@ class PartialDistanceGraph:
         """
         n = self._n
         for i in range(n):
+            if not self._alive[i]:
+                continue
             adj = self._adjacency[i]
             pos = bisect_right(adj, i)  # first neighbour above i
             nxt = adj[pos] if pos < len(adj) else n
@@ -497,14 +691,20 @@ class PartialDistanceGraph:
                     pos += 1
                     nxt = adj[pos] if pos < len(adj) else n
                     continue
+                if not self._alive[j]:
+                    continue
                 yield (i, j)
 
     def copy(self) -> "PartialDistanceGraph":
-        """Deep copy of the graph (weights and adjacency; mirrors rebuild lazily)."""
+        """Deep copy of the graph (weights, adjacency, epochs, tombstones)."""
         clone = PartialDistanceGraph(self._n)
         clone._weights = dict(self._weights)
         clone._adjacency = [list(adj) for adj in self._adjacency]
         clone._adj_weights = [list(ws) for ws in self._adj_weights]
+        clone._epoch = self._epoch
+        clone._node_epochs = list(self._node_epochs)
+        clone._alive = list(self._alive)
+        clone._dead_count = self._dead_count
         return clone
 
     def _check_index(self, i: int) -> None:

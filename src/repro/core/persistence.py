@@ -6,14 +6,21 @@ an asset worth keeping across sessions.  These helpers round-trip a
 pre-seed a :class:`DistanceOracle`'s cache so a resumed run never re-pays
 for a distance it already bought.
 
-Archive format (``_FORMAT_VERSION = 2``): besides the edge arrays, a v2
-archive carries the graph's edge-insert epoch counters (global epoch plus
-per-node epochs — redundant with the edge set, stored as an integrity
-check) and an optional JSON metadata dict.  The service engine puts a
-dataset fingerprint and the oracle name there, so a restarted engine can
-refuse a snapshot written for different data
-(:class:`~repro.core.exceptions.SnapshotMismatchError`).  Version-1
-archives (edges only) still load; they surface an empty metadata dict.
+Archive format: besides the edge arrays, a v2 archive carries the graph's
+edge-insert epoch counters (global epoch plus per-node epochs — redundant
+with the edge set, stored as an integrity check) and an optional JSON
+metadata dict.  The service engine puts a dataset fingerprint and the
+oracle name there, so a restarted engine can refuse a snapshot written for
+different data (:class:`~repro.core.exceptions.SnapshotMismatchError`).
+Version-1 archives (edges only) still load; they surface an empty metadata
+dict.
+
+A *mutated* graph (one that has seen ``remove_node``/``grow``/``revive``)
+is written as version 3: the alive mask and the true stored epoch counters
+ride along, and :func:`load_archive` replays the edges then reinstalls the
+mutation state via ``restore_mutation_state`` — so tombstoned ids and the
+monotone epochs survive a snapshot/restore cycle exactly.  Never-mutated
+graphs keep emitting v2 archives, byte-compatible with older readers.
 """
 
 from __future__ import annotations
@@ -32,8 +39,11 @@ PathLike = Union[str, os.PathLike]
 
 _FORMAT_VERSION = 2
 
+#: Format version used for graphs carrying mutation state (tombstones).
+_MUTATED_FORMAT_VERSION = 3
+
 #: Archive versions this module can read.
-_SUPPORTED_VERSIONS = (1, 2)
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 @dataclass
@@ -42,7 +52,8 @@ class GraphArchive:
 
     graph: PartialDistanceGraph
     version: int
-    #: Global edge-insert epoch recorded at save time (== num_edges).
+    #: Global edge-insert epoch recorded at save time (== num_edges for
+    #: append-only v1/v2 archives; the true monotone counter for v3).
     epoch: int
     metadata: Dict[str, Any] = field(default_factory=dict)
 
@@ -70,6 +81,11 @@ class ColumnSet:
     version: int
     epoch: int
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: v3 only: per-slot alive mask (None for append-only archives).
+    alive: Optional[np.ndarray] = None
+    #: v3 only: stored per-node epoch counters (None for v1/v2, where they
+    #: are redundant with the edge set).
+    node_epochs: Optional[np.ndarray] = None
 
 
 def save_columns(
@@ -113,8 +129,28 @@ def save_graph(
     ``metadata`` must be JSON-serialisable; the service engine stores a
     dataset fingerprint and oracle name there so :func:`load_archive` (and
     ``Engine.restore``) can detect snapshots from a different dataset.
+    A mutated graph (tombstones, or epoch ahead of the edge count) is
+    written as a v3 archive that carries the alive mask and true epochs.
     """
     i_arr, j_arr, w_arr = graph.edge_arrays()
+    if graph.mutated:
+        np.savez_compressed(
+            path,
+            version=np.int64(_MUTATED_FORMAT_VERSION),
+            n=np.int64(graph.n),
+            i=np.asarray(i_arr, dtype=np.int64),
+            j=np.asarray(j_arr, dtype=np.int64),
+            w=np.asarray(w_arr, dtype=np.float64),
+            epoch=np.int64(graph.epoch),
+            node_epochs=np.array(
+                [graph.node_epoch(u) for u in range(graph.n)], dtype=np.int64
+            ),
+            alive=np.array(
+                [graph.is_alive(u) for u in range(graph.n)], dtype=np.bool_
+            ),
+            metadata=np.array(json.dumps(metadata or {})),
+        )
+        return
     save_columns(path, graph.n, i_arr, j_arr, w_arr, metadata=metadata)
 
 
@@ -137,6 +173,7 @@ def load_columns(path: PathLike) -> ColumnSet:
         i_arr = np.asarray(data["i"], dtype=np.int64)
         j_arr = np.asarray(data["j"], dtype=np.int64)
         w_arr = np.asarray(data["w"], dtype=np.float64)
+        alive = None
         if version == 1:
             epoch = len(i_arr)
             node_epochs = None
@@ -145,6 +182,8 @@ def load_columns(path: PathLike) -> ColumnSet:
             epoch = int(data["epoch"])
             node_epochs = np.asarray(data["node_epochs"], dtype=np.int64)
             metadata = json.loads(str(data["metadata"]))
+            if version >= 3:
+                alive = np.asarray(data["alive"], dtype=np.bool_)
     if len(i_arr) != len(j_arr) or len(i_arr) != len(w_arr):
         raise ValueError("corrupt archive: edge columns disagree in length")
     if len(i_arr):
@@ -157,19 +196,48 @@ def load_columns(path: PathLike) -> ColumnSet:
         keys = np.minimum(i_arr, j_arr) * n + np.maximum(i_arr, j_arr)
         if len(np.unique(keys)) != len(keys):
             raise ValueError("corrupt archive: duplicate edges in the columns")
-    if epoch != len(i_arr):
-        raise ValueError(
-            f"corrupt archive: stored epoch {epoch} but the edge set "
-            f"rebuilds to epoch {len(i_arr)}"
-        )
-    if node_epochs is not None:
-        rebuilt = np.bincount(i_arr, minlength=n) + np.bincount(j_arr, minlength=n)
-        if not np.array_equal(rebuilt.astype(np.int64), node_epochs):
+    if version < 3:
+        if epoch != len(i_arr):
             raise ValueError(
-                "corrupt archive: stored per-node epochs disagree with the edge set"
+                f"corrupt archive: stored epoch {epoch} but the edge set "
+                f"rebuilds to epoch {len(i_arr)}"
             )
+        if node_epochs is not None:
+            rebuilt = np.bincount(i_arr, minlength=n) + np.bincount(j_arr, minlength=n)
+            if not np.array_equal(rebuilt.astype(np.int64), node_epochs):
+                raise ValueError(
+                    "corrupt archive: stored per-node epochs disagree with the "
+                    "edge set"
+                )
+    else:
+        # Mutated graphs: epochs are monotone counters that only ever run
+        # AHEAD of what the surviving edge set would rebuild to.
+        if epoch < len(i_arr):
+            raise ValueError(
+                f"corrupt archive: stored epoch {epoch} is behind the "
+                f"{len(i_arr)}-edge set"
+            )
+        if alive is None or len(alive) != n:
+            raise ValueError("corrupt archive: v3 alive mask missing or mis-sized")
+        if node_epochs is None or len(node_epochs) != n:
+            raise ValueError("corrupt archive: v3 node epochs missing or mis-sized")
+        degrees = np.bincount(i_arr, minlength=n) + np.bincount(j_arr, minlength=n)
+        if np.any(node_epochs < degrees):
+            raise ValueError(
+                "corrupt archive: stored per-node epochs behind the edge set"
+            )
+        if len(i_arr) and np.any(~alive[i_arr] | ~alive[j_arr]):
+            raise ValueError("corrupt archive: edge incident to a tombstoned id")
     return ColumnSet(
-        n=n, i=i_arr, j=j_arr, w=w_arr, version=version, epoch=epoch, metadata=metadata
+        n=n,
+        i=i_arr,
+        j=j_arr,
+        w=w_arr,
+        version=version,
+        epoch=epoch,
+        metadata=metadata,
+        alive=alive,
+        node_epochs=node_epochs,
     )
 
 
@@ -185,6 +253,12 @@ def load_archive(path: PathLike) -> GraphArchive:
         graph.add_edge(int(i), int(j), float(w))
     if cols.version == 1:
         return GraphArchive(graph=graph, version=1, epoch=graph.epoch)
+    if cols.version >= 3:
+        graph.restore_mutation_state(
+            [bool(a) for a in cols.alive],
+            cols.epoch,
+            [int(e) for e in cols.node_epochs],
+        )
     return GraphArchive(
         graph=graph, version=cols.version, epoch=cols.epoch, metadata=cols.metadata
     )

@@ -1,0 +1,35 @@
+"""Mutable object sets with incremental bound maintenance.
+
+``repro.dynamic`` lets a long-lived engine absorb object churn instead of
+rebuilding per query: :class:`DynamicObjectSet` supports ``insert``/``remove``
+with stable id recycling, mutation batches flow through
+:func:`~repro.dynamic.maintenance.apply_provider_mutations` so every bound
+provider patches (never silently rebuilds) its state, and
+:class:`~repro.dynamic.subscriptions.SubscriptionRegistry` keeps standing
+kNN / kNN-graph results registered so clients receive deltas — computed
+bounds-first, so most mutations cost zero strong oracle calls.
+"""
+
+from repro.dynamic.churn import churn_batch
+from repro.dynamic.maintenance import MUTABLE_PROVIDERS, apply_provider_mutations
+from repro.dynamic.mutations import Insert, Mutation, MutationResult, Remove
+from repro.dynamic.objects import DynamicObjectSet
+from repro.dynamic.subscriptions import (
+    Subscription,
+    SubscriptionDelta,
+    SubscriptionRegistry,
+)
+
+__all__ = [
+    "DynamicObjectSet",
+    "Mutation",
+    "Insert",
+    "Remove",
+    "MutationResult",
+    "MUTABLE_PROVIDERS",
+    "apply_provider_mutations",
+    "Subscription",
+    "SubscriptionDelta",
+    "SubscriptionRegistry",
+    "churn_batch",
+]

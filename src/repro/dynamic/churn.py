@@ -1,0 +1,44 @@
+"""Deterministic churn-batch construction shared by CLI, benchmark and demo."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dynamic.mutations import Insert, Mutation, Remove
+from repro.dynamic.objects import DynamicObjectSet
+
+
+def churn_batch(
+    objects: DynamicObjectSet,
+    fraction: float = 0.1,
+    seed: int = 0,
+    insert_payloads: Optional[Sequence[Any]] = None,
+) -> List[Mutation]:
+    """Build one mutation batch that churns ``fraction`` of the live set.
+
+    Half the churn is removals of uniformly chosen live ids, half is
+    inserts: fresh payloads from ``insert_payloads`` when given, otherwise
+    the payloads of the removed objects re-enter (exercising slot
+    recycling).  The batch is deterministic in ``seed`` and is *not*
+    applied — feed it to ``ProximityEngine.apply_mutations``.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1]; got {fraction}")
+    alive = objects.alive_ids()
+    count = max(1, int(round(fraction * len(alive) / 2)))
+    count = min(count, len(alive) - 1)  # never empty the set
+    rng = np.random.default_rng(seed)
+    remove_ids = sorted(int(i) for i in rng.choice(alive, size=count, replace=False))
+    if insert_payloads is None:
+        payloads = [objects.payload(i) for i in remove_ids]
+    else:
+        if len(insert_payloads) < count:
+            raise ValueError(
+                f"need at least {count} insert payloads; got {len(insert_payloads)}"
+            )
+        payloads = list(insert_payloads[:count])
+    batch: List[Mutation] = [Remove(i) for i in remove_ids]
+    batch.extend(Insert(p) for p in payloads)
+    return batch

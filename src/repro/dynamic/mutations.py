@@ -1,0 +1,64 @@
+"""Mutation descriptions and batch results.
+
+A mutation batch is a list of :class:`Mutation` values applied atomically
+under the engine's write lock; :class:`MutationResult` reports the assigned
+ids, the post-batch epoch, and every invalidation counter the maintenance
+pass produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One insert or remove, as submitted by a client."""
+
+    kind: str
+    payload: Any = None
+    obj_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "remove"):
+            raise ValueError(f"unknown mutation kind {self.kind!r}")
+        if self.kind == "remove" and self.obj_id is None:
+            raise ValueError("remove mutations need an obj_id")
+
+
+def Insert(payload: Any) -> Mutation:
+    """Shorthand for an insert mutation."""
+    return Mutation(kind="insert", payload=payload)
+
+
+def Remove(obj_id: int) -> Mutation:
+    """Shorthand for a remove mutation."""
+    return Mutation(kind="remove", obj_id=obj_id)
+
+
+@dataclass
+class MutationResult:
+    """Outcome of one atomically applied mutation batch."""
+
+    inserted_ids: List[int] = field(default_factory=list)
+    removed_ids: List[int] = field(default_factory=list)
+    epoch: int = 0
+    edges_dropped: int = 0
+    oracle_forgotten: int = 0
+    memo_purged: int = 0
+    strong_calls: int = 0
+    invalidation: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view for the wire protocol."""
+        return {
+            "inserted_ids": list(self.inserted_ids),
+            "removed_ids": list(self.removed_ids),
+            "epoch": self.epoch,
+            "edges_dropped": self.edges_dropped,
+            "oracle_forgotten": self.oracle_forgotten,
+            "memo_purged": self.memo_purged,
+            "strong_calls": self.strong_calls,
+            "invalidation": dict(self.invalidation),
+        }

@@ -1,0 +1,191 @@
+"""Mutable metric object set with stable id recycling.
+
+:class:`DynamicObjectSet` satisfies the :class:`~repro.spaces.base.MetricSpace`
+protocol (``n``, ``distance``, ``diameter_bound``) over *slots*: ``n`` counts
+every slot ever allocated, tombstoned ones included, so ids handed to the
+partial graph and bound providers stay stable for the slot's lifetime.
+Removing an object tombstones its slot; a later insert recycles the lowest
+free slot (bumping its *generation*) before appending new ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import math
+from typing import Any, Callable, Iterable, List
+
+from repro.core.exceptions import InvalidObjectError
+from repro.core.oracle import DistanceOracle
+
+
+class DynamicObjectSet:
+    """Metric space over payload objects that supports runtime churn.
+
+    Parameters
+    ----------
+    objects:
+        Initial payloads; object ``i`` is ``objects[i]``.
+    metric:
+        Symmetric, non-negative distance over *payloads*.
+    diameter:
+        Optional upper bound on any pairwise distance (``inf`` unknown).
+    """
+
+    def __init__(
+        self,
+        objects: Iterable[Any],
+        metric: Callable[[Any, Any], float],
+        *,
+        diameter: float = math.inf,
+    ) -> None:
+        self._payloads: List[Any] = list(objects)
+        if not self._payloads:
+            raise ValueError("a dynamic object set needs at least one object")
+        self._metric = metric
+        self._diameter = float(diameter)
+        count = len(self._payloads)
+        self._alive: List[bool] = [True] * count
+        self._generation: List[int] = [0] * count
+        self._free: List[int] = []  # min-heap of tombstoned slots
+        self._mutations = 0
+
+    # -- MetricSpace protocol ----------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Total slot count (live objects plus tombstones)."""
+        return len(self._payloads)
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def distance(self, i: int, j: int) -> float:
+        """Metric distance between live objects ``i`` and ``j``."""
+        self._check_alive(i)
+        self._check_alive(j)
+        if i == j:
+            return 0.0
+        return float(self._metric(self._payloads[i], self._payloads[j]))
+
+    def diameter_bound(self) -> float:
+        """Upper bound on any pairwise distance (``inf`` when unknown)."""
+        return self._diameter
+
+    def oracle(self, cost_per_call: float = 0.0, budget: int | None = None) -> DistanceOracle:
+        """Wrap this set in a counting :class:`DistanceOracle`."""
+        return DistanceOracle(
+            self.distance, self.n, cost_per_call=cost_per_call, budget=budget
+        )
+
+    def weak_oracle(self):
+        """No sound cheap estimator is known for an arbitrary payload metric."""
+        return None
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, obj: Any) -> int:
+        """Add a payload, recycling the lowest tombstoned slot if any.
+
+        Returns the assigned id.  A recycled slot's generation bumps so the
+        new incarnation is distinguishable from the dead one.
+        """
+        if self._free:
+            slot = heapq.heappop(self._free)
+            self._payloads[slot] = obj
+            self._alive[slot] = True
+            self._generation[slot] += 1
+        else:
+            slot = len(self._payloads)
+            self._payloads.append(obj)
+            self._alive.append(True)
+            self._generation.append(0)
+        self._mutations += 1
+        return slot
+
+    def remove(self, obj_id: int) -> None:
+        """Tombstone object ``obj_id`` and queue its slot for recycling."""
+        self._check_alive(obj_id)
+        self._alive[obj_id] = False
+        self._payloads[obj_id] = None
+        heapq.heappush(self._free, obj_id)
+        self._mutations += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def is_alive(self, obj_id: int) -> bool:
+        """True while ``obj_id`` names a live object."""
+        if not 0 <= obj_id < len(self._payloads):
+            raise InvalidObjectError(obj_id, len(self._payloads))
+        return self._alive[obj_id]
+
+    def alive_ids(self) -> List[int]:
+        """Sorted ids of all live objects."""
+        return [i for i, alive in enumerate(self._alive) if alive]
+
+    @property
+    def num_alive(self) -> int:
+        """Number of live objects."""
+        return len(self._payloads) - len(self._free)
+
+    def generation(self, obj_id: int) -> int:
+        """How many times slot ``obj_id`` has been recycled."""
+        if not 0 <= obj_id < len(self._payloads):
+            raise InvalidObjectError(obj_id, len(self._payloads))
+        return self._generation[obj_id]
+
+    def payload(self, obj_id: int) -> Any:
+        """The live payload stored in slot ``obj_id``."""
+        self._check_alive(obj_id)
+        return self._payloads[obj_id]
+
+    @property
+    def mutation_count(self) -> int:
+        """Total inserts and removes applied so far."""
+        return self._mutations
+
+    def fingerprint(self, probes: int = 4) -> str:
+        """Deterministic digest of the *current* live state.
+
+        Derived from the slot count, the live id/generation map, and a few
+        probed distances — so two state-equivalent sets (identical live
+        objects, however they got there) agree, and any mutation changes
+        the digest.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"dynamic|n={self.n}".encode())
+        alive = self.alive_ids()
+        for i in alive:
+            digest.update(f"|{i}:{self._generation[i]}".encode())
+        if len(alive) >= 2:
+            step = max(1, len(alive) // max(1, probes))
+            for k in range(0, len(alive) - 1, step):
+                d = self.distance(alive[k], alive[k + 1])
+                digest.update(f"|d={d!r}".encode())
+        return f"dynamic:{digest.hexdigest()[:16]}"
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def wrap(cls, space, initial: int | None = None) -> "DynamicObjectSet":
+        """Wrap a frozen space, treating its ids as payloads.
+
+        ``initial`` keeps only the first ``initial`` ids live at first; the
+        remaining ids form a reserve of insertable payloads (pass them to
+        :meth:`insert` later).  This is how the CLI and harness turn any
+        dataset space into a churnable one without payload plumbing.
+        """
+        count = space.n if initial is None else initial
+        if not 1 <= count <= space.n:
+            raise ValueError(f"initial must be in [1, {space.n}]; got {count}")
+        return cls(
+            range(count),
+            lambda a, b: space.distance(a, b),
+            diameter=space.diameter_bound(),
+        )
+
+    def _check_alive(self, obj_id: int) -> None:
+        if not 0 <= obj_id < len(self._payloads):
+            raise InvalidObjectError(obj_id, len(self._payloads))
+        if not self._alive[obj_id]:
+            raise InvalidObjectError(obj_id, len(self._payloads))

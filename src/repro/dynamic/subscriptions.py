@@ -1,0 +1,165 @@
+"""Standing-query subscriptions and their delta history.
+
+A subscription holds a *registered result* (a kNN list or a kNN-graph row
+map).  After each mutation batch the engine re-establishes the result —
+bounds-first, so unaffected subscriptions cost zero strong oracle calls —
+and the registry diffs old against new into a :class:`SubscriptionDelta`
+(``entered`` / ``left`` / ``reordered``) that clients poll with a sequence
+cursor.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SubscriptionDelta:
+    """One diff between consecutive registered results of a subscription."""
+
+    seq: int
+    epoch: int
+    entered: Tuple = ()
+    left: Tuple = ()
+    reordered: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view for the wire protocol."""
+        return {
+            "seq": self.seq,
+            "epoch": self.epoch,
+            "entered": _jsonable(self.entered),
+            "left": _jsonable(self.left),
+            "reordered": self.reordered,
+        }
+
+
+def _jsonable(value):
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+@dataclass
+class Subscription:
+    """A standing query with its currently registered result."""
+
+    sub_id: int
+    kind: str  # "knn" | "knng"
+    params: Dict[str, Any]
+    result: Any
+    seq: int = 0
+    history: List[SubscriptionDelta] = field(default_factory=list)
+
+    def result_dict(self) -> Dict[str, Any]:
+        """JSON-ready view of the registered result."""
+        if self.kind == "knn":
+            return {"neighbors": [[d, i] for d, i in self.result]}
+        return {
+            "rows": {str(u): [[d, i] for d, i in row] for u, row in self.result.items()}
+        }
+
+
+class SubscriptionRegistry:
+    """Thread-safe home of every standing query on one engine."""
+
+    def __init__(self, max_history: int = 1024) -> None:
+        self._subs: Dict[int, Subscription] = {}
+        self._next_id = 1
+        self._max_history = max_history
+        self._lock = threading.Lock()
+
+    def subscribe(self, kind: str, params: Dict[str, Any], result: Any) -> Subscription:
+        """Register a standing query with its initial result; return it."""
+        if kind not in ("knn", "knng"):
+            raise ValueError(f"unknown subscription kind {kind!r}")
+        with self._lock:
+            sub = Subscription(self._next_id, kind, dict(params), result)
+            self._subs[sub.sub_id] = sub
+            self._next_id += 1
+            return sub
+
+    def get(self, sub_id: int) -> Subscription:
+        """Look up a subscription by id (KeyError when unknown)."""
+        with self._lock:
+            return self._subs[sub_id]
+
+    def unsubscribe(self, sub_id: int) -> None:
+        """Drop a standing query."""
+        with self._lock:
+            del self._subs[sub_id]
+
+    def all(self) -> List[Subscription]:
+        """Snapshot of every live subscription."""
+        with self._lock:
+            return list(self._subs.values())
+
+    @property
+    def active(self) -> int:
+        """Number of live subscriptions."""
+        with self._lock:
+            return len(self._subs)
+
+    def record(
+        self, sub: Subscription, new_result: Any, epoch: int
+    ) -> Optional[SubscriptionDelta]:
+        """Install ``new_result`` and append the diff; None when unchanged."""
+        with self._lock:
+            if sub.kind == "knn":
+                delta = self._diff_knn(sub, new_result, epoch)
+            else:
+                delta = self._diff_knng(sub, new_result, epoch)
+            sub.result = new_result
+            if delta is not None:
+                sub.seq = delta.seq
+                sub.history.append(delta)
+                if len(sub.history) > self._max_history:
+                    del sub.history[: len(sub.history) - self._max_history]
+            return delta
+
+    def deltas(self, sub_id: int, since: int = 0) -> List[SubscriptionDelta]:
+        """Every recorded delta with ``seq > since``, oldest first."""
+        with self._lock:
+            sub = self._subs[sub_id]
+            return [d for d in sub.history if d.seq > since]
+
+    def _diff_knn(
+        self, sub: Subscription, new: List[Tuple[float, int]], epoch: int
+    ) -> Optional[SubscriptionDelta]:
+        old = list(sub.result)
+        new = list(new)
+        if old == new:
+            return None
+        old_ids = {i for _, i in old}
+        new_ids = {i for _, i in new}
+        entered = tuple((d, i) for d, i in new if i not in old_ids)
+        left = tuple(sorted(old_ids - new_ids))
+        return SubscriptionDelta(
+            seq=sub.seq + 1,
+            epoch=epoch,
+            entered=entered,
+            left=left,
+            reordered=not entered and not left,
+        )
+
+    def _diff_knng(
+        self, sub: Subscription, new: Dict[int, Tuple], epoch: int
+    ) -> Optional[SubscriptionDelta]:
+        old = dict(sub.result)
+        if old == new:
+            return None
+        entered = tuple(
+            (u, tuple(row)) for u, row in sorted(new.items()) if old.get(u) != tuple(row)
+        )
+        left = tuple(sorted(u for u in old if u not in new))
+        return SubscriptionDelta(
+            seq=sub.seq + 1,
+            epoch=epoch,
+            entered=entered,
+            left=left,
+            reordered=False,
+        )

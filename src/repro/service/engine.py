@@ -30,6 +30,15 @@ Warm-state persistence: :meth:`ProximityEngine.snapshot` writes the graph
 (plus a dataset fingerprint) through :mod:`repro.core.persistence`;
 :meth:`ProximityEngine.restore` refuses mismatched snapshots and seeds the
 oracle so a restarted service never re-buys a distance.
+
+Dynamic universes (PR 9): an engine built over a
+:class:`~repro.dynamic.objects.DynamicObjectSet` accepts
+:meth:`ProximityEngine.apply_mutations` — an atomic insert/remove batch
+applied under the exclusive lock that tombstones graph nodes, forgets
+oracle cache rows, patches the bound provider incrementally (never a full
+recompute) and re-establishes every standing query registered through
+:meth:`subscribe_knn` / :meth:`subscribe_knng`, bounds-first, emitting
+entered/left/reordered deltas that clients poll with a sequence cursor.
 """
 
 from __future__ import annotations
@@ -62,6 +71,14 @@ from repro.core.partial_graph import PartialDistanceGraph
 from repro.core.persistence import load_archive, save_graph, seed_oracle_cache
 from repro.core.resolver import ResolverStats, SmartResolver
 from repro.core.tiering import TieredOracle, WeakOracle
+from repro.dynamic import (
+    Mutation,
+    MutationResult,
+    Subscription,
+    SubscriptionDelta,
+    SubscriptionRegistry,
+    apply_provider_mutations,
+)
 from repro.exec.executor import BaseExecutor, DEFAULT_WORKERS, make_executor
 from repro.harness.providers import LANDMARK_PROVIDERS, make_provider
 from repro.harness.stats import percentile
@@ -83,6 +100,13 @@ Pair = Tuple[int, int]
 
 #: Default number of job-worker threads.
 DEFAULT_JOB_WORKERS = 2
+
+#: Histogram buckets for entries entering/leaving a standing result per batch.
+DELTA_SIZE_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+#: Job kinds whose algorithms scan ``range(n)`` internally and therefore
+#: cannot run on a universe with tombstones.
+_FULL_SCAN_KINDS = frozenset({"medoid", "knng", "mst"})
 
 
 class _JobRuntime:
@@ -352,6 +376,10 @@ class EngineStats:
     weak_calls: int = 0
     #: Bound queries the weak error band strictly tightened.
     weak_band: int = 0
+    #: Object mutations applied via apply_mutations (inserts + removes).
+    mutations_applied: int = 0
+    #: Live standing-query subscriptions.
+    subscriptions_active: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-friendly dict (used by the socket server's ``stats`` op)."""
@@ -470,6 +498,14 @@ class ProximityEngine:
         self._closed = False
         self._queue = JobQueue()
         self._workers: List[threading.Thread] = []
+        #: The metric space behind the oracle, when built via for_space().
+        #: Mutation batches need it to be a DynamicObjectSet (or any object
+        #: with insert/remove); query-only engines leave it None.
+        self.space: Optional[Any] = None
+        #: True when the snapshot fingerprint came from space.fingerprint()
+        #: (so it should track the live state), False for explicit ones.
+        self._fingerprint_from_space = False
+        self.subscriptions = SubscriptionRegistry()
 
         self.instrument(registry if registry is not None else MetricsRegistry())
 
@@ -582,6 +618,32 @@ class ProximityEngine:
             family = r.counter(metric, help_text, labelnames=tuple(labels))
             if labels:
                 family.labels(**labels)
+        mutations = r.counter(
+            "repro_mutations_total",
+            "Object mutations applied via apply_mutations(), by kind.",
+            labelnames=("kind",),
+        )
+        self._m_mutations = {
+            kind: mutations.labels(kind=kind) for kind in ("insert", "remove")
+        }
+        self._m_invalidation = r.counter(
+            "repro_invalidation_total",
+            "Provider state invalidated by mutation maintenance, by counter.",
+            labelnames=("what",),
+        )
+        self._m_delta_size = r.histogram(
+            "repro_subscription_delta_size",
+            DELTA_SIZE_BUCKETS,
+            help_text=(
+                "Entries entering or leaving a standing-query result per "
+                "mutation batch (unchanged subscriptions observe nothing)."
+            ),
+        )
+        r.gauge(
+            "repro_subscriptions_active",
+            "Live standing-query subscriptions.",
+            fn=lambda: self.subscriptions.active,
+        )
         r.gauge(
             "repro_queue_depth", "Jobs waiting in the priority queue.",
             fn=lambda: len(self._queue),
@@ -616,6 +678,12 @@ class ProximityEngine:
         :class:`~repro.core.exceptions.ConfigurationError` when the space
         has none; a ready :class:`~repro.core.tiering.WeakOracle` instance
         is used as given; ``None``/``False`` runs strong-only.
+
+        The engine keeps a reference to ``space``: a mutable space (a
+        :class:`~repro.dynamic.objects.DynamicObjectSet`) unlocks
+        :meth:`apply_mutations`, and its state-derived ``fingerprint()``
+        method, when present, supplies the snapshot fingerprint so restores
+        check against the *current* live set.
         """
         oracle = space.oracle(cost_per_call=oracle_cost)
         weak: Optional[WeakOracle] = None
@@ -628,14 +696,21 @@ class ProximityEngine:
                 )
         elif weak_oracle:
             weak = weak_oracle
-        kwargs.setdefault("fingerprint", space_fingerprint(space))
-        return cls(
+        own_fp = getattr(space, "fingerprint", None)
+        from_space = callable(own_fp) and "fingerprint" not in kwargs
+        kwargs.setdefault(
+            "fingerprint", own_fp() if callable(own_fp) else space_fingerprint(space)
+        )
+        engine = cls(
             oracle,
             provider=provider,
             max_distance=space.diameter_bound(),
             weak_oracle=weak,
             **kwargs,
         )
+        engine.space = space
+        engine._fingerprint_from_space = from_space
+        return engine
 
     # -- submission ----------------------------------------------------------
 
@@ -685,10 +760,14 @@ class ProximityEngine:
         n = self.oracle.n
         for name in ("query", "root"):
             value = spec.params.get(name)
-            if value is not None and not 0 <= int(value) < n:
+            if value is None:
+                continue
+            if not 0 <= int(value) < n:
                 raise ValueError(
                     f"{name}={value} out of range for universe of size {n}"
                 )
+            if not self.graph.is_alive(int(value)):
+                raise ValueError(f"{name}={value} refers to a removed object")
 
     # -- worker pool ---------------------------------------------------------
 
@@ -760,20 +839,29 @@ class ProximityEngine:
     def _run_kind(self, resolver: SmartResolver, spec: JobSpec) -> Any:
         p = spec.params
         kind = spec.kind
-        if kind == "knn":
-            return k_nearest(
-                resolver, int(p["query"]), int(p["k"]), p.get("candidates")
+        mutated = self.graph.mutated
+        if mutated and kind in _FULL_SCAN_KINDS:
+            raise ValueError(
+                f"{kind} jobs scan the whole universe and cannot run over "
+                "tombstoned ids; on a mutated engine use subscribe_knng for "
+                "standing kNN-graphs, or knn/range/nearest queries"
             )
+        candidates = p.get("candidates")
+        if candidates is None and mutated:
+            # Point queries default to the live ids, not range(n).
+            candidates = self.graph.alive_ids()
+        if kind == "knn":
+            return k_nearest(resolver, int(p["query"]), int(p["k"]), candidates)
         if kind == "range":
             return range_query(
                 resolver,
                 int(p["query"]),
                 float(p["radius"]),
-                p.get("candidates"),
+                candidates,
                 include_query=bool(p.get("include_query", False)),
             )
         if kind == "nearest":
-            return nearest_neighbor(resolver, int(p["query"]), p.get("candidates"))
+            return nearest_neighbor(resolver, int(p["query"]), candidates)
         if kind == "medoid":
             return pam(
                 resolver,
@@ -823,11 +911,251 @@ class ProximityEngine:
             self.oracle.note_timeouts(report.timeouts)
         return values
 
+    # -- mutation ------------------------------------------------------------
+
+    def apply_mutations(self, mutations: Iterable[Mutation]) -> MutationResult:
+        """Apply one insert/remove batch atomically; return its accounting.
+
+        Runs entirely under the exclusive lock: object-set mutation, graph
+        tombstoning/growth, oracle-cache forgetting, shared-memo purging,
+        incremental provider maintenance (via
+        :func:`~repro.dynamic.maintenance.apply_provider_mutations`) and the
+        bounds-first re-establishment of every standing query — so queries
+        observe either the whole batch or none of it.  Requires a mutable
+        space (:meth:`for_space` over a
+        :class:`~repro.dynamic.objects.DynamicObjectSet`) and a strong-only
+        configuration: the weak tier caches per-pair estimates a recycled
+        id would silently inherit.
+        """
+        batch = list(mutations)
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        space = self.space
+        if space is None or not callable(getattr(space, "insert", None)):
+            raise ConfigurationError(
+                "mutations need a mutable space: build the engine with "
+                "ProximityEngine.for_space(DynamicObjectSet(...))"
+            )
+        if self._weak_bounder is not None:
+            raise ConfigurationError(
+                "mutation batches are unsupported with a weak tier: the weak "
+                "oracle caches per-pair estimates that a recycled id would "
+                "silently inherit"
+            )
+        result = MutationResult()
+        if not batch:
+            result.epoch = self.graph.epoch
+            return result
+        with self._rw.write_locked():
+            with self._oracle_lock:
+                if self.graph.store is not None:
+                    # A bound CSR store mirrors an append-only history; a
+                    # mutating engine owns its graph outright.
+                    self.graph.detach_store()
+                for mut in batch:
+                    if mut.kind == "remove":
+                        obj_id = int(mut.obj_id)
+                        space.remove(obj_id)
+                        result.edges_dropped += self.graph.remove_node(obj_id)
+                        result.oracle_forgotten += self.oracle.forget(obj_id)
+                        result.removed_ids.append(obj_id)
+                    else:
+                        new_id = space.insert(mut.payload)
+                        if new_id >= self.graph.n:
+                            self.graph.grow(new_id + 1 - self.graph.n)
+                            self.oracle.grow(space.n)
+                        else:
+                            self.graph.revive(new_id)
+                            result.oracle_forgotten += self.oracle.forget(new_id)
+                        result.inserted_ids.append(new_id)
+                touched = set(result.inserted_ids) | set(result.removed_ids)
+                for memo in (self._shared_memo, self._shared_memo_weak):
+                    stale = [k for k in memo if k[0] in touched or k[1] in touched]
+                    for key in stale:
+                        del memo[key]
+                    result.memo_purged += len(stale)
+                maint = SmartResolver(
+                    self.oracle, bounder=self.bounder, graph=self.graph
+                )
+                before = self.oracle.calls
+                result.invalidation = apply_provider_mutations(
+                    self.bounder,
+                    result.inserted_ids,
+                    result.removed_ids,
+                    resolver=maint,
+                )
+                result.epoch = self.graph.epoch
+                self._refresh_subscriptions(maint, result)
+                # Charged cost of the whole batch: provider refills plus the
+                # bounds-first standing-query re-establishment.
+                result.strong_calls = self.oracle.calls - before
+        for kind, ids in (
+            ("insert", result.inserted_ids),
+            ("remove", result.removed_ids),
+        ):
+            if ids:
+                self._m_mutations[kind].inc(len(ids))
+        for what, count in result.invalidation.items():
+            if count:
+                self._m_invalidation.labels(what=what).inc(count)
+        return result
+
+    # -- standing queries ----------------------------------------------------
+
+    def subscribe_knn(self, query: int, k: int) -> Subscription:
+        """Register a standing kNN query; returns its live subscription."""
+        query, k = int(query), int(k)
+        if not 0 <= query < self.graph.n or not self.graph.is_alive(query):
+            raise ValueError(f"query={query} is not a live object")
+        with self._rw.write_locked():
+            with self._oracle_lock:
+                resolver = SmartResolver(
+                    self.oracle, bounder=self.bounder, graph=self.graph
+                )
+                pool = [c for c in self.graph.alive_ids() if c != query]
+                result = [tuple(e) for e in resolver.knearest(query, pool, k)]
+        return self.subscriptions.subscribe("knn", {"query": query, "k": k}, result)
+
+    def subscribe_knng(self, k: int) -> Subscription:
+        """Register a standing kNN-graph over the live ids (row map by id)."""
+        k = int(k)
+        with self._rw.write_locked():
+            with self._oracle_lock:
+                resolver = SmartResolver(
+                    self.oracle, bounder=self.bounder, graph=self.graph
+                )
+                alive = self.graph.alive_ids()
+                rows = {
+                    u: tuple(
+                        tuple(e)
+                        for e in resolver.knearest(
+                            u, [c for c in alive if c != u], k
+                        )
+                    )
+                    for u in alive
+                }
+        return self.subscriptions.subscribe("knng", {"k": k}, rows)
+
+    def subscription_deltas(
+        self, sub_id: int, since: int = 0
+    ) -> List[SubscriptionDelta]:
+        """Deltas recorded for ``sub_id`` with ``seq > since``, oldest first."""
+        return self.subscriptions.deltas(sub_id, since)
+
+    def unsubscribe(self, sub_id: int) -> None:
+        """Drop a standing query."""
+        self.subscriptions.unsubscribe(sub_id)
+
+    def _refresh_subscriptions(
+        self, resolver: SmartResolver, result: MutationResult
+    ) -> None:
+        """Re-establish every standing query after a batch (bounds-first)."""
+        subs = self.subscriptions.all()
+        if not subs:
+            return
+        removed = set(result.removed_ids)
+        inserted = list(dict.fromkeys(result.inserted_ids))
+        alive = self.graph.alive_ids()
+        for sub in subs:
+            if sub.kind == "knn":
+                new = self._refresh_knn(resolver, sub, inserted, removed, alive)
+            else:
+                new = self._refresh_knng(resolver, sub, inserted, removed, alive)
+            delta = self.subscriptions.record(sub, new, result.epoch)
+            if delta is not None:
+                self._m_delta_size.observe(
+                    float(len(delta.entered) + len(delta.left))
+                )
+
+    def _refresh_knn(self, resolver, sub, inserted, removed, alive):
+        query = int(sub.params["query"])
+        k = int(sub.params["k"])
+        if not self.graph.is_alive(query) or query in removed:
+            # The standing query's own object left (a recycled slot is a new
+            # incarnation): the result empties until re-subscription.
+            return []
+        pool = [c for c in alive if c != query]
+        old = [e for e in sub.result if e[1] not in removed]
+        if len(old) < len(sub.result) or query in inserted:
+            # Membership shrank (or the query itself is new): recompute.
+            return [tuple(e) for e in resolver.knearest(query, pool, k)]
+        fresh = [x for x in inserted if x != query]
+        if not fresh:
+            return list(sub.result)
+        # Bounds-first insert screening: with kth the current k-th distance,
+        # LB(q, x) > kth proves x outside the result — the final kth can only
+        # shrink, so the skip stays sound as candidates accumulate.
+        kth = old[k - 1][0] if len(old) >= k else math.inf
+        merged = list(old)
+        changed = False
+        for x in fresh:
+            if len(old) >= k and resolver.bounds(query, x).lower > kth:
+                continue
+            merged.append((resolver.distance(query, x), x))
+            changed = True
+        if not changed:
+            return list(sub.result)
+        merged.sort()
+        return merged[:k]
+
+    def _refresh_knng(self, resolver, sub, inserted, removed, alive):
+        k = int(sub.params["k"])
+        old = sub.result
+        inserted_set = set(inserted)
+        rows: Dict[int, tuple] = {}
+        for u in alive:
+            row = old.get(u) if u not in inserted_set else None
+            if row is None:
+                pool = [c for c in alive if c != u]
+                rows[u] = tuple(
+                    tuple(e) for e in resolver.knearest(u, pool, k)
+                )
+                continue
+            survivors = [e for e in row if e[1] not in removed]
+            if len(survivors) < len(row):
+                pool = [c for c in alive if c != u]
+                rows[u] = tuple(
+                    tuple(e) for e in resolver.knearest(u, pool, k)
+                )
+                continue
+            fresh = [x for x in inserted if x != u]
+            if not fresh:
+                rows[u] = tuple(row)
+                continue
+            kth = survivors[k - 1][0] if len(survivors) >= k else math.inf
+            merged = list(survivors)
+            changed = False
+            for x in fresh:
+                if len(survivors) >= k and resolver.bounds(u, x).lower > kth:
+                    continue
+                merged.append((resolver.distance(u, x), x))
+                changed = True
+            if not changed:
+                rows[u] = tuple(row)
+            else:
+                merged.sort()
+                rows[u] = tuple(tuple(e) for e in merged[:k])
+        return rows
+
     # -- persistence ---------------------------------------------------------
+
+    def current_fingerprint(self) -> Optional[str]:
+        """The dataset fingerprint of the *current* live state.
+
+        A mutable space recomputes its state-derived fingerprint (so
+        snapshots taken after a batch carry the post-mutation identity);
+        engines with an explicit fingerprint (sharded shards carry
+        plan-scoped ones) return it unchanged.
+        """
+        if self._fingerprint_from_space:
+            own_fp = getattr(self.space, "fingerprint", None)
+            if callable(own_fp):
+                return own_fp()
+        return self.fingerprint
 
     def _metadata(self) -> Dict[str, Any]:
         return {
-            "fingerprint": self.fingerprint,
+            "fingerprint": self.current_fingerprint(),
             "oracle": type(self.oracle).__name__,
             "provider": self.provider_name,
             "n": self.oracle.n,
@@ -865,10 +1193,19 @@ class ProximityEngine:
                 f"universe of {self.oracle.n}", f"universe of {archive.graph.n}"
             )
         theirs = archive.fingerprint
-        if self.fingerprint is not None and theirs is not None and theirs != self.fingerprint:
-            raise SnapshotMismatchError(self.fingerprint, theirs)
+        mine = self.current_fingerprint()
+        if mine is not None and theirs is not None and theirs != mine:
+            raise SnapshotMismatchError(mine, theirs)
         added = 0
         with self._rw.write_locked():
+            if archive.graph.mutated and (self.graph.num_edges or self.graph.mutated):
+                # A mutated (v3) snapshot carries an alive mask and monotone
+                # epochs that can only be installed over a pristine graph.
+                raise SnapshotMismatchError(
+                    "a pristine graph (mutated snapshots restore at startup)",
+                    f"live graph at epoch {self.graph.epoch} "
+                    f"with {self.graph.num_edges} edges",
+                )
             # Verify before mutating: an archive whose edges contradict the
             # live graph is from a different dataset, fingerprint or not.
             for i, j, w in archive.graph.edges():
@@ -886,6 +1223,13 @@ class ProximityEngine:
                     self.graph.add_edge(i, j, w)
                     self.bounder.notify_resolved(i, j, w)
                     added += 1
+                if archive.graph.mutated:
+                    n = archive.graph.n
+                    self.graph.restore_mutation_state(
+                        [archive.graph.is_alive(u) for u in range(n)],
+                        archive.graph.epoch,
+                        [archive.graph.node_epoch(u) for u in range(n)],
+                    )
         if added:
             self._m_restored.inc(added)
         return added
@@ -1000,6 +1344,11 @@ class ProximityEngine:
             resolver=resolver,
             weak_calls=weak_calls,
             weak_band=weak_band,
+            mutations_applied=int(
+                self._m_mutations["insert"].value
+                + self._m_mutations["remove"].value
+            ),
+            subscriptions_active=self.subscriptions.active,
         )
 
     def render_metrics(self) -> str:

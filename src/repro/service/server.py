@@ -18,6 +18,17 @@ Operations:
     configured ``snapshot_path``).
 ``{"op": "ping"}``
     Liveness check.
+``{"op": "mutate", "mutations": [{"kind": "insert", "payload": ...},
+{"kind": "remove", "id": 3}, ...]}``
+    Apply one atomic mutation batch (dynamic engines only); returns the
+    :class:`~repro.dynamic.mutations.MutationResult` accounting.
+    ``insert`` / ``remove`` also exist as single-mutation shorthand ops.
+``{"op": "subscribe", "kind": "knn"|"knng", ...}``
+    Register a standing query (``query``/``k`` for kNN, ``k`` for the
+    kNN-graph); returns ``sub_id`` and the initial result.
+``{"op": "deltas", "sub_id": 1, "since": 0}``
+    Poll a subscription's entered/left/reordered deltas past a sequence
+    cursor, plus its current registered result.  ``unsubscribe`` drops it.
 
 The handler additionally speaks just enough HTTP that
 ``curl --unix-socket <sock> http://localhost/metrics`` works: a request
@@ -42,6 +53,7 @@ import socketserver
 import threading
 from typing import Any, Dict, Optional, Tuple
 
+from repro.dynamic import Mutation
 from repro.service.engine import ProximityEngine
 from repro.service.jobs import JobSpec
 
@@ -94,6 +106,16 @@ def spec_from_dict(payload: Dict[str, Any]) -> JobSpec:
     )
 
 
+def mutation_from_dict(payload: Dict[str, Any]) -> Mutation:
+    """Build a :class:`~repro.dynamic.mutations.Mutation` from wire JSON."""
+    obj_id = payload.get("id", payload.get("obj_id"))
+    return Mutation(
+        kind=str(payload.get("kind", "")),
+        payload=payload.get("payload"),
+        obj_id=None if obj_id is None else int(obj_id),
+    )
+
+
 def handle_engine_request(engine: ProximityEngine, request: Dict[str, Any]) -> Dict[str, Any]:
     """Dispatch one protocol request against an engine.
 
@@ -117,6 +139,49 @@ def handle_engine_request(engine: ProximityEngine, request: Dict[str, Any]) -> D
         job = engine.submit(spec)
         result = job.result(request.get("timeout"))
         return {"ok": True, "job_id": job.id, "result": result_to_dict(result)}
+    if op == "mutate":
+        batch = [mutation_from_dict(m) for m in request.get("mutations", [])]
+        outcome = engine.apply_mutations(batch)
+        return {"ok": True, "result": outcome.to_dict()}
+    if op == "insert":
+        outcome = engine.apply_mutations(
+            [Mutation(kind="insert", payload=request.get("payload"))]
+        )
+        return {"ok": True, "id": outcome.inserted_ids[0], "result": outcome.to_dict()}
+    if op == "remove":
+        outcome = engine.apply_mutations(
+            [Mutation(kind="remove", obj_id=int(request["id"]))]
+        )
+        return {"ok": True, "result": outcome.to_dict()}
+    if op == "subscribe":
+        kind = str(request.get("kind", "knn"))
+        if kind == "knn":
+            sub = engine.subscribe_knn(int(request["query"]), int(request.get("k", 5)))
+        elif kind == "knng":
+            sub = engine.subscribe_knng(int(request.get("k", 5)))
+        else:
+            return {"ok": False, "error": f"unknown subscription kind {kind!r}"}
+        return {
+            "ok": True,
+            "sub_id": sub.sub_id,
+            "kind": sub.kind,
+            "seq": sub.seq,
+            "result": sub.result_dict(),
+        }
+    if op == "deltas":
+        sub_id = int(request["sub_id"])
+        deltas = engine.subscription_deltas(sub_id, int(request.get("since", 0)))
+        sub = engine.subscriptions.get(sub_id)
+        return {
+            "ok": True,
+            "sub_id": sub_id,
+            "seq": sub.seq,
+            "deltas": [d.to_dict() for d in deltas],
+            "result": sub.result_dict(),
+        }
+    if op == "unsubscribe":
+        engine.unsubscribe(int(request["sub_id"]))
+        return {"ok": True, "sub_id": int(request["sub_id"])}
     return {"ok": False, "error": f"unknown op {op!r}"}
 
 

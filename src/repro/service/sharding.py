@@ -31,6 +31,18 @@ Observability: :meth:`ShardedEngine.render_metrics` renders every shard's
 registry in the shard process, stamps ``{shard="k"}`` onto the samples
 (:func:`repro.obs.relabel_metrics`), and merges the pages with the
 coordinator's own router metrics — one scrape shows the whole topology.
+The ``stats`` op labels each per-shard row with the same ``shard`` index,
+so the JSON surface and the merged registry agree on who is who.
+
+Dynamic mode (``dynamic=True``): every shard wraps the universe in a
+:class:`~repro.dynamic.objects.DynamicObjectSet`, and mutation batches are
+**broadcast** to all shards — slot recycling is deterministic, so the N
+engines assign identical ids and stay aligned.  The coordinator keeps a
+mutable copy of the plan's regions for scatter routing (removed ids leave
+their region, inserted ids join their slot's region, brand-new slots go
+round-robin), and the append-only shared CSR store is declared *stale*
+after the first batch: draining stops and snapshots skip the store
+archive, because an append-only store cannot tombstone.
 """
 
 from __future__ import annotations
@@ -169,6 +181,8 @@ class ShardConfig:
     base_fingerprint: Optional[str]
     shard_fingerprint: str
     weak_oracle: bool = False
+    #: Wrap the rebuilt space in a DynamicObjectSet so mutation batches work.
+    dynamic: bool = False
 
 
 def _shard_main(conn, config: ShardConfig) -> None:
@@ -184,6 +198,10 @@ def _shard_main(conn, config: ShardConfig) -> None:
     store: Optional[CSRStore] = None
     try:
         space = config.handle.space()
+        if config.dynamic:
+            from repro.dynamic import DynamicObjectSet
+
+            space = DynamicObjectSet.wrap(space)
         engine = ProximityEngine.for_space(
             space,
             provider=config.provider,
@@ -233,6 +251,48 @@ def _shard_main(conn, config: ShardConfig) -> None:
                     conn.send({"ok": True, "path": engine.snapshot(msg["path"])})
                 elif op == "restore":
                     conn.send({"ok": True, "added": engine.restore(msg["path"])})
+                elif op == "mutate":
+                    from repro.service.server import mutation_from_dict
+
+                    batch = [
+                        mutation_from_dict(m) for m in msg.get("mutations", [])
+                    ]
+                    outcome = engine.apply_mutations(batch)
+                    conn.send({"ok": True, "result": outcome.to_dict()})
+                elif op == "subscribe":
+                    if msg.get("kind", "knn") == "knn":
+                        sub = engine.subscribe_knn(
+                            int(msg["query"]), int(msg.get("k", 5))
+                        )
+                    else:
+                        sub = engine.subscribe_knng(int(msg.get("k", 5)))
+                    conn.send(
+                        {
+                            "ok": True,
+                            "sub_id": sub.sub_id,
+                            "kind": sub.kind,
+                            "seq": sub.seq,
+                            "result": sub.result_dict(),
+                        }
+                    )
+                elif op == "deltas":
+                    sub_id = int(msg["sub_id"])
+                    deltas = engine.subscription_deltas(
+                        sub_id, int(msg.get("since", 0))
+                    )
+                    sub = engine.subscriptions.get(sub_id)
+                    conn.send(
+                        {
+                            "ok": True,
+                            "sub_id": sub_id,
+                            "seq": sub.seq,
+                            "deltas": [d.to_dict() for d in deltas],
+                            "result": sub.result_dict(),
+                        }
+                    )
+                elif op == "unsubscribe":
+                    engine.unsubscribe(int(msg["sub_id"]))
+                    conn.send({"ok": True})
                 elif op == "close":
                     conn.send({"ok": True, "op": "close"})
                     return
@@ -293,6 +353,7 @@ class ShardedEngine:
         registry: Optional[MetricsRegistry] = None,
         segment_capacity: int = DEFAULT_SEGMENT_CAPACITY,
         start_timeout: float = 120.0,
+        dynamic: bool = False,
     ) -> None:
         from repro.service.engine import space_fingerprint
 
@@ -321,6 +382,23 @@ class ShardedEngine:
         self._owner_lock = threading.Lock()
         self._closed = False
         self._started_at = time.monotonic()
+        self.dynamic = bool(dynamic)
+        #: Mutable copy of the plan's regions (scatter routing); mutations
+        #: move ids in and out while the frozen plan keeps its digest.
+        self._regions: List[List[int]] = [list(r) for r in self.plan.regions]
+        self._regions_lock = threading.Lock()
+        #: Slot → owning shard, so a recycled slot rejoins its old region
+        #: and brand-new slots land round-robin.
+        self._slot_owner: Dict[int, int] = {
+            obj: k for k, region in enumerate(self.plan.regions) for obj in region
+        }
+        #: True once a mutation batch has run: the append-only store can no
+        #: longer mirror the shards, so draining and store snapshots stop.
+        self._store_stale = False
+        #: Coordinator subscription id → (shard index, shard-local sub id).
+        self._sub_route: Dict[int, Tuple[int, int]] = {}
+        self._sub_seq = 0
+        self._sub_lock = threading.Lock()
         #: Final aggregate stats, captured by :meth:`close` for post-mortems.
         self.last_stats: Optional[Dict[str, Any]] = None
 
@@ -343,6 +421,7 @@ class ShardedEngine:
                 store_name=self.store.name,
                 base_fingerprint=self.fingerprint,
                 shard_fingerprint=self.plan.shard_fingerprint(self.fingerprint, k),
+                dynamic=self.dynamic,
             )
             process = ctx.Process(
                 target=_shard_main,
@@ -390,6 +469,10 @@ class ShardedEngine:
         self._m_drained = r.counter(
             "repro_router_edges_drained_total",
             "Novel shard edges appended to the shared CSR store.",
+        )
+        self._m_mutation_batches = r.counter(
+            "repro_router_mutation_batches_total",
+            "Mutation batches broadcast to every shard.",
         )
         r.gauge(
             "repro_router_shards", "Live shard processes.",
@@ -459,7 +542,9 @@ class ShardedEngine:
         allowed = None if explicit is None else set(int(c) for c in explicit)
         query = spec.params.get("query")
         parts: List[Tuple[_Shard, JobSpec]] = []
-        for shard, region in zip(self._shards, self.plan.regions):
+        with self._regions_lock:
+            regions = [list(region) for region in self._regions]
+        for shard, region in zip(self._shards, regions):
             if allowed is None:
                 cands: Sequence[int] = region
             else:
@@ -549,7 +634,13 @@ class ShardedEngine:
     # -- shared-store maintenance --------------------------------------------
 
     def _drain_edges(self, shards: List[_Shard]) -> int:
-        """Pull each shard's new edges into the writable store (deduped)."""
+        """Pull each shard's new edges into the writable store (deduped).
+
+        No-op once a mutation batch has run: an append-only store cannot
+        tombstone, so post-mutation edges stay in the shards' own graphs.
+        """
+        if self._store_stale:
+            return 0
         appended = 0
         for shard in shards:
             reply = self._call(shard, {"op": "edges", "start": shard.cursor})
@@ -569,20 +660,128 @@ class ShardedEngine:
             self._m_drained.inc(appended)
         return appended
 
+    # -- mutation & standing queries -----------------------------------------
+
+    def apply_mutations(self, mutations: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Broadcast one mutation batch (wire dicts) to every shard.
+
+        All shards hold the full universe and recycle slots
+        deterministically, so each applies the identical batch and assigns
+        identical ids; the first reply's accounting speaks for all.  The
+        coordinator then updates its routing regions and marks the shared
+        store stale.
+        """
+        if not self.dynamic:
+            raise ConfigurationError(
+                "this sharded engine is static; start it with dynamic=True "
+                "to accept mutation batches"
+            )
+        replies = self._broadcast({"op": "mutate", "mutations": list(mutations)})
+        result = dict(replies[0]["result"])
+        removed = [int(i) for i in result.get("removed_ids", [])]
+        inserted = [int(i) for i in result.get("inserted_ids", [])]
+        with self._regions_lock:
+            for obj in removed:
+                owner = self._slot_owner.get(obj)
+                if owner is not None and obj in self._regions[owner]:
+                    self._regions[owner].remove(obj)
+            for obj in inserted:
+                owner = self._slot_owner.setdefault(
+                    obj, obj % self.plan.num_shards
+                )
+                if obj not in self._regions[owner]:
+                    self._regions[owner].append(obj)
+                    self._regions[owner].sort()
+        self._store_stale = True
+        self._m_mutation_batches.inc()
+        return result
+
+    def subscribe(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Register a standing query on one owner shard (round-robin).
+
+        Mutations broadcast to every shard, so the owner refreshes its copy
+        after each batch like any single-process engine would.  The
+        returned ``sub_id`` is coordinator-scoped; ``deltas``/
+        ``unsubscribe`` route through it.
+        """
+        shard = self._next_owner()
+        reply = self._call(
+            shard,
+            {
+                "op": "subscribe",
+                "kind": request.get("kind", "knn"),
+                "query": request.get("query"),
+                "k": request.get("k", 5),
+            },
+        )
+        with self._sub_lock:
+            self._sub_seq += 1
+            sub_id = self._sub_seq
+            self._sub_route[sub_id] = (shard.index, int(reply["sub_id"]))
+        return {
+            "sub_id": sub_id,
+            "shard": shard.index,
+            "kind": reply["kind"],
+            "seq": reply["seq"],
+            "result": reply["result"],
+        }
+
+    def _route_sub(self, sub_id: int) -> Tuple[_Shard, int]:
+        with self._sub_lock:
+            shard_index, shard_sub = self._sub_route[int(sub_id)]
+        return self._shards[shard_index], shard_sub
+
+    def subscription_deltas(
+        self, sub_id: int, since: int = 0
+    ) -> Dict[str, Any]:
+        """Poll a subscription's deltas from its owner shard."""
+        shard, shard_sub = self._route_sub(sub_id)
+        reply = self._call(
+            shard, {"op": "deltas", "sub_id": shard_sub, "since": int(since)}
+        )
+        return {
+            "sub_id": int(sub_id),
+            "shard": shard.index,
+            "seq": reply["seq"],
+            "deltas": reply["deltas"],
+            "result": reply["result"],
+        }
+
+    def unsubscribe(self, sub_id: int) -> None:
+        """Drop a standing query on its owner shard."""
+        shard, shard_sub = self._route_sub(sub_id)
+        self._call(shard, {"op": "unsubscribe", "sub_id": shard_sub})
+        with self._sub_lock:
+            del self._sub_route[int(sub_id)]
+
     # -- observability -------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        """Coordinator + per-shard stats (the ``stats`` op's payload)."""
-        shard_stats = [reply["stats"] for reply in self._broadcast({"op": "stats"})]
+        """Coordinator + per-shard stats (the ``stats`` op's payload).
+
+        Every per-shard row carries a ``shard`` index matching the
+        ``{shard="k"}`` label the merged metrics registry stamps on the
+        same engine's samples, so the two surfaces agree on who is who.
+        """
+        shard_stats = []
+        for shard, reply in zip(self._shards, self._broadcast({"op": "stats"})):
+            row = dict(reply["stats"])
+            row["shard"] = shard.index
+            shard_stats.append(row)
         aggregate = {
             "jobs_submitted": sum(s["jobs_submitted"] for s in shard_stats),
             "jobs_completed": sum(s["jobs_completed"] for s in shard_stats),
             "oracle_calls": sum(s["oracle_calls"] for s in shard_stats),
             "warm_resolutions": sum(s["warm_resolutions"] for s in shard_stats),
             "graph_edges": sum(s["graph_edges"] for s in shard_stats),
+            "mutations_applied": sum(
+                s.get("mutations_applied", 0) for s in shard_stats
+            ),
         }
         return {
             "sharded": True,
+            "dynamic": self.dynamic,
+            "store_stale": self._store_stale,
             "uptime_seconds": time.monotonic() - self._started_at,
             "plan": self.plan.describe(),
             "store": self.store.describe(),
@@ -623,12 +822,19 @@ class ShardedEngine:
         """
         if base is None:
             raise ConfigurationError("sharded snapshot needs a base path")
-        store_path = f"{base}.store.npz"
-        with self._store_lock:
-            self.store.save(
-                store_path,
-                metadata={"fingerprint": self.fingerprint, "plan": self.plan.digest},
-            )
+        store_path: Optional[str] = None
+        if not self._store_stale:
+            # Post-mutation the append-only store no longer mirrors the
+            # shards; the per-shard v3 archives are the whole truth.
+            store_path = f"{base}.store.npz"
+            with self._store_lock:
+                self.store.save(
+                    store_path,
+                    metadata={
+                        "fingerprint": self.fingerprint,
+                        "plan": self.plan.digest,
+                    },
+                )
         paths = self.shard_snapshot_paths(base)
         replies = [
             self._pool.submit(
@@ -673,6 +879,33 @@ class ShardedEngine:
             spec = spec_from_dict(request.get("spec", {}))
             result = self.run(spec, request.get("timeout"))
             return {"ok": True, "result": result_to_dict(result)}
+        if op == "mutate":
+            return {
+                "ok": True,
+                "result": self.apply_mutations(request.get("mutations", [])),
+            }
+        if op == "insert":
+            outcome = self.apply_mutations(
+                [{"kind": "insert", "payload": request.get("payload")}]
+            )
+            return {"ok": True, "id": outcome["inserted_ids"][0], "result": outcome}
+        if op == "remove":
+            outcome = self.apply_mutations(
+                [{"kind": "remove", "id": int(request["id"])}]
+            )
+            return {"ok": True, "result": outcome}
+        if op == "subscribe":
+            return {"ok": True, **self.subscribe(request)}
+        if op == "deltas":
+            return {
+                "ok": True,
+                **self.subscription_deltas(
+                    int(request["sub_id"]), int(request.get("since", 0))
+                ),
+            }
+        if op == "unsubscribe":
+            self.unsubscribe(int(request["sub_id"]))
+            return {"ok": True, "sub_id": int(request["sub_id"])}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     # -- lifecycle -----------------------------------------------------------

@@ -195,3 +195,70 @@ class TestResume:
         oracle = DistanceOracle(lambda i, j: 1.0, 99)
         with pytest.raises(ValueError):
             resume_resolver(oracle, path)
+
+
+class TestArchiveV3:
+    """Mutated graphs (tombstones, monotone epochs) round-trip as v3."""
+
+    def test_mutated_graph_writes_v3(self, populated_graph, tmp_path):
+        populated_graph.remove_node(3)
+        path = tmp_path / "v3.npz"
+        save_graph(populated_graph, path)
+        archive = load_archive(path)
+        assert archive.version == 3
+        assert not archive.graph.is_alive(3)
+        assert archive.graph.mutated
+
+    def test_pristine_graph_still_writes_v2(self, populated_graph, tmp_path):
+        path = tmp_path / "v2.npz"
+        save_graph(populated_graph, path)
+        assert load_archive(path).version == 2
+
+    def test_epochs_survive_round_trip(self, populated_graph, tmp_path):
+        epoch_before_churn = populated_graph.epoch
+        populated_graph.remove_node(5)
+        populated_graph.revive(5)
+        populated_graph.add_edge(5, 0, 1.5)
+        path = tmp_path / "v3.npz"
+        save_graph(populated_graph, path)
+        restored = load_archive(path).graph
+        assert restored.epoch == populated_graph.epoch
+        assert restored.epoch > epoch_before_churn
+        for u in range(populated_graph.n):
+            assert restored.node_epoch(u) == populated_graph.node_epoch(u)
+        assert restored.num_edges == populated_graph.num_edges
+
+    def test_grown_universe_round_trips(self, populated_graph, tmp_path):
+        n = populated_graph.n
+        populated_graph.grow(3)
+        populated_graph.add_edge(n, 0, 2.0)
+        path = tmp_path / "v3.npz"
+        save_graph(populated_graph, path)
+        restored = load_archive(path).graph
+        assert restored.n == n + 3
+        assert restored.get(n, 0) == 2.0
+
+    def test_edge_on_tombstone_detected(self, populated_graph, tmp_path):
+        populated_graph.remove_node(3)
+        path = tmp_path / "v3.npz"
+        save_graph(populated_graph, path)
+        with np.load(path) as data:
+            payload = dict(data)
+        # Corrupt: mark a node dead while its edges remain in the columns.
+        alive = payload["alive"].copy()
+        alive[int(payload["i"][0])] = False
+        payload["alive"] = alive
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="tombstoned"):
+            load_archive(path)
+
+    def test_epoch_behind_edges_detected(self, populated_graph, tmp_path):
+        populated_graph.remove_node(3)
+        path = tmp_path / "v3.npz"
+        save_graph(populated_graph, path)
+        with np.load(path) as data:
+            payload = dict(data)
+        payload["epoch"] = np.int64(0)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="behind"):
+            load_archive(path)

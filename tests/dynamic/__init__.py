@@ -1,0 +1,1 @@
+"""Tests for the repro.dynamic mutable-object-set subsystem."""

@@ -1,0 +1,120 @@
+"""Property test: arbitrary mutation/query interleavings stay consistent.
+
+The load-bearing guarantee of the dynamic subsystem: after ANY interleaving
+of inserts, removes and queries, a standing kNN subscription holds exactly
+what a fresh engine computes over the surviving object set.  Hypothesis
+drives random interleavings; the engine is compared against an
+independently built reference after every program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.resolver import SmartResolver
+from repro.dynamic import DynamicObjectSet, Insert, Mutation, Remove
+from repro.service import ProximityEngine
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+N_UNIVERSE = 16
+N_INITIAL = 10
+
+COMMON_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def programs(draw):
+    """A seed plus a short program of insert/remove/query steps."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    steps = draw(
+        st.lists(
+            st.sampled_from(["insert", "remove", "query", "batch"]),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    choices = draw(
+        st.lists(st.integers(0, 2**31 - 1), min_size=len(steps), max_size=len(steps))
+    )
+    return seed, list(zip(steps, choices))
+
+
+def _fresh_knn(objects, query, k):
+    """Reference kNN computed by an independent resolver on the live set."""
+    resolver = SmartResolver(objects.oracle())
+    pool = [c for c in objects.alive_ids() if c != query]
+    return [tuple(e) for e in resolver.knearest(query, pool, k)]
+
+
+class TestInterleavings:
+    @given(programs())
+    @settings(**COMMON_SETTINGS)
+    def test_standing_knn_equals_fresh_engine(self, program):
+        seed, steps = program
+        rng = np.random.default_rng(seed)
+        space = MatrixSpace(random_metric_matrix(N_UNIVERSE, rng))
+        objects = DynamicObjectSet.wrap(space, initial=N_INITIAL)
+        reserve = list(range(N_INITIAL, N_UNIVERSE))
+        engine = ProximityEngine.for_space(objects, provider="tri", job_workers=1)
+        try:
+            k = 3
+            query = 0  # never removed below, so the subscription survives
+            sub = engine.subscribe_knn(query, k)
+            for step, choice in steps:
+                alive = objects.alive_ids()
+                removable = [u for u in alive if u != query]
+                batch: list[Mutation] = []
+                if step in ("insert", "batch") and reserve:
+                    batch.append(Insert(reserve.pop(0)))
+                if step in ("remove", "batch") and len(removable) > k + 1:
+                    batch.append(Remove(removable[choice % len(removable)]))
+                if step == "query":
+                    probe = alive[choice % len(alive)]
+                    result = engine.submit_job("knn", query=probe, k=2).result(30)
+                    assert result.ok
+                if batch:
+                    engine.apply_mutations(batch)
+                standing = [tuple(e) for e in engine.subscriptions.get(sub.sub_id).result]
+                assert standing == _fresh_knn(objects, query, k)
+        finally:
+            engine.close(snapshot=False)
+
+    @given(programs())
+    @settings(**COMMON_SETTINGS)
+    def test_deltas_replay_to_current_result(self, program):
+        """Applying every delta to the initial result rebuilds the final one."""
+        seed, steps = program
+        rng = np.random.default_rng(seed)
+        space = MatrixSpace(random_metric_matrix(N_UNIVERSE, rng))
+        objects = DynamicObjectSet.wrap(space, initial=N_INITIAL)
+        reserve = list(range(N_INITIAL, N_UNIVERSE))
+        engine = ProximityEngine.for_space(objects, provider="tri", job_workers=1)
+        try:
+            sub = engine.subscribe_knn(0, 3)
+            state = {obj for _, obj in sub.result}
+            for step, choice in steps:
+                removable = [u for u in objects.alive_ids() if u != 0]
+                batch: list[Mutation] = []
+                if step in ("insert", "batch") and reserve:
+                    batch.append(Insert(reserve.pop(0)))
+                if step in ("remove", "batch") and len(removable) > 4:
+                    batch.append(Remove(removable[choice % len(removable)]))
+                if batch:
+                    engine.apply_mutations(batch)
+            for delta in engine.subscription_deltas(sub.sub_id):
+                state -= set(delta.left)
+                state |= {obj for _, obj in delta.entered}
+            final = engine.subscriptions.get(sub.sub_id).result
+            assert state == {obj for _, obj in final}
+        finally:
+            engine.close(snapshot=False)

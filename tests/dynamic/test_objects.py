@@ -1,0 +1,106 @@
+"""Unit tests for DynamicObjectSet: churn, id recycling, fingerprints."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import InvalidObjectError
+from repro.dynamic import DynamicObjectSet
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+def _points_set():
+    points = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (2.0, 2.0)]
+    return DynamicObjectSet(
+        points, lambda a, b: math.dist(a, b), diameter=10.0
+    )
+
+
+class TestLifecycle:
+    def test_insert_appends_new_slot(self):
+        objects = _points_set()
+        obj_id = objects.insert((3.0, 3.0))
+        assert obj_id == 4
+        assert objects.n == 5
+        assert objects.num_alive == 5
+        assert objects.payload(obj_id) == (3.0, 3.0)
+
+    def test_remove_tombstones_without_shifting_ids(self):
+        objects = _points_set()
+        objects.remove(1)
+        assert objects.n == 4  # slot count unchanged
+        assert objects.num_alive == 3
+        assert not objects.is_alive(1)
+        assert objects.alive_ids() == [0, 2, 3]
+        # Survivors keep their payloads under the same ids.
+        assert objects.payload(3) == (2.0, 2.0)
+
+    def test_insert_recycles_lowest_free_slot(self):
+        objects = _points_set()
+        objects.remove(2)
+        objects.remove(0)
+        assert objects.insert((9.0, 9.0)) == 0  # min-heap: lowest slot first
+        assert objects.insert((8.0, 8.0)) == 2
+        assert objects.insert((7.0, 7.0)) == 4  # heap drained: grow
+        assert objects.num_alive == 5
+
+    def test_recycled_slot_bumps_generation(self):
+        objects = _points_set()
+        gen = objects.generation(1)
+        objects.remove(1)
+        assert objects.insert((5.0, 5.0)) == 1
+        assert objects.generation(1) == gen + 1
+
+    def test_dead_object_access_raises(self):
+        objects = _points_set()
+        objects.remove(3)
+        with pytest.raises(InvalidObjectError):
+            objects.distance(0, 3)
+        with pytest.raises(InvalidObjectError):
+            objects.payload(3)
+        with pytest.raises(InvalidObjectError):
+            objects.remove(3)
+
+    def test_mutation_count_tracks_churn(self):
+        objects = _points_set()
+        assert objects.mutation_count == 0
+        objects.remove(0)
+        objects.insert((4.0, 4.0))
+        assert objects.mutation_count == 2
+
+
+class TestFingerprint:
+    def test_fingerprint_changes_on_mutation(self):
+        objects = _points_set()
+        before = objects.fingerprint()
+        objects.remove(1)
+        after = objects.fingerprint()
+        assert before != after
+        assert after.startswith("dynamic:")
+
+    def test_fingerprint_stable_without_mutation(self):
+        objects = _points_set()
+        assert objects.fingerprint() == objects.fingerprint()
+
+
+class TestWrap:
+    def test_wrap_exposes_frozen_space_distances(self, rng):
+        space = MatrixSpace(random_metric_matrix(10, rng))
+        objects = DynamicObjectSet.wrap(space)
+        assert objects.n == 10
+        assert objects.distance(2, 7) == space.distance(2, 7)
+
+    def test_wrap_initial_keeps_a_reserve(self, rng):
+        space = MatrixSpace(random_metric_matrix(10, rng))
+        objects = DynamicObjectSet.wrap(space, initial=6)
+        assert objects.num_alive == 6
+        # Reserve ids insert as payloads later.
+        obj_id = objects.insert(7)
+        assert objects.distance(obj_id, 0) == space.distance(7, 0)
+
+    def test_wrap_initial_out_of_range_rejected(self, rng):
+        space = MatrixSpace(random_metric_matrix(5, rng))
+        with pytest.raises(ValueError):
+            DynamicObjectSet.wrap(space, initial=0)
+        with pytest.raises(ValueError):
+            DynamicObjectSet.wrap(space, initial=6)

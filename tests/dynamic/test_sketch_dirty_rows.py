@@ -1,0 +1,90 @@
+"""Regression tests for the sketch's delta-aware refresh fast path.
+
+The contract under test (satellite of the dynamic subsystem): with
+``track_dirty`` enabled, ``refresh_from_graph(dirty_only=True)`` recomputes
+exactly the tree rows whose one-step relaxation improved since the last
+refresh — untouched rows are *not* recomputed, pinned via the
+``rows_recomputed`` counter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds.sketch import SketchBoundProvider
+from repro.core.partial_graph import PartialDistanceGraph
+
+
+def _line_graph(n=10, edges=((0, 1), (1, 2), (2, 3))):
+    """Chain fragment of the |i-j| line metric on ``n`` points."""
+    graph = PartialDistanceGraph(n)
+    for i, j in edges:
+        graph.add_edge(i, j, float(abs(i - j)))
+    return graph
+
+
+@pytest.fixture
+def sketch():
+    graph = _line_graph()
+    provider = SketchBoundProvider.from_graph(graph, [0, 9], max_distance=9.0)
+    provider.track_dirty = True
+    return provider
+
+
+class TestDirtyRowFastPath:
+    def test_only_improved_rows_recomputed(self, sketch):
+        baseline = sketch.rows_recomputed  # from_graph's full build
+        # Edge (3,4) extends the chain: it shortens landmark 0's paths
+        # (0→…→3→4) but cannot help landmark 9, which has no known edges.
+        sketch.graph.add_edge(3, 4, 1.0)
+        sketch.notify_resolved(3, 4, 1.0)
+        assert sketch._dirty_rows == {0}
+        recomputed = sketch.refresh_from_graph(dirty_only=True)
+        assert recomputed == 1
+        assert sketch.rows_recomputed == baseline + 1
+
+    def test_untouched_row_state_is_preserved(self, sketch):
+        row9_before = sketch._matrix[1].copy()
+        sketch.graph.add_edge(3, 4, 1.0)
+        sketch.notify_resolved(3, 4, 1.0)
+        sketch.refresh_from_graph(dirty_only=True)
+        # Landmark 9's row was neither marked dirty nor recomputed.
+        assert np.array_equal(sketch._matrix[1, :10], row9_before[:10])
+        # Landmark 0's row now reflects the extended chain.
+        assert sketch._matrix[0, 4] == 4.0
+
+    def test_no_improvement_means_zero_work(self, sketch):
+        baseline = sketch.rows_recomputed
+        # A worse parallel path improves no row: 0→1 already costs 1.
+        sketch.graph.add_edge(0, 2, 2.0)
+        sketch.notify_resolved(0, 2, 2.0)
+        assert sketch._dirty_rows == set()
+        assert sketch.refresh_from_graph(dirty_only=True) == 0
+        assert sketch.rows_recomputed == baseline
+
+    def test_one_step_relaxation_applied_eagerly(self, sketch):
+        sketch.graph.add_edge(3, 4, 1.0)
+        sketch.notify_resolved(3, 4, 1.0)
+        # Even before the refresh, the relaxed cell serves a tighter upper
+        # bound (one-step relaxations of a sound row stay sound).
+        assert sketch._matrix[0, 4] == 4.0
+
+    def test_full_refresh_clears_dirty_state(self, sketch):
+        sketch.graph.add_edge(3, 4, 1.0)
+        sketch.notify_resolved(3, 4, 1.0)
+        sketch.refresh_from_graph()  # full rebuild, not dirty-only
+        assert sketch._dirty_rows == set()
+        assert sketch.refresh_from_graph(dirty_only=True) == 0
+
+    def test_new_landmark_set_forces_full_rebuild(self, sketch):
+        sketch.graph.add_edge(3, 4, 1.0)
+        sketch.notify_resolved(3, 4, 1.0)
+        recomputed = sketch.refresh_from_graph([0, 5], dirty_only=True)
+        assert recomputed == 2  # incremental state invalid for new landmarks
+
+    def test_exact_sketch_never_marks_dirty(self):
+        graph = _line_graph()
+        provider = SketchBoundProvider(graph, 9.0, num_landmarks=2)
+        provider.adopt([0, 9], np.abs(np.subtract.outer([0, 9], np.arange(10))).astype(float))
+        provider.track_dirty = True
+        provider.notify_resolved(0, 4, 4.0)
+        assert provider._dirty_rows == set()

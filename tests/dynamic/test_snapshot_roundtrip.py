@@ -1,0 +1,115 @@
+"""Snapshot → mutate → snapshot → restore round-trip for dynamic engines.
+
+The satellite contract: fingerprints change when the object set mutates,
+and restoring the post-mutation snapshot into a fresh engine (whose object
+set replayed the same mutations) reproduces the mutated graph exactly —
+tombstones, epochs and resolved edges included.
+"""
+
+import pytest
+
+from repro.core import SnapshotMismatchError
+from repro.core.persistence import load_archive
+from repro.dynamic import DynamicObjectSet, Insert, Remove
+from repro.service import ProximityEngine
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+BATCH = [Remove(2), Remove(7), Insert(20), Insert(21), Insert(22)]
+
+
+@pytest.fixture
+def space(rng):
+    return MatrixSpace(random_metric_matrix(24, rng))
+
+
+def _dyn(space):
+    return DynamicObjectSet.wrap(space, initial=20)
+
+
+def _replayed(space):
+    """A fresh object set with the same mutations applied outside an engine."""
+    objects = _dyn(space)
+    for mut in BATCH:
+        if mut.kind == "remove":
+            objects.remove(mut.obj_id)
+        else:
+            objects.insert(mut.payload)
+    return objects
+
+
+class TestRoundTrip:
+    def test_fingerprint_changes_on_mutation(self, space, tmp_path):
+        objects = _dyn(space)
+        engine = ProximityEngine.for_space(objects, provider="tri", job_workers=1)
+        try:
+            before = engine.current_fingerprint()
+            engine.snapshot(str(tmp_path / "pre.npz"))
+            engine.apply_mutations(BATCH)
+            after = engine.current_fingerprint()
+            assert before != after
+            engine.snapshot(str(tmp_path / "post.npz"))
+            pre, post = (
+                load_archive(str(tmp_path / name)) for name in ("pre.npz", "post.npz")
+            )
+            assert pre.fingerprint == before and pre.version == 2
+            assert post.fingerprint == after and post.version == 3
+        finally:
+            engine.close(snapshot=False)
+
+    def test_restore_replays_identical_post_mutation_graph(self, space, tmp_path):
+        objects = _dyn(space)
+        engine = ProximityEngine.for_space(objects, provider="tri", job_workers=1)
+        path = str(tmp_path / "post.npz")
+        try:
+            engine.submit_job("knn", query=0, k=5).result(30)  # warm edges
+            engine.apply_mutations(BATCH)
+            engine.submit_job("knn", query=1, k=5).result(30)  # post-churn edges
+            engine.snapshot(path)
+            original = engine.graph
+            restored_engine = ProximityEngine.for_space(
+                _replayed(space),
+                provider="tri",
+                job_workers=1,
+                restore_from=path,
+            )
+            try:
+                restored = restored_engine.graph
+                assert restored.n == original.n
+                assert restored.mutated
+                assert restored.epoch == original.epoch
+                for u in range(original.n):
+                    assert restored.is_alive(u) == original.is_alive(u)
+                    assert restored.node_epoch(u) == original.node_epoch(u)
+                assert sorted(restored.edges()) == sorted(original.edges())
+            finally:
+                restored_engine.close(snapshot=False)
+        finally:
+            engine.close(snapshot=False)
+
+    def test_restore_into_unreplayed_set_is_rejected(self, space, tmp_path):
+        objects = _dyn(space)
+        engine = ProximityEngine.for_space(objects, provider="tri", job_workers=1)
+        path = str(tmp_path / "post.npz")
+        try:
+            engine.apply_mutations(BATCH)
+            engine.snapshot(path)
+        finally:
+            engine.close(snapshot=False)
+        # A fresh set that never replayed the churn has a different
+        # fingerprint — the snapshot must be refused, not silently merged.
+        with pytest.raises(SnapshotMismatchError):
+            ProximityEngine.for_space(
+                _dyn(space), provider="tri", job_workers=1, restore_from=path
+            ).close(snapshot=False)
+
+    def test_mutated_snapshot_refused_by_warm_engine(self, space, tmp_path):
+        objects = _dyn(space)
+        engine = ProximityEngine.for_space(objects, provider="tri", job_workers=1)
+        path = str(tmp_path / "post.npz")
+        try:
+            engine.apply_mutations(BATCH)
+            engine.snapshot(path)
+            with pytest.raises(SnapshotMismatchError, match="pristine"):
+                engine.restore(path)  # engine already mutated: not pristine
+        finally:
+            engine.close(snapshot=False)

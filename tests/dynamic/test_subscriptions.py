@@ -1,0 +1,85 @@
+"""Tests for the standing-query registry and its delta diffs."""
+
+import pytest
+
+from repro.dynamic import SubscriptionRegistry
+
+
+@pytest.fixture
+def registry():
+    return SubscriptionRegistry()
+
+
+class TestRegistry:
+    def test_subscribe_assigns_monotonic_ids(self, registry):
+        a = registry.subscribe("knn", {"query": 1, "k": 2}, [(0.5, 3)])
+        b = registry.subscribe("knng", {"k": 2}, {0: ((0.5, 1),)})
+        assert (a.sub_id, b.sub_id) == (1, 2)
+        assert registry.active == 2
+
+    def test_unsubscribe_drops(self, registry):
+        sub = registry.subscribe("knn", {"query": 1, "k": 2}, [])
+        registry.unsubscribe(sub.sub_id)
+        assert registry.active == 0
+        with pytest.raises(KeyError):
+            registry.get(sub.sub_id)
+
+    def test_unknown_kind_rejected(self, registry):
+        with pytest.raises(ValueError, match="kind"):
+            registry.subscribe("mst", {}, [])
+
+
+class TestKnnDiff:
+    def test_unchanged_result_records_nothing(self, registry):
+        sub = registry.subscribe("knn", {"query": 0, "k": 2}, [(0.5, 3)])
+        assert registry.record(sub, [(0.5, 3)], epoch=7) is None
+        assert sub.seq == 0
+        assert registry.deltas(sub.sub_id) == []
+
+    def test_entered_and_left_members(self, registry):
+        sub = registry.subscribe(
+            "knn", {"query": 0, "k": 2}, [(0.5, 3), (0.7, 4)]
+        )
+        delta = registry.record(sub, [(0.4, 9), (0.5, 3)], epoch=8)
+        assert delta.entered == ((0.4, 9),)
+        assert delta.left == (4,)
+        assert not delta.reordered
+        assert delta.seq == 1 and delta.epoch == 8
+        assert sub.result == [(0.4, 9), (0.5, 3)]
+
+    def test_pure_reorder_flagged(self, registry):
+        sub = registry.subscribe(
+            "knn", {"query": 0, "k": 2}, [(0.5, 3), (0.5, 4)]
+        )
+        delta = registry.record(sub, [(0.5, 4), (0.5, 3)], epoch=9)
+        assert delta.reordered
+        assert delta.entered == () and delta.left == ()
+
+    def test_since_filters_history(self, registry):
+        sub = registry.subscribe("knn", {"query": 0, "k": 1}, [(0.5, 3)])
+        registry.record(sub, [(0.4, 4)], epoch=1)
+        registry.record(sub, [(0.3, 5)], epoch=2)
+        assert [d.seq for d in registry.deltas(sub.sub_id)] == [1, 2]
+        assert [d.seq for d in registry.deltas(sub.sub_id, since=1)] == [2]
+
+
+class TestKnngDiff:
+    def test_changed_rows_enter_vanished_rows_leave(self, registry):
+        sub = registry.subscribe(
+            "knng",
+            {"k": 1},
+            {0: ((0.5, 1),), 1: ((0.5, 0),), 2: ((0.9, 0),)},
+        )
+        delta = registry.record(
+            sub, {0: ((0.5, 1),), 1: ((0.2, 3),), 3: ((0.2, 1),)}, epoch=4
+        )
+        assert delta.left == (2,)
+        entered_rows = dict(delta.entered)
+        assert set(entered_rows) == {1, 3}  # changed row + new row
+        assert entered_rows[1] == ((0.2, 3),)
+
+    def test_result_dict_shapes(self, registry):
+        knn = registry.subscribe("knn", {"query": 0, "k": 1}, [(0.5, 3)])
+        knng = registry.subscribe("knng", {"k": 1}, {4: ((0.5, 1),)})
+        assert knn.result_dict() == {"neighbors": [[0.5, 3]]}
+        assert knng.result_dict() == {"rows": {"4": [[0.5, 1]]}}

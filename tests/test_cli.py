@@ -110,7 +110,7 @@ class TestServeSubmitParsers:
     def test_submit_without_kind_or_stats_errors(self, capsys):
         code = main(["submit", "--socket", "/tmp/definitely-missing.sock"])
         assert code == 2
-        assert "--kind or --stats" in capsys.readouterr().err
+        assert "one of --kind/--stats" in capsys.readouterr().err
 
 
 class TestServeSubmitEndToEnd:
