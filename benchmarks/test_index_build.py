@@ -1,0 +1,191 @@
+"""Index-construction benchmark — bound-accelerated navigable-graph builds.
+
+The acceptance experiment for ``repro.graphs``: building the NSG-style
+flat graph through a bound-equipped :class:`SmartResolver` costs at least
+**2x fewer strong oracle calls** than the naive reference builder while
+producing a byte-identical graph (``edges_signature`` equality — same
+edges, same order, at ``stretch=1.0`` semantics).  The layered HNSW build
+also saves calls (reported, gated only above break-even — beam admission
+leaves fewer bound-decidable tests than NSG's occlusion pruning), and the
+served search path (``build_index`` → ``search_index`` jobs through a
+:class:`ProximityEngine`) answers with **recall@10 ≥ 0.9**, in numeric and
+comparison-only mode alike.
+
+Set ``INDEX_BUILD_JSON`` to a path to dump the raw measurements for
+``scripts/bench_to_json.py`` (CI turns them into
+``BENCH_index_build.json`` and gates them against the committed baseline).
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.bounds import TriScheme
+from repro.core.resolver import SmartResolver
+from repro.graphs import DirectResolver, build_hnsw, build_nsg, brute_force_knn, recall_at_k
+from repro.harness import render_table
+from repro.service import ProximityEngine
+from repro.service.jobs import JobSpec
+
+from benchmarks.conftest import sf
+
+N = 200
+HNSW = {"m": 8, "ef_construction": 32, "seed": 3}
+NSG = {"r": 8, "k": 16}
+NSG_SAVINGS_FLOOR = 2.0
+RECALL_K = 10
+RECALL_FLOOR = 0.9
+NUM_QUERIES = 30
+
+_RESULTS = {}
+
+
+def _build_pair(builder, **kwargs):
+    """One naive and one bound-accelerated build; (graphs, calls) per mode."""
+    space = sf(N, road=False)
+    out = {}
+    for label in ("naive", "smart"):
+        oracle = space.oracle()
+        if label == "naive":
+            resolver = DirectResolver(oracle)
+        else:
+            resolver = SmartResolver(oracle)
+            resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        graph = builder(resolver, **kwargs)
+        out[label] = (graph, oracle.calls)
+    return out
+
+
+def test_nsg_build_saves_2x_with_identical_graph(report):
+    pair = _build_pair(build_nsg, **NSG)
+    (naive_graph, naive_calls), (smart_graph, smart_calls) = (
+        pair["naive"], pair["smart"],
+    )
+    identical = naive_graph.edges_signature() == smart_graph.edges_signature()
+    savings = naive_calls / max(1, smart_calls)
+    report(
+        render_table(
+            ["builder", "strong calls", "edges"],
+            [
+                ["naive", naive_calls, naive_graph.num_edges],
+                ["smart (tri)", smart_calls, smart_graph.num_edges],
+                ["savings", f"{savings:.2f}x", "identical" if identical else "DIVERGED"],
+            ],
+            title=f"nsg construction: sf-euclid n={N} {NSG}",
+        )
+    )
+    assert identical, "bound-accelerated NSG build diverged from the naive reference"
+    assert savings >= NSG_SAVINGS_FLOOR, (
+        f"NSG construction saved only {savings:.2f}x strong calls "
+        f"(floor {NSG_SAVINGS_FLOOR}x)"
+    )
+    _RESULTS.update(
+        nsg_naive_strong_calls=naive_calls,
+        nsg_smart_strong_calls=smart_calls,
+        nsg_oracle_savings=savings,
+        nsg_identical=identical,
+    )
+
+
+def test_hnsw_build_saves_calls_with_identical_graph(report):
+    pair = _build_pair(build_hnsw, **HNSW)
+    (naive_graph, naive_calls), (smart_graph, smart_calls) = (
+        pair["naive"], pair["smart"],
+    )
+    identical = naive_graph.edges_signature() == smart_graph.edges_signature()
+    savings = naive_calls / max(1, smart_calls)
+    report(
+        render_table(
+            ["builder", "strong calls", "edges"],
+            [
+                ["naive", naive_calls, naive_graph.num_edges],
+                ["smart (tri)", smart_calls, smart_graph.num_edges],
+                ["savings", f"{savings:.2f}x", "identical" if identical else "DIVERGED"],
+            ],
+            title=f"hnsw construction: sf-euclid n={N} {HNSW}",
+        )
+    )
+    assert identical, "bound-accelerated HNSW build diverged from the naive reference"
+    # Beam admission leaves fewer bound-decidable comparisons than NSG's
+    # occlusion pruning, so HNSW is gated above break-even only.
+    assert savings > 1.0, (
+        f"HNSW construction must at least break even (got {savings:.2f}x)"
+    )
+    _RESULTS.update(
+        hnsw_naive_strong_calls=naive_calls,
+        hnsw_smart_strong_calls=smart_calls,
+        hnsw_oracle_savings=savings,
+        hnsw_identical=identical,
+    )
+
+
+def test_served_search_recall_and_comparison_mode(report):
+    """The engine-served path: build_index job, then recall over searches."""
+    space = sf(N, road=False)
+    rng = np.random.default_rng(11)
+    queries = [int(q) for q in rng.integers(space.n, size=NUM_QUERIES)]
+    engine = ProximityEngine.for_space(space, provider="tri", job_workers=1)
+    try:
+        built = engine.run(JobSpec(kind="build_index", params={
+            "graph": "hnsw", "m": HNSW["m"], "ef": HNSW["ef_construction"],
+            "seed": HNSW["seed"],
+        }))
+        assert built.ok, built.error
+        numeric, ordinal, comparisons = [], [], 0
+        for q in queries:
+            truth = brute_force_knn(space.distance, q, range(space.n), RECALL_K)
+            found = engine.run(JobSpec(kind="search_index", params={
+                "query": q, "k": RECALL_K,
+            }))
+            assert found.ok, found.error
+            numeric.append(recall_at_k(found.value, truth))
+            cmp_found = engine.run(JobSpec(kind="search_index", params={
+                "query": q, "k": RECALL_K, "mode": "comparison",
+            }))
+            assert cmp_found.ok, cmp_found.error
+            ordinal.append(recall_at_k(cmp_found.value["ids"], truth))
+            comparisons += cmp_found.value["comparisons"]
+    finally:
+        engine.close(snapshot=False)
+
+    recall = sum(numeric) / len(numeric)
+    cmp_recall = sum(ordinal) / len(ordinal)
+    report(
+        render_table(
+            ["search mode", f"recall@{RECALL_K}"],
+            [
+                ["numeric", f"{recall:.3f}"],
+                ["comparison-only", f"{cmp_recall:.3f}"],
+                ["ordering calls (total)", comparisons],
+            ],
+            title=f"served hnsw search: n={N}, {NUM_QUERIES} queries",
+        )
+    )
+    assert recall >= RECALL_FLOOR, (
+        f"served recall@{RECALL_K} = {recall:.3f} below floor {RECALL_FLOOR}"
+    )
+    assert cmp_recall >= RECALL_FLOOR, (
+        f"comparison-only recall@{RECALL_K} = {cmp_recall:.3f} "
+        f"below floor {RECALL_FLOOR}"
+    )
+    _RESULTS.update(
+        recall_at_10=recall,
+        comparison_recall_at_10=cmp_recall,
+        comparison_calls=comparisons,
+    )
+
+    dump = os.environ.get("INDEX_BUILD_JSON")
+    if dump:
+        payload = {
+            "n": N,
+            "hnsw_m": HNSW["m"],
+            "hnsw_ef_construction": HNSW["ef_construction"],
+            "nsg_r": NSG["r"],
+            "nsg_k": NSG["k"],
+            "recall_k": RECALL_K,
+            "num_queries": NUM_QUERIES,
+        }
+        payload.update(_RESULTS)
+        with open(dump, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)

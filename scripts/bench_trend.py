@@ -15,7 +15,8 @@ Only metrics with a known "better" direction are gated; descriptive
 numbers (sizes, counts, configuration echoes) are reported but never fail:
 
 * ``*_seconds`` / ``*_ms`` — lower is better;
-* ``*speedup*`` / ``*savings*`` / ``*throughput*`` — higher is better.
+* ``*speedup*`` / ``*savings*`` / ``*throughput*`` / ``*recall*`` — higher
+  is better.
 
 The default tolerance is 25% relative change in the bad direction.  A new
 metric absent from the baseline, or vice versa, is reported as informative
@@ -37,6 +38,7 @@ _DIRECTION_RULES = (
     ("speedup", "substr", "higher"),
     ("savings", "substr", "higher"),
     ("throughput", "substr", "higher"),
+    ("recall", "substr", "higher"),
 )
 
 

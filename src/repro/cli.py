@@ -549,6 +549,108 @@ def _cmd_churn(args) -> int:
     return 0
 
 
+def _cmd_build_index(args) -> int:
+    """Navigable-graph construction: offline savings report, or a remote job.
+
+    Without ``--socket``, builds the chosen graph twice — once naively and
+    once through a bound-equipped resolver — and reports the strong-call
+    savings, whether the two graphs are byte-identical, and search recall.
+    With ``--socket``, submits a ``build_index`` job to a running engine.
+    """
+    if args.socket:
+        from repro.service.server import send_request
+
+        params = dict(args.param)
+        params.setdefault("graph", args.graph)
+        if args.graph == "hnsw":
+            params.setdefault("m", args.m)
+            params.setdefault("ef", args.ef)
+        else:
+            params.setdefault("r", args.r)
+            params.setdefault("k", args.pool)
+        if args.name:
+            params.setdefault("name", args.name)
+        response = send_request(
+            args.socket,
+            {"op": "build_index", "graph": args.graph, "params": params},
+            timeout=args.timeout,
+        )
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("ok") else 1
+
+    import numpy as np
+
+    from repro.bounds import TriScheme
+    from repro.core.oracle import ComparisonOracle
+    from repro.core.resolver import SmartResolver
+    from repro.graphs import (
+        build_hnsw,
+        build_nsg,
+        comparison_search,
+        evaluate_recall,
+        graph_search,
+    )
+    from repro.graphs.naive import DirectResolver
+
+    space = _build_space(args)
+    if args.graph == "hnsw":
+        kwargs = {"m": args.m, "ef_construction": args.ef, "seed": args.seed}
+        builder = build_hnsw
+    else:
+        kwargs = {"r": args.r, "k": args.pool}
+        builder = build_nsg
+
+    rows = []
+    graphs = {}
+    for label in ("naive", "smart"):
+        oracle = space.oracle()
+        if label == "naive":
+            resolver = DirectResolver(oracle)
+        else:
+            resolver = SmartResolver(oracle)
+            resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        start = time.perf_counter()
+        graphs[label] = builder(resolver, **kwargs)
+        elapsed = time.perf_counter() - start
+        rows.append([label, oracle.calls, graphs[label].num_edges,
+                     round(elapsed, 3)])
+    print_table(
+        ["builder", "strong calls", "edges", "seconds"],
+        rows,
+        title=(
+            f"{args.graph} construction: {args.dataset} n={space.n} "
+            f"params={kwargs}"
+        ),
+    )
+    naive_calls, smart_calls = rows[0][1], rows[1][1]
+    savings = naive_calls / smart_calls if smart_calls else float("inf")
+    identical = (
+        graphs["naive"].edges_signature() == graphs["smart"].edges_signature()
+    )
+    print(f"oracle savings: {savings:.2f}x; byte-identical graphs: {identical}")
+
+    rng = np.random.default_rng(args.seed)
+    queries = [int(q) for q in rng.integers(space.n, size=args.queries)]
+    oracle = space.oracle()
+    resolver = SmartResolver(oracle)
+    resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+    report = evaluate_recall(
+        resolver, graphs["smart"], queries, args.k,
+        distance_fn=space.distance,
+    )
+    print(f"recall@{args.k} over {args.queries} queries: "
+          f"{report['recall']:.3f}")
+    comparison = ComparisonOracle(resolver)
+    agree = sum(
+        1 for q in queries
+        if comparison_search(comparison, graphs["smart"], q, args.k)
+        == [v for _, v in graph_search(resolver, graphs["smart"], q, args.k)]
+    )
+    print(f"comparison-only search agreed on {agree}/{len(queries)} queries "
+          f"({comparison.comparisons} ordering calls, never a number)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -685,6 +787,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "running engine")
     submit_p.add_argument("--kind", default=None,
                           choices=["knn", "range", "nearest", "medoid",
+                                   "build_index", "search_index",
                                    "knng", "mst"])
     submit_p.add_argument("--param", action="append", type=_param_arg,
                           default=[], metavar="KEY=VALUE",
@@ -748,6 +851,42 @@ def build_parser() -> argparse.ArgumentParser:
     churn_p.add_argument("--batches", type=int, default=3,
                          help="number of mutation batches to absorb")
     churn_p.set_defaults(func=_cmd_churn)
+
+    build_p = sub.add_parser(
+        "build-index",
+        help="build a navigable graph: offline savings report, or submit a "
+        "build_index job to a running engine",
+    )
+    build_p.add_argument("--dataset", choices=sorted(DATASETS), default="sf")
+    build_p.add_argument("--n", type=int, default=150)
+    build_p.add_argument("--seed", type=int, default=7)
+    build_p.add_argument("--graph", choices=["hnsw", "nsg"], default="hnsw")
+    build_p.add_argument("--m", type=int, default=8,
+                         help="hnsw: max neighbours per node per layer")
+    build_p.add_argument("--ef", type=int, default=32,
+                         help="hnsw: construction beam width")
+    build_p.add_argument("--r", type=int, default=8,
+                         help="nsg: max out-degree")
+    build_p.add_argument("--pool", type=int, default=16,
+                         help="nsg: exact-kNN candidate pool size (>= r)")
+    build_p.add_argument("--k", type=int, default=10,
+                         help="recall@k evaluation depth (offline mode)")
+    build_p.add_argument("--queries", type=int, default=20,
+                         help="number of recall-evaluation queries "
+                         "(offline mode)")
+    build_p.add_argument("--name", default=None,
+                         help="store the built index under this name "
+                         "(remote mode)")
+    build_p.add_argument("--socket", "--target", dest="socket", default=None,
+                         metavar="TARGET",
+                         help="submit to a running 'repro serve' engine "
+                         "instead of building offline")
+    build_p.add_argument("--param", action="append", type=_param_arg,
+                         default=[], metavar="KEY=VALUE",
+                         help="extra job parameter (remote mode, repeatable)")
+    build_p.add_argument("--timeout", type=float, default=120.0,
+                         help="client-side socket timeout (remote mode)")
+    build_p.set_defaults(func=_cmd_build_index)
     return parser
 
 

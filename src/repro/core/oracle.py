@@ -36,7 +36,7 @@ import contextlib
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Protocol, Tuple, runtime_checkable
+from typing import Any, Callable, Dict, Iterable, List, Protocol, Tuple, runtime_checkable
 
 from repro.core.exceptions import BudgetExceededError, InvalidObjectError
 
@@ -474,3 +474,79 @@ class WallClockOracle(DistanceOracle):
     def wall_seconds(self) -> float:
         """Real seconds spent inside the distance function."""
         return self._wall_seconds
+
+
+class ComparisonOracle:
+    """Comparison-only oracle mode: answers orderings but never a number.
+
+    *Comparison Based Nearest Neighbor Search* (arXiv 1704.01460) shows that
+    navigable-graph search needs only ordering queries — "is ``d(*a) <
+    d(*b)``?" — never a distance magnitude.  This wrapper is that mode: it
+    exposes :meth:`less`/:meth:`compare`/:meth:`rank_less` over pairs of
+    object ids while keeping every numeric distance private, and it counts
+    the ordering queries it answers (``comparisons``; surfaced as the
+    ``repro_comparison_calls_total`` metric via
+    :func:`repro.obs.bridge.comparison_call_counter`).
+
+    Two sources are accepted.  A :class:`~repro.core.resolver.SmartResolver`
+    (anything exposing pair-predicate ``compare``/``less`` methods) is the
+    bound-accelerated path: orderings settled by triangle-inequality bounds
+    or the provider's ``decide_less`` joint test cost no oracle call at all.
+    A plain numeric source — a :class:`DistanceOracle` or bare ``(i, j) ->
+    float`` callable — is the reference path: distances are evaluated
+    internally and immediately reduced to a sign, so the caller still never
+    sees a magnitude.
+    """
+
+    def __init__(self, source: Any) -> None:
+        compare = getattr(source, "compare", None)
+        less = getattr(source, "less", None)
+        if callable(compare) and callable(less):
+            self._compare_pairs: Callable[[Pair, Pair], int] = compare
+            self._less_pairs: Callable[[Pair, Pair], bool] = less
+        elif callable(source):
+            self._compare_pairs = self._numeric_compare
+            self._less_pairs = self._numeric_less
+            self._fn = source
+        else:
+            raise TypeError(
+                "ComparisonOracle needs a resolver with compare/less pair "
+                "predicates or a numeric (i, j) -> float source"
+            )
+        #: Ordering queries answered so far — this mode's cost metric.
+        self.comparisons = 0
+
+    def _numeric_distance(self, pair: Pair) -> float:
+        i, j = pair
+        if i == j:
+            return 0.0
+        return float(self._fn(i, j))
+
+    def _numeric_compare(self, a: Pair, b: Pair) -> int:
+        da = self._numeric_distance(a)
+        db = self._numeric_distance(b)
+        return (da > db) - (da < db)
+
+    def _numeric_less(self, a: Pair, b: Pair) -> bool:
+        return self._numeric_distance(a) < self._numeric_distance(b)
+
+    def less(self, a: Pair, b: Pair) -> bool:
+        """Exact answer to ``d(*a) < d(*b)`` — one ordering query."""
+        self.comparisons += 1
+        return self._less_pairs(a, b)
+
+    def compare(self, a: Pair, b: Pair) -> int:
+        """Exact sign of ``d(*a) - d(*b)`` — one ordering query."""
+        self.comparisons += 1
+        return self._compare_pairs(a, b)
+
+    def rank_less(self, q: int, x: int, y: int) -> bool:
+        """Does ``x`` rank strictly before ``y`` as a neighbour of ``q``?
+
+        Orders by ``(d(q, ·), id)``: distance first, object id breaking exact
+        ties, so comparison-only search visits nodes in the same order as
+        numeric search resolving the same ties.  Counts as one ordering
+        query.
+        """
+        c = self.compare((q, x), (q, y))
+        return c < 0 or (c == 0 and x < y)

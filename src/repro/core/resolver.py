@@ -44,7 +44,7 @@ from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.bounds import BoundProvider, Bounds, TrivialBounder
-from repro.core.oracle import DistanceOracle, canonical_pair
+from repro.core.oracle import ComparisonOracle, DistanceOracle, canonical_pair
 from repro.core.partial_graph import PartialDistanceGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -666,7 +666,17 @@ class SmartResolver:
         return self.distance(*a) < d_first
 
     def compare(self, a: Pair, b: Pair) -> int:
-        """Exact three-way comparison: sign of ``dist(*a) − dist(*b)``."""
+        """Exact three-way comparison: sign of ``dist(*a) − dist(*b)``.
+
+        The decision ladder mirrors :meth:`less`: disjoint bound intervals
+        settle the sign with no oracle call; overlapping intervals consult
+        the provider's :meth:`~repro.bounds.base.BoundProvider.decide_less`
+        joint test in both directions; only then are the pairs resolved.
+        Exact intervals (``lower == upper``) are treated as resolved values,
+        so a tie between two already-known distances returns 0 for free.
+        This is the seam the comparison-only oracle mode builds on — see
+        :meth:`comparison_view`.
+        """
         ba, fresh_a = self._bounds_for_decision(*a)
         bb, fresh_b = self._bounds_for_decision(*b)
         if ba.upper < bb.lower:
@@ -706,6 +716,16 @@ class SmartResolver:
         if da > db:
             return 1
         return 0
+
+    def comparison_view(self) -> ComparisonOracle:
+        """An ordering-only facade over this resolver.
+
+        The returned :class:`~repro.core.oracle.ComparisonOracle` answers
+        ``less``/``compare``/``rank_less`` ordering queries through this
+        resolver's bound-accelerated predicates but never exposes a distance
+        magnitude, and counts the ordering queries it serves.
+        """
+        return ComparisonOracle(self)
 
     # -- bounded searches ------------------------------------------------------
 

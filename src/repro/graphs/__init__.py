@@ -1,0 +1,55 @@
+"""repro.graphs — bound-accelerated navigable-graph index construction.
+
+ROADMAP item 5: build the HNSW/NSG-style navigable graphs people actually
+deploy, with the paper's machinery pruning the construction's oracle calls.
+The builders are written once against the resolver predicate surface
+(``argmin``/``is_less_than``/``less``/``knearest``, primed by ``bounds_many``
+sweeps): run them over a bound-equipped
+:class:`~repro.core.resolver.SmartResolver` and construction issues strong
+oracle calls only where bounds are inconclusive; run them over
+:class:`~repro.graphs.naive.DirectResolver` and they are the classic naive
+greedy build.  Both emit byte-identical graphs at ``stretch=1.0`` — the
+savings are free.
+
+Search is served two ways: :func:`~repro.graphs.search.graph_search`
+(numeric, bound-pruned) and :func:`~repro.graphs.search.comparison_search`,
+the comparison-only oracle mode (arXiv 1704.01460) driven entirely by
+:class:`~repro.core.oracle.ComparisonOracle` ordering queries — no distance
+magnitude is ever observed.  :mod:`repro.graphs.evaluate` measures recall@k
+against brute-force ground truth.  The service layer serves all of this as
+``build_index``/``search_index`` job kinds; see
+``docs/index_construction_guide.md``.
+"""
+
+from repro.graphs.evaluate import brute_force_knn, evaluate_recall, recall_at_k
+from repro.graphs.hnsw import assign_levels, build_hnsw, build_hnsw_naive
+from repro.graphs.model import NavigableGraph
+from repro.graphs.naive import DirectResolver
+from repro.graphs.nsg import build_nsg, build_nsg_naive
+from repro.graphs.search import (
+    DEFAULT_EF,
+    comparison_descend,
+    comparison_search,
+    graph_search,
+    greedy_descend,
+    search_layer,
+)
+
+__all__ = [
+    "DEFAULT_EF",
+    "DirectResolver",
+    "NavigableGraph",
+    "assign_levels",
+    "brute_force_knn",
+    "build_hnsw",
+    "build_hnsw_naive",
+    "build_nsg",
+    "build_nsg_naive",
+    "comparison_descend",
+    "comparison_search",
+    "evaluate_recall",
+    "graph_search",
+    "greedy_descend",
+    "recall_at_k",
+    "search_layer",
+]

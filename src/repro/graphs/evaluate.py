@@ -1,0 +1,71 @@
+"""Recall / quality evaluation helpers for built navigable graphs.
+
+Navigable-graph search trades exactness for navigation locality, so index
+quality is measured as recall against brute-force ground truth: what
+fraction of the true ``k`` nearest neighbours did the graph search return?
+These helpers compute that, per query and averaged, for the numeric and the
+comparison-only search alike.  Ground truth is evaluated through a plain
+distance function (or a resolver), with deterministic ``(distance, id)``
+tie-breaking matching the searches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.graphs.model import NavigableGraph
+from repro.graphs.search import graph_search
+
+
+def recall_at_k(found: Iterable[int], truth: Sequence[int], k: Optional[int] = None) -> float:
+    """Fraction of the true top-``k`` ids present in ``found``.
+
+    ``truth`` is the ground-truth ranking (ascending distance); ``k``
+    defaults to its full length.  An empty truth set counts as perfect
+    recall.  ``found`` may carry ids or ``(distance, id)`` pairs.
+    """
+    ids = [f[1] if isinstance(f, tuple) else int(f) for f in found]
+    want = list(truth)[: len(truth) if k is None else k]
+    if not want:
+        return 1.0
+    got = set(ids[: len(want)] if k is None else ids[:k])
+    return sum(1 for t in want if t in got) / len(want)
+
+
+def brute_force_knn(
+    distance_fn: Callable[[int, int], float],
+    query: int,
+    candidates: Iterable[int],
+    k: int,
+) -> List[int]:
+    """Ground-truth top-``k`` ids by exhaustive evaluation (ties by id)."""
+    pool = sorted((float(distance_fn(query, c)), c) for c in candidates if c != query)
+    return [c for _, c in pool[:k]]
+
+
+def evaluate_recall(
+    resolver,
+    graph: NavigableGraph,
+    queries: Sequence[int],
+    k: int,
+    *,
+    ef: Optional[int] = None,
+    distance_fn: Optional[Callable[[int, int], float]] = None,
+    candidates: Optional[Sequence[int]] = None,
+) -> Dict[str, object]:
+    """Mean recall@``k`` of numeric graph search over ``queries``.
+
+    Ground truth is brute-forced over ``candidates`` (default: the graph's
+    base-layer nodes) through ``distance_fn`` when given — use the space's
+    raw metric to keep ground truth off the oracle's books — else through
+    ``resolver.distance``.  Returns ``{"recall", "per_query", "k", "ef"}``.
+    """
+    pool = list(candidates) if candidates is not None else graph.nodes()
+    dfn = distance_fn if distance_fn is not None else resolver.distance
+    per_query: List[float] = []
+    for q in queries:
+        truth = brute_force_knn(dfn, q, pool, k)
+        found = graph_search(resolver, graph, q, k, ef=ef)
+        per_query.append(recall_at_k(found, truth))
+    mean = sum(per_query) / len(per_query) if per_query else 1.0
+    return {"recall": mean, "per_query": per_query, "k": k, "ef": ef}

@@ -1,0 +1,104 @@
+"""Navigable proximity-graph data model.
+
+A :class:`NavigableGraph` is the artifact the :mod:`repro.graphs` builders
+produce and the searches consume: per-layer ordered adjacency over object
+ids plus a single entry point.  Layer 0 is the base layer holding every
+indexed node; HNSW-style graphs add sparser upper layers, NSG-style graphs
+are flat (one layer).  Adjacency order is load-bearing — searches visit
+neighbours in stored order, so two graphs are interchangeable only when
+:meth:`NavigableGraph.edges_signature` matches exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class NavigableGraph:
+    """A layered navigable graph over integer object ids.
+
+    ``layers[0]`` is the base layer containing every indexed node;
+    ``layers[l]`` for ``l > 0`` are progressively sparser HNSW-style upper
+    layers (absent for flat graphs).  Each layer maps a node id to its
+    *ordered* out-neighbour list.  ``entry_point`` is where every search
+    starts, at the top layer.
+    """
+
+    kind: str
+    entry_point: int
+    layers: List[Dict[int, List[int]]]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def max_level(self) -> int:
+        """Index of the top layer (0 for flat graphs)."""
+        return len(self.layers) - 1
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes indexed in the base layer."""
+        return len(self.layers[0]) if self.layers else 0
+
+    @property
+    def num_edges(self) -> int:
+        """Directed edges summed over every layer."""
+        return sum(len(adj) for layer in self.layers for adj in layer.values())
+
+    def nodes(self) -> List[int]:
+        """Base-layer node ids in insertion order."""
+        return list(self.layers[0]) if self.layers else []
+
+    def neighbors(self, node: int, layer: int = 0) -> Sequence[int]:
+        """Ordered out-neighbours of ``node`` at ``layer`` (empty if absent)."""
+        return self.layers[layer].get(node, ())
+
+    def edges_signature(self) -> Tuple[Tuple[int, int, Tuple[int, ...]], ...]:
+        """Canonical ``(layer, node, neighbours)`` tuple for byte-identity checks.
+
+        Two builds produced *identical* graphs — same nodes, same neighbour
+        sets, same adjacency order, same layering — iff their signatures are
+        equal.  This is the pin the naive-reference parity tests use.
+        """
+        rows = []
+        for level, layer in enumerate(self.layers):
+            for node in sorted(layer):
+                rows.append((level, node, tuple(layer[node])))
+        return tuple(rows)
+
+    def summary(self) -> Dict[str, Any]:
+        """Small JSON-friendly description (for job results and CLIs)."""
+        return {
+            "kind": self.kind,
+            "entry_point": self.entry_point,
+            "levels": len(self.layers),
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "params": dict(self.params),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (snapshot metadata, wire payloads)."""
+        return {
+            "kind": self.kind,
+            "entry_point": self.entry_point,
+            "params": dict(self.params),
+            "layers": [
+                {str(node): list(adj) for node, adj in layer.items()}
+                for layer in self.layers
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "NavigableGraph":
+        """Rebuild a graph from :meth:`to_dict` output."""
+        return cls(
+            kind=str(payload["kind"]),
+            entry_point=int(payload["entry_point"]),
+            layers=[
+                {int(node): [int(v) for v in adj] for node, adj in layer.items()}
+                for layer in payload["layers"]
+            ],
+            params=dict(payload.get("params", {})),
+        )

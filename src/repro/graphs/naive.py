@@ -1,0 +1,86 @@
+"""Bound-free reference resolver for naive-baseline builds.
+
+The builders in :mod:`repro.graphs` are written once against the
+:class:`~repro.core.resolver.SmartResolver` predicate surface.  Running the
+same construction with :class:`DirectResolver` — which answers every
+predicate by evaluating the oracle, with no bounds, no provider, no memo —
+*is* the classic greedy-insertion baseline: it charges exactly one oracle
+call per distinct pair the vanilla algorithm would evaluate (the wrapped
+:class:`~repro.core.oracle.DistanceOracle` caches repeats).  The smart and
+naive builds therefore differ only in how decisions are paid for, which is
+what makes the byte-identity + calls-saved pin meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.oracle import Pair
+
+
+class DirectResolver:
+    """Resolver facade where every decision is a direct oracle evaluation.
+
+    Implements the subset of the :class:`~repro.core.resolver.SmartResolver`
+    surface the graph builders and searches use (``distance``,
+    ``is_less_than``, ``less``, ``compare``, ``argmin``, ``knearest``,
+    ``bounds_many``), with identical exact semantics and tie-breaking but no
+    bound machinery whatsoever.
+    """
+
+    def __init__(self, oracle) -> None:
+        self.oracle = oracle
+
+    def distance(self, i: int, j: int) -> float:
+        """The exact distance, straight from the oracle."""
+        return self.oracle(i, j)
+
+    def is_less_than(self, i: int, j: int, threshold: float) -> bool:
+        """Exact answer to ``dist(i, j) < threshold`` (one evaluation)."""
+        return self.oracle(i, j) < threshold
+
+    def less(self, a: Pair, b: Pair) -> bool:
+        """Exact answer to ``dist(*a) < dist(*b)`` (two evaluations)."""
+        return self.oracle(*a) < self.oracle(*b)
+
+    def compare(self, a: Pair, b: Pair) -> int:
+        """Exact sign of ``dist(*a) - dist(*b)`` (two evaluations)."""
+        da = self.oracle(*a)
+        db = self.oracle(*b)
+        return (da > db) - (da < db)
+
+    def bounds_many(self, pairs: Iterable[Pair]) -> None:
+        """No-op: the naive reference has no bounds to prefetch."""
+        return None
+
+    def argmin(
+        self,
+        u: int,
+        candidates: Sequence[int],
+        upper_limit: float = math.inf,
+    ) -> Tuple[Optional[int], float]:
+        """Vanilla linear scan matching ``SmartResolver.argmin`` exactly.
+
+        Earliest-index tie-breaking, exclusive ``upper_limit``.
+        """
+        best_idx: Optional[int] = None
+        best_dist = upper_limit
+        for idx, c in enumerate(candidates):
+            d = self.oracle(u, c)
+            if d < best_dist:
+                best_idx = idx
+                best_dist = d
+        if best_idx is None:
+            return None, math.inf
+        return candidates[best_idx], best_dist
+
+    def knearest(self, u: int, candidates: Iterable[int], k: int) -> List[Tuple[float, int]]:
+        """Vanilla full scan matching ``SmartResolver.knearest`` exactly.
+
+        Ascending ``(distance, id)`` order — ties broken by object id.
+        """
+        if k <= 0:
+            return []
+        pool = sorted((self.oracle(u, c), c) for c in candidates if c != u)
+        return pool[:k]

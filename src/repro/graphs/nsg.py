@@ -1,0 +1,113 @@
+"""NSG-style flat navigable graph: kNN candidates, RNG occlusion pruning.
+
+The Navigating Spreading-out Graph recipe, re-authored through the resolver
+predicate surface: each node's candidate pool is its exact ``k`` nearest
+(``knearest`` — lower-bound pruned under a SmartResolver) and the pool is
+thinned with the Relative Neighborhood Graph occlusion rule — candidate
+``v`` is dropped when an already-selected closer neighbour ``w`` satisfies
+``d(v, w) < d(u, v)``.  That occlusion test is a pure *ordering* between two
+pairs, so it goes through ``resolver.less``, where disjoint bound intervals
+or the provider's ``decide_less`` joint test settle it without an oracle
+call.  Selection order and tie-breaks are deterministic, so smart and naive
+builds emit byte-identical graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.graphs.model import NavigableGraph
+from repro.graphs.naive import DirectResolver
+from repro.graphs.select import rng_select
+
+
+def _repair_connectivity(resolver, ids, adj, entry) -> int:
+    """NSG's spanning-tree fix: attach nodes unreachable from the entry.
+
+    Walks the directed graph from ``entry``; every node the walk misses (in
+    ascending id order) gets one in-edge from its nearest already-reachable
+    node (``knearest`` — bound-pruned under a SmartResolver), then its own
+    out-edges are folded into the reachable set.  Returns the number of
+    edges added.  Deterministic, so smart and naive builds repair
+    identically.
+    """
+    reachable = set()
+    stack = [entry]
+    while stack:
+        node = stack.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        stack.extend(adj[node])
+    added = 0
+    for u in ids:
+        if u in reachable:
+            continue
+        anchors = sorted(reachable)
+        nearest = resolver.knearest(u, anchors, 1)
+        adj[nearest[0][1]].append(u)
+        added += 1
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node in reachable:
+                continue
+            reachable.add(node)
+            stack.extend(adj[node])
+    return added
+
+
+def build_nsg(
+    resolver,
+    *,
+    r: int = 8,
+    k: int = 16,
+    nodes: Optional[Sequence[int]] = None,
+) -> NavigableGraph:
+    """Build a flat RNG-pruned graph with at most ``r`` edges per node.
+
+    ``k`` is the exact-kNN candidate pool size per node (``k >= r``); the
+    entry point is the highest-in-degree node (smallest id on ties) — a
+    cheap, oracle-free stand-in for NSG's navigating node.  Pass a
+    bound-equipped :class:`~repro.core.resolver.SmartResolver` to prune both
+    the kNN scans and the occlusion comparisons; pass a
+    :class:`~repro.graphs.naive.DirectResolver` for the naive reference.
+    """
+    if r < 1:
+        raise ValueError("nsg needs r >= 1")
+    if k < r:
+        raise ValueError("nsg needs k >= r")
+    ids = list(nodes) if nodes is not None else list(range(resolver.oracle.n))
+    if not ids:
+        raise ValueError("cannot build an index over zero objects")
+    adj: Dict[int, List[int]] = {}
+    for u in ids:
+        pool = [v for v in ids if v != u]
+        candidates = resolver.knearest(u, pool, k)
+        # Pure RNG occlusion pruning (no backfill): each test is an
+        # ordering query the bounds/decide_less ladder answers before any
+        # oracle resolution.
+        adj[u] = rng_select(resolver, u, candidates, r, fill=False)
+    indegree = {u: 0 for u in ids}
+    for neighbors in adj.values():
+        for v in neighbors:
+            indegree[v] += 1
+    entry = min(ids, key=lambda v: (-indegree[v], v))
+    repaired = _repair_connectivity(resolver, ids, adj, entry)
+    return NavigableGraph(
+        kind="nsg",
+        entry_point=entry,
+        layers=[adj],
+        params={"r": r, "k": k, "repaired_edges": repaired},
+    )
+
+
+def build_nsg_naive(
+    oracle,
+    *,
+    r: int = 8,
+    k: int = 16,
+    nodes: Optional[Sequence[int]] = None,
+) -> NavigableGraph:
+    """The naive reference build: full kNN scans, direct occlusion distances."""
+    return build_nsg(DirectResolver(oracle), r=r, k=k, nodes=nodes)

@@ -1,0 +1,201 @@
+"""Search over navigable graphs: numeric (bound-pruned) and comparison-only.
+
+Two query modes share the same traversal structure:
+
+* :func:`graph_search` — greedy layer descent plus a best-first beam at the
+  base layer, every distance decision routed through the resolver's exact
+  predicates.  With a :class:`~repro.core.resolver.SmartResolver` the beam's
+  admission test ``d(q, v) < d_k`` is settled by bounds whenever they are
+  conclusive (the unvisited frontier is pre-bounded in one ``bounds_many``
+  sweep), so a warm graph answers queries with few or no oracle calls.
+* :func:`comparison_search` — the same descent and beam driven purely by a
+  :class:`~repro.core.oracle.ComparisonOracle`: only ordering queries, never
+  a number.  On tie-free spaces it visits nodes in exactly the same order as
+  the numeric search (both rank by ``(distance, id)``), which the parity
+  property tests pin.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import List, Optional, Tuple
+
+from repro.core.oracle import ComparisonOracle
+from repro.graphs.model import NavigableGraph
+
+#: Default beam width when the caller does not pass ``ef``.
+DEFAULT_EF = 16
+
+
+def greedy_descend(resolver, q, ep, d_ep, adj, skip=None):
+    """Greedy walk toward ``q``: move to the nearest neighbour while it improves.
+
+    Matches a vanilla scan exactly: at each step the strict-best neighbour
+    (earliest-index tie-break, via ``resolver.argmin`` with an exclusive
+    limit) replaces the current node; stops at a local minimum.  Returns the
+    final ``(node, distance)``.
+    """
+    while True:
+        neighbors = [v for v in adj.get(ep, ()) if v != skip]
+        if not neighbors:
+            return ep, d_ep
+        c, d = resolver.argmin(q, neighbors, upper_limit=d_ep)
+        if c is None:
+            return ep, d_ep
+        ep, d_ep = c, d
+
+
+def search_layer(resolver, q, entries, ef, adj, skip=None):
+    """Best-first beam search within one layer; the construction workhorse.
+
+    ``entries`` is a non-empty list of already-resolved ``(distance, node)``
+    seeds.  Returns up to ``ef`` nearest visited nodes as an ascending
+    ``(distance, node)`` list.  Once the beam is full, a neighbour is
+    admitted only when ``d(q, v) < d_ef`` (strict; ties rejected) — with a
+    SmartResolver that test is first put to the bounds, after a single
+    ``bounds_many`` sweep over the unvisited frontier, so conclusively-far
+    neighbours cost no oracle call.  Traversal order (min-heap on
+    ``(distance, node)``) and the stop rule (``d > d_ef``) are fully
+    deterministic, so naive and bound-accelerated runs visit identical nodes
+    and return identical results.
+    """
+    visited = {v for _, v in entries}
+    cand: List[Tuple[float, int]] = sorted(entries)
+    result: List[Tuple[float, int]] = sorted(entries)
+    del result[ef:]
+    while cand:
+        d_c, c = heapq.heappop(cand)
+        if len(result) >= ef and d_c > result[-1][0]:
+            break
+        frontier = [v for v in adj.get(c, ()) if v not in visited and v != skip]
+        if not frontier:
+            continue
+        visited.update(frontier)
+        if len(result) >= ef:
+            # One vectorized bound sweep primes the memo for the per-pair
+            # admission predicates below.
+            resolver.bounds_many([(q, v) for v in frontier])
+        for v in frontier:
+            if len(result) >= ef and not resolver.is_less_than(q, v, result[-1][0]):
+                continue
+            d_v = resolver.distance(q, v)
+            heapq.heappush(cand, (d_v, v))
+            insort(result, (d_v, v))
+            del result[ef:]
+    return result
+
+
+def _entry_for(graph: NavigableGraph, query: int) -> Tuple[Optional[int], int]:
+    """Entry node and starting layer, rerouting when the query is the entry.
+
+    Member queries (the query id is itself indexed) never evaluate a
+    self-distance: when the entry point *is* the query, search starts from
+    its first neighbour on the highest layer that has one.
+    """
+    ep = graph.entry_point
+    if ep != query:
+        return ep, graph.max_level
+    for layer in range(graph.max_level, -1, -1):
+        for v in graph.layers[layer].get(query, ()):
+            if v != query:
+                return v, layer
+    return None, -1
+
+
+def graph_search(
+    resolver,
+    graph: NavigableGraph,
+    query: int,
+    k: int,
+    ef: Optional[int] = None,
+) -> List[Tuple[float, int]]:
+    """Approximate ``k`` nearest neighbours of ``query`` via the graph.
+
+    Greedy descent through the upper layers, then an ``ef``-wide beam on the
+    base layer.  Returns ascending ``(distance, id)`` pairs, never including
+    ``query`` itself.  Exactness of every individual decision is inherited
+    from the resolver; approximation comes only from graph navigation, so
+    recall depends on the graph and ``ef``, not on the bound provider.
+    """
+    ef = max(k, ef if ef is not None else DEFAULT_EF)
+    ep, start = _entry_for(graph, query)
+    if ep is None:
+        return []
+    d_ep = resolver.distance(query, ep)
+    for layer in range(start, 0, -1):
+        ep, d_ep = greedy_descend(resolver, query, ep, d_ep, graph.layers[layer], skip=query)
+    found = search_layer(resolver, query, [(d_ep, ep)], ef, graph.layers[0], skip=query)
+    return found[:k]
+
+
+def comparison_descend(comparison: ComparisonOracle, q, ep, adj, skip=None):
+    """Greedy descent using only ordering queries.
+
+    Scans the current node's neighbours in stored order, keeping the first
+    strictly-better one seen so far (``comparison.less``), and moves while
+    the scan strictly improves — the exact stepping rule of
+    :func:`greedy_descend` (earliest-index tie-break, strict improvement),
+    expressed purely in ordering queries.
+    """
+    while True:
+        best = ep
+        for v in adj.get(ep, ()):
+            if v == skip:
+                continue
+            if comparison.less((q, v), (q, best)):
+                best = v
+        if best == ep:
+            return ep
+        ep = best
+
+
+def comparison_search(
+    comparison: ComparisonOracle,
+    graph: NavigableGraph,
+    query: int,
+    k: int,
+    ef: Optional[int] = None,
+) -> List[int]:
+    """Approximate ``k`` nearest neighbours using only ordering queries.
+
+    The comparison-only oracle mode end to end: descent and beam are driven
+    entirely by ``is d(q, x) < d(q, y)?`` queries, so no distance magnitude
+    is ever observed.  The beam keeps an ``ef``-long rank-ordered list of
+    visited nodes and repeatedly expands the best not-yet-expanded one; it
+    stops when the whole beam is expanded.  Returns node ids only.
+    """
+    ef = max(k, ef if ef is not None else DEFAULT_EF)
+    ep, start = _entry_for(graph, query)
+    if ep is None:
+        return []
+    for layer in range(start, 0, -1):
+        ep = comparison_descend(comparison, query, ep, graph.layers[layer], skip=query)
+    adj = graph.layers[0]
+    order: List[int] = [ep]
+    visited = {ep}
+    expanded = set()
+    while True:
+        pick = next((v for v in order if v not in expanded), None)
+        if pick is None:
+            break
+        expanded.add(pick)
+        for v in adj.get(pick, ()):
+            if v in visited or v == query:
+                continue
+            visited.add(v)
+            _rank_insert(comparison, order, query, v)
+            del order[ef:]
+    return order[:k]
+
+
+def _rank_insert(comparison: ComparisonOracle, order: List[int], q: int, v: int) -> None:
+    """Binary-insert ``v`` into rank-sorted ``order`` via ordering queries."""
+    lo, hi = 0, len(order)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if comparison.rank_less(q, v, order[mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    order.insert(lo, v)

@@ -1,0 +1,51 @@
+"""Occlusion-based neighbour selection shared by the graph builders.
+
+The Relative Neighborhood Graph rule — drop candidate ``v`` when an
+already-selected closer neighbour ``w`` has ``d(v, w) < d(u, v)`` — is what
+gives navigable graphs their diverse, well-spread edges (HNSW's "select
+neighbors heuristic", NSG's pruning step).  Each occlusion test is a pure
+ordering between two pairs, so it routes through ``resolver.less`` where
+disjoint bound intervals or the provider's ``decide_less`` joint test settle
+it without touching the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def rng_select(
+    resolver,
+    u: int,
+    candidates: Sequence[Tuple[float, int]],
+    m: int,
+    *,
+    fill: bool = True,
+) -> List[int]:
+    """Select up to ``m`` diverse neighbours for ``u`` from sorted candidates.
+
+    ``candidates`` must be ascending ``(distance, id)`` pairs (closest
+    first).  A candidate is kept unless occluded by an already-kept one
+    under the RNG rule.  With ``fill=True`` (HNSW's keep-pruned-connections)
+    occluded candidates backfill remaining slots in distance order, so the
+    result has exactly ``min(m, len(candidates))`` ids; with ``fill=False``
+    (NSG) occluded candidates are dropped outright.  Fully deterministic:
+    candidate order is the only tie-break.
+    """
+    selected: List[int] = []
+    pruned: List[int] = []
+    for _, v in candidates:
+        if len(selected) >= m:
+            break
+        occluded = False
+        for w in selected:
+            if resolver.less((v, w), (u, v)):
+                occluded = True
+                break
+        if occluded:
+            pruned.append(v)
+        else:
+            selected.append(v)
+    if fill and len(selected) < m:
+        selected.extend(pruned[: m - len(selected)])
+    return selected

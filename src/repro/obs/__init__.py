@@ -14,6 +14,7 @@ See ``docs/observability_guide.md`` for the metric-name catalogue.
 
 from repro.obs.bridge import (
     RESOLVER_METRICS,
+    comparison_call_counter,
     oracle_call_counter,
     publish_resolver_stats,
     resolver_stats_view,
@@ -51,6 +52,7 @@ __all__ = [
     "RESOLVER_METRICS",
     "Span",
     "SpanTracer",
+    "comparison_call_counter",
     "merge_metrics",
     "oracle_call_counter",
     "publish_resolver_stats",

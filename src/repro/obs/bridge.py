@@ -18,7 +18,7 @@ catalogue in ``docs/observability_guide.md`` mirrors it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.obs.registry import MetricsRegistry
 
@@ -193,4 +193,19 @@ def oracle_call_counter(registry: MetricsRegistry, oracle) -> None:
         "repro_oracle_timeouts_total",
         "Oracle evaluations that timed out under an executor deadline.",
         fn=lambda: oracle.timeouts,
+    )
+
+
+def comparison_call_counter(registry: MetricsRegistry, comparison) -> None:
+    """Register ``repro_comparison_calls_total`` over a ``ComparisonOracle``.
+
+    Callback-backed, mirroring :func:`oracle_call_counter`: the counter is a
+    live view of :attr:`~repro.core.oracle.ComparisonOracle.comparisons`, the
+    number of ordering queries ("is ``d(a, b) < d(c, d)``?") the
+    comparison-only oracle mode has answered.
+    """
+    registry.counter(
+        "repro_comparison_calls_total",
+        "Ordering queries answered by the comparison-only oracle mode.",
+        fn=lambda: comparison.comparisons,
     )

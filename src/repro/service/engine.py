@@ -66,7 +66,7 @@ from repro.core.exceptions import (
     SnapshotMismatchError,
 )
 from repro.core.locking import ReadWriteLock
-from repro.core.oracle import DistanceOracle, canonical_pair
+from repro.core.oracle import ComparisonOracle, DistanceOracle, canonical_pair
 from repro.core.partial_graph import PartialDistanceGraph
 from repro.core.persistence import load_archive, save_graph, seed_oracle_cache
 from repro.core.resolver import ResolverStats, SmartResolver
@@ -80,6 +80,13 @@ from repro.dynamic import (
     apply_provider_mutations,
 )
 from repro.exec.executor import BaseExecutor, DEFAULT_WORKERS, make_executor
+from repro.graphs import (
+    NavigableGraph,
+    build_hnsw,
+    build_nsg,
+    comparison_search,
+    graph_search,
+)
 from repro.harness.providers import LANDMARK_PROVIDERS, make_provider
 from repro.harness.stats import percentile
 from repro.obs import (
@@ -506,6 +513,11 @@ class ProximityEngine:
         #: (so it should track the live state), False for explicit ones.
         self._fingerprint_from_space = False
         self.subscriptions = SubscriptionRegistry()
+        #: Built navigable-graph indexes by name (``build_index`` jobs),
+        #: served by ``search_index`` jobs and persisted with snapshots.
+        self.indexes: Dict[str, NavigableGraph] = {}
+        self._indexes_lock = threading.Lock()
+        self._comparison_calls = 0
 
         self.instrument(registry if registry is not None else MetricsRegistry())
 
@@ -638,6 +650,28 @@ class ProximityEngine:
                 "Entries entering or leaving a standing-query result per "
                 "mutation batch (unchanged subscriptions observe nothing)."
             ),
+        )
+        indexes_built = r.counter(
+            "repro_indexes_built_total",
+            "Navigable-graph indexes built by build_index jobs, by kind.",
+            labelnames=("kind",),
+        )
+        self._m_indexes_built = {
+            kind: indexes_built.labels(kind=kind) for kind in ("hnsw", "nsg")
+        }
+        self._m_index_searches = r.counter(
+            "repro_index_searches_total",
+            "search_index queries answered from a built navigable graph.",
+        )
+        r.counter(
+            "repro_comparison_calls_total",
+            "Ordering queries answered by the comparison-only oracle mode.",
+            fn=lambda: self._comparison_calls,
+        )
+        r.gauge(
+            "repro_indexes_stored",
+            "Built navigable-graph indexes held by the engine.",
+            fn=lambda: len(self.indexes),
         )
         r.gauge(
             "repro_subscriptions_active",
@@ -873,7 +907,81 @@ class ProximityEngine:
             return knn_graph(resolver, k=int(p.get("k", 5)))
         if kind == "mst":
             return prim_mst(resolver, root=int(p.get("root", 0)))
+        if kind == "build_index":
+            return self._run_build_index(resolver, p)
+        if kind == "search_index":
+            return self._run_search_index(resolver, p)
         raise ValueError(f"unknown job kind {kind!r}")  # pragma: no cover
+
+    def _run_build_index(self, resolver: SmartResolver, p: Dict[str, Any]) -> Dict[str, Any]:
+        """Build a navigable graph through the job's resolver and store it.
+
+        Runs inside a normal job, so the build shares the engine's warm
+        graph (``warm_resolutions`` counts pairs it reads for free), obeys
+        the job's budget/deadline, and may use the weak tier or a stretch
+        budget like any other job.  The built graph is stored under
+        ``name`` (default: the graph kind) for ``search_index`` jobs and
+        snapshot persistence.
+        """
+        graph_kind = str(p["graph"])
+        nodes = self.graph.alive_ids() if self.graph.mutated else None
+        if graph_kind == "hnsw":
+            built = build_hnsw(
+                resolver,
+                m=int(p.get("m", 8)),
+                ef_construction=int(p.get("ef", 32)),
+                seed=int(p.get("seed", 0)),
+                nodes=nodes,
+            )
+        elif graph_kind == "nsg":
+            built = build_nsg(
+                resolver, r=int(p.get("r", 8)), k=int(p.get("k", 16)), nodes=nodes
+            )
+        else:
+            raise ValueError(f"unknown index graph kind {graph_kind!r} (hnsw or nsg)")
+        name = str(p.get("name", graph_kind))
+        with self._indexes_lock:
+            self.indexes[name] = built
+        self._m_indexes_built[graph_kind].inc()
+        summary = built.summary()
+        summary["name"] = name
+        return summary
+
+    def _run_search_index(self, resolver: SmartResolver, p: Dict[str, Any]) -> Any:
+        """Answer a query from a built navigable graph.
+
+        ``mode="comparison"`` runs the comparison-only oracle mode: the
+        search observes orderings only (counted into
+        ``repro_comparison_calls_total``) and the result carries ids but no
+        distances.  The default numeric mode returns ascending
+        ``(distance, id)`` pairs, with admission tests settled by bounds
+        where conclusive — on a warm graph a search can cost zero strong
+        calls.
+        """
+        name = str(p.get("name", p.get("graph", "")))
+        with self._indexes_lock:
+            if name:
+                index = self.indexes.get(name)
+            elif len(self.indexes) == 1:
+                name, index = next(iter(self.indexes.items()))
+            else:
+                index = None
+        if index is None:
+            raise ValueError(
+                f"no built index named {name!r}: run a build_index job first"
+                + ("" if name else " (or pass name= with several indexes built)")
+            )
+        query = int(p["query"])
+        k = int(p["k"])
+        ef = int(p["ef"]) if p.get("ef") is not None else None
+        self._m_index_searches.inc()
+        if str(p.get("mode", "distance")) == "comparison":
+            comparison = ComparisonOracle(resolver)
+            ids = comparison_search(comparison, index, query, k, ef=ef)
+            with self._stats_lock:
+                self._comparison_calls += comparison.comparisons
+            return {"ids": ids, "comparisons": comparison.comparisons, "index": name}
+        return graph_search(resolver, index, query, k, ef=ef)
 
     def _finish(self, job: Job, result: JobResult) -> None:
         job._finish(result)
@@ -1154,11 +1262,16 @@ class ProximityEngine:
         return self.fingerprint
 
     def _metadata(self) -> Dict[str, Any]:
+        with self._indexes_lock:
+            indexes = {name: g.to_dict() for name, g in self.indexes.items()}
         return {
             "fingerprint": self.current_fingerprint(),
             "oracle": type(self.oracle).__name__,
             "provider": self.provider_name,
             "n": self.oracle.n,
+            # Built navigable graphs ride along in the archive metadata, so
+            # a restored engine serves search_index jobs immediately.
+            "indexes": indexes,
         }
 
     def snapshot(self, path: Optional[str] = None) -> str:
@@ -1230,6 +1343,11 @@ class ProximityEngine:
                         archive.graph.epoch,
                         [archive.graph.node_epoch(u) for u in range(n)],
                     )
+        persisted = (archive.metadata or {}).get("indexes", {})
+        if persisted:
+            with self._indexes_lock:
+                for name, payload in persisted.items():
+                    self.indexes[str(name)] = NavigableGraph.from_dict(payload)
         if added:
             self._m_restored.inc(added)
         return added

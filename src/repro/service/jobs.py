@@ -30,6 +30,8 @@ JOB_KINDS: Dict[str, Tuple[str, ...]] = {
     "medoid": (),
     "knng": (),
     "mst": (),
+    "build_index": ("graph",),
+    "search_index": ("query", "k"),
 }
 
 

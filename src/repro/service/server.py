@@ -139,6 +139,17 @@ def handle_engine_request(engine: ProximityEngine, request: Dict[str, Any]) -> D
         job = engine.submit(spec)
         result = job.result(request.get("timeout"))
         return {"ok": True, "job_id": job.id, "result": result_to_dict(result)}
+    if op == "build_index":
+        # Sugar over submit: build a navigable graph as a normal job.
+        params = dict(request.get("params", {}))
+        params.setdefault("graph", str(request.get("graph", "hnsw")))
+        spec = spec_from_dict({"kind": "build_index", "params": params,
+                               "label": request.get("label", "build-index")})
+        job = engine.submit(spec)
+        result = job.result(request.get("timeout"))
+        return {"ok": True, "job_id": job.id, "result": result_to_dict(result)}
+    if op == "indexes":
+        return {"ok": True, "indexes": sorted(engine.indexes)}
     if op == "mutate":
         batch = [mutation_from_dict(m) for m in request.get("mutations", [])]
         outcome = engine.apply_mutations(batch)

@@ -68,7 +68,12 @@ Pair = Tuple[int, int]
 SCATTER_KINDS = frozenset({"knn", "range", "nearest"})
 
 #: Job kinds routed whole to a single owner shard.
-GLOBAL_KINDS = frozenset({"medoid", "knng", "mst"})
+GLOBAL_KINDS = frozenset({"medoid", "knng", "mst", "build_index", "search_index"})
+
+#: Index job kinds with *sticky* owner routing: a ``build_index`` job pins
+#: its index name to the shard that built it, and ``search_index`` jobs for
+#: that name always land on the owning shard (the graph lives only there).
+INDEX_KINDS = frozenset({"build_index", "search_index"})
 
 
 @dataclass(frozen=True)
@@ -234,6 +239,8 @@ def _shard_main(conn, config: ShardConfig) -> None:
                     )
                 elif op == "metrics":
                     conn.send({"ok": True, "metrics": engine.render_metrics()})
+                elif op == "indexes":
+                    conn.send({"ok": True, "indexes": sorted(engine.indexes)})
                 elif op == "edges":
                     start = int(msg.get("start", 0))
                     with engine._rw.read_locked():
@@ -380,6 +387,8 @@ class ShardedEngine:
         self._store_lock = threading.Lock()
         self._owner_seq = 0
         self._owner_lock = threading.Lock()
+        #: Index name -> shard index that built (and exclusively serves) it.
+        self._index_owners: Dict[str, int] = {}
         self._closed = False
         self._started_at = time.monotonic()
         self.dynamic = bool(dynamic)
@@ -517,6 +526,8 @@ class ShardedEngine:
             raise RuntimeError("sharded engine is closed")
         if spec.kind in SCATTER_KINDS:
             result = self._run_scatter(spec, timeout)
+        elif spec.kind in INDEX_KINDS:
+            result = self._run_global(spec, timeout, shard=self._index_shard(spec))
         else:
             result = self._run_global(spec, timeout)
         return result
@@ -527,8 +538,38 @@ class ShardedEngine:
             self._owner_seq += 1
         return shard
 
-    def _run_global(self, spec: JobSpec, timeout: Optional[float]) -> JobResult:
-        shard = self._next_owner()
+    def _index_shard(self, spec: JobSpec) -> "_Shard":
+        """Sticky owner routing for built indexes.
+
+        ``build_index`` claims the next round-robin owner and records it
+        under the index name; ``search_index`` must hit the shard holding
+        the named graph.
+        """
+        name = str(spec.params.get("name", spec.params.get("graph", "")))
+        if spec.kind == "build_index":
+            shard = self._next_owner()
+            with self._owner_lock:
+                self._index_owners[name] = shard.index
+            return shard
+        with self._owner_lock:
+            if name:
+                owner = self._index_owners.get(name)
+            elif len(self._index_owners) == 1:
+                name, owner = next(iter(self._index_owners.items()))
+            else:
+                owner = None
+        if owner is None:
+            raise ValueError(
+                f"no shard owns a built index named {name!r}: "
+                "run a build_index job first"
+            )
+        return self._shards[owner]
+
+    def _run_global(
+        self, spec: JobSpec, timeout: Optional[float], shard: Optional["_Shard"] = None
+    ) -> JobResult:
+        if shard is None:
+            shard = self._next_owner()
         self._m_jobs.labels(mode="global").inc()
         self._m_shard_jobs.labels(shard=str(shard.index)).inc()
         reply = self._call(
@@ -858,6 +899,11 @@ class ShardedEngine:
         ]
         added = sum(int(future.result()["added"]) for future in futures)
         self._drain_edges(self._shards)
+        # Rebuild sticky index ownership from what each shard rehydrated.
+        for shard in self._shards:
+            for name in self._call(shard, {"op": "indexes"})["indexes"]:
+                with self._owner_lock:
+                    self._index_owners[str(name)] = shard.index
         return added
 
     # -- server protocol -----------------------------------------------------
@@ -879,6 +925,17 @@ class ShardedEngine:
             spec = spec_from_dict(request.get("spec", {}))
             result = self.run(spec, request.get("timeout"))
             return {"ok": True, "result": result_to_dict(result)}
+        if op == "build_index":
+            params = dict(request.get("params", {}))
+            params.setdefault("graph", str(request.get("graph", "hnsw")))
+            spec = spec_from_dict({"kind": "build_index", "params": params,
+                                   "label": request.get("label", "build-index")})
+            result = self.run(spec, request.get("timeout"))
+            return {"ok": True, "result": result_to_dict(result)}
+        if op == "indexes":
+            with self._owner_lock:
+                owners = dict(self._index_owners)
+            return {"ok": True, "indexes": sorted(owners), "owners": owners}
         if op == "mutate":
             return {
                 "ok": True,

@@ -1,0 +1,1 @@
+"""Tests for ``repro.graphs`` — navigable-graph construction and search."""

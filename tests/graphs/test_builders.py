@@ -1,0 +1,134 @@
+"""Builder parity: bound-accelerated builds are byte-identical to naive ones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import TriScheme
+from repro.core.resolver import SmartResolver
+from repro.graphs import (
+    assign_levels,
+    build_hnsw,
+    build_hnsw_naive,
+    build_nsg,
+    build_nsg_naive,
+)
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+COMMON_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _smart_resolver(space):
+    resolver = SmartResolver(space.oracle())
+    resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+    return resolver
+
+
+@pytest.fixture(scope="module")
+def space():
+    return MatrixSpace(random_metric_matrix(40, np.random.default_rng(2)), validate=False)
+
+
+class TestLevelAssignment:
+    def test_deterministic_per_seed(self):
+        assert assign_levels(50, 8, 3) == assign_levels(50, 8, 3)
+        assert assign_levels(50, 8, 3) != assign_levels(50, 8, 4)
+
+    def test_levels_are_non_negative(self):
+        assert all(lv >= 0 for lv in assign_levels(200, 4, 0))
+
+
+class TestByteIdentity:
+    def test_hnsw_smart_matches_naive(self, space):
+        naive = build_hnsw_naive(space.oracle(), m=4, ef_construction=12, seed=1)
+        smart = build_hnsw(_smart_resolver(space), m=4, ef_construction=12, seed=1)
+        assert naive.edges_signature() == smart.edges_signature()
+        assert naive.entry_point == smart.entry_point
+
+    def test_nsg_smart_matches_naive(self, space):
+        naive = build_nsg_naive(space.oracle(), r=4, k=8)
+        smart = build_nsg(_smart_resolver(space), r=4, k=8)
+        assert naive.edges_signature() == smart.edges_signature()
+        assert naive.entry_point == smart.entry_point
+        assert naive.params == smart.params
+
+    def test_smart_build_charges_fewer_nsg_calls(self, space):
+        naive_oracle = space.oracle()
+        build_nsg_naive(naive_oracle, r=4, k=8)
+        resolver = _smart_resolver(space)
+        build_nsg(resolver, r=4, k=8)
+        assert resolver.oracle.calls < naive_oracle.calls
+
+    @given(st.integers(8, 20), st.integers(0, 2**31 - 1))
+    @settings(**COMMON_SETTINGS)
+    def test_hnsw_identity_on_random_metric_spaces(self, n, seed):
+        sp = MatrixSpace(random_metric_matrix(n, np.random.default_rng(seed)), validate=False)
+        naive = build_hnsw_naive(sp.oracle(), m=3, ef_construction=8, seed=seed % 97)
+        smart = build_hnsw(_smart_resolver(sp), m=3, ef_construction=8, seed=seed % 97)
+        assert naive.edges_signature() == smart.edges_signature()
+
+    @given(st.integers(8, 20), st.integers(0, 2**31 - 1))
+    @settings(**COMMON_SETTINGS)
+    def test_nsg_identity_on_random_metric_spaces(self, n, seed):
+        sp = MatrixSpace(random_metric_matrix(n, np.random.default_rng(seed)), validate=False)
+        naive = build_nsg_naive(sp.oracle(), r=3, k=6)
+        smart = build_nsg(_smart_resolver(sp), r=3, k=6)
+        assert naive.edges_signature() == smart.edges_signature()
+
+
+class TestStructure:
+    def test_hnsw_base_layer_indexes_every_node(self, space):
+        graph = build_hnsw_naive(space.oracle(), m=4, ef_construction=12, seed=1)
+        assert sorted(graph.nodes()) == list(range(space.n))
+        assert graph.max_level >= 0
+        # Upper layers only ever hold a subset of the one below.
+        for upper, lower in zip(graph.layers[1:], graph.layers):
+            assert set(upper) <= set(lower)
+
+    def test_nsg_every_node_reachable_from_entry(self, space):
+        graph = build_nsg_naive(space.oracle(), r=3, k=6)
+        seen, stack = set(), [graph.entry_point]
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            stack.extend(graph.neighbors(u))
+        assert seen == set(range(space.n))
+
+    def test_nsg_degree_cap_holds(self, space):
+        graph = build_nsg_naive(space.oracle(), r=3, k=6)
+        # The connectivity repair may add edges past the cap; out-degree
+        # stays within r + repaired total.
+        assert all(len(adj) <= 3 + graph.params["repaired_edges"]
+                   for adj in graph.layers[0].values())
+
+    def test_subset_build_indexes_only_requested_nodes(self, space):
+        subset = [1, 3, 5, 7, 9, 11, 13, 15]
+        graph = build_nsg_naive(space.oracle(), r=3, k=5, nodes=subset)
+        assert sorted(graph.nodes()) == subset
+
+
+class TestValidation:
+    def test_hnsw_rejects_degenerate_params(self, space):
+        with pytest.raises(ValueError):
+            build_hnsw_naive(space.oracle(), m=1)
+        with pytest.raises(ValueError):
+            build_hnsw_naive(space.oracle(), ef_construction=0)
+        with pytest.raises(ValueError):
+            build_hnsw_naive(space.oracle(), nodes=[])
+
+    def test_nsg_rejects_degenerate_params(self, space):
+        with pytest.raises(ValueError):
+            build_nsg_naive(space.oracle(), r=0)
+        with pytest.raises(ValueError):
+            build_nsg_naive(space.oracle(), r=5, k=3)
+        with pytest.raises(ValueError):
+            build_nsg_naive(space.oracle(), nodes=[])

@@ -1,0 +1,84 @@
+"""The comparison-only oracle mode: orderings in, never a number out."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds import TriScheme
+from repro.core.oracle import ComparisonOracle
+from repro.core.resolver import SmartResolver
+from repro.obs import MetricsRegistry, comparison_call_counter
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+@pytest.fixture
+def space():
+    return MatrixSpace(random_metric_matrix(12, np.random.default_rng(5)), validate=False)
+
+
+class TestSources:
+    def test_wraps_a_numeric_callable(self, space):
+        cmp = ComparisonOracle(space.distance)
+        assert cmp.less((0, 1), (0, 1)) is False
+        assert cmp.compare((0, 1), (1, 0)) == 0  # symmetric metric
+        assert cmp.comparisons == 2
+
+    def test_wraps_a_resolver(self, space):
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        cmp = ComparisonOracle(resolver)
+        truth = space.distance(2, 3) < space.distance(4, 5)
+        assert cmp.less((2, 3), (4, 5)) is truth
+        assert cmp.comparisons == 1
+
+    def test_rejects_a_non_source(self):
+        with pytest.raises(TypeError):
+            ComparisonOracle(42)
+
+    def test_self_pair_is_distance_zero(self, space):
+        cmp = ComparisonOracle(space.distance)
+        # d(i, i) = 0 is strictly below any positive distance.
+        assert cmp.less((3, 3), (0, 1)) is True
+        assert cmp.compare((3, 3), (7, 7)) == 0
+
+
+class TestSemantics:
+    def test_compare_sign_matches_ground_truth(self, space):
+        cmp = ComparisonOracle(space.distance)
+        for a, b in [((0, 1), (2, 3)), ((4, 5), (4, 6)), ((1, 2), (1, 2))]:
+            da, db = space.distance(*a), space.distance(*b)
+            assert cmp.compare(a, b) == (da > db) - (da < db)
+
+    def test_rank_less_breaks_exact_ties_by_id(self, space):
+        cmp = ComparisonOracle(space.distance)
+        # An exact tie: both pairs are the same distance, ids decide.
+        assert cmp.rank_less(2, 5, 5) is False
+        da = space.distance(0, 1)
+        db = space.distance(0, 2)
+        assert cmp.rank_less(0, 1, 2) is (da < db or (da == db and 1 < 2))
+
+    def test_never_exposes_a_magnitude(self, space):
+        cmp = ComparisonOracle(space.distance)
+        out = [cmp.less((0, 1), (2, 3)), cmp.compare((0, 1), (2, 3)),
+               cmp.rank_less(0, 1, 2)]
+        assert all(isinstance(v, (bool, int)) and not isinstance(v, float) for v in out)
+        assert not hasattr(cmp, "distance")
+
+    def test_counter_counts_every_query(self, space):
+        cmp = ComparisonOracle(space.distance)
+        cmp.less((0, 1), (2, 3))
+        cmp.compare((0, 1), (2, 3))
+        cmp.rank_less(0, 1, 2)
+        assert cmp.comparisons == 3
+
+    def test_resolver_comparison_view_and_metric(self, space):
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        cmp = resolver.comparison_view()
+        registry = MetricsRegistry()
+        comparison_call_counter(registry, cmp)
+        cmp.less((0, 1), (2, 3))
+        cmp.rank_less(0, 1, 2)
+        text = registry.render_prometheus()
+        assert "repro_comparison_calls_total 2" in text

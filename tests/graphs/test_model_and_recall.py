@@ -1,0 +1,105 @@
+"""NavigableGraph round-trips and the recall-evaluation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    DirectResolver,
+    NavigableGraph,
+    brute_force_knn,
+    build_hnsw_naive,
+    evaluate_recall,
+    recall_at_k,
+)
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+
+@pytest.fixture(scope="module")
+def space():
+    return MatrixSpace(random_metric_matrix(25, np.random.default_rng(4)), validate=False)
+
+
+class TestModel:
+    def test_round_trip_preserves_signature(self, space):
+        graph = build_hnsw_naive(space.oracle(), m=3, ef_construction=8, seed=5)
+        clone = NavigableGraph.from_dict(graph.to_dict())
+        assert clone.edges_signature() == graph.edges_signature()
+        assert clone.kind == graph.kind
+        assert clone.entry_point == graph.entry_point
+        assert clone.params == graph.params
+
+    def test_to_dict_is_json_safe(self, space):
+        import json
+
+        graph = build_hnsw_naive(space.oracle(), m=3, ef_construction=8, seed=5)
+        payload = json.loads(json.dumps(graph.to_dict()))
+        assert NavigableGraph.from_dict(payload).edges_signature() == graph.edges_signature()
+
+    def test_summary_counts(self):
+        g = NavigableGraph(
+            kind="nsg", entry_point=1, layers=[{1: [2], 2: [1, 3], 3: []}]
+        )
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert g.max_level == 0
+        assert g.summary()["edges"] == 3
+        assert list(g.neighbors(2)) == [1, 3]
+        assert list(g.neighbors(9)) == []
+
+
+class TestRecallAtK:
+    # Hand-computed ground truth: truth ranking is [4, 2, 7].
+    def test_perfect_recall(self):
+        assert recall_at_k([4, 2, 7], [4, 2, 7]) == 1.0
+
+    def test_partial_recall(self):
+        assert recall_at_k([4, 2, 9], [4, 2, 7]) == pytest.approx(2 / 3)
+
+    def test_zero_recall(self):
+        assert recall_at_k([1, 3, 5], [4, 2, 7]) == 0.0
+
+    def test_order_within_topk_does_not_matter(self):
+        assert recall_at_k([7, 4, 2], [4, 2, 7]) == 1.0
+
+    def test_k_prefix_is_respected(self):
+        # Only the top-2 of each side count when k=2.
+        assert recall_at_k([4, 9, 2], [4, 2, 7], k=2) == 0.5
+
+    def test_accepts_distance_id_tuples(self):
+        assert recall_at_k([(0.1, 4), (0.2, 2)], [4, 2]) == 1.0
+
+    def test_empty_truth_is_perfect(self):
+        assert recall_at_k([1, 2], []) == 1.0
+
+
+class TestBruteForce:
+    def test_matches_hand_computed_ranking(self):
+        # A 4-point line: 0 -1- 1 -1- 2 -1- 3, distances are index gaps.
+        dist = lambda a, b: abs(a - b)  # noqa: E731
+        assert brute_force_knn(dist, 1, range(4), 2) == [0, 2]
+        assert brute_force_knn(dist, 0, range(4), 3) == [1, 2, 3]
+
+    def test_ties_break_by_id_and_query_excluded(self):
+        dist = lambda a, b: 0.0 if a != b else 0.0  # noqa: E731
+        assert brute_force_knn(dist, 2, range(4), 2) == [0, 1]
+
+
+class TestEvaluateRecall:
+    def test_full_beam_recall_is_one(self, space):
+        graph = build_hnsw_naive(space.oracle(), m=4, ef_construction=12, seed=5)
+        report = evaluate_recall(
+            DirectResolver(space.oracle()), graph, [0, 5, 10], 5,
+            ef=space.n, distance_fn=space.distance,
+        )
+        assert report["recall"] == 1.0
+        assert report["per_query"] == [1.0, 1.0, 1.0]
+        assert report["k"] == 5
+
+    def test_ground_truth_can_run_off_the_resolver(self, space):
+        graph = build_hnsw_naive(space.oracle(), m=4, ef_construction=12, seed=5)
+        report = evaluate_recall(
+            DirectResolver(space.oracle()), graph, [3], 3, ef=space.n,
+        )
+        assert report["recall"] == 1.0

@@ -1,0 +1,121 @@
+"""Search over built graphs: numeric correctness and comparison-only parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import TriScheme
+from repro.core.oracle import ComparisonOracle
+from repro.core.resolver import SmartResolver
+from repro.graphs import (
+    NavigableGraph,
+    build_hnsw_naive,
+    build_nsg_naive,
+    comparison_search,
+    graph_search,
+)
+from repro.graphs.naive import DirectResolver
+from repro.spaces.matrix import MatrixSpace, random_metric_matrix
+
+COMMON_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _space(n, seed):
+    return MatrixSpace(random_metric_matrix(n, np.random.default_rng(seed)), validate=False)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return _space(30, 9)
+
+
+@pytest.fixture(scope="module")
+def graph(space):
+    return build_hnsw_naive(space.oracle(), m=4, ef_construction=16, seed=2)
+
+
+class TestNumericSearch:
+    def test_returns_ascending_distances_excluding_query(self, space, graph):
+        found = graph_search(DirectResolver(space.oracle()), graph, 7, 5)
+        assert len(found) == 5
+        ids = [v for _, v in found]
+        assert 7 not in ids
+        assert [d for d, _ in found] == sorted(d for d, _ in found)
+
+    def test_smart_and_naive_search_agree(self, space, graph):
+        naive = graph_search(DirectResolver(space.oracle()), graph, 3, 5)
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        smart = graph_search(resolver, graph, 3, 5)
+        assert naive == smart
+
+    def test_full_beam_search_is_exact(self, space, graph):
+        # With ef covering the whole space, graph search on a connected
+        # graph must return the true k nearest.
+        resolver = DirectResolver(space.oracle())
+        found = graph_search(resolver, graph, 11, 5, ef=space.n)
+        truth = sorted(
+            (space.distance(11, v), v) for v in range(space.n) if v != 11
+        )[:5]
+        assert found == truth
+
+
+class TestComparisonParity:
+    def test_comparison_search_matches_numeric_ids(self, space, graph):
+        resolver = DirectResolver(space.oracle())
+        cmp = ComparisonOracle(space.distance)
+        for q in range(0, space.n, 3):
+            numeric = [v for _, v in graph_search(resolver, graph, q, 5)]
+            ordinal = comparison_search(cmp, graph, q, 5)
+            assert numeric == ordinal, f"query {q} diverged"
+        assert cmp.comparisons > 0
+
+    @given(st.integers(10, 24), st.integers(0, 2**31 - 1))
+    @settings(**COMMON_SETTINGS)
+    def test_parity_on_random_metric_spaces(self, n, seed):
+        # Random metric matrices are tie-free almost surely, the regime
+        # where the ordering-driven beam provably mirrors the numeric one.
+        sp = _space(n, seed)
+        g = build_hnsw_naive(sp.oracle(), m=3, ef_construction=8, seed=seed % 13)
+        cmp = ComparisonOracle(sp.distance)
+        q = seed % n
+        numeric = [v for _, v in graph_search(DirectResolver(sp.oracle()), g, q, 3)]
+        assert comparison_search(cmp, g, q, 3) == numeric
+
+    @given(st.integers(10, 24), st.integers(0, 2**31 - 1))
+    @settings(**COMMON_SETTINGS)
+    def test_parity_holds_on_nsg_graphs_too(self, n, seed):
+        sp = _space(n, seed)
+        g = build_nsg_naive(sp.oracle(), r=3, k=6)
+        cmp = ComparisonOracle(sp.distance)
+        q = (seed * 7) % n
+        numeric = [v for _, v in graph_search(DirectResolver(sp.oracle()), g, q, 3)]
+        assert comparison_search(cmp, g, q, 3) == numeric
+
+    def test_bound_accelerated_comparisons_agree(self, space, graph):
+        resolver = SmartResolver(space.oracle())
+        resolver.bounder = TriScheme(resolver.graph, space.diameter_bound())
+        cmp = resolver.comparison_view()
+        numeric = [v for _, v in graph_search(DirectResolver(space.oracle()), graph, 4, 5)]
+        assert comparison_search(cmp, graph, 4, 5) == numeric
+
+
+class TestEntryEdgeCases:
+    def test_query_is_entry_point_still_answers(self, space, graph):
+        q = graph.entry_point
+        found = graph_search(DirectResolver(space.oracle()), graph, q, 3)
+        assert len(found) == 3
+        assert q not in [v for _, v in found]
+
+    def test_singleton_graph_returns_empty(self):
+        g = NavigableGraph(kind="hnsw", entry_point=0, layers=[{0: []}])
+        sp = _space(4, 1)
+        assert graph_search(DirectResolver(sp.oracle()), g, 0, 2) == []
+        assert comparison_search(ComparisonOracle(sp.distance), g, 0, 2) == []

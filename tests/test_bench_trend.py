@@ -7,8 +7,6 @@ import json
 import sys
 from pathlib import Path
 
-import pytest
-
 _SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_trend.py"
 _spec = importlib.util.spec_from_file_location("bench_trend", _SCRIPT)
 bench_trend = importlib.util.module_from_spec(_spec)
@@ -29,6 +27,10 @@ class TestDirections:
         assert bench_trend.metric_direction("frontier_speedup") == "higher"
         assert bench_trend.metric_direction("stretch_savings_pct") == "higher"
         assert bench_trend.metric_direction("throughput_qps") == "higher"
+
+    def test_recall_is_higher_better(self):
+        assert bench_trend.metric_direction("recall_at_10") == "higher"
+        assert bench_trend.metric_direction("comparison_recall_at_10") == "higher"
 
     def test_descriptive_metrics_are_ungated(self):
         assert bench_trend.metric_direction("frontier_n") is None
